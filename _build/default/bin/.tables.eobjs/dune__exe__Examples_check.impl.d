@@ -1,0 +1,1 @@
+bin/examples_check.ml: Atomicity Commutativity Fmt History List Op Option Spec String Theorems Tid Tm_adt Tm_core Value View

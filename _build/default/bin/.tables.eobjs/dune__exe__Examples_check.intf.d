@@ -1,0 +1,1 @@
+bin/examples_check.mli:

@@ -1,0 +1,1 @@
+bin/explore.ml: Arg Cmd Cmdliner Commutativity Conflict Explore Fmt List Op Spec String Term Tm_adt Tm_core

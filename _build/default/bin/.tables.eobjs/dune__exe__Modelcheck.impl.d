@@ -1,0 +1,1 @@
+bin/modelcheck.ml: Arg Atomicity Cmd Cmdliner Conflict Fmt History Impl_model List Random Term Tid Tm_adt Tm_core View

@@ -1,0 +1,1 @@
+bin/simulate.ml: Arg Cmd Cmdliner Fmt List String Term Tm_engine Tm_sim

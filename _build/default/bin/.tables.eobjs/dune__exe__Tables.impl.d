@@ -1,0 +1,1 @@
+bin/tables.ml: Arg Cmd Cmdliner Commutativity Fmt List String Term Tm_adt Tm_core

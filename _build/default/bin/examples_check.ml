@@ -1,0 +1,98 @@
+(* examples_check: replay the paper's worked examples through the
+   checkers and report each claim next to the paper's. *)
+
+open Tm_core
+module BA = Tm_adt.Bank_account
+
+let env = Atomicity.env_of_list [ BA.spec ]
+
+let claim what paper got =
+  Fmt.pr "  %-52s paper: %-5s measured: %b %s@." what paper got
+    (if String.equal paper (string_of_bool got) then "\xe2\x9c\x93" else "\xe2\x9c\x97 MISMATCH")
+
+let section_3_2 () =
+  Fmt.pr "Section 3.2 — Spec(BA) membership:@.";
+  let legal = [ BA.deposit 5; BA.withdraw_ok 3; BA.balance 2; BA.withdraw_no 3 ] in
+  let illegal = [ BA.deposit 5; BA.withdraw_ok 3; BA.balance 2; BA.withdraw_ok 3 ] in
+  claim "dep(5);w(3)ok;bal=2;w(3)no in Spec" "true" (Spec.legal BA.spec legal);
+  claim "dep(5);w(3)ok;bal=2;w(3)ok in Spec" "false" (Spec.legal BA.spec illegal)
+
+let example_history =
+  History.empty
+  |> History.exec Tid.a (BA.deposit 3)
+  |> History.exec Tid.b (BA.withdraw_ok 2)
+  |> History.exec Tid.a (BA.balance 3)
+  |> History.invoke Tid.b ~obj:"BA" (Op.invocation "balance")
+  |> History.commit_at Tid.a "BA"
+  |> History.respond Tid.b ~obj:"BA" (Value.int 1)
+  |> History.commit_at Tid.b "BA"
+  |> History.exec Tid.c (BA.withdraw_no 2)
+  |> History.commit_at Tid.c "BA"
+
+let section_3_3 () =
+  Fmt.pr "Section 3.3/3.4 — the worked history:@.";
+  claim "well-formed" "true" (History.is_well_formed example_history);
+  claim "atomic" "true" (Atomicity.atomic env example_history);
+  claim "dynamic atomic" "true" (Atomicity.is_dynamic_atomic env example_history);
+  claim "serializable in A-B-C" "true"
+    (Atomicity.serializable_in env (History.permanent example_history)
+       [ Tid.a; Tid.b; Tid.c ]);
+  let perturbed =
+    History.empty
+    |> History.exec Tid.a (BA.deposit 3)
+    |> History.exec Tid.b (BA.withdraw_ok 2)
+    |> History.exec Tid.a (BA.balance 3)
+    |> History.exec Tid.b (BA.balance 1)
+    |> History.commit_at Tid.a "BA"
+    |> History.commit_at Tid.b "BA"
+    |> History.exec Tid.c (BA.withdraw_no 2)
+    |> History.commit_at Tid.c "BA"
+  in
+  claim "perturbed variant dynamic atomic" "false"
+    (Atomicity.is_dynamic_atomic env perturbed)
+
+let section_5 () =
+  Fmt.pr "Section 5 — UIP and DU views:@.";
+  let h =
+    History.empty
+    |> History.exec Tid.a (BA.deposit 5)
+    |> History.commit_at Tid.a "BA"
+    |> History.exec Tid.b (BA.withdraw_ok 3)
+  in
+  let eq a b = List.equal Op.equal a b in
+  claim "UIP(H,B) = dep;withdraw" "true"
+    (eq (View.apply View.uip h Tid.b) [ BA.deposit 5; BA.withdraw_ok 3 ]);
+  claim "UIP(H,C) = UIP(H,B)" "true"
+    (eq (View.apply View.uip h Tid.c) (View.apply View.uip h Tid.b));
+  claim "DU(H,B) = dep;withdraw" "true"
+    (eq (View.apply View.du h Tid.b) [ BA.deposit 5; BA.withdraw_ok 3 ]);
+  claim "DU(H,C) = dep only" "true" (eq (View.apply View.du h Tid.c) [ BA.deposit 5 ])
+
+let section_6_3 () =
+  Fmt.pr "Section 6.3 — the worked commutativity example:@.";
+  let p = Commutativity.default_params in
+  claim "withdraw-ok does not RBC with deposit" "false"
+    (Commutativity.rbc BA.spec p (BA.withdraw_ok 1) (BA.deposit 1));
+  claim "deposit does RBC with withdraw-ok" "true"
+    (Commutativity.rbc BA.spec p (BA.deposit 1) (BA.withdraw_ok 1))
+
+let section_7 () =
+  Fmt.pr "Section 7 — theorem counterexamples:@.";
+  let p = Commutativity.default_params in
+  claim "UIP with NFC conflicts refutable" "true"
+    (Option.is_some (Theorems.uip_refute BA.spec p BA.nfc_conflict));
+  claim "DU with NRBC conflicts refutable" "true"
+    (Option.is_some (Theorems.du_refute BA.spec p BA.nrbc_conflict));
+  claim "UIP with NRBC conflicts refutable" "false"
+    (Option.is_some (Theorems.uip_refute BA.spec p BA.nrbc_conflict));
+  claim "DU with NFC conflicts refutable" "false"
+    (Option.is_some (Theorems.du_refute BA.spec p BA.nfc_conflict))
+
+let () =
+  Fmt.pr "Checking the paper's worked examples against the implementation@.@.";
+  section_3_2 ();
+  section_3_3 ();
+  section_5 ();
+  section_6_3 ();
+  section_7 ();
+  Fmt.pr "@.done.@."

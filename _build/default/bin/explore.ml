@@ -1,0 +1,102 @@
+(* explore: inspect a specification — reachable state-sets, conflict
+   relation listings, and refutation witnesses for an operation pair. *)
+
+open Tm_core
+module Registry = Tm_adt.Registry
+
+let with_entry type_name f =
+  match Registry.find type_name with
+  | Some e -> f e
+  | None ->
+      Fmt.epr "unknown type %S; try one of %a@." type_name
+        Fmt.(list ~sep:comma string)
+        Registry.names;
+      exit 1
+
+let show_reachable (e : Registry.entry) depth =
+  let (Spec.Packed (module S)) = e.spec in
+  let module E = Explore.Make (S) in
+  let reached = E.reachable ~depth ~alphabet:S.generators in
+  Fmt.pr "%d distinct reachable state-sets within depth %d:@." (List.length reached) depth;
+  List.iter
+    (fun (word, sts) ->
+      Fmt.pr "  [%a] -> {%a}@."
+        Fmt.(list ~sep:(any "; ") Op.pp_short)
+        word
+        Fmt.(list ~sep:(any ", ") S.pp_state)
+        (E.States.elements sts))
+    reached
+
+let show_conflicts (e : Registry.entry) =
+  let ops = Spec.generators e.spec in
+  let show name (rel : Conflict.t) =
+    Fmt.pr "%s conflicts (requested / held):@." name;
+    List.iter
+      (fun p ->
+        List.iter
+          (fun q ->
+            if Conflict.conflicts rel ~requested:p ~held:q then
+              Fmt.pr "  %a  vs  %a@." Op.pp_short p Op.pp_short q)
+          ops)
+      ops
+  in
+  show "NFC" e.nfc;
+  show "NRBC" e.nrbc
+
+let find_op (e : Registry.entry) text =
+  let candidates = Spec.generators e.spec in
+  match
+    List.find_opt (fun op -> String.equal (Fmt.str "%a" Op.pp_short op) text) candidates
+  with
+  | Some op -> op
+  | None ->
+      Fmt.epr "unknown operation %S; generator alphabet:@." text;
+      List.iter (fun op -> Fmt.epr "  %a@." Op.pp_short op) candidates;
+      exit 1
+
+let show_witness (e : Registry.entry) beta gamma depth =
+  let b = find_op e beta and g = find_op e gamma in
+  let p = Commutativity.params ~alpha_depth:depth ~future_depth:depth () in
+  Fmt.pr "forward commutativity of %a and %a: %a@." Op.pp_short b Op.pp_short g
+    Commutativity.pp_verdict
+    (Commutativity.commute_forward e.spec p b g);
+  Fmt.pr "%a right-commutes-backward with %a: %a@." Op.pp_short b Op.pp_short g
+    Commutativity.pp_verdict
+    (Commutativity.right_commutes_backward e.spec p b g)
+
+let main type_name depth reachable conflicts pair =
+  with_entry type_name (fun e ->
+      match pair with
+      | Some (beta, gamma) -> show_witness e beta gamma depth
+      | None ->
+          if reachable then show_reachable e depth;
+          if conflicts then show_conflicts e;
+          if (not reachable) && not conflicts then begin
+            show_reachable e (min depth 3);
+            show_conflicts e
+          end)
+
+open Cmdliner
+
+let type_arg =
+  Arg.(value & pos 0 string "BA" & info [] ~docv:"TYPE" ~doc:"Object type.")
+
+let depth_arg = Arg.(value & opt int 5 & info [ "depth" ] ~doc:"Exploration depth.")
+let reachable_arg = Arg.(value & flag & info [ "reachable" ] ~doc:"Show reachable state-sets.")
+let conflicts_arg = Arg.(value & flag & info [ "conflicts" ] ~doc:"List conflict pairs.")
+
+let pair_arg =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' string string)) None
+    & info [ "pair" ] ~docv:"OP1,OP2"
+        ~doc:"Decide commutativity of two operations (pp-short syntax, e.g. \
+              'withdraw(1)\xe2\x86\x92ok,deposit(1)\xe2\x86\x92ok').")
+
+let cmd =
+  let doc = "explore a serial specification and its conflict relations" in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(const main $ type_arg $ depth_arg $ reachable_arg $ conflicts_arg $ pair_arg)
+
+let () = exit (Cmd.eval cmd)

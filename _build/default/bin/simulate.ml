@@ -1,0 +1,90 @@
+(* simulate: run an engine scenario from the command line and print the
+   comparison matrix (or a single configured run). *)
+
+module Experiment = Tm_sim.Experiment
+module Scheduler = Tm_sim.Scheduler
+module Recovery = Tm_engine.Recovery
+
+let scenarios () =
+  Experiment.all_scenarios
+  @ List.map (fun w -> Experiment.bank_sweep ~withdraw_pct:w) [ 0; 25; 50; 75; 100 ]
+  @ List.map (fun d -> Experiment.inventory_sweep ~decr_pct:d) [ 0; 25; 50; 75; 100 ]
+
+let find_scenario name =
+  List.find_opt (fun (s : Experiment.scenario) -> String.equal s.name name) (scenarios ())
+
+let list_scenarios () =
+  Fmt.pr "Available scenarios:@.";
+  List.iter (fun (s : Experiment.scenario) -> Fmt.pr "  %s@." s.name) (scenarios ())
+
+let main name list_only recovery choice occ concurrency txns seed rounds =
+  if list_only then list_scenarios ()
+  else
+    match find_scenario name with
+    | None ->
+        Fmt.epr "unknown scenario %S (try --list)@." name;
+        exit 1
+    | Some scenario -> (
+        let cfg =
+          Scheduler.config ~concurrency ~total_txns:txns ~seed ~max_rounds:rounds ()
+        in
+        match recovery, choice, occ with
+        | None, None, false ->
+            Fmt.pr "%a@." Experiment.pp_table (Experiment.run_matrix scenario cfg)
+        | _ ->
+            let recovery =
+              match recovery with
+              | Some "du" | Some "DU" -> Recovery.DU
+              | None when occ -> Recovery.DU
+              | _ -> Recovery.UIP
+            in
+            let choice =
+              match choice with
+              | Some "rw" -> Experiment.Read_write
+              | Some "all" -> Experiment.Total
+              | _ -> Experiment.Semantic
+            in
+            let row = Experiment.run scenario (Experiment.setup ~occ recovery choice) cfg in
+            Fmt.pr "%a@." Experiment.pp_table [ row ])
+
+open Cmdliner
+
+let name_arg =
+  Arg.(
+    value
+    & pos 0 string "bank-hotspot"
+    & info [] ~docv:"SCENARIO" ~doc:"Scenario name (see --list).")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List scenarios.")
+
+let recovery_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "recovery" ] ~docv:"uip|du" ~doc:"Recovery method (default: run the full matrix).")
+
+let choice_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "conflict" ] ~docv:"semantic|rw|all" ~doc:"Conflict relation choice.")
+
+let occ_arg =
+  Arg.(value & flag & info [ "occ" ] ~doc:"Optimistic execution (implies deferred update).")
+
+let concurrency_arg =
+  Arg.(value & opt int 8 & info [ "concurrency"; "c" ] ~doc:"Concurrent transactions.")
+
+let txns_arg = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"Transactions to run.")
+let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"PRNG seed.")
+let rounds_arg = Arg.(value & opt int 100_000 & info [ "max-rounds" ] ~doc:"Safety stop.")
+
+let cmd =
+  let doc = "run a transaction-engine scenario and print scheduler statistics" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const main $ name_arg $ list_arg $ recovery_arg $ choice_arg $ occ_arg
+      $ concurrency_arg $ txns_arg $ seed_arg $ rounds_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,59 @@
+(* tables: print the commutativity tables (the paper's Figures 6-1/6-2)
+   for any registered ADT, computed from its serial specification. *)
+
+open Tm_core
+module Registry = Tm_adt.Registry
+
+let list_types () =
+  Fmt.pr "Available types:@.";
+  List.iter (fun (e : Registry.entry) -> Fmt.pr "  %-4s %s@." e.name e.description) Registry.all
+
+let print_tables type_name alpha_depth future_depth =
+  match Registry.find type_name with
+  | None ->
+      Fmt.epr "unknown type %S; try one of %a@." type_name
+        Fmt.(list ~sep:comma string)
+        Registry.names;
+      exit 1
+  | Some e ->
+      let p = Commutativity.params ~alpha_depth ~future_depth () in
+      Fmt.pr "Forward commutativity for %s (X = do not commute forward):@.%a@."
+        e.name Commutativity.pp_table
+        (Commutativity.fc_table e.spec p e.classes);
+      Fmt.pr
+        "Right backward commutativity for %s (X = row does not right commute \
+         backward with column):@.%a@."
+        e.name Commutativity.pp_table
+        (Commutativity.rbc_table e.spec p e.classes);
+      if String.equal e.name "BA" then begin
+        let fc = Commutativity.fc_table e.spec p e.classes in
+        let rbc = Commutativity.rbc_table e.spec p e.classes in
+        Fmt.pr "Figure 6-1 reproduced: %b@."
+          (Commutativity.equal_table fc Tm_adt.Bank_account.paper_fc_table);
+        Fmt.pr "Figure 6-2 reproduced: %b@."
+          (Commutativity.equal_table rbc Tm_adt.Bank_account.paper_rbc_table)
+      end
+
+let main type_name list alpha_depth future_depth =
+  if list then list_types () else print_tables type_name alpha_depth future_depth
+
+open Cmdliner
+
+let type_arg =
+  Arg.(value & pos 0 string "BA" & info [] ~docv:"TYPE" ~doc:"Object type (see --list).")
+
+let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List the registered types.")
+
+let alpha_arg =
+  Arg.(value & opt int 5 & info [ "alpha-depth" ] ~doc:"Context exploration depth.")
+
+let future_arg =
+  Arg.(value & opt int 5 & info [ "future-depth" ] ~doc:"Distinguishing-future depth.")
+
+let cmd =
+  let doc = "print commutativity tables computed from a serial specification" in
+  Cmd.v
+    (Cmd.info "tables" ~doc)
+    Term.(const main $ type_arg $ list_arg $ alpha_arg $ future_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/banking_hotspot.ml: Fmt List Tm_engine Tm_sim

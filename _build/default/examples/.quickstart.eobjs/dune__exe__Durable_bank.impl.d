@@ -1,0 +1,1 @@
+examples/durable_bank.ml: Fmt List Op Spec Tid Tm_adt Tm_core Tm_engine Value

@@ -1,0 +1,1 @@
+examples/inventory_escrow.ml: Atomicity Fmt List Op Spec Tid Tm_adt Tm_core Tm_engine Value

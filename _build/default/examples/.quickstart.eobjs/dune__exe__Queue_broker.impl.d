@@ -1,0 +1,1 @@
+examples/queue_broker.ml: Fmt List Op Tid Tm_adt Tm_core Tm_engine Tm_sim Value

@@ -1,0 +1,1 @@
+examples/queue_broker.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomicity Fmt History Op Spec Tid Tm_adt Tm_core Tm_engine Value

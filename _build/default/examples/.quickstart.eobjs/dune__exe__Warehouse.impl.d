@@ -1,0 +1,1 @@
+examples/warehouse.ml: Array Fmt List Mutex Op Random Spec Thread Tm_adt Tm_core Tm_engine Value

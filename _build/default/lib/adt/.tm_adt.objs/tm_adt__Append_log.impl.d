@@ -1,0 +1,1 @@
+lib/adt/append_log.ml: Conflict Fmt Int List Op Spec Tm_core Value

@@ -1,0 +1,1 @@
+lib/adt/append_log.mli: Conflict Op Spec Tm_core

@@ -1,0 +1,1 @@
+lib/adt/bank_account.ml: Commutativity Conflict Fmt Int List Op Spec Tm_core Value

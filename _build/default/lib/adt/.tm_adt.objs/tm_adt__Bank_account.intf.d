@@ -1,0 +1,1 @@
+lib/adt/bank_account.mli: Commutativity Conflict Op Spec Tm_core

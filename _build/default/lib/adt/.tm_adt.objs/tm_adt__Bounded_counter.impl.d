@@ -1,0 +1,1 @@
+lib/adt/bounded_counter.ml: Conflict Fmt Int List Op Spec Tm_core Value

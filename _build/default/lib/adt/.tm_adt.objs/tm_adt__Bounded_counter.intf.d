@@ -1,0 +1,1 @@
+lib/adt/bounded_counter.mli: Conflict Op Spec Tm_core

@@ -1,0 +1,1 @@
+lib/adt/fifo_queue.ml: Conflict Fmt Int List Op Spec Tm_core Value

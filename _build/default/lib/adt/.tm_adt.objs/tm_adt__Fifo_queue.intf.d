@@ -1,0 +1,1 @@
+lib/adt/fifo_queue.mli: Conflict Op Spec Tm_core

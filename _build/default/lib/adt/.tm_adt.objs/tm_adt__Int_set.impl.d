@@ -1,0 +1,1 @@
+lib/adt/int_set.ml: Conflict Fmt Int List Op Set Spec Tm_core Value

@@ -1,0 +1,1 @@
+lib/adt/int_set.mli: Conflict Op Set Spec Tm_core

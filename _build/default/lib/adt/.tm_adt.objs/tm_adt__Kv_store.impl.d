@@ -1,0 +1,1 @@
+lib/adt/kv_store.ml: Conflict Fmt Int List Map Op Spec String Tm_core Value

@@ -1,0 +1,1 @@
+lib/adt/kv_store.mli: Conflict Map Op Spec Tm_core

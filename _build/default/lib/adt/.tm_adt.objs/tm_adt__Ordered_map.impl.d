@@ -1,0 +1,1 @@
+lib/adt/ordered_map.ml: Conflict Fmt Int List Map Op Spec Tm_core Value

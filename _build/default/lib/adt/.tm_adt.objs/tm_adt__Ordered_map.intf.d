@@ -1,0 +1,1 @@
+lib/adt/ordered_map.mli: Conflict Map Op Spec Tm_core

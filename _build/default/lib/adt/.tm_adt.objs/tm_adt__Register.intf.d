@@ -1,0 +1,1 @@
+lib/adt/register.mli: Conflict Op Spec Tm_core

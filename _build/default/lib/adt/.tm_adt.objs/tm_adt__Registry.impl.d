@@ -1,0 +1,1 @@
+lib/adt/registry.ml: Append_log Bank_account Bounded_counter Conflict Fifo_queue Int_set Kv_store List Op Ordered_map Register Semiqueue Spec Stack String Tm_core

@@ -1,0 +1,1 @@
+lib/adt/registry.mli: Conflict Op Spec Tm_core

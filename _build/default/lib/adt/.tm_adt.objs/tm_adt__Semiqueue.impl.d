@@ -1,0 +1,1 @@
+lib/adt/semiqueue.ml: Conflict Fmt Int List Op Option Spec Tm_core Value

@@ -1,0 +1,1 @@
+lib/adt/semiqueue.mli: Conflict Op Spec Tm_core

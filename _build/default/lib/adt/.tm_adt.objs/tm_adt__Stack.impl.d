@@ -1,0 +1,1 @@
+lib/adt/stack.ml: Conflict Fmt Int List Op Spec Tm_core Value

@@ -1,0 +1,1 @@
+lib/adt/stack.mli: Conflict Op Spec Tm_core

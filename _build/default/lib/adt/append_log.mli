@@ -1,0 +1,28 @@
+(** An append-only log.
+
+    State: the appended sequence.  Operations: [append(x) → ok];
+    [last → x] (partial on the empty log: there is no last entry);
+    [len → n].  A minimal "history table" type whose appends never
+    commute (order is observable), included to give the benchmarks a
+    worst case for commutativity-based locking.  Conflicts are the
+    derived NFC/NRBC relations. *)
+
+open Tm_core
+
+type state = int list
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val append : int -> Op.t
+val last : int -> Op.t
+val len : int -> Op.t
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+
+(** [last] and [len] are reads. *)
+val rw_conflict : Conflict.t
+
+val classes : (string * Op.t list) list

@@ -1,0 +1,206 @@
+open Tm_core
+
+type state = int
+
+let obj = "BA"
+
+module S = struct
+  type nonrec state = state
+
+  let name = obj
+  let initial = 0
+  let equal_state = Int.equal
+  let compare_state = Int.compare
+  let pp_state = Fmt.int
+
+  let respond s (inv : Op.invocation) =
+    match inv.name, inv.args with
+    | "deposit", [ Value.Int i ] when i > 0 -> [ (Value.ok, s + i) ]
+    | "withdraw", [ Value.Int i ] when i > 0 ->
+        if s >= i then [ (Value.ok, s - i) ] else [ (Value.no, s) ]
+    | "balance", [] -> [ (Value.Int s, s) ]
+    | _ -> []
+
+  (* Amounts 1-2 and balances 0-3 exhibit every behaviourally distinct
+     situation of the type: what matters to legality is only the order
+     relation between the balance and the amounts, and at depth >= 4 the
+     explorer reaches balances both below and above every generator
+     amount and every pairwise sum. *)
+  let generators =
+    List.concat
+      [
+        List.map (fun i -> Op.make ~obj ~args:[ Value.int i ] "deposit" Value.ok) [ 1; 2 ];
+        List.map (fun i -> Op.make ~obj ~args:[ Value.int i ] "withdraw" Value.ok) [ 1; 2 ];
+        List.map (fun i -> Op.make ~obj ~args:[ Value.int i ] "withdraw" Value.no) [ 1; 2 ];
+        List.map (fun b -> Op.make ~obj "balance" (Value.int b)) [ 0; 1; 2; 3 ];
+      ]
+end
+
+let spec = Spec.pack (module S)
+
+let spec_with_initial balance =
+  if balance < 0 then invalid_arg "Bank_account.spec_with_initial: negative balance";
+  let module Funded = struct
+    include S
+
+    let initial = balance
+  end in
+  Spec.pack (module Funded)
+
+let deposit i = Op.make ~obj ~args:[ Value.int i ] "deposit" Value.ok
+let withdraw_ok i = Op.make ~obj ~args:[ Value.int i ] "withdraw" Value.ok
+let withdraw_no i = Op.make ~obj ~args:[ Value.int i ] "withdraw" Value.no
+let balance i = Op.make ~obj "balance" (Value.int i)
+
+(* Operation classification used by the closed forms, carrying the
+   amount (or pinned balance). *)
+type klass =
+  | Deposit of int
+  | Withdraw_ok of int
+  | Withdraw_no of int
+  | Balance of int
+
+let classify (op : Op.t) =
+  match op.inv.name, op.inv.args, op.res with
+  | "deposit", [ Value.Int i ], _ -> Deposit i
+  | "withdraw", [ Value.Int i ], Value.Str "ok" -> Withdraw_ok i
+  | "withdraw", [ Value.Int i ], Value.Str "no" -> Withdraw_no i
+  | "balance", [], Value.Int b -> Balance b
+  | _ -> invalid_arg ("Bank_account: not a bank account operation: " ^ Op.to_string op)
+
+(* Figure 6-1, derived (s = balance):
+   - deposit/deposit, deposit/withdraw-ok: total, add/subtract commute and
+     legality is preserved in both orders.
+   - deposit/withdraw-no: with balance s = j-1 both are legal, but the
+     withdrawal no longer fails after the deposit.
+   - deposit/balance→b: the pinned result is wrong after the deposit
+     (co-legal at s = b for every b).
+   - withdraw-ok(i)/balance→b: co-legal only at s = b >= i; vacuous — and
+     hence commuting — when b < i.
+   - withdraw-ok(i)/withdraw-ok(j): legal individually whenever
+     s >= max(i,j), but the sequence needs s >= i+j.
+   - withdraw-no/withdraw-ok: a failed withdrawal leaves the state alone
+     and stays failed after a successful one (s-i < s < j).
+   - withdraw-no/withdraw-no, balance/balance: read-only / no-ops.
+
+   The paper's class-level Figure 6-1 is the existential image of this
+   relation (a class pair is marked when some instance pair conflicts). *)
+let forward_commutes p q =
+  match classify p, classify q with
+  | Deposit _, Deposit _
+  | Deposit _, Withdraw_ok _
+  | Withdraw_ok _, Deposit _
+  | Withdraw_ok _, Withdraw_no _
+  | Withdraw_no _, Withdraw_ok _
+  | Withdraw_no _, Withdraw_no _
+  | Withdraw_no _, Balance _
+  | Balance _, Withdraw_no _
+  | Balance _, Balance _ -> true
+  | Deposit _, Withdraw_no _
+  | Withdraw_no _, Deposit _
+  | Deposit _, Balance _
+  | Balance _, Deposit _
+  | Withdraw_ok _, Withdraw_ok _ -> false
+  | Withdraw_ok i, Balance b | Balance b, Withdraw_ok i -> b < i
+
+(* Figure 6-2, derived ([p right-commutes-backward q] = whenever p runs
+   just after q it could instead have run just before, unobservably):
+   - deposit after withdraw-ok: s-j+i = s+i-j and the deposit only makes
+     the withdrawal more legal.
+   - deposit after withdraw-no (x): the failed withdrawal may succeed once
+     moved after the deposit.
+   - withdraw-ok after deposit (x): the withdrawal may not be legal before
+     the deposit (j-i <= s < j).
+   - withdraw-ok after withdraw-ok: legality of the pair is s >= i+j in
+     either order.
+   - withdraw-no after withdraw-ok (x): before the successful withdrawal
+     the balance is i higher and the failure may become a success.
+   - withdraw-no after deposit: s+j < i implies s < i, so it fails before
+     the deposit too.
+   - withdraw-ok(i) after balance→b: needs s = b >= i; vacuous when b < i,
+     otherwise the balance answer would change (x).
+   - balance→b after deposit(i) / withdraw-ok(i): pushing the balance
+     before the update changes its answer — except vacuously, when the
+     pinned result b is impossible right after the update (b < i for
+     deposit; never for withdraw-ok, whose prior state b + i is always
+     reachable).
+   - balance and withdraw-no are state-preserving, so each pushes back
+     over the other. *)
+let right_commutes_backward p q =
+  match classify p, classify q with
+  | Deposit _, Deposit _
+  | Deposit _, Withdraw_ok _
+  | Withdraw_ok _, Withdraw_ok _
+  | Withdraw_ok _, Withdraw_no _
+  | Withdraw_no _, Deposit _
+  | Withdraw_no _, Withdraw_no _
+  | Withdraw_no _, Balance _
+  | Balance _, Withdraw_no _
+  | Balance _, Balance _ -> true
+  | Deposit _, Withdraw_no _
+  | Withdraw_ok _, Deposit _
+  | Withdraw_no _, Withdraw_ok _
+  | Deposit _, Balance _
+  | Balance _, Withdraw_ok _ -> false
+  | Withdraw_ok i, Balance b -> b < i
+  | Balance b, Deposit i -> b < i
+
+(* Deposits and successful withdrawals form an abelian group action on the
+   balance, so each has a position-independent compensating operation;
+   failed withdrawals and balance reads change nothing. *)
+let inverse op =
+  match classify op with
+  | Deposit i -> Some [ withdraw_ok i ]
+  | Withdraw_ok i -> Some [ deposit i ]
+  | Withdraw_no _ | Balance _ -> Some []
+
+let nfc_conflict =
+  Conflict.make ~name:"BA-NFC" (fun ~requested ~held ->
+      not (forward_commutes requested held))
+
+let nrbc_conflict =
+  Conflict.make ~name:"BA-NRBC" (fun ~requested ~held ->
+      not (right_commutes_backward requested held))
+
+let rw_conflict =
+  Conflict.read_write ~name:"BA-RW" ~is_read:(fun op ->
+      match classify op with
+      | Balance _ -> true
+      | Deposit _ | Withdraw_ok _ | Withdraw_no _ -> false)
+
+let classes =
+  [
+    ("deposit", [ deposit 1; deposit 2 ]);
+    ("withdraw/ok", [ withdraw_ok 1; withdraw_ok 2 ]);
+    ("withdraw/no", [ withdraw_no 1; withdraw_no 2 ]);
+    ("balance", [ balance 0; balance 1; balance 2 ]);
+  ]
+
+let labels = List.map fst classes
+
+let paper_fc_table =
+  (* Figure 6-1: X means "do not commute forward". *)
+  Commutativity.table_of_marks labels
+    [
+      ("deposit", "withdraw/no");
+      ("deposit", "balance");
+      ("withdraw/ok", "withdraw/ok");
+      ("withdraw/ok", "balance");
+      ("withdraw/no", "deposit");
+      ("balance", "deposit");
+      ("balance", "withdraw/ok");
+    ]
+
+let paper_rbc_table =
+  (* Figure 6-2: X means "row does not right commute backward with
+     column". *)
+  Commutativity.table_of_marks labels
+    [
+      ("deposit", "withdraw/no");
+      ("deposit", "balance");
+      ("withdraw/ok", "deposit");
+      ("withdraw/ok", "balance");
+      ("withdraw/no", "withdraw/ok");
+      ("balance", "deposit");
+      ("balance", "withdraw/ok");
+    ]

@@ -1,0 +1,65 @@
+(** A bounded counter (escrow-style resource pool).
+
+    State: [n ∈ [0, capacity]].  Operations:
+    - [incr(i) → ok] when [n + i ≤ capacity] (adds), [incr(i) → no]
+      otherwise;
+    - [decr(i) → ok] when [n ≥ i] (subtracts), [decr(i) → no] otherwise;
+    - [read → n].
+
+    This is the shape of O'Neil-style escrow quantities (inventory,
+    quotas): both directions of update are partial.  It enriches the bank
+    account's commutativity structure — successful increments and
+    successful decrements commute {e forward} but in general {e neither}
+    right-commutes-backward with the other (moving an [incr] before a
+    [decr] can overflow the bound, and vice versa), so on mixed
+    workloads deferred update strictly beats update-in-place on
+    concurrency, while same-direction workloads tell the opposite story.
+
+    The type is a functor over capacity, initial value and object name;
+    {!Default} (capacity 4, initially 0, named ["CTR"]) is re-exported at
+    the top level for the analysis tools and tests, while simulations
+    instantiate roomier pools. *)
+
+open Tm_core
+
+module type CONFIG = sig
+  val capacity : int
+  val initial : int
+  val name : string
+end
+
+module type S_counter = sig
+  type state = int
+
+  val capacity : int
+
+  module S : Spec.S with type state = state
+
+  val spec : Spec.t
+  val incr_ok : int -> Op.t
+  val incr_no : int -> Op.t
+  val decr_ok : int -> Op.t
+  val decr_no : int -> Op.t
+  val read : int -> Op.t
+  val forward_commutes : Op.t -> Op.t -> bool
+  val right_commutes_backward : Op.t -> Op.t -> bool
+
+  (** Compensations for the update-in-place undo fast path. *)
+  val inverse : Op.t -> Op.t list option
+
+  val nfc_conflict : Conflict.t
+  val nrbc_conflict : Conflict.t
+
+  (** [read] is the only read. *)
+  val rw_conflict : Conflict.t
+
+  val classes : (string * Op.t list) list
+end
+
+module Make (_ : CONFIG) : S_counter
+
+(** Capacity 4, initially 0, named ["CTR"]. *)
+module Default : S_counter
+
+include S_counter
+(** @inline re-export of {!Default}. *)

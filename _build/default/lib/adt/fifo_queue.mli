@@ -1,0 +1,30 @@
+(** A FIFO queue with a partial dequeue.
+
+    State: a sequence (front first).  Operations: [enq(x) → ok] appends at
+    the back; [deq → x] removes and returns the front — {e partial}: it
+    has no legal response on an empty queue (a caller blocks until an
+    element arrives), exercising the paper's treatment of partial
+    operations.
+
+    FIFO order makes this type far more conflict-prone than {!Semiqueue}:
+    distinct enqueues conflict (arrival order is observable) and two
+    dequeues of the same value conflict forward but not backward.
+    Closed-form relations are derived in the implementation and
+    cross-validated against the decision procedures. *)
+
+open Tm_core
+
+type state = int list
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val enq : int -> Op.t
+val deq : int -> Op.t
+
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+val rw_conflict : Conflict.t
+val classes : (string * Op.t list) list

@@ -1,0 +1,35 @@
+(** A set of integers — the paper's motivating "insert operation on a set
+    object" (Section 3.2), with idempotent updates.
+
+    State: a finite set.  Operations:
+    - [insert(x) → ok] (idempotent), [remove(x) → ok] (idempotent);
+    - [member(x) → b] with [b = (x ∈ s)];
+    - [size → n].
+
+    Idempotence gives commutativity structure that neither the bank
+    account nor the register has: two inserts of the {e same} element
+    commute in every sense, while [insert(x)] and [member(x) → false]
+    conflict in both. *)
+
+open Tm_core
+
+module Int_set : Set.S with type elt = int
+
+type state = Int_set.t
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val insert : int -> Op.t
+val remove : int -> Op.t
+val member : int -> bool -> Op.t
+val size : int -> Op.t
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+
+(** [member] and [size] are reads. *)
+val rw_conflict : Conflict.t
+
+val classes : (string * Op.t list) list

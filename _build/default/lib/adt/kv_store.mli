@@ -1,0 +1,38 @@
+(** A key/value store: per-key register-with-delete semantics.
+
+    State: a finite map from string keys to integers.  Operations:
+    - [put(k, x) → ok] binds [k] to [x];
+    - [del(k) → ok] unbinds [k] (idempotent);
+    - [get(k) → [x]] when bound, [get(k) → []] when absent (the response
+      encodes the option as a value list).
+
+    Operations on distinct keys commute in every sense; on the same key
+    the structure refines the register's, with the usual result-dependent
+    twists ([put(k,x)] commutes forward with [get(k) → [x]], and a
+    [get(k) → r] right-commutes-backward with a [put(k,x)] exactly when
+    its answer [r] is {e not} [[x]]). *)
+
+open Tm_core
+
+module Str_map : Map.S with type key = string
+
+type state = int Str_map.t
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val put : string -> int -> Op.t
+val del : string -> Op.t
+
+(** [get k (Some x)] / [get k None]. *)
+val get : string -> int option -> Op.t
+
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+
+(** [get] is the only read. *)
+val rw_conflict : Conflict.t
+
+val classes : (string * Op.t list) list

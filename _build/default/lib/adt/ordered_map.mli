@@ -1,0 +1,40 @@
+(** An ordered map over integer keys with a range aggregate — the
+    predicate-locking shape.
+
+    State: a finite map [int → int].  Operations:
+    - [put(k, v) → ok], [del(k) → ok] (idempotent);
+    - [get(k) → [v]] / [get(k) → []];
+    - [count(lo, hi) → n] — the number of bound keys in [[lo, hi]].
+
+    The commutativity relations conflict an update with a [count] only
+    when its key lies {e inside} the queried interval — the ADT-level
+    analogue of key-range/predicate locks, falling out of the paper's
+    definitions with no extra machinery.  The closed forms also carry
+    interval-capacity refinements: a [count] that returns the full size
+    of its interval pins every key in it as present, so updates of bound
+    keys commute vacuously with it (derivations in the implementation,
+    validated against the decision procedures by the test suite). *)
+
+open Tm_core
+
+module Int_map : Map.S with type key = int
+
+type state = int Int_map.t
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val put : int -> int -> Op.t
+val del : int -> Op.t
+val get : int -> int option -> Op.t
+val count : int -> int -> int -> Op.t
+
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+
+(** [get] and [count] are reads. *)
+val rw_conflict : Conflict.t
+
+val classes : (string * Op.t list) list

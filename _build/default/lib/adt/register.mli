@@ -1,0 +1,28 @@
+(** A read/write register — the classical "uninterpreted data" case.
+
+    State: an integer value.  Operations: [write(x) → ok] and
+    [read → v].
+
+    Because the relations of the paper are on {e operations} (results
+    included), even this type has result-dependent structure: a
+    [write(x)] commutes forward with a [read → v] exactly when [x = v],
+    and [read → v] right-commutes-backward with [write(x)] exactly when
+    [x ≠ v] (the read is then illegal right after the write, making the
+    condition vacuous).  Coarsened to invocations, the relations collapse
+    to the familiar read/write conflict table. *)
+
+open Tm_core
+
+type state = int
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val write : int -> Op.t
+val read : int -> Op.t
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+val rw_conflict : Conflict.t
+val classes : (string * Op.t list) list

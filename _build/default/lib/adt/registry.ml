@@ -1,0 +1,111 @@
+open Tm_core
+
+type entry = {
+  name : string;
+  description : string;
+  spec : Spec.t;
+  classes : (string * Op.t list) list;
+  nfc : Conflict.t;
+  nrbc : Conflict.t;
+  rw : Conflict.t;
+}
+
+let all =
+  [
+    {
+      name = "BA";
+      description = "bank account (the paper's running example)";
+      spec = Bank_account.spec;
+      classes = Bank_account.classes;
+      nfc = Bank_account.nfc_conflict;
+      nrbc = Bank_account.nrbc_conflict;
+      rw = Bank_account.rw_conflict;
+    };
+    {
+      name = "CTR";
+      description = "bounded counter / escrow pool (capacity 4)";
+      spec = Bounded_counter.spec;
+      classes = Bounded_counter.classes;
+      nfc = Bounded_counter.nfc_conflict;
+      nrbc = Bounded_counter.nrbc_conflict;
+      rw = Bounded_counter.rw_conflict;
+    };
+    {
+      name = "REG";
+      description = "read/write register";
+      spec = Register.spec;
+      classes = Register.classes;
+      nfc = Register.nfc_conflict;
+      nrbc = Register.nrbc_conflict;
+      rw = Register.rw_conflict;
+    };
+    {
+      name = "SET";
+      description = "set of integers with idempotent updates";
+      spec = Int_set.spec;
+      classes = Int_set.classes;
+      nfc = Int_set.nfc_conflict;
+      nrbc = Int_set.nrbc_conflict;
+      rw = Int_set.rw_conflict;
+    };
+    {
+      name = "KV";
+      description = "key/value store";
+      spec = Kv_store.spec;
+      classes = Kv_store.classes;
+      nfc = Kv_store.nfc_conflict;
+      nrbc = Kv_store.nrbc_conflict;
+      rw = Kv_store.rw_conflict;
+    };
+    {
+      name = "OM";
+      description = "ordered map with range counting (key-range conflicts)";
+      spec = Ordered_map.spec;
+      classes = Ordered_map.classes;
+      nfc = Ordered_map.nfc_conflict;
+      nrbc = Ordered_map.nrbc_conflict;
+      rw = Ordered_map.rw_conflict;
+    };
+    {
+      name = "SQ";
+      description = "semiqueue (non-deterministic dequeue)";
+      spec = Semiqueue.spec;
+      classes = Semiqueue.classes;
+      nfc = Semiqueue.nfc_conflict;
+      nrbc = Semiqueue.nrbc_conflict;
+      rw = Semiqueue.rw_conflict;
+    };
+    {
+      name = "FQ";
+      description = "FIFO queue (partial dequeue)";
+      spec = Fifo_queue.spec;
+      classes = Fifo_queue.classes;
+      nfc = Fifo_queue.nfc_conflict;
+      nrbc = Fifo_queue.nrbc_conflict;
+      rw = Fifo_queue.rw_conflict;
+    };
+    {
+      name = "STK";
+      description = "stack (partial pop; push/pop cancellation)";
+      spec = Stack.spec;
+      classes = Stack.classes;
+      nfc = Stack.nfc_conflict;
+      nrbc = Stack.nrbc_conflict;
+      rw = Stack.rw_conflict;
+    };
+    {
+      name = "LOG";
+      description = "append-only log (appends rarely commute)";
+      spec = Append_log.spec;
+      classes = Append_log.classes;
+      nfc = Append_log.nfc_conflict;
+      nrbc = Append_log.nrbc_conflict;
+      rw = Append_log.rw_conflict;
+    };
+  ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.equal (String.lowercase_ascii e.name) target) all
+
+let names = List.map (fun e -> e.name) all

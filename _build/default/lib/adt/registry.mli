@@ -1,0 +1,21 @@
+(** Name-indexed registry of the shipped ADTs, for CLI tools and
+    examples. *)
+
+open Tm_core
+
+type entry = {
+  name : string;  (** object name, e.g. ["BA"] *)
+  description : string;
+  spec : Spec.t;
+  classes : (string * Op.t list) list;  (** for table rendering *)
+  nfc : Conflict.t;
+  nrbc : Conflict.t;
+  rw : Conflict.t;
+}
+
+val all : entry list
+
+(** Case-insensitive lookup by object name. *)
+val find : string -> entry option
+
+val names : string list

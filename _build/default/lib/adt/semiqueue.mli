@@ -1,0 +1,33 @@
+(** A semiqueue: a bag with non-deterministic removal.
+
+    State: a multiset of items.  Operations: [enq(x) → ok] and
+    [deq → x] for {e any} [x] currently in the bag (the choice is
+    non-deterministic).  This is the standard example of a
+    non-deterministic specification in the atomic-data-type literature —
+    weakening FIFO buys concurrency: enqueues commute with everything
+    (multiset semantics), and two dequeues conflict only when they
+    return the same item (which then needs multiplicity two).
+
+    The paper's analysis explicitly covers non-deterministic operations;
+    this type exercises those code paths (state-{e set} exploration in
+    {!Tm_core.Explore} is non-singleton here). *)
+
+open Tm_core
+
+type state = int list  (** sorted multiset representation *)
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val enq : int -> Op.t
+val deq : int -> Op.t
+
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+
+(** Everything mutates: both operations are writes. *)
+val rw_conflict : Conflict.t
+
+val classes : (string * Op.t list) list

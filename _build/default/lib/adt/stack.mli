@@ -1,0 +1,23 @@
+(** A LIFO stack with a partial pop.
+
+    State: a sequence (top first).  Operations: [push(x) → ok];
+    [pop → x] removes and returns the top — partial on the empty stack.
+    The push-then-pop cancellation gives this type an unusual relation:
+    [push(x)] and [pop → x] commute forward (they cancel), while a pop of
+    any *other* value conflicts. *)
+
+open Tm_core
+
+type state = int list
+
+module S : Spec.S with type state = state
+
+val spec : Spec.t
+val push : int -> Op.t
+val pop : int -> Op.t
+val forward_commutes : Op.t -> Op.t -> bool
+val right_commutes_backward : Op.t -> Op.t -> bool
+val nfc_conflict : Conflict.t
+val nrbc_conflict : Conflict.t
+val rw_conflict : Conflict.t
+val classes : (string * Op.t list) list

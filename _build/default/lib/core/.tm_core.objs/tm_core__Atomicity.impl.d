@@ -1,0 +1,1 @@
+lib/core/atomicity.ml: Fmt History List Option Orders Spec String Tid

@@ -1,0 +1,1 @@
+lib/core/commutativity.ml: Array Explore Fmt List Op Option Spec String

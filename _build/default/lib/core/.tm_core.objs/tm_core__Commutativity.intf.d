@@ -1,0 +1,1 @@
+lib/core/commutativity.mli: Format Op Spec

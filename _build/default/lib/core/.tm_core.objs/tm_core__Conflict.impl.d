@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Commutativity Hashtbl List Op Spec

@@ -1,0 +1,1 @@
+lib/core/conflict.mli: Commutativity Op Spec

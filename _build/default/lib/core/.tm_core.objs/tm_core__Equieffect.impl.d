@@ -1,0 +1,1 @@
+lib/core/equieffect.ml: Explore Fmt Op Option Spec

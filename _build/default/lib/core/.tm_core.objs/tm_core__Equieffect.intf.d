@@ -1,0 +1,1 @@
+lib/core/equieffect.mli: Format Op Spec

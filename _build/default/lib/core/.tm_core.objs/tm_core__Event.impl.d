@@ -1,0 +1,1 @@
+lib/core/event.ml: Fmt Int Op String Tid Value

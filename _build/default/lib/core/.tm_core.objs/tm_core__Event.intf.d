@@ -1,0 +1,1 @@
+lib/core/event.mli: Format Op Tid Value

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Int List Map Set Spec

@@ -1,0 +1,1 @@
+lib/core/history.ml: Event Fmt Hashtbl List Op Option Seq String Tid

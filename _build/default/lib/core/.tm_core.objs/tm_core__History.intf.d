@@ -1,0 +1,1 @@
+lib/core/history.mli: Event Format Op Tid Value

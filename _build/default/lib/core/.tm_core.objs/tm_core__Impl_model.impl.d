@@ -1,0 +1,1 @@
+lib/core/impl_model.ml: Conflict Event History List Op Queue Random Spec Tid View

@@ -1,0 +1,1 @@
+lib/core/impl_model.mli: Conflict History Random Spec Tid Value View

@@ -1,0 +1,1 @@
+lib/core/op.ml: Fmt List Map Set String Value

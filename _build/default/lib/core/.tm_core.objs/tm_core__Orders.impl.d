@@ -1,0 +1,1 @@
+lib/core/orders.ml: List Tid

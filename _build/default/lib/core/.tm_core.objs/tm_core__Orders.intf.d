@@ -1,0 +1,1 @@
+lib/core/orders.mli: Tid

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Format List Op Value

@@ -1,0 +1,1 @@
+lib/core/theorems.ml: Atomicity Commutativity Conflict Explore Fmt History Impl_model List Op Option Spec Tid

@@ -1,0 +1,1 @@
+lib/core/theorems.mli: Commutativity Conflict Format History Op Spec Tid View

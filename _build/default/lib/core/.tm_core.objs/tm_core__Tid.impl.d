@@ -1,0 +1,1 @@
+lib/core/tid.ml: Char Fmt Int Map Set

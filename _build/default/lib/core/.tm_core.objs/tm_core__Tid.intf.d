@@ -1,0 +1,1 @@
+lib/core/tid.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/core/view.ml: History Op Tid

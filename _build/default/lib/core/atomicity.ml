@@ -1,0 +1,78 @@
+type env = string -> Spec.t
+
+let env_of_list specs x =
+  match List.find_opt (fun s -> String.equal (Spec.name s) x) specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let acceptable env h =
+  List.for_all
+    (fun x -> Spec.legal (env x) (History.opseq (History.project_obj h x)))
+    (History.objects h)
+
+let serializable_in env h order = acceptable env (History.serial h order)
+
+let serializable env h =
+  (* Depth-first search over orders, pruning any prefix whose serial
+     history is already unacceptable: specifications are prefix-closed, so
+     an unacceptable prefix cannot become acceptable by appending. *)
+  let ts = Tid.Set.elements (History.transactions h) in
+  let prefix_ok acc = acceptable env (History.serial h (List.rev acc)) in
+  let rec search acc remaining =
+    if not (prefix_ok acc) then None
+    else if remaining = [] then Some (List.rev acc)
+    else
+      List.fold_left
+        (fun found x ->
+          match found with
+          | Some _ -> found
+          | None ->
+              search (x :: acc) (List.filter (fun y -> not (Tid.equal x y)) remaining))
+        None remaining
+  in
+  search [] ts
+
+let atomic env h = Option.is_some (serializable env (History.permanent h))
+
+type verdict =
+  | Ok
+  | Counterexample of Tid.t list
+
+let is_ok = function Ok -> true | Counterexample _ -> false
+
+let pp_verdict ppf = function
+  | Ok -> Fmt.string ppf "ok"
+  | Counterexample order ->
+      Fmt.pf ppf "not serializable in order %a" Fmt.(list ~sep:(any "-") Tid.pp) order
+
+(* permanent(h) must serialize in every total order of its transactions
+   consistent with precedes(h). *)
+let dynamic_atomic_of env ~precedes h =
+  let perm = History.permanent h in
+  let ts = Tid.Set.elements (History.transactions perm) in
+  let orders = Orders.linear_extensions ts precedes in
+  let bad = List.find_opt (fun o -> not (serializable_in env perm o)) orders in
+  match bad with None -> Ok | Some o -> Counterexample o
+
+let dynamic_atomic env h = dynamic_atomic_of env ~precedes:(History.precedes h) h
+
+let online_dynamic_atomic env h =
+  let committed = Tid.Set.elements (History.committed h) in
+  let active = Tid.Set.elements (History.active h) in
+  let check_cs sub =
+    let cs = Tid.Set.of_list (committed @ sub) in
+    let hcs = History.project_tids h cs in
+    let ts = Tid.Set.elements (History.transactions hcs) in
+    let precedes = History.precedes hcs in
+    let orders = Orders.linear_extensions ts precedes in
+    List.find_opt (fun o -> not (serializable_in env hcs o)) orders
+  in
+  let rec first_bad = function
+    | [] -> Ok
+    | sub :: rest -> (
+        match check_cs sub with Some o -> Counterexample o | None -> first_bad rest)
+  in
+  first_bad (Orders.subsets active)
+
+let is_dynamic_atomic env h = is_ok (dynamic_atomic env h)
+let is_online_dynamic_atomic env h = is_ok (online_dynamic_atomic env h)

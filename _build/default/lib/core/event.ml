@@ -1,0 +1,63 @@
+type t =
+  | Invoke of { obj : string; tid : Tid.t; inv : Op.invocation }
+  | Respond of { obj : string; tid : Tid.t; res : Value.t }
+  | Commit of { obj : string; tid : Tid.t }
+  | Abort of { obj : string; tid : Tid.t }
+
+let invoke ~obj ~tid inv = Invoke { obj; tid; inv }
+let respond ~obj ~tid res = Respond { obj; tid; res }
+let commit ~obj ~tid = Commit { obj; tid }
+let abort ~obj ~tid = Abort { obj; tid }
+
+let obj = function
+  | Invoke { obj; _ } | Respond { obj; _ } | Commit { obj; _ } | Abort { obj; _ } -> obj
+
+let tid = function
+  | Invoke { tid; _ } | Respond { tid; _ } | Commit { tid; _ } | Abort { tid; _ } -> tid
+
+let is_invoke = function Invoke _ -> true | Respond _ | Commit _ | Abort _ -> false
+let is_respond = function Respond _ -> true | Invoke _ | Commit _ | Abort _ -> false
+let is_commit = function Commit _ -> true | Invoke _ | Respond _ | Abort _ -> false
+let is_abort = function Abort _ -> true | Invoke _ | Respond _ | Commit _ -> false
+
+let equal e f =
+  match e, f with
+  | Invoke a, Invoke b ->
+      String.equal a.obj b.obj && Tid.equal a.tid b.tid && Op.equal_invocation a.inv b.inv
+  | Respond a, Respond b ->
+      String.equal a.obj b.obj && Tid.equal a.tid b.tid && Value.equal a.res b.res
+  | Commit a, Commit b -> String.equal a.obj b.obj && Tid.equal a.tid b.tid
+  | Abort a, Abort b -> String.equal a.obj b.obj && Tid.equal a.tid b.tid
+  | (Invoke _ | Respond _ | Commit _ | Abort _), _ -> false
+
+let tag = function Invoke _ -> 0 | Respond _ -> 1 | Commit _ -> 2 | Abort _ -> 3
+
+let compare e f =
+  match e, f with
+  | Invoke a, Invoke b ->
+      let c = String.compare a.obj b.obj in
+      if c <> 0 then c
+      else
+        let c = Tid.compare a.tid b.tid in
+        if c <> 0 then c else Op.compare_invocation a.inv b.inv
+  | Respond a, Respond b ->
+      let c = String.compare a.obj b.obj in
+      if c <> 0 then c
+      else
+        let c = Tid.compare a.tid b.tid in
+        if c <> 0 then c else Value.compare a.res b.res
+  | Commit a, Commit b ->
+      let c = String.compare a.obj b.obj in
+      if c <> 0 then c else Tid.compare a.tid b.tid
+  | Abort a, Abort b ->
+      let c = String.compare a.obj b.obj in
+      if c <> 0 then c else Tid.compare a.tid b.tid
+  | (Invoke _ | Respond _ | Commit _ | Abort _), _ -> Int.compare (tag e) (tag f)
+
+let pp ppf = function
+  | Invoke { obj; tid; inv } -> Fmt.pf ppf "<%a, %s, %a>" Op.pp_invocation inv obj Tid.pp tid
+  | Respond { obj; tid; res } -> Fmt.pf ppf "<%a, %s, %a>" Value.pp res obj Tid.pp tid
+  | Commit { obj; tid } -> Fmt.pf ppf "<commit, %s, %a>" obj Tid.pp tid
+  | Abort { obj; tid } -> Fmt.pf ppf "<abort, %s, %a>" obj Tid.pp tid
+
+let to_string e = Fmt.str "%a" pp e

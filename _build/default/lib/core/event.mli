@@ -1,0 +1,35 @@
+(** Events at the transaction/object interface.
+
+    Section 2 of the paper distinguishes four kinds of events: invocation
+    events [<inv,X,A>], response events [<res,X,A>], commit events
+    [<commit,X,A>] and abort events [<abort,X,A>].  A computation is a
+    finite sequence of such events (a history, once well-formed). *)
+
+type t =
+  | Invoke of { obj : string; tid : Tid.t; inv : Op.invocation }
+  | Respond of { obj : string; tid : Tid.t; res : Value.t }
+  | Commit of { obj : string; tid : Tid.t }
+  | Abort of { obj : string; tid : Tid.t }
+
+val invoke : obj:string -> tid:Tid.t -> Op.invocation -> t
+val respond : obj:string -> tid:Tid.t -> Value.t -> t
+val commit : obj:string -> tid:Tid.t -> t
+val abort : obj:string -> tid:Tid.t -> t
+
+(** [obj e] is the object the event involves. *)
+val obj : t -> string
+
+(** [tid e] is the transaction the event involves. *)
+val tid : t -> Tid.t
+
+val is_invoke : t -> bool
+val is_respond : t -> bool
+val is_commit : t -> bool
+val is_abort : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [pp] renders like the paper, e.g. ["<withdraw(3), BA, B>"]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,49 @@
+(** Bounded exploration of a specification's sequence space.
+
+    The relations of Sections 6 and 7 quantify over {e all} operation
+    sequences α and all futures γ/ρ.  Two observations make them checkable:
+
+    - the truth of each condition depends on a sequence α only through the
+      {e set of states} α can reach (subset semantics), so quantifying over
+      α reduces to quantifying over reachable state-sets; and
+    - [αγ ∈ Spec] iff stepping the state-set of α through γ stays
+      non-empty, so language containment between two state-sets can be
+      checked by a joint breadth-first search over pairs of sets.
+
+    State spaces may be infinite (e.g. bank balances), so both searches are
+    depth-bounded over the specification's {!Spec.S.generators} alphabet;
+    the procedures are semi-decisions whose positive answers read
+    "holds for all contexts/futures within the bound".  Each shipped ADT
+    also provides a closed-form relation carrying the unbounded claim,
+    cross-validated against these procedures by property tests. *)
+
+module Make (S : Spec.S) : sig
+  module States : Set.S with type elt = S.state
+
+  val initial_set : States.t
+
+  (** [step sts op] is the set of states reachable from [sts] by the
+      operation [op]. *)
+  val step : States.t -> Op.t -> States.t
+
+  (** [after sts ops] folds {!step} over the sequence. *)
+  val after : States.t -> Op.t list -> States.t
+
+  (** [legal ops] — is [ops ∈ Spec] (from the initial state)? *)
+  val legal : Op.t list -> bool
+
+  (** [reachable ~depth ~alphabet] enumerates every distinct state-set
+      reachable from [{initial}] by a sequence of at most [depth]
+      operations drawn from [alphabet], paired with one representative
+      sequence (a shortest one, found breadth-first). *)
+  val reachable : depth:int -> alphabet:Op.t list -> (Op.t list * States.t) list
+
+  (** [contained ~depth ~alphabet u t] checks [L(u) ⊆ L(t)] — every
+      sequence of at most [depth] alphabet operations executable from [u]
+      is executable from [t].  [None] means containment holds to the
+      bound; [Some gamma] is a witness sequence executable from [u] but
+      not from [t] (possibly the empty sequence, when [u] is non-empty and
+      [t] empty). *)
+  val contained :
+    depth:int -> alphabet:Op.t list -> States.t -> States.t -> Op.t list option
+end

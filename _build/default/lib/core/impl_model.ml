@@ -1,0 +1,125 @@
+type t = {
+  spec : Spec.t;
+  view : View.t;
+  conflict : Conflict.t;
+}
+
+let make ~spec ~view ~conflict = { spec; view; conflict }
+
+let invocations i =
+  List.map (fun (op : Op.t) -> op.inv) (Spec.generators i.spec)
+  |> List.sort_uniq Op.compare_invocation
+
+let no_conflict i h a (op : Op.t) =
+  let held_ops b = History.opseq (History.project_tid h b) in
+  Tid.Set.for_all
+    (fun b ->
+      Tid.equal a b
+      || List.for_all
+           (fun p -> not (Conflict.conflicts i.conflict ~requested:op ~held:p))
+           (held_ops b))
+    (History.active h)
+
+let response_enabled i h a r =
+  match History.pending_invocation h a with
+  | None -> false
+  | Some (obj, inv) ->
+      let op = { Op.obj; inv; res = r } in
+      no_conflict i h a op
+      && Spec.legal i.spec (View.apply i.view h a @ [ op ])
+
+let legal_responses i h a =
+  match History.pending_invocation h a with
+  | None -> []
+  | Some (_obj, inv) -> Spec.responses i.spec (View.apply i.view h a) inv
+
+let enabled_responses i h a =
+  match History.pending_invocation h a with
+  | None -> []
+  | Some (obj, inv) ->
+      List.filter
+        (fun r -> no_conflict i h a { Op.obj; inv; res = r })
+        (legal_responses i h a)
+
+let blocked i h a =
+  legal_responses i h a <> [] && enabled_responses i h a = []
+
+let valid i h =
+  History.is_well_formed h
+  &&
+  let step (ok, prefix) e =
+    if not ok then (false, prefix)
+    else
+      let enabled =
+        match e with
+        | Event.Respond { tid; res; _ } -> response_enabled i prefix tid res
+        | Event.Invoke _ | Event.Commit _ | Event.Abort _ -> true
+      in
+      (enabled, History.snoc prefix e)
+  in
+  fst (List.fold_left step (true, History.empty) (History.events h))
+
+(* Enabled next events for the generators.  Transactions may commit or
+   abort once they have completed at least one operation; each transaction
+   executes at most [ops_per_txn] operations. *)
+let next_events i ~txns ~ops_per_txn h =
+  let obj = Spec.name i.spec in
+  let committed = History.committed h and aborted = History.aborted h in
+  let finished a = Tid.Set.mem a committed || Tid.Set.mem a aborted in
+  let ops_done a = List.length (History.opseq (History.project_tid h a)) in
+  let normal, aborts =
+    List.fold_left
+      (fun (normal, aborts) a ->
+        if finished a then (normal, aborts)
+        else
+          match History.pending_invocation h a with
+          | Some (obj', _) ->
+              let responses =
+                List.map (fun r -> Event.respond ~obj:obj' ~tid:a r) (enabled_responses i h a)
+              in
+              (responses @ normal, aborts)
+          | None ->
+              let invokes =
+                if ops_done a < ops_per_txn then
+                  List.map (fun inv -> Event.invoke ~obj ~tid:a inv) (invocations i)
+                else []
+              in
+              if ops_done a > 0 then
+                (Event.commit ~obj ~tid:a :: invokes @ normal,
+                 Event.abort ~obj ~tid:a :: aborts)
+              else (invokes @ normal, aborts))
+      ([], []) txns
+  in
+  (normal, aborts)
+
+let enumerate i ~txns ~ops_per_txn ~max_events ~limit =
+  let results = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  Queue.add History.empty queue;
+  while (not (Queue.is_empty queue)) && !count < limit do
+    let h = Queue.pop queue in
+    results := h :: !results;
+    incr count;
+    if History.length h < max_events then begin
+      let normal, aborts = next_events i ~txns ~ops_per_txn h in
+      List.iter (fun e -> Queue.add (History.snoc h e) queue) (normal @ aborts)
+    end
+  done;
+  List.rev !results
+
+let random i ~txns ~ops_per_txn ~steps ~rng =
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let rec go h n =
+    if n = 0 then h
+    else
+      let normal, aborts = next_events i ~txns ~ops_per_txn h in
+      match normal, aborts with
+      | [], [] -> h
+      | [], aborts -> go (History.snoc h (pick aborts)) (n - 1)
+      | normal, [] -> go (History.snoc h (pick normal)) (n - 1)
+      | normal, aborts ->
+          let e = if Random.State.float rng 1.0 < 0.15 then pick aborts else pick normal in
+          go (History.snoc h e) (n - 1)
+  in
+  go History.empty steps

@@ -1,0 +1,71 @@
+(** The abstract implementation model [I(X, Spec, View, Conflict)]
+    (Section 4).
+
+    An implementation of object [X] is the I/O automaton whose state is the
+    history of events so far, whose input actions (invocation, commit,
+    abort events) are always enabled, and whose response events
+    [<R, X, A>] are enabled exactly when:
+
+    + [A] has a pending invocation [I];
+    + for every {e other} active transaction [B] and every operation [P]
+      in [Opseq(s|B)], [(X:[I,R], P) ∉ Conflict] (locks are implicit in the
+      operations a transaction has executed and are released when it
+      commits or aborts);
+    + [View(s,A) · X:[I,R] ∈ Spec(X)].
+
+    An implementation is {e correct} iff every history in its language is
+    dynamic atomic.  Theorems 9 and 10 characterise the conflict relations
+    that make [I] correct for the UIP and DU views respectively.
+
+    Beyond the enabledness test the module provides history {e generators}
+    — exhaustive, bounded enumeration and seeded random walks over
+    [L(I(X,Spec,View,Conflict))] — used to model-check the "if" directions
+    of the theorems and to exercise the checkers. *)
+
+type t = {
+  spec : Spec.t;
+  view : View.t;
+  conflict : Conflict.t;
+}
+
+val make : spec:Spec.t -> view:View.t -> conflict:Conflict.t -> t
+
+(** [response_enabled i h a r] — are the three response preconditions
+    satisfied for transaction [a] responding [r] in state [h]? *)
+val response_enabled : t -> History.t -> Tid.t -> Value.t -> bool
+
+(** [enabled_responses i h a] is every response value enabled for [a]'s
+    pending invocation (empty when blocked by a conflict, when no response
+    is legal after the view, or when nothing is pending). *)
+val enabled_responses : t -> History.t -> Tid.t -> Value.t list
+
+(** [blocked i h a] — [a] has a pending invocation with at least one
+    response legal after the view, but every such response conflicts with
+    an operation of another active transaction. *)
+val blocked : t -> History.t -> Tid.t -> bool
+
+(** [valid i h] — is [h ∈ L(I)]?  Checks well-formedness and that each
+    response event was enabled when it occurred.  Invocation, commit and
+    abort events are inputs and always enabled. *)
+val valid : t -> History.t -> bool
+
+(** {1 History generators} *)
+
+(** Shared knobs: [txns] are the transactions allowed to run;
+    [ops_per_txn] caps the operations each executes; every generated event
+    sequence is well formed and every response is enabled, so every result
+    is in [L(I)].  Invocations are drawn from the specification's
+    generators (deduplicated). *)
+
+(** [enumerate i ~txns ~ops_per_txn ~max_events ~limit] lists histories of
+    [L(I)] breadth-first, including all intermediate prefixes, up to
+    [limit] histories of at most [max_events] events. *)
+val enumerate :
+  t -> txns:Tid.t list -> ops_per_txn:int -> max_events:int -> limit:int -> History.t list
+
+(** [random i ~txns ~ops_per_txn ~steps ~rng] performs a random walk:
+    at each step one enabled action (invoke, respond, commit, abort — with
+    abort made rarer) is chosen uniformly.  Returns the final history;
+    every prefix is in [L(I)]. *)
+val random :
+  t -> txns:Tid.t list -> ops_per_txn:int -> steps:int -> rng:Random.State.t -> History.t

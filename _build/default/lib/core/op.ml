@@ -1,0 +1,50 @@
+type invocation = {
+  name : string;
+  args : Value.t list;
+}
+
+type t = {
+  obj : string;
+  inv : invocation;
+  res : Value.t;
+}
+
+let invocation ?(args = []) name = { name; args }
+let make ~obj ?(args = []) name res = { obj; inv = { name; args }; res }
+
+let equal_invocation i j =
+  String.equal i.name j.name
+  && List.length i.args = List.length j.args
+  && List.for_all2 Value.equal i.args j.args
+
+let compare_invocation i j =
+  let c = String.compare i.name j.name in
+  if c <> 0 then c else List.compare Value.compare i.args j.args
+
+let equal p q =
+  String.equal p.obj q.obj && equal_invocation p.inv q.inv && Value.equal p.res q.res
+
+let compare p q =
+  let c = String.compare p.obj q.obj in
+  if c <> 0 then c
+  else
+    let c = compare_invocation p.inv q.inv in
+    if c <> 0 then c else Value.compare p.res q.res
+
+let pp_invocation ppf { name; args } =
+  match args with
+  | [] -> Fmt.string ppf name
+  | args -> Fmt.pf ppf "%s(%a)" name Fmt.(list ~sep:(any ",") Value.pp) args
+
+let pp ppf op = Fmt.pf ppf "%s:[%a,%a]" op.obj pp_invocation op.inv Value.pp op.res
+let pp_short ppf op = Fmt.pf ppf "%a\xe2\x86\x92%a" pp_invocation op.inv Value.pp op.res
+let to_string op = Fmt.str "%a" pp op
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

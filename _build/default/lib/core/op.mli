@@ -1,0 +1,43 @@
+(** Operations: invocation/response pairs.
+
+    Following Section 3.2 of the paper, an {e operation} is a pair of an
+    invocation and a response to that invocation, tagged with the object it
+    executes on — written [X:[insert(3),ok]].  Serial specifications are
+    prefix-closed sets of sequences of operations, and both commutativity
+    relations and conflict relations are binary relations {e on operations}
+    (so a lock may depend on an operation's result, not just its name and
+    arguments). *)
+
+(** An invocation: operation name plus arguments. *)
+type invocation = {
+  name : string;
+  args : Value.t list;
+}
+
+type t = {
+  obj : string;  (** name of the object the operation executes on *)
+  inv : invocation;
+  res : Value.t;
+}
+
+val invocation : ?args:Value.t list -> string -> invocation
+
+(** [make ~obj name args res] builds the operation [obj:[name(args),res]]. *)
+val make : obj:string -> ?args:Value.t list -> string -> Value.t -> t
+
+val equal_invocation : invocation -> invocation -> bool
+val compare_invocation : invocation -> invocation -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [pp] renders like the paper: ["BA:[withdraw(3),ok]"]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [pp_short] omits the object name: ["withdraw(3)→ok"]. *)
+val pp_short : Format.formatter -> t -> unit
+
+val pp_invocation : Format.formatter -> invocation -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,33 @@
+let linear_extensions elts before =
+  (* Standard recursive enumeration: at each step pick any remaining
+     element with no remaining predecessor. *)
+  let rec extend acc remaining =
+    if remaining = [] then [ List.rev acc ]
+    else
+      let ready =
+        List.filter
+          (fun x -> not (List.exists (fun y -> (not (Tid.equal x y)) && before y x) remaining))
+          remaining
+      in
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> not (Tid.equal x y)) remaining in
+          extend (x :: acc) rest)
+        ready
+  in
+  extend [] elts
+
+let permutations elts = linear_extensions elts (fun _ _ -> false)
+
+let consistent order before =
+  let rec check = function
+    | [] -> true
+    | x :: rest -> List.for_all (fun y -> not (before y x)) rest && check rest
+  in
+  check order
+
+let rec subsets = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun sub -> x :: sub) s

@@ -1,0 +1,24 @@
+(** Enumeration of total orders consistent with a partial order.
+
+    Dynamic atomicity quantifies over every total order consistent with
+    [precedes(H)]; this module enumerates exactly those (the linear
+    extensions of the relation restricted to a given transaction set). *)
+
+(** [linear_extensions elts before] is every permutation [o] of [elts]
+    such that whenever [before a b], [a] appears before [b] in [o].
+    [before] need not be transitive; only the given pairs are enforced
+    (the paper's [precedes] is a partial order on well-formed histories,
+    where the two coincide).  Order of results is deterministic. *)
+val linear_extensions : Tid.t list -> (Tid.t -> Tid.t -> bool) -> Tid.t list list
+
+(** [permutations elts] is all permutations (linear extensions of the
+    empty relation). *)
+val permutations : Tid.t list -> Tid.t list list
+
+(** [consistent order before] — does total order [order] respect every
+    [before] pair among its elements? *)
+val consistent : Tid.t list -> (Tid.t -> Tid.t -> bool) -> bool
+
+(** [subsets elts] is all subsets of [elts] (used to enumerate commit
+    sets). *)
+val subsets : Tid.t list -> Tid.t list list

@@ -1,0 +1,46 @@
+module type S = sig
+  type state
+
+  val name : string
+  val initial : state
+  val equal_state : state -> state -> bool
+  val compare_state : state -> state -> int
+  val pp_state : Format.formatter -> state -> unit
+  val respond : state -> Op.invocation -> (Value.t * state) list
+  val generators : Op.t list
+end
+
+type t = Packed : (module S with type state = 's) -> t
+
+let pack m = Packed m
+
+let name (Packed (module S)) = S.name
+let generators (Packed (module S)) = S.generators
+
+let rename (Packed (module S)) new_name =
+  let module R = struct
+    include S
+
+    let name = new_name
+    let generators = List.map (fun (op : Op.t) -> { op with obj = new_name }) S.generators
+  end in
+  Packed (module R : S with type state = R.state)
+
+let apply (type s) (module S : S with type state = s) (st : s) (op : Op.t) : s list =
+  List.filter_map
+    (fun (r, st') -> if Value.equal r op.Op.res then Some st' else None)
+    (S.respond st op.Op.inv)
+
+(* Fold an operation sequence over a *set* of states (dedup via sort). *)
+let after_states (type s) (module S : S with type state = s) (states : s list) ops =
+  let dedup l = List.sort_uniq S.compare_state l in
+  List.fold_left
+    (fun sts op -> dedup (List.concat_map (fun st -> apply (module S) st op) sts))
+    (dedup states) ops
+
+let legal (Packed (module S)) ops = after_states (module S) [ S.initial ] ops <> []
+
+let responses (Packed (module S)) ops inv =
+  let reached = after_states (module S) [ S.initial ] ops in
+  List.concat_map (fun st -> List.map fst (S.respond st inv)) reached
+  |> List.sort_uniq Value.compare

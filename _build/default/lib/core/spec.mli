@@ -1,0 +1,63 @@
+(** Serial specifications of atomic objects (Section 3.2).
+
+    The paper models [Spec(X)] as a prefix-closed set of operation
+    sequences, conveniently presented as the language of an I/O automaton
+    whose actions are the operations of [X].  We present specifications as
+    transition systems over an abstract state: [respond s inv] enumerates
+    every legal (response, next-state) pair for invocation [inv] in state
+    [s].  Operations may be {e partial} ([respond] returns no pair for some
+    states) and {e non-deterministic} (more than one pair).
+
+    [Spec(X)] — the prefix-closed sequence set — is recovered as the set of
+    operation sequences executable from [initial]; with non-determinism a
+    sequence denotes the {e set} of states it can reach, which is exactly
+    what the analyses in {!Explore} need. *)
+
+module type S = sig
+  type state
+
+  (** Object name, e.g. ["BA"]; used as [Op.obj] in rendered operations. *)
+  val name : string
+
+  val initial : state
+  val equal_state : state -> state -> bool
+  val compare_state : state -> state -> int
+  val pp_state : Format.formatter -> state -> unit
+
+  (** [respond s inv] is every pair [(r, s')] such that the operation
+      [[inv, r]] is legal in state [s] and may leave the object in state
+      [s'].  The empty list means [inv] has no legal response in [s]
+      (a partial operation). *)
+  val respond : state -> Op.invocation -> (Value.t * state) list
+
+  (** A finite sample of the operation alphabet, used by the bounded
+      decision procedures and by history generators.  It should exercise
+      every behaviourally distinct operation class of the type (each ADT
+      documents why its sample is adequate). *)
+  val generators : Op.t list
+end
+
+type t = Packed : (module S with type state = 's) -> t
+
+val pack : (module S with type state = 's) -> t
+val name : t -> string
+val generators : t -> Op.t list
+
+(** [rename spec x] is the same specification presented as an object named
+    [x] (generators re-tagged); used to instantiate several objects of one
+    type, e.g. accounts ["BA0"], ["BA1"], … *)
+val rename : t -> string -> t
+
+(** [apply (module S) s op] is the set of states reachable by executing
+    operation [op] (invocation {e and} response fixed) from [s]; empty if
+    [op] is not legal in [s]. *)
+val apply : (module S with type state = 's) -> 's -> Op.t -> 's list
+
+(** [legal spec ops] — is the operation sequence [ops] in [Spec(X)]
+    (executable from the initial state)? *)
+val legal : t -> Op.t list -> bool
+
+(** [responses spec ops inv] is the set of legal responses to [inv] after
+    the sequence [ops] (deduplicated), i.e. all [r] with
+    [ops · [inv,r] ∈ Spec]. *)
+val responses : t -> Op.t list -> Op.invocation -> Value.t list

@@ -1,0 +1,76 @@
+(** Counterexample engines for Theorems 9 and 10 (Section 7).
+
+    - Theorem 9: [I(X,Spec,UIP,Conflict)] is correct iff
+      [NRBC(Spec) ⊆ Conflict].
+    - Theorem 10: [I(X,Spec,DU,Conflict)] is correct iff
+      [NFC(Spec) ⊆ Conflict].
+
+    The "only if" directions are constructive: from a pair [(P,Q)] in the
+    required relation but missing from [Conflict], the proofs build a
+    history permitted by the implementation model that is not dynamic
+    atomic.  This module executes those constructions, so tests (and the
+    benchmark harness) can regenerate the paper's counterexamples for any
+    specification and any deficient conflict relation. *)
+
+type cex = {
+  requested : Op.t;  (** the operation executed second (P in the proofs) *)
+  held : Op.t;  (** the operation executed first (Q) *)
+  alpha : Op.t list;  (** context executed and committed by transaction A *)
+  rho : Op.t list;  (** distinguishing future executed by transaction D *)
+  history : History.t;  (** the non-dynamic-atomic history *)
+  failing_order : Tid.t list;
+      (** an order consistent with [precedes] in which it does not
+          serialize *)
+}
+
+val pp_cex : Format.formatter -> cex -> unit
+
+(** [uip_counterexample spec p ~requested ~held] — if [requested] does not
+    right-commute-backward with [held] (within bounds [p]), the Theorem 9
+    history: A runs α and commits; B runs [held]; C runs [requested];
+    B and C commit; D runs ρ and commits.  It is permitted by
+    [I(X,Spec,UIP,Conflict)] for any [Conflict] not relating
+    [(requested, held)], and is not serializable in the order A-C-B-D. *)
+val uip_counterexample :
+  Spec.t -> Commutativity.params -> requested:Op.t -> held:Op.t -> cex option
+
+(** [du_counterexample spec p ~requested ~held] — likewise for Theorem 10:
+    if the two operations do not commute forward, builds whichever of the
+    proof's two cases applies ([α·held·requested ∉ Spec], or an
+    equieffectiveness failure with the commits ordered so that the commit
+    order is the legal one and the swapped order fails). *)
+val du_counterexample :
+  Spec.t -> Commutativity.params -> requested:Op.t -> held:Op.t -> cex option
+
+(** [find_missing_pair spec ~required ~given] is the first
+    [(requested, held)] generator pair in [required] but not in [given]. *)
+val find_missing_pair :
+  Spec.t -> required:Conflict.t -> given:Conflict.t -> (Op.t * Op.t) option
+
+(** [uip_refute spec p conflict] — end-to-end "only if" for Theorem 9:
+    find a NRBC pair missing from [conflict] and build its counterexample.
+    [None] means no generator pair refutes [conflict] (consistent with
+    [NRBC ⊆ Conflict] over the sample). *)
+val uip_refute : Spec.t -> Commutativity.params -> Conflict.t -> cex option
+
+(** Likewise for Theorem 10 with NFC and DU. *)
+val du_refute : Spec.t -> Commutativity.params -> Conflict.t -> cex option
+
+(** {1 Probing arbitrary views}
+
+    Section 5 leaves open "whether there are other View functions that
+    place weaker constraints on concurrency control than UIP or DU".
+    [probe_required_pairs] attacks the question empirically for any view:
+    a pair [(p, q)] is {e required} if, with the total conflict relation
+    minus exactly that pair, the bounded enumeration of
+    [L(I(X,Spec,View,·))] contains a history that is not online dynamic
+    atomic.
+
+    For UIP and DU the probe must rediscover NRBC and NFC restricted to
+    the probed sample (the test suite checks it does); for other views the
+    result is a lower bound on the required conflicts — pairwise probing
+    cannot witness requirements that only show up when several pairs are
+    simultaneously permitted. *)
+val probe_required_pairs :
+  Spec.t -> View.t -> ops:Op.t list -> txns:int -> ops_per_txn:int ->
+  max_events:int -> limit:int -> (Op.t * Op.t) list

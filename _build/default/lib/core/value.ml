@@ -1,0 +1,52 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+
+let unit = Unit
+let bool b = Bool b
+let int i = Int i
+let str s = Str s
+let list l = List l
+let ok = Str "ok"
+let no = Str "no"
+
+let rec equal v w =
+  match v, w with
+  | Unit, Unit -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Str a, Str b -> String.equal a b
+  | List a, List b -> List.length a = List.length b && List.for_all2 equal a b
+  | (Unit | Bool _ | Int _ | Str _ | List _), _ -> false
+
+let tag = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Str _ -> 3
+  | List _ -> 4
+
+let rec compare v w =
+  match v, w with
+  | Unit, Unit -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Str a, Str b -> String.compare a b
+  | List a, List b -> List.compare compare a b
+  | (Unit | Bool _ | Int _ | Str _ | List _), _ -> Int.compare (tag v) (tag w)
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.string ppf s
+  | List l -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ";") pp) l
+
+let to_string v = Fmt.str "%a" pp v
+let get_int = function Int i -> i | v -> invalid_arg ("Value.get_int: " ^ to_string v)
+let get_bool = function Bool b -> b | v -> invalid_arg ("Value.get_bool: " ^ to_string v)
+let get_str = function Str s -> s | v -> invalid_arg ("Value.get_str: " ^ to_string v)
+let get_list = function List l -> l | v -> invalid_arg ("Value.get_list: " ^ to_string v)

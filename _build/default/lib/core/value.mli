@@ -1,0 +1,46 @@
+(** Universal value type for operation arguments and results.
+
+    The framework of the paper treats operations on abstract data types
+    generically: an operation is an invocation (name and arguments) paired
+    with a response.  Arguments and responses are drawn from this small
+    universal type so that histories, conflict tables and checkers work
+    uniformly across all ADTs. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+
+val unit : t
+val bool : bool -> t
+val int : int -> t
+val str : string -> t
+val list : t list -> t
+
+(** [ok] is the conventional success response ["ok"], and [no] the
+    conventional refusal response ["no"], as used for the paper's bank
+    account example. *)
+val ok : t
+
+val no : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [pp] prints values compactly: integers bare, strings bare, lists in
+    brackets, so that operations render like the paper's
+    [BA:[withdraw(3),ok]]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Partial projections.  Raise [Invalid_argument] when the value has a
+    different shape; intended for ADT implementations that know the shape
+    of their own arguments. *)
+
+val get_int : t -> int
+val get_bool : t -> bool
+val get_str : t -> string
+val get_list : t -> t list

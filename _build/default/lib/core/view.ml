@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  view : History.t -> Tid.t -> Op.t list;
+}
+
+let make ~name view = { name; view }
+let name t = t.name
+let apply t h a = t.view h a
+
+let uip =
+  make ~name:"UIP" (fun h _a ->
+      let non_aborted = Tid.Set.diff (History.transactions h) (History.aborted h) in
+      History.opseq (History.project_tids h non_aborted))
+
+let du =
+  make ~name:"DU" (fun h a ->
+      let committed = History.permanent h in
+      let in_commit_order = History.serial committed (History.commit_order h) in
+      History.opseq in_commit_order @ History.opseq (History.project_tid h a))

@@ -1,0 +1,32 @@
+(** Recovery abstractions: the [View] function (Sections 4 and 5).
+
+    Recovery is modelled by a function from histories and active
+    transactions to operation sequences — the "serial state" used to
+    determine the legal responses to an invocation.  The two views studied
+    by the paper:
+
+    - {b UIP} (update-in-place):
+      [UIP(H,A) = Opseq(H | ACT − Aborted(H))] — all operations executed by
+      non-aborted transactions (committed {e and} active), in execution
+      order.  Abstracts single-current-state systems that undo on abort
+      (System R et al.).
+    - {b DU} (deferred update):
+      [DU(H,A) = Opseq(Serial(H|Committed(H), Commit-order(H))) ·
+      Opseq(H|A)] — the committed operations in commit order, then [A]'s
+      own.  Abstracts intentions-list / private-workspace systems (XDFS,
+      CFS).
+
+    Both are defined here for histories involving a single object, per the
+    paper's footnote 3. *)
+
+type t
+
+val make : name:string -> (History.t -> Tid.t -> Op.t list) -> t
+val name : t -> string
+
+(** [apply v h a] is the serial state [v] assigns to active transaction
+    [a] after history [h]. *)
+val apply : t -> History.t -> Tid.t -> Op.t list
+
+val uip : t
+val du : t

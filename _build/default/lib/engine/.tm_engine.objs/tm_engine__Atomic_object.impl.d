@@ -1,0 +1,1 @@
+lib/engine/atomic_object.ml: Conflict Fmt Hashtbl List Lock_table Op Option Recovery Spec Tid Tm_core

@@ -1,0 +1,1 @@
+lib/engine/atomic_object.mli: Conflict Format Op Recovery Spec Tid Tm_core Value

@@ -1,0 +1,1 @@
+lib/engine/concurrent.ml: Atomic_object Condition Database Deadlock Fun Hashtbl Mutex Op Tid Tm_core

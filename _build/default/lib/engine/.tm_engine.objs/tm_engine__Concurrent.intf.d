@@ -1,0 +1,1 @@
+lib/engine/concurrent.mli: Atomic_object Database History Op Tid Tm_core Value

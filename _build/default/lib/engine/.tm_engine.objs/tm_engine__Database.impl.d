@@ -1,0 +1,1 @@
+lib/engine/database.ml: Atomic_object Deadlock Event Fmt Hashtbl History List Op Option Tid Tm_core

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Atomic_object History Op Tid Tm_core Value

@@ -1,0 +1,1 @@
+lib/engine/deadlock.ml: Hashtbl List Option Tid Tm_core

@@ -1,0 +1,1 @@
+lib/engine/deadlock.mli: Tid Tm_core

@@ -1,0 +1,1 @@
+lib/engine/durable_database.ml: Atomic_object Database Hashtbl List Op String Tid Tm_core Wal

@@ -1,0 +1,1 @@
+lib/engine/durable_database.mli: Atomic_object Database Op Tid Tm_core Value Wal

@@ -1,0 +1,1 @@
+lib/engine/durable_object.ml: Atomic_object Hashtbl Tid Tm_core Wal

@@ -1,0 +1,1 @@
+lib/engine/durable_object.mli: Atomic_object Conflict Op Recovery Spec Tid Tm_core Value Wal

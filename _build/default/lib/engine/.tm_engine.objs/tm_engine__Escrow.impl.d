@@ -1,0 +1,1 @@
+lib/engine/escrow.ml: Fmt Hashtbl List Op Tid Tm_core Value

@@ -1,0 +1,1 @@
+lib/engine/escrow.mli: Format Op Tid Tm_core

@@ -1,0 +1,1 @@
+lib/engine/lock_table.ml: Conflict List Op Tid Tm_core

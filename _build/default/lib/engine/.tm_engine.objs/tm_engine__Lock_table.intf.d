@@ -1,0 +1,1 @@
+lib/engine/lock_table.mli: Conflict Op Tid Tm_core

@@ -1,0 +1,1 @@
+lib/engine/recovery.ml: Explore Fmt Hashtbl List Op Option Spec Tid Tm_core Value

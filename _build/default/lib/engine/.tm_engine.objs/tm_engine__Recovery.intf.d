@@ -1,0 +1,1 @@
+lib/engine/recovery.mli: Format Op Spec Tid Tm_core Value

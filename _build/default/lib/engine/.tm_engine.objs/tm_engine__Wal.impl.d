@@ -1,0 +1,1 @@
+lib/engine/wal.ml: Fmt Hashtbl List Op Option Tid Tm_core

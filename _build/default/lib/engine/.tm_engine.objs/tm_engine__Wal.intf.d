@@ -1,0 +1,1 @@
+lib/engine/wal.mli: Format Op Tid Tm_core

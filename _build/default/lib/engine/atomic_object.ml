@@ -1,0 +1,178 @@
+open Tm_core
+
+type policy =
+  | Locking
+  | Optimistic
+
+let pp_policy ppf = function
+  | Locking -> Fmt.string ppf "locking"
+  | Optimistic -> Fmt.string ppf "optimistic"
+
+type t = {
+  name : string;
+  spec : Spec.t;
+  policy : policy;
+  conflict : Conflict.t;
+  locks : Lock_table.t;
+  recovery : Recovery.t;
+  mutable blocks : int;
+  (* Optimistic bookkeeping: committed operations in commit order (for
+     backward validation), each transaction's ops and its start point in
+     that log. *)
+  mutable committed_rev : Op.t list;
+  mutable committed_len : int;
+  opt_start : (Tid.t, int) Hashtbl.t;
+  opt_ops : (Tid.t, Op.t list) Hashtbl.t;  (* newest first *)
+}
+
+type outcome =
+  | Executed of Op.t
+  | Blocked of Tid.t list
+  | No_response
+
+let pp_outcome ppf = function
+  | Executed op -> Fmt.pf ppf "executed %a" Op.pp op
+  | Blocked tids -> Fmt.pf ppf "blocked on %a" Fmt.(list ~sep:(any ",") Tid.pp) tids
+  | No_response -> Fmt.string ppf "no legal response"
+
+let make ?inverse ~spec ~conflict ~policy ~recovery () =
+  {
+    name = Spec.name spec;
+    spec;
+    policy;
+    conflict;
+    locks = Lock_table.create conflict;
+    recovery = Recovery.create ?inverse recovery spec;
+    blocks = 0;
+    committed_rev = [];
+    committed_len = 0;
+    opt_start = Hashtbl.create 16;
+    opt_ops = Hashtbl.create 16;
+  }
+
+let create ?inverse ~spec ~conflict ~recovery () =
+  make ?inverse ~spec ~conflict ~policy:Locking ~recovery ()
+
+(* Optimistic execution must not publish uncommitted effects, so it is
+   tied to deferred-update recovery (the single current state of
+   update-in-place publishes by construction). *)
+let create_optimistic ~spec ~conflict =
+  make ~spec ~conflict ~policy:Optimistic ~recovery:Recovery.DU ()
+
+let name t = t.name
+let spec t = t.spec
+let policy t = t.policy
+let recovery_kind t = Recovery.kind t.recovery
+
+let choose_op t ?choose inv enabled_ops =
+  match choose, enabled_ops with
+  | None, first :: _ -> first
+  | Some pick, ops ->
+      let res = pick (List.map (fun (o : Op.t) -> o.res) ops) in
+      { Op.obj = t.name; inv; res }
+  | None, [] -> assert false
+
+let invoke_locking ?choose t tid inv candidates =
+  (* Result-dependent locking: find a legal response whose operation is
+     not blocked; only if all legal responses are blocked does the
+     transaction wait. *)
+  let enabled, blocked_on =
+    List.fold_left
+      (fun (enabled, blockers) res ->
+        let op = { Op.obj = t.name; inv; res } in
+        match Lock_table.blockers t.locks ~requested:op ~tid with
+        | [] -> (op :: enabled, blockers)
+        | bs -> (enabled, bs @ blockers))
+      ([], []) candidates
+  in
+  match List.rev enabled with
+  | [] ->
+      t.blocks <- t.blocks + 1;
+      Blocked (List.sort_uniq Tid.compare blocked_on)
+  | enabled_ops ->
+      let op = choose_op t ?choose inv enabled_ops in
+      Recovery.record t.recovery tid op;
+      Lock_table.add t.locks tid op;
+      Executed op
+
+let invoke_optimistic ?choose t tid inv candidates =
+  (* No locks taken, nothing ever blocks; conflicts are paid at commit
+     time (backward validation).  Remember where the committed log stood
+     when the transaction first touched this object. *)
+  if not (Hashtbl.mem t.opt_start tid) then Hashtbl.add t.opt_start tid t.committed_len;
+  let ops = List.map (fun res -> { Op.obj = t.name; inv; res }) candidates in
+  let op = choose_op t ?choose inv ops in
+  Recovery.record t.recovery tid op;
+  Hashtbl.replace t.opt_ops tid
+    (op :: Option.value (Hashtbl.find_opt t.opt_ops tid) ~default:[]);
+  Executed op
+
+let invoke ?choose t tid inv =
+  match Recovery.responses t.recovery tid inv with
+  | [] -> No_response
+  | candidates -> (
+      match t.policy with
+      | Locking -> invoke_locking ?choose t tid inv candidates
+      | Optimistic -> invoke_optimistic ?choose t tid inv candidates)
+
+(* Operations committed after position [start], oldest first. *)
+let committed_since t start =
+  let rec take n l = if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
+  List.rev (take (t.committed_len - start) t.committed_rev)
+
+let validate t tid =
+  match t.policy with
+  | Locking -> Ok ()
+  | Optimistic -> (
+      match Hashtbl.find_opt t.opt_start tid with
+      | None -> Ok ()  (* executed nothing here *)
+      | Some start ->
+          let mine = List.rev (Option.value (Hashtbl.find_opt t.opt_ops tid) ~default:[]) in
+          let interleaved = committed_since t start in
+          let bad =
+            List.find_map
+              (fun op ->
+                List.find_map
+                  (fun c ->
+                    if Conflict.conflicts t.conflict ~requested:op ~held:c then
+                      Some (op, c)
+                    else None)
+                  interleaved)
+              mine
+          in
+          (match bad with Some pair -> Error pair | None -> Ok ()))
+
+let forget_optimistic t tid =
+  Hashtbl.remove t.opt_start tid;
+  Hashtbl.remove t.opt_ops tid
+
+let commit t tid =
+  (match Hashtbl.find_opt t.opt_ops tid with
+  | Some ops ->
+      t.committed_rev <- ops @ t.committed_rev;
+      t.committed_len <- t.committed_len + List.length ops
+  | None ->
+      (* locking policy: keep the validation log in step anyway, so mixed
+         policies across objects behave uniformly *)
+      ());
+  forget_optimistic t tid;
+  Recovery.commit t.recovery tid;
+  Lock_table.release t.locks tid
+
+let abort t tid =
+  forget_optimistic t tid;
+  Recovery.abort t.recovery tid;
+  Lock_table.release t.locks tid
+
+let committed_ops t = Recovery.committed_ops t.recovery
+let holds t = Lock_table.holds t.locks
+let block_count t = t.blocks
+
+(* Recovery id: replayed committed work is installed under one reserved
+   transaction that begins and commits within the call. *)
+let recovery_tid = Tid.of_int 1_000_000
+
+let restore t ops =
+  if committed_ops t <> [] then invalid_arg "Atomic_object.restore: object not fresh";
+  List.iter (fun op -> Recovery.record t.recovery recovery_tid op) ops;
+  Recovery.commit t.recovery recovery_tid

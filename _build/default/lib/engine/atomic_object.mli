@@ -1,0 +1,96 @@
+(** A runnable atomic object: serial specification + conflict relation +
+    recovery manager + concurrency-control policy.
+
+    This is the executable counterpart of the paper's
+    [I(X, Spec, View, Conflict)].  Two policies are provided:
+
+    - {b Locking} (pessimistic, the paper's model): an invocation executes
+      only if some legal response does not conflict with an operation held
+      by another active transaction ({e result-dependent locking} —
+      different legal responses may conflict differently, and the object
+      picks an enabled one).
+    - {b Optimistic} (Section 3.4's alternative): invocations never block;
+      at commit the transaction {e validates} — it aborts if any of its
+      operations conflicts with an operation committed since it started
+      (backward validation à la Kung–Robinson, with the same
+      commutativity-based conflict relation).  Requires deferred-update
+      recovery: update-in-place would publish uncommitted effects. *)
+
+open Tm_core
+
+type policy =
+  | Locking
+  | Optimistic
+
+val pp_policy : Format.formatter -> policy -> unit
+
+type t
+
+type outcome =
+  | Executed of Op.t  (** the chosen operation (invocation + response) *)
+  | Blocked of Tid.t list
+      (** every legal response conflicts; the holders to wait for *)
+  | No_response
+      (** the operation is partial and currently has no legal response
+          (e.g. dequeue on an empty queue): wait for the state to change *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** A pessimistic (locking) object.  [inverse] enables the
+    update-in-place compensation fast path (see {!Recovery.create}). *)
+val create :
+  ?inverse:(Op.t -> Op.t list option) -> spec:Spec.t -> conflict:Conflict.t ->
+  recovery:Recovery.kind -> unit -> t
+
+(** An optimistic object.  Optimistic execution must not publish
+    uncommitted effects, so the recovery method is necessarily
+    deferred-update. *)
+val create_optimistic : spec:Spec.t -> conflict:Conflict.t -> t
+
+val name : t -> string
+
+(** The serial specification the object was created with. *)
+val spec : t -> Spec.t
+
+val policy : t -> policy
+val recovery_kind : t -> Recovery.kind
+
+(** [invoke t tid inv] attempts the invocation for [tid].  When several
+    legal responses are enabled the first in the specification's response
+    order is chosen (deterministic); pass [~choose] to override (e.g. a
+    seeded random pick for non-deterministic types).  Under the
+    [Optimistic] policy the call never returns [Blocked]. *)
+val invoke : ?choose:(Value.t list -> Value.t) -> t -> Tid.t -> Op.invocation -> outcome
+
+(** [validate t tid] — the optimistic commit test: [Error (mine, theirs)]
+    if one of [tid]'s operations conflicts with an operation committed
+    since [tid] first touched this object.  Always [Ok ()] under
+    [Locking]. *)
+val validate : t -> Tid.t -> (unit, Op.t * Op.t) result
+
+(** [commit t tid] releases [tid]'s locks and makes its effects permanent
+    under the object's recovery method.  Under [Optimistic] the caller
+    must {!validate} first ([Database.try_commit] does).  No-op for a
+    transaction that executed nothing here. *)
+val commit : t -> Tid.t -> unit
+
+(** [abort t tid] releases locks and undoes (UIP) or discards (DU) the
+    transaction's effects. *)
+val abort : t -> Tid.t -> unit
+
+(** Committed operations in commit order — replaying these against the
+    specification must always succeed for a correctly configured object
+    (the key run-time invariant checked by the test suite). *)
+val committed_ops : t -> Op.t list
+
+(** Current lock holds (for introspection and deadlock reporting). *)
+val holds : t -> (Tid.t * Op.t) list
+
+(** Number of conflict checks that came back "blocked" so far. *)
+val block_count : t -> int
+
+(** [restore t ops] installs [ops] (a commit-order sequence, e.g. the
+    outcome of {!Wal.replay}) into a freshly created object as
+    already-committed work.  Raises [Invalid_argument] if the object is
+    not fresh or the sequence is not legal. *)
+val restore : t -> Op.t list -> unit

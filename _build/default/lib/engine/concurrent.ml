@@ -1,0 +1,121 @@
+open Tm_core
+
+type t = {
+  db : Database.t;
+  lock : Mutex.t;
+  changed : Condition.t;
+  (* Transactions condemned by another thread's deadlock detection; they
+     notice at their next wake-up or engine call. *)
+  doomed : (Tid.t, unit) Hashtbl.t;
+}
+
+type handle = {
+  sys : t;
+  tid : Tid.t;
+}
+
+exception Aborted
+
+let create ?record_history objs =
+  {
+    db = Database.create ?record_history objs;
+    lock = Mutex.create ();
+    changed = Condition.create ();
+    doomed = Hashtbl.create 8;
+  }
+
+let tid h = h.tid
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Must hold the lock.  Abort the transaction, wake everyone, raise. *)
+let abort_self t tid =
+  Hashtbl.remove t.doomed tid;
+  Database.abort t.db tid;
+  Condition.broadcast t.changed;
+  raise Aborted
+
+let check_doom t tid = if Hashtbl.mem t.doomed tid then abort_self t tid
+
+(* Must hold the lock.  Break any waits-for cycle by dooming its youngest
+   member; if that is the caller, abort right here. *)
+let break_deadlock t tid =
+  match Database.deadlock t.db with
+  | None -> ()
+  | Some cycle ->
+      let victim = Deadlock.victim cycle in
+      if Tid.equal victim tid then abort_self t tid
+      else begin
+        Hashtbl.replace t.doomed victim ();
+        Condition.broadcast t.changed
+      end
+
+let invoke ?choose h ~obj inv =
+  let t = h.sys in
+  locked t (fun () ->
+      let rec attempt () =
+        check_doom t h.tid;
+        match Database.invoke ?choose t.db h.tid ~obj inv with
+        | Atomic_object.Executed op ->
+            (* state changed: a waiter's partial operation may now have a
+               response *)
+            Condition.broadcast t.changed;
+            op.Op.res
+        | Atomic_object.Blocked _ ->
+            break_deadlock t h.tid;
+            Condition.wait t.changed t.lock;
+            attempt ()
+        | Atomic_object.No_response ->
+            Condition.wait t.changed t.lock;
+            attempt ()
+      in
+      attempt ())
+
+let with_txn ?(retries = 50) t f =
+  let rec go attempts =
+    if attempts > retries then Error `Too_many_aborts
+    else
+      let tid = locked t (fun () -> Database.begin_txn t.db) in
+      let h = { sys = t; tid } in
+      let body =
+        (* [Aborted] escapes [invoke] only after the transaction has been
+           aborted in the database; any other exception leaves it running
+           and must roll it back before propagating. *)
+        match f h with
+        | result -> `Done result
+        | exception Aborted -> `Retry
+        | exception e ->
+            locked t (fun () ->
+                (try Database.abort t.db tid with Invalid_argument _ -> ());
+                Hashtbl.remove t.doomed tid;
+                Condition.broadcast t.changed);
+            raise e
+      in
+      match body with
+      | `Retry -> go (attempts + 1)
+      | `Done result -> (
+          match
+            locked t (fun () ->
+                check_doom t tid;
+                match Database.try_commit t.db tid with
+                | Ok () ->
+                    Condition.broadcast t.changed;
+                    `Committed
+                | Error _ ->
+                    (* try_commit aborted the transaction *)
+                    Hashtbl.remove t.doomed tid;
+                    Condition.broadcast t.changed;
+                    `Validation_failed)
+          with
+          | `Committed -> Ok result
+          | `Validation_failed -> go (attempts + 1)
+          | exception Aborted -> go (attempts + 1))
+  in
+  go 0
+
+let committed_count t = locked t (fun () -> Database.committed_count t.db)
+let aborted_count t = locked t (fun () -> Database.aborted_count t.db)
+let history t = locked t (fun () -> Database.history t.db)
+let database t = t.db

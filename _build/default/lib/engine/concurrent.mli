@@ -1,0 +1,64 @@
+(** A thread-safe blocking front end for the transactional engine.
+
+    {!Database} and the simulation scheduler are deterministic and
+    single-threaded (for reproducible measurements); this module is the
+    interface a real application uses: operations issued from OS threads
+    {e block} — on the calling thread, under a monitor — until the
+    conflict-based locking admits them, deadlocks are detected and broken
+    by aborting the youngest transaction in the cycle, and aborted
+    transactions are retried transparently by {!with_txn}.
+
+    {[
+      let account = Atomic_object.create ~spec ~conflict ~recovery () in
+      let db = Concurrent.create [ account ] in
+      match
+        Concurrent.with_txn db (fun h ->
+            let _ = Concurrent.invoke h ~obj:"BA"
+                      (Op.invocation ~args:[ Value.int 5 ] "deposit") in
+            Concurrent.invoke h ~obj:"BA" (Op.invocation "balance"))
+      with
+      | Ok balance -> ...
+      | Error `Too_many_aborts -> ...
+    ]} *)
+
+open Tm_core
+
+type t
+
+val create : ?record_history:bool -> Atomic_object.t list -> t
+
+(** A handle on a running transaction; only valid within the callback of
+    {!with_txn} and on the thread that owns it. *)
+type handle
+
+val tid : handle -> Tid.t
+
+exception Aborted
+(** Raised inside the callback when this transaction was chosen as a
+    deadlock victim (or failed optimistic validation at commit).
+    {!with_txn} catches it and retries; re-raise it if caught. *)
+
+(** [invoke h ~obj inv] executes the invocation, blocking while it
+    conflicts with other active transactions or (for a partial operation)
+    while it has no legal response.  Raises {!Aborted} if the transaction
+    is selected as a deadlock victim while waiting or doomed by another
+    thread's detection. *)
+val invoke : ?choose:(Value.t list -> Value.t) -> handle -> obj:string ->
+  Op.invocation -> Value.t
+
+(** [with_txn db f] begins a transaction, runs [f], and commits (with
+    optimistic validation where applicable).  On {!Aborted} the
+    transaction is rolled back and [f] retried from scratch, up to
+    [retries] times (default 50) with no backoff — the monitor wakes
+    waiters on every completion. *)
+val with_txn : ?retries:int -> t -> (handle -> 'a) -> ('a, [ `Too_many_aborts ]) result
+
+(** Run statistics. *)
+
+val committed_count : t -> int
+val aborted_count : t -> int
+
+(** The recorded global history (empty unless [record_history]). *)
+val history : t -> History.t
+
+val database : t -> Database.t

@@ -1,0 +1,122 @@
+open Tm_core
+
+type txn_status =
+  | Running
+  | Committed
+  | Aborted
+
+type t = {
+  mutable objs : (string * Atomic_object.t) list;
+  record_history : bool;
+  mutable events : Event.t list;  (* newest first *)
+  status : (Tid.t, txn_status) Hashtbl.t;
+  touched : (Tid.t, string list) Hashtbl.t;
+  waits : Deadlock.t;
+  mutable next_tid : int;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let create ?(record_history = false) objs =
+  {
+    objs = List.map (fun o -> (Atomic_object.name o, o)) objs;
+    record_history;
+    events = [];
+    status = Hashtbl.create 64;
+    touched = Hashtbl.create 64;
+    waits = Deadlock.create ();
+    next_tid = 0;
+    committed = 0;
+    aborted = 0;
+  }
+
+let add_object t o = t.objs <- t.objs @ [ (Atomic_object.name o, o) ]
+let objects t = List.map snd t.objs
+
+let find_object t name =
+  match List.assoc_opt name t.objs with
+  | Some o -> o
+  | None -> invalid_arg ("Database.find_object: unknown object " ^ name)
+
+let begin_txn t =
+  let tid = Tid.of_int t.next_tid in
+  t.next_tid <- t.next_tid + 1;
+  Hashtbl.replace t.status tid Running;
+  tid
+
+let check_running t tid =
+  match Hashtbl.find_opt t.status tid with
+  | Some Running -> ()
+  | Some Committed | Some Aborted ->
+      invalid_arg (Fmt.str "Database: transaction %a already finished" Tid.pp tid)
+  | None -> invalid_arg (Fmt.str "Database: unknown transaction %a" Tid.pp tid)
+
+let push_event t e = if t.record_history then t.events <- e :: t.events
+
+let touched_objs t tid = Option.value (Hashtbl.find_opt t.touched tid) ~default:[]
+
+let invoke ?choose t tid ~obj inv =
+  check_running t tid;
+  let o = find_object t obj in
+  let outcome = Atomic_object.invoke ?choose o tid inv in
+  (match outcome with
+  | Atomic_object.Executed op ->
+      Deadlock.clear t.waits tid;
+      push_event t (Event.invoke ~obj ~tid inv);
+      push_event t (Event.respond ~obj ~tid op.Op.res);
+      let objs = touched_objs t tid in
+      if not (List.mem obj objs) then Hashtbl.replace t.touched tid (obj :: objs)
+  | Atomic_object.Blocked holders -> Deadlock.set_waiting t.waits tid ~on:holders
+  | Atomic_object.No_response -> ());
+  outcome
+
+let finish t tid status per_object =
+  check_running t tid;
+  List.iter
+    (fun obj ->
+      per_object (find_object t obj) tid;
+      push_event t
+        (match status with
+        | Committed -> Event.commit ~obj ~tid
+        | Running | Aborted -> Event.abort ~obj ~tid))
+    (List.rev (touched_objs t tid));
+  Hashtbl.replace t.status tid status;
+  Hashtbl.remove t.touched tid;
+  Deadlock.clear t.waits tid
+
+let commit t tid =
+  finish t tid Committed Atomic_object.commit;
+  t.committed <- t.committed + 1
+
+let abort t tid =
+  finish t tid Aborted Atomic_object.abort;
+  t.aborted <- t.aborted + 1
+
+let try_commit t tid =
+  check_running t tid;
+  (* Two-phase: validate at every touched object, then commit at all of
+     them; a single validation failure aborts everywhere. *)
+  let objs = List.rev (touched_objs t tid) in
+  let failed =
+    List.find_map
+      (fun obj ->
+        match Atomic_object.validate (find_object t obj) tid with
+        | Ok () -> None
+        | Error (mine, theirs) -> Some (obj, mine, theirs))
+      objs
+  in
+  match failed with
+  | None ->
+      commit t tid;
+      Ok ()
+  | Some _ as e ->
+      abort t tid;
+      (match e with Some x -> Error x | None -> assert false)
+
+let deadlock t = Deadlock.find_cycle t.waits
+let history t = History.of_events (List.rev t.events)
+let committed_count t = t.committed
+let aborted_count t = t.aborted
+
+let total_blocks t =
+  List.fold_left (fun acc (_, o) -> acc + Atomic_object.block_count o) 0 t.objs

@@ -1,0 +1,58 @@
+(** A multi-object transactional database.
+
+    Objects are independent atomic objects (dynamic atomicity is a local
+    property — Theorem 2 — so different objects may even use different
+    recovery methods and conflict relations); the database adds
+    transaction bookkeeping, atomic commitment across the objects a
+    transaction touched, waits-for tracking and an optional global event
+    history for offline verification with {!Tm_core.Atomicity}. *)
+
+open Tm_core
+
+type t
+
+val create : ?record_history:bool -> Atomic_object.t list -> t
+val add_object : t -> Atomic_object.t -> unit
+val objects : t -> Atomic_object.t list
+val find_object : t -> string -> Atomic_object.t
+
+(** [begin_txn t] allocates a fresh transaction id. *)
+val begin_txn : t -> Tid.t
+
+(** [invoke t tid ~obj inv] — attempt an operation; records the waits-for
+    edges on [Blocked].  Raises [Invalid_argument] for an unknown object
+    or a transaction that already finished. *)
+val invoke :
+  ?choose:(Value.t list -> Value.t) ->
+  t ->
+  Tid.t ->
+  obj:string ->
+  Op.invocation ->
+  Atomic_object.outcome
+
+(** [commit t tid] commits at every object the transaction touched
+    (atomic commitment, Section 2).  For optimistic objects use
+    {!try_commit}, which validates first. *)
+val commit : t -> Tid.t -> unit
+
+val abort : t -> Tid.t -> unit
+
+(** [try_commit t tid] validates at every touched object (a no-op for
+    locking objects) and commits at all of them; on a validation failure
+    the transaction is aborted everywhere and the conflicting object and
+    operation pair are returned. *)
+val try_commit : t -> Tid.t -> (unit, string * Op.t * Op.t) result
+
+(** [deadlock t] — current waits-for cycle, if any. *)
+val deadlock : t -> Tid.t list option
+
+(** The global event history (empty unless [record_history] was set). *)
+val history : t -> History.t
+
+(** Committed transactions count / aborted count. *)
+val committed_count : t -> int
+
+val aborted_count : t -> int
+
+(** Total blocked invocation attempts across objects. *)
+val total_blocks : t -> int

@@ -1,0 +1,45 @@
+open Tm_core
+
+type t = { edges : (Tid.t, Tid.t list) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 16 }
+let set_waiting t tid ~on = Hashtbl.replace t.edges tid (List.sort_uniq Tid.compare on)
+
+let clear t tid =
+  Hashtbl.remove t.edges tid;
+  Hashtbl.iter
+    (fun src dsts ->
+      if List.exists (Tid.equal tid) dsts then
+        Hashtbl.replace t.edges src (List.filter (fun d -> not (Tid.equal d tid)) dsts))
+    t.edges
+
+let waiting t tid = Option.value (Hashtbl.find_opt t.edges tid) ~default:[]
+
+let find_cycle t =
+  (* Depth-first search with an explicit path; the first back-edge found
+     yields the cycle. *)
+  let visited = Hashtbl.create 16 in
+  let exception Found of Tid.t list in
+  let rec dfs path tid =
+    match List.find_index (Tid.equal tid) path with
+    | Some i ->
+        (* path is newest-first: the cycle is the first i+1 entries. *)
+        let rec take n = function
+          | x :: rest when n > 0 -> x :: take (n - 1) rest
+          | _ -> []
+        in
+        raise (Found (List.rev (take (i + 1) path)))
+    | None ->
+        if not (Hashtbl.mem visited tid) then begin
+          Hashtbl.add visited tid ();
+          List.iter (dfs (tid :: path)) (waiting t tid)
+        end
+  in
+  match Hashtbl.iter (fun tid _ -> dfs [] tid) t.edges with
+  | () -> None
+  | exception Found cycle -> Some cycle
+
+let victim cycle =
+  match cycle with
+  | [] -> invalid_arg "Deadlock.victim: empty cycle"
+  | first :: rest -> List.fold_left (fun acc tid -> if Tid.compare tid acc > 0 then tid else acc) first rest

@@ -1,0 +1,28 @@
+(** Waits-for graph and cycle detection.
+
+    Conflict-based locking blocks transactions behind lock holders;
+    a cycle in the waits-for relation is a deadlock.  The scheduler
+    registers an edge set per blocked transaction and asks for a cycle;
+    the conventional victim is the youngest transaction in the cycle. *)
+
+open Tm_core
+
+type t
+
+val create : unit -> t
+
+(** [set_waiting t tid ~on] replaces [tid]'s outgoing edges. *)
+val set_waiting : t -> Tid.t -> on:Tid.t list -> unit
+
+(** [clear t tid] removes [tid]'s outgoing edges {e and} every edge
+    pointing at it (call on commit/abort). *)
+val clear : t -> Tid.t -> unit
+
+(** [find_cycle t] is some cycle [t1 → t2 → … → t1] (listed without the
+    closing repeat) if the graph has one. *)
+val find_cycle : t -> Tid.t list option
+
+(** [victim cycle] is the youngest (largest-id) transaction. *)
+val victim : Tid.t list -> Tid.t
+
+val waiting : t -> Tid.t -> Tid.t list

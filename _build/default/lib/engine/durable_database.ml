@@ -1,0 +1,66 @@
+open Tm_core
+
+type t = {
+  db : Database.t;
+  wal : Wal.t;
+  begun : (Tid.t, unit) Hashtbl.t;
+}
+
+let create ~wal objs = { db = Database.create objs; wal; begun = Hashtbl.create 16 }
+let database t = t.db
+let begin_txn t = Database.begin_txn t.db
+
+let invoke ?choose t tid ~obj inv =
+  let outcome = Database.invoke ?choose t.db tid ~obj inv in
+  (match outcome with
+  | Atomic_object.Executed op ->
+      if not (Hashtbl.mem t.begun tid) then begin
+        Hashtbl.add t.begun tid ();
+        Wal.append t.wal (Wal.Begin tid)
+      end;
+      Wal.append t.wal (Wal.Operation (tid, op))
+  | Atomic_object.Blocked _ | Atomic_object.No_response -> ());
+  outcome
+
+let try_commit t tid =
+  (* Validate first (nothing logged on failure), then force the single
+     commit record — the transaction is durable at every object from
+     that instant — then apply. *)
+  let failed =
+    List.find_map
+      (fun o ->
+        match Atomic_object.validate o tid with
+        | Ok () -> None
+        | Error (mine, theirs) -> Some (Atomic_object.name o, mine, theirs))
+      (Database.objects t.db)
+  in
+  match failed with
+  | Some _ as e ->
+      Wal.append t.wal (Wal.Abort tid);
+      Hashtbl.remove t.begun tid;
+      Database.abort t.db tid;
+      (match e with Some x -> Error x | None -> assert false)
+  | None ->
+      Wal.append t.wal (Wal.Commit tid);
+      Hashtbl.remove t.begun tid;
+      Database.commit t.db tid;
+      Ok ()
+
+let abort t tid =
+  Wal.append t.wal (Wal.Abort tid);
+  Hashtbl.remove t.begun tid;
+  Database.abort t.db tid
+
+let recover ~wal ~rebuild =
+  let committed, losers = Wal.replay (Wal.records wal) in
+  let objs = rebuild () in
+  List.iter
+    (fun o ->
+      let mine =
+        List.filter
+          (fun (op : Op.t) -> String.equal op.obj (Atomic_object.name o))
+          committed
+      in
+      Atomic_object.restore o mine)
+    objs;
+  (create ~wal objs, losers)

@@ -1,0 +1,34 @@
+(** A write-ahead-logged multi-object database.
+
+    {!Durable_object} logs one object; real transactions touch several,
+    and atomic commitment must survive crashes: either every object sees
+    the transaction's effects after recovery, or none does.  This wrapper
+    shares one {!Wal} across all objects — operations are logged with
+    their object name (carried by {!Tm_core.Op.t}), and a transaction's
+    {e single} commit record covers all of them, so recovery is
+    all-or-nothing by construction (the logging equivalent of the paper's
+    atomic-commitment assumption, Section 2). *)
+
+open Tm_core
+
+type t
+
+val create : wal:Wal.t -> Atomic_object.t list -> t
+val database : t -> Database.t
+val begin_txn : t -> Tid.t
+
+val invoke :
+  ?choose:(Value.t list -> Value.t) -> t -> Tid.t -> obj:string -> Op.invocation ->
+  Atomic_object.outcome
+
+(** Validates (for optimistic objects), forces the commit record, then
+    commits at every touched object. *)
+val try_commit : t -> Tid.t -> (unit, string * Op.t * Op.t) result
+
+val abort : t -> Tid.t -> unit
+
+(** [recover ~wal ~rebuild] reconstructs the database after a crash:
+    [rebuild] supplies fresh objects (same specs/conflicts/recovery as
+    before the crash); each is restored with the committed operations of
+    {e its} object from the log.  Returns the database and the losers. *)
+val recover : wal:Wal.t -> rebuild:(unit -> Atomic_object.t list) -> t * Tid.Set.t

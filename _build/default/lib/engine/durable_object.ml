@@ -1,0 +1,51 @@
+open Tm_core
+
+type t = {
+  obj : Atomic_object.t;
+  wal : Wal.t;
+  begun : (Tid.t, unit) Hashtbl.t;
+}
+
+let create ~spec ~conflict ~recovery ~wal =
+  { obj = Atomic_object.create ~spec ~conflict ~recovery (); wal; begun = Hashtbl.create 16 }
+
+let inner t = t.obj
+let name t = Atomic_object.name t.obj
+
+let log_begin t tid =
+  if not (Hashtbl.mem t.begun tid) then begin
+    Hashtbl.add t.begun tid ();
+    Wal.append t.wal (Wal.Begin tid)
+  end
+
+let invoke ?choose t tid inv =
+  let outcome = Atomic_object.invoke ?choose t.obj tid inv in
+  (match outcome with
+  | Atomic_object.Executed op ->
+      log_begin t tid;
+      Wal.append t.wal (Wal.Operation (tid, op))
+  | Atomic_object.Blocked _ | Atomic_object.No_response -> ());
+  outcome
+
+let commit t tid =
+  (* Write-ahead: the commit record reaches stable storage before the
+     commit takes effect — a crash between the two redoes the operations
+     from the log. *)
+  Wal.append t.wal (Wal.Commit tid);
+  Hashtbl.remove t.begun tid;
+  Atomic_object.commit t.obj tid
+
+let abort t tid =
+  Wal.append t.wal (Wal.Abort tid);
+  Hashtbl.remove t.begun tid;
+  Atomic_object.abort t.obj tid
+
+let checkpoint t = Wal.append t.wal (Wal.Checkpoint (Atomic_object.committed_ops t.obj))
+
+let recover ~spec ~conflict ~recovery wal =
+  let committed, losers = Wal.replay (Wal.records wal) in
+  let t = create ~spec ~conflict ~recovery ~wal in
+  Atomic_object.restore t.obj committed;
+  (t, losers)
+
+let committed_ops t = Atomic_object.committed_ops t.obj

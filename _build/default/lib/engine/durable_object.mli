@@ -1,0 +1,52 @@
+(** A write-ahead-logged atomic object: crash recovery for the engine.
+
+    Wraps an {!Atomic_object} so that every executed operation, commit and
+    abort is appended to a {!Wal} before taking effect (commit records are
+    forced {e before} the in-memory commit — the write-ahead rule).  After
+    a crash — which loses all volatile state — {!recover} rebuilds an
+    equivalent object from the log: operations of committed transactions
+    are redone in commit order; transactions without a commit record are
+    the {e losers} and are implicitly aborted (their effects were never in
+    the stable state, because both recovery managers externalise only
+    committed work to the rebuilt object).
+
+    The same code serves both recovery methods: as the paper observes,
+    crash recovery mirrors abort recovery — here it is literally the
+    deferred-update view ([committed, in commit order]) replayed into a
+    fresh object. *)
+
+open Tm_core
+
+type t
+
+val create :
+  spec:Spec.t -> conflict:Conflict.t -> recovery:Recovery.kind -> wal:Wal.t -> t
+
+(** The wrapped object (for inspection; do not mutate around the log). *)
+val inner : t -> Atomic_object.t
+
+val name : t -> string
+
+(** Same contract as {!Atomic_object.invoke}, with executed operations
+    logged (a [Begin] record is appended at a transaction's first
+    operation here). *)
+val invoke : ?choose:(Value.t list -> Value.t) -> t -> Tid.t -> Op.invocation ->
+  Atomic_object.outcome
+
+(** Logs the commit record (the durability point), then commits. *)
+val commit : t -> Tid.t -> unit
+
+val abort : t -> Tid.t -> unit
+
+(** [checkpoint t] appends a checkpoint record summarising the committed
+    state, bounding future recovery work. *)
+val checkpoint : t -> unit
+
+(** [recover ~spec ~conflict ~recovery wal] rebuilds the object from the
+    log: equivalent to the pre-crash object with all in-flight
+    transactions aborted.  Returns the object and the loser set. *)
+val recover :
+  spec:Spec.t -> conflict:Conflict.t -> recovery:Recovery.kind -> Wal.t ->
+  t * Tid.Set.t
+
+val committed_ops : t -> Op.t list

@@ -1,0 +1,129 @@
+open Tm_core
+
+(* Per-transaction escrow holdings. *)
+type holding = {
+  mutable incr_sum : int;
+  mutable decr_sum : int;
+  mutable reads : bool;
+  mutable ops_rev : Op.t list;
+}
+
+type t = {
+  name : string;
+  capacity : int;
+  mutable committed : int;
+  mutable total_incr : int;  (* Σ uncommitted increments *)
+  mutable total_decr : int;  (* Σ uncommitted decrements *)
+  holdings : (Tid.t, holding) Hashtbl.t;
+  mutable committed_ops_rev : Op.t list;
+  mutable refusals : int;
+}
+
+type outcome =
+  | Granted of Op.t
+  | Refused
+
+let pp_outcome ppf = function
+  | Granted op -> Fmt.pf ppf "granted %a" Op.pp op
+  | Refused -> Fmt.string ppf "refused (escrow interval too wide)"
+
+let create ~capacity ~initial ~name =
+  if initial < 0 || initial > capacity then invalid_arg "Escrow.create: initial out of range";
+  {
+    name;
+    capacity;
+    committed = initial;
+    total_incr = 0;
+    total_decr = 0;
+    holdings = Hashtbl.create 16;
+    committed_ops_rev = [];
+    refusals = 0;
+  }
+
+let name t = t.name
+
+let holding t tid =
+  match Hashtbl.find_opt t.holdings tid with
+  | Some h -> h
+  | None ->
+      let h = { incr_sum = 0; decr_sum = 0; reads = false; ops_rev = [] } in
+      Hashtbl.add t.holdings tid h;
+      h
+
+(* Conservative bounds on every value the counter can reach, whichever
+   subset of active transactions commits. *)
+let low t = t.committed - t.total_decr
+let high t = t.committed + t.total_incr
+let interval t = (low t, high t)
+
+let others_hold_read t tid =
+  Hashtbl.fold
+    (fun holder h acc -> acc || ((not (Tid.equal holder tid)) && h.reads))
+    t.holdings false
+
+let others_hold_updates t tid =
+  let own = holding t tid in
+  t.total_incr - own.incr_sum > 0 || t.total_decr - own.decr_sum > 0
+
+let grant t tid op =
+  let h = holding t tid in
+  h.ops_rev <- op :: h.ops_rev;
+  Granted op
+
+let refuse t =
+  t.refusals <- t.refusals + 1;
+  Refused
+
+let invoke t tid (inv : Op.invocation) =
+  match inv.name, inv.args with
+  | "incr", [ Value.Int i ] when i > 0 ->
+      (* Granted only if legal in every reachable state; an active exact
+         read pins the value, so updates also wait for readers. *)
+      if others_hold_read t tid then refuse t
+      else if high t + i <= t.capacity then begin
+        let h = holding t tid in
+        h.incr_sum <- h.incr_sum + i;
+        t.total_incr <- t.total_incr + i;
+        grant t tid (Op.make ~obj:t.name ~args:[ Value.int i ] "incr" Value.ok)
+      end
+      else refuse t
+  | "decr", [ Value.Int i ] when i > 0 ->
+      if others_hold_read t tid then refuse t
+      else if low t - i >= 0 then begin
+        let h = holding t tid in
+        h.decr_sum <- h.decr_sum + i;
+        t.total_decr <- t.total_decr + i;
+        grant t tid (Op.make ~obj:t.name ~args:[ Value.int i ] "decr" Value.ok)
+      end
+      else refuse t
+  | "read", [] ->
+      (* Exact read: only when no *other* transaction has escrow pending
+         (its own updates are deterministic for it); holding the read then
+         blocks others' updates until this transaction completes. *)
+      if others_hold_updates t tid then refuse t
+      else begin
+        let h = holding t tid in
+        let value = t.committed + h.incr_sum - h.decr_sum in
+        h.reads <- true;
+        grant t tid (Op.make ~obj:t.name "read" (Value.int value))
+      end
+  | _ -> invalid_arg (Fmt.str "Escrow.invoke: unsupported invocation %a" Op.pp_invocation inv)
+
+let release t tid =
+  match Hashtbl.find_opt t.holdings tid with
+  | None -> { incr_sum = 0; decr_sum = 0; reads = false; ops_rev = [] }
+  | Some h ->
+      Hashtbl.remove t.holdings tid;
+      t.total_incr <- t.total_incr - h.incr_sum;
+      t.total_decr <- t.total_decr - h.decr_sum;
+      h
+
+let commit t tid =
+  let h = release t tid in
+  t.committed <- t.committed + h.incr_sum - h.decr_sum;
+  t.committed_ops_rev <- h.ops_rev @ t.committed_ops_rev
+
+let abort t tid = ignore (release t tid)
+let committed_value t = t.committed
+let committed_ops t = List.rev t.committed_ops_rev
+let refusal_count t = t.refusals

@@ -1,0 +1,65 @@
+(** The escrow transactional method (O'Neil 1986) for a bounded counter.
+
+    Section 8 of the paper singles this algorithm out as one that its
+    conflict-based framework cannot express: "a type-specific concurrency
+    control and recovery algorithm in which concurrency control and
+    recovery are tightly coupled, and in which the test for conflicts
+    depends on the current state of the object".  It is implemented here
+    as a comparison point for the benchmarks.
+
+    The object maintains, besides the committed value, the sums of
+    uncommitted increments and decrements.  Every state the value could
+    reach — whatever subset of active transactions eventually commits —
+    lies in the interval
+
+    [[ committed − pending_decr,  committed + pending_incr ]]
+
+    (clipped to [[0, capacity]]).  An update is granted iff it is legal in
+    {e every} reachable state: [decr(i)] needs [low ≥ i], [incr(i)] needs
+    [high + i ≤ capacity].  Granted updates adjust the pending sums;
+    commit folds them into the committed value; abort returns them.  Both
+    directions of update can therefore run concurrently — escrow grants
+    strictly more than UIP+NRBC and DU+NFC on counter workloads — while
+    reads of the exact value are granted only when the interval is a
+    point.
+
+    The price is genericity: the algorithm is specific to commutative
+    numeric updates, whereas the conflict-relation framework applies to
+    arbitrary types. *)
+
+open Tm_core
+
+type t
+
+type outcome =
+  | Granted of Op.t
+  | Refused
+      (** the operation would be illegal in some reachable state — retry
+          after other transactions complete *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val create : capacity:int -> initial:int -> name:string -> t
+val name : t -> string
+
+(** [invoke t tid inv] — invocations are [incr(i)], [decr(i)], [read].
+    Updates are granted against the escrow interval; [read → n] is
+    granted only when the interval is the point [n].  Raises
+    [Invalid_argument] on other invocations. *)
+val invoke : t -> Tid.t -> Op.invocation -> outcome
+
+val commit : t -> Tid.t -> unit
+val abort : t -> Tid.t -> unit
+
+(** Committed value (for verification). *)
+val committed_value : t -> int
+
+(** The current escrow interval (low, high). *)
+val interval : t -> int * int
+
+(** Committed operations in commit order; replaying them against
+    [Bounded_counter]'s specification must succeed. *)
+val committed_ops : t -> Op.t list
+
+(** Refused-invocation counter (the escrow analogue of blocking). *)
+val refusal_count : t -> int

@@ -1,0 +1,24 @@
+open Tm_core
+
+type t = {
+  conflict : Conflict.t;
+  mutable held : (Tid.t * Op.t) list;  (* newest first *)
+}
+
+let create conflict = { conflict; held = [] }
+
+let blockers t ~requested ~tid =
+  List.filter_map
+    (fun (holder, op) ->
+      if
+        (not (Tid.equal holder tid))
+        && Conflict.conflicts t.conflict ~requested ~held:op
+      then Some holder
+      else None)
+    t.held
+  |> List.sort_uniq Tid.compare
+
+let add t tid op = t.held <- (tid, op) :: t.held
+let release t tid = t.held <- List.filter (fun (h, _) -> not (Tid.equal h tid)) t.held
+let holds t = List.rev t.held
+let conflict t = t.conflict

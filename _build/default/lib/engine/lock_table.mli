@@ -1,0 +1,29 @@
+(** Operation-based lock table for one object.
+
+    Locks are implicit in the operations a transaction has executed
+    (Section 4 of the paper): a transaction "holds" every operation it has
+    performed at the object, and a new operation can execute only if it
+    does not conflict — per the object's {!Tm_core.Conflict.t} — with any
+    operation held by another active transaction.  Locks are released all
+    at once when the transaction commits or aborts. *)
+
+open Tm_core
+
+type t
+
+val create : Conflict.t -> t
+
+(** [blockers t ~requested ~tid] is the set of other transactions holding
+    an operation that conflicts with [requested] (deduplicated). *)
+val blockers : t -> requested:Op.t -> tid:Tid.t -> Tid.t list
+
+(** [add t tid op] records [op] as held by [tid]. *)
+val add : t -> Tid.t -> Op.t -> unit
+
+(** [release t tid] drops every operation held by [tid]. *)
+val release : t -> Tid.t -> unit
+
+(** All (transaction, operation) holds, oldest first. *)
+val holds : t -> (Tid.t * Op.t) list
+
+val conflict : t -> Conflict.t

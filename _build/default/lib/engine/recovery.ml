@@ -1,0 +1,130 @@
+open Tm_core
+
+type kind =
+  | UIP
+  | DU
+
+let pp_kind ppf = function
+  | UIP -> Fmt.string ppf "update-in-place"
+  | DU -> Fmt.string ppf "deferred-update"
+
+let kind_of_string = function
+  | "uip" | "UIP" -> Some UIP
+  | "du" | "DU" -> Some DU
+  | _ -> None
+
+(* The spec's state type is abstract; each manager is a record of closures
+   built in a scope where the module is unpacked. *)
+type t = {
+  kind : kind;
+  responses : Tid.t -> Op.invocation -> Value.t list;
+  record : Tid.t -> Op.t -> unit;
+  commit : Tid.t -> unit;
+  abort : Tid.t -> unit;
+  committed_ops : unit -> Op.t list;
+}
+
+let kind t = t.kind
+let responses t = t.responses
+let record t = t.record
+let commit t = t.commit
+let abort t = t.abort
+let committed_ops t = t.committed_ops ()
+
+(* Distinct legal responses to [inv] from a state-set, each of which keeps
+   the overall sequence legal by construction. *)
+let candidate_responses (type s) (module S : Spec.S with type state = s) states inv =
+  List.concat_map (fun st -> List.map fst (S.respond st inv)) states
+  |> List.sort_uniq Value.compare
+
+let create_uip ?inverse (Spec.Packed (module S)) : t =
+  let module E = Explore.Make (S) in
+  let current = ref E.initial_set in
+  (* Execution-order log of operations by non-aborted transactions; the
+     current state-set always equals the initial set stepped through it. *)
+  let log = ref [] (* newest first *) in
+  let per_txn : (Tid.t, Op.t list) Hashtbl.t = Hashtbl.create 16 in
+  let committed_log = ref [] (* newest first *) in
+  let txn_ops tid = Option.value (Hashtbl.find_opt per_txn tid) ~default:[] in
+  let responses _tid inv = candidate_responses (module S) (E.States.elements !current) inv in
+  let record tid op =
+    let next = E.step !current op in
+    if E.States.is_empty next then
+      invalid_arg (Fmt.str "Recovery.record(UIP): illegal operation %a" Op.pp op);
+    current := next;
+    log := op :: !log;
+    Hashtbl.replace per_txn tid (op :: txn_ops tid)
+  in
+  let commit tid =
+    committed_log := txn_ops tid @ !committed_log;
+    Hashtbl.remove per_txn tid
+  in
+  (* Undo by compensation: apply the inverses of the transaction's
+     operations, newest first, at the current end of the log.  Only used
+     when the type registers inverses (abelian updates); the replay path
+     below is the general, always-correct form, and the two are checked
+     equivalent by property tests. *)
+  let compensation mine =
+    match inverse with
+    | None -> None
+    | Some inverse ->
+        List.fold_left
+          (fun acc op ->
+            match acc, inverse op with
+            | Some done_, Some undo -> Some (done_ @ undo)
+            | _, _ -> None)
+          (Some []) mine
+  in
+  let abort tid =
+    let mine = txn_ops tid in
+    Hashtbl.remove per_txn tid;
+    log := List.filter (fun op -> not (List.memq op mine)) !log;
+    let replayed () = E.after E.initial_set (List.rev !log) in
+    match compensation mine with
+    | None -> current := replayed ()
+    | Some undo ->
+        let next = E.after !current undo in
+        (* Fall back to replay if a compensating operation is not legal
+           here (cannot happen for well-chosen inverses, but safety wins). *)
+        current := (if E.States.is_empty next then replayed () else next)
+  in
+  let committed_ops () = List.rev !committed_log in
+  { kind = UIP; responses; record; commit; abort; committed_ops }
+
+let create_du (Spec.Packed (module S)) : t =
+  let module E = Explore.Make (S) in
+  let base = ref E.initial_set in
+  let intentions : (Tid.t, Op.t list) Hashtbl.t = Hashtbl.create 16 in
+  let committed_log = ref [] (* newest first *) in
+  let txn_ops tid = Option.value (Hashtbl.find_opt intentions tid) ~default:[] in
+  (* A transaction's view is base (committed, in commit order) plus its own
+     intentions — recomputed per call because the base advances whenever
+     any other transaction commits. *)
+  let view tid = E.after !base (List.rev (txn_ops tid)) in
+  let responses tid inv = candidate_responses (module S) (E.States.elements (view tid)) inv in
+  let record tid op =
+    if E.States.is_empty (E.step (view tid) op) then
+      invalid_arg (Fmt.str "Recovery.record(DU): illegal operation %a" Op.pp op);
+    Hashtbl.replace intentions tid (op :: txn_ops tid)
+  in
+  let commit tid =
+    let ops = List.rev (txn_ops tid) in
+    let next = E.after !base ops in
+    if ops <> [] && E.States.is_empty next then
+      invalid_arg
+        (Fmt.str
+           "Recovery.commit(DU): intentions list of %a no longer applies \
+            (conflict relation too weak)"
+           Tid.pp tid);
+    base := next;
+    committed_log := txn_ops tid @ !committed_log;
+    Hashtbl.remove intentions tid
+  in
+  let abort tid = Hashtbl.remove intentions tid in
+  let committed_ops () = List.rev !committed_log in
+  { kind = DU; responses; record; commit; abort; committed_ops }
+
+let create ?inverse kind spec =
+  match kind with
+  | UIP -> create_uip ?inverse spec
+  | DU -> create_du spec

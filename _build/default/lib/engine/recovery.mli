@@ -1,0 +1,63 @@
+(** Executable recovery managers for one object: update-in-place and
+    deferred-update.
+
+    These are the running-system counterparts of the paper's two [View]
+    functions (Section 5), maintained incrementally:
+
+    - {b UIP} keeps a single current state (set — specifications may be
+      non-deterministic) reflecting every non-aborted operation in
+      execution order, exactly [UIP(H,A)].  Commit is free; abort
+      "undoes" the transaction's operations by replaying the surviving
+      log from the initial state (the general form of undo; an
+      operation-inverse fast path is a per-ADT optimisation with the same
+      semantics).
+    - {b DU} keeps a committed base state plus one intentions list per
+      active transaction; a transaction computes responses against base +
+      its own intentions, exactly [DU(H,A)].  Abort discards the
+      intentions; commit applies them to the base in commit order.
+
+    A manager only answers {e which responses are legal}; conflict
+    checking lives in {!Lock_table} and the two are combined by
+    {!Atomic_object}. *)
+
+open Tm_core
+
+type t
+
+type kind =
+  | UIP
+  | DU
+
+val pp_kind : Format.formatter -> kind -> unit
+val kind_of_string : string -> kind option
+
+(** [create kind spec] builds a manager with the object in its initial
+    state.  [inverse], if given, enables the update-in-place manager's
+    compensation fast path: [inverse op] returns the operations that undo
+    [op] when applied at the end of the log ([Some []] for read-only
+    operations; [None] when [op] has no position-independent inverse, in
+    which case abort falls back to the general replay undo).  Correct
+    inverses satisfy: state after [ops · op · inverse op] is equieffective
+    to state after [ops] for every legal context — the property tests in
+    [test_engine.ml] check the managers agree. *)
+val create : ?inverse:(Op.t -> Op.t list option) -> kind -> Spec.t -> t
+
+val kind : t -> kind
+
+(** [responses t tid inv] is every response legal for [inv] according to
+    [tid]'s view of the object (deduplicated; empty for a partial
+    operation with no legal response yet). *)
+val responses : t -> Tid.t -> Op.invocation -> Value.t list
+
+(** [record t tid op] records that [tid] executed [op].  Raises
+    [Invalid_argument] if [op.res] is not a legal response in [tid]'s
+    current view. *)
+val record : t -> Tid.t -> Op.t -> unit
+
+val commit : t -> Tid.t -> unit
+val abort : t -> Tid.t -> unit
+
+(** Operations executed by non-aborted transactions, in execution order
+    (UIP) — or committed operations in commit order followed by nothing
+    (DU base).  Exposed for verification in tests. *)
+val committed_ops : t -> Op.t list

@@ -1,0 +1,73 @@
+open Tm_core
+
+type record =
+  | Begin of Tid.t
+  | Operation of Tid.t * Op.t
+  | Commit of Tid.t
+  | Abort of Tid.t
+  | Checkpoint of Op.t list
+
+let pp_record ppf = function
+  | Begin tid -> Fmt.pf ppf "BEGIN %a" Tid.pp tid
+  | Operation (tid, op) -> Fmt.pf ppf "OP %a %a" Tid.pp tid Op.pp op
+  | Commit tid -> Fmt.pf ppf "COMMIT %a" Tid.pp tid
+  | Abort tid -> Fmt.pf ppf "ABORT %a" Tid.pp tid
+  | Checkpoint ops -> Fmt.pf ppf "CHECKPOINT (%d ops)" (List.length ops)
+
+type t = { mutable records_rev : record list; mutable count : int }
+
+let create () = { records_rev = []; count = 0 }
+
+let append t r =
+  t.records_rev <- r :: t.records_rev;
+  t.count <- t.count + 1
+
+let records t = List.rev t.records_rev
+let length t = t.count
+
+let prefix t n =
+  let rec take n l = if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
+  let kept = take n (records t) in
+  { records_rev = List.rev kept; count = List.length kept }
+
+let replay recs =
+  (* Start after the latest checkpoint: its operation sequence already
+     reflects every transaction committed before it. *)
+  let after_checkpoint =
+    let rec latest acc pending = function
+      | [] -> (acc, List.rev pending)
+      | Checkpoint ops :: rest -> latest ops [] rest
+      | r :: rest -> latest acc (r :: pending) rest
+    in
+    latest [] [] recs
+  in
+  let base, tail = after_checkpoint in
+  (* Scan: collect per-transaction operations; redo at commit records. *)
+  let ops_of : (Tid.t, Op.t list) Hashtbl.t = Hashtbl.create 16 in
+  let seen : (Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let committed_rev = ref (List.rev base) in
+  let finished : (Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r with
+      | Begin tid -> Hashtbl.replace seen tid ()
+      | Operation (tid, op) ->
+          Hashtbl.replace seen tid ();
+          Hashtbl.replace ops_of tid
+            (op :: Option.value (Hashtbl.find_opt ops_of tid) ~default:[])
+      | Commit tid ->
+          committed_rev :=
+            Option.value (Hashtbl.find_opt ops_of tid) ~default:[] @ !committed_rev;
+          Hashtbl.remove ops_of tid;
+          Hashtbl.replace finished tid ()
+      | Abort tid ->
+          Hashtbl.remove ops_of tid;
+          Hashtbl.replace finished tid ()
+      | Checkpoint _ -> ())
+    tail;
+  let losers =
+    Hashtbl.fold
+      (fun tid () acc -> if Hashtbl.mem finished tid then acc else Tid.Set.add tid acc)
+      seen Tid.Set.empty
+  in
+  (List.rev !committed_rev, losers)

@@ -1,0 +1,45 @@
+(** Write-ahead log for crash recovery.
+
+    The paper restricts itself to recovery from transaction aborts and
+    notes that "crash recovery mechanisms are frequently similar to abort
+    recovery mechanisms" (Section 1), leaving their analysis as future
+    work.  This module and {!Durable_object} implement that extension for
+    the engine: a logical redo log of operations, with commit records
+    forced before a commit is acknowledged, and optional checkpoints.
+
+    Stable storage is modelled in-memory; a {e crash} loses every
+    volatile object state but none of the appended log records (append is
+    atomic and forced).  Torn tails are modelled by recovering from a
+    {e prefix} of the log: the crash-injection tests recover from every
+    prefix. *)
+
+open Tm_core
+
+type record =
+  | Begin of Tid.t
+  | Operation of Tid.t * Op.t
+  | Commit of Tid.t
+  | Abort of Tid.t
+  | Checkpoint of Op.t list
+      (** committed operations so far, in commit order: recovery resumes
+          from the latest checkpoint *)
+
+val pp_record : Format.formatter -> record -> unit
+
+type t
+
+val create : unit -> t
+val append : t -> record -> unit
+val records : t -> record list
+val length : t -> int
+
+(** [prefix t n] — the stable log as it would read after a crash that
+    persisted only the first [n] records. *)
+val prefix : t -> int -> t
+
+(** [replay records] folds a log into the durable outcome: the committed
+    operations in commit order (starting from the latest checkpoint) and
+    the set of transactions that must be considered aborted (begun or
+    operating, but with no commit record).  Operations of a transaction
+    are redone only if its commit record is present. *)
+val replay : record list -> Op.t list * Tid.Set.t

@@ -1,0 +1,1 @@
+lib/sim/escrow_runner.ml: Array List Queue Random Scheduler Spec Tid Tm_adt Tm_core Tm_engine Workload

@@ -1,0 +1,1 @@
+lib/sim/escrow_runner.mli: Scheduler Tm_engine Workload

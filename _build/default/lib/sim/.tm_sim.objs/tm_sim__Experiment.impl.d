@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Conflict Fmt List Scheduler Spec Tm_adt Tm_core Tm_engine Workload

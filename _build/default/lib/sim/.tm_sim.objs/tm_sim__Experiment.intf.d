@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Format Scheduler Tm_engine Workload

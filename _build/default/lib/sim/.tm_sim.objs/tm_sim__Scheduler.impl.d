@@ -1,0 +1,1 @@
+lib/sim/scheduler.ml: Array Fmt List Queue Random Tid Tm_core Tm_engine Workload

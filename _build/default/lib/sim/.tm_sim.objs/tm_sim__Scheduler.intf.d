@@ -1,0 +1,1 @@
+lib/sim/scheduler.mli: Format Tm_engine Workload

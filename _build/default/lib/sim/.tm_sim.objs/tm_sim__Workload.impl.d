@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Fmt List Op Random Tm_core Value

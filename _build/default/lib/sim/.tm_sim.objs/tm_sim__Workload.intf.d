@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Op Random Tm_core

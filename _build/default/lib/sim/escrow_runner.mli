@@ -1,0 +1,15 @@
+(** Scheduler for the escrow object (same model and statistics as
+    {!Scheduler}, so escrow rows are directly comparable with the
+    conflict-based engine's in the benchmark tables).
+
+    Escrow never blocks on other transactions' identities (there is no
+    waits-for graph), it {e refuses} operations the interval cannot
+    guarantee; refusals are counted in [stats.blocked] and retried the
+    next round. *)
+
+val run : Tm_engine.Escrow.t -> Workload.t -> Scheduler.config -> Scheduler.stats
+
+(** [verify ~capacity ~initial e] — the committed operations replay
+    legally against the bounded-counter specification with the same
+    bounds. *)
+val verify : capacity:int -> initial:int -> Tm_engine.Escrow.t -> bool

@@ -1,0 +1,253 @@
+open Tm_core
+module Atomic_object = Tm_engine.Atomic_object
+module Database = Tm_engine.Database
+module Recovery = Tm_engine.Recovery
+
+type conflict_choice =
+  | Semantic
+  | Read_write
+  | Total
+
+type setup = {
+  recovery : Recovery.kind;
+  choice : conflict_choice;
+  occ : bool;
+}
+
+let setup ?(occ = false) recovery choice = { recovery; choice; occ }
+
+let label s =
+  let r =
+    if s.occ then "OCC"
+    else match s.recovery with Recovery.UIP -> "UIP" | Recovery.DU -> "DU"
+  in
+  let c =
+    match s.choice with
+    | Semantic -> (match s.recovery with Recovery.UIP -> "NRBC" | Recovery.DU -> "NFC")
+    | Read_write -> "RW"
+    | Total -> "ALL"
+  in
+  r ^ "+" ^ c
+
+let default_setups =
+  [
+    setup Recovery.UIP Semantic;
+    setup Recovery.DU Semantic;
+    setup ~occ:true Recovery.DU Semantic;
+    setup Recovery.UIP Read_write;
+    setup Recovery.DU Read_write;
+    setup Recovery.UIP Total;
+  ]
+
+type scenario = {
+  name : string;
+  workload : Workload.t;
+  build : setup -> Atomic_object.t list;
+}
+
+(* Conflict relation for one object under a setup, given its per-type
+   relations; optimistic objects validate with the same relation they
+   would have locked with. *)
+let pick_conflict s ~nfc ~nrbc ~rw =
+  match s.choice with
+  | Semantic -> (match s.recovery with Recovery.UIP -> nrbc | Recovery.DU -> nfc)
+  | Read_write -> rw
+  | Total -> Conflict.all
+
+let make_object s spec ~nfc ~nrbc ~rw =
+  let conflict = pick_conflict s ~nfc ~nrbc ~rw in
+  if s.occ then Atomic_object.create_optimistic ~spec ~conflict
+  else Atomic_object.create ~spec ~conflict ~recovery:s.recovery ()
+
+let bank_object s spec =
+  make_object s spec ~nfc:Tm_adt.Bank_account.nfc_conflict
+    ~nrbc:Tm_adt.Bank_account.nrbc_conflict ~rw:Tm_adt.Bank_account.rw_conflict
+
+(* Hot accounts are pre-funded so withdrawals exercise the ok path. *)
+let funded_account = Tm_adt.Bank_account.spec_with_initial 100_000
+
+let bank_hotspot =
+  {
+    name = "bank-hotspot";
+    workload = Workload.bank_hotspot ();
+    build = (fun s -> [ bank_object s funded_account ]);
+  }
+
+let bank_sweep ~withdraw_pct =
+  {
+    name = Fmt.str "bank-w%d" withdraw_pct;
+    workload =
+      Workload.bank_hotspot ~deposit:(100 - withdraw_pct) ~withdraw:withdraw_pct
+        ~balance:0 ();
+    build = (fun s -> [ bank_object s funded_account ]);
+  }
+
+let bank_accounts ?(accounts = 8) ?(skew = 0.8) () =
+  {
+    name = Fmt.str "bank-%d-accounts" accounts;
+    workload = Workload.bank_accounts ~accounts ~skew ();
+    build =
+      (fun s ->
+        List.init accounts (fun i ->
+            bank_object s (Spec.rename funded_account (Fmt.str "BA%d" i))));
+  }
+
+(* A pool roomy enough that workload updates essentially always succeed:
+   the interesting conflicts are between successful updates, not failures
+   at the bounds. *)
+module Pool = Tm_adt.Bounded_counter.Make (struct
+  let capacity = 100_000
+  let initial = 50_000
+  let name = "CTR"
+end)
+
+let pool_object s =
+  make_object s Pool.spec ~nfc:Pool.nfc_conflict ~nrbc:Pool.nrbc_conflict
+    ~rw:Pool.rw_conflict
+
+let inventory =
+  {
+    name = "inventory-escrow";
+    workload = Workload.inventory ();
+    build = (fun s -> [ pool_object s ]);
+  }
+
+let inventory_sweep ~decr_pct =
+  {
+    name = Fmt.str "inventory-d%d" decr_pct;
+    workload = Workload.inventory ~incr:(100 - decr_pct) ~decr:decr_pct ~read:0 ();
+    build = (fun s -> [ pool_object s ]);
+  }
+
+let queue_semiqueue =
+  {
+    name = "queue-broker-semiqueue";
+    workload = Workload.queue_broker ~obj:"SQ" ();
+    build =
+      (fun s ->
+        [
+          make_object s Tm_adt.Semiqueue.spec ~nfc:Tm_adt.Semiqueue.nfc_conflict
+            ~nrbc:Tm_adt.Semiqueue.nrbc_conflict ~rw:Tm_adt.Semiqueue.rw_conflict;
+        ]);
+  }
+
+let queue_fifo =
+  {
+    name = "queue-broker-fifo";
+    workload = Workload.queue_broker ~obj:"FQ" ();
+    build =
+      (fun s ->
+        [
+          make_object s Tm_adt.Fifo_queue.spec ~nfc:Tm_adt.Fifo_queue.nfc_conflict
+            ~nrbc:Tm_adt.Fifo_queue.nrbc_conflict ~rw:Tm_adt.Fifo_queue.rw_conflict;
+        ]);
+  }
+
+let register_baseline =
+  {
+    name = "register-mix";
+    workload = Workload.register_mix ();
+    build =
+      (fun s ->
+        [
+          make_object s Tm_adt.Register.spec ~nfc:Tm_adt.Register.nfc_conflict
+            ~nrbc:Tm_adt.Register.nrbc_conflict ~rw:Tm_adt.Register.rw_conflict;
+        ]);
+  }
+
+let kv_store ?(keys = 4) () =
+  {
+    name = "kv-mix";
+    workload = Workload.kv_mix ~keys ();
+    build =
+      (fun s ->
+        [
+          make_object s Tm_adt.Kv_store.spec ~nfc:Tm_adt.Kv_store.nfc_conflict
+            ~nrbc:Tm_adt.Kv_store.nrbc_conflict ~rw:Tm_adt.Kv_store.rw_conflict;
+        ]);
+  }
+
+let transfer ?(accounts = 4) () =
+  {
+    name = "transfer";
+    workload = Workload.transfer ~accounts ();
+    build =
+      (fun s ->
+        List.init accounts (fun i ->
+            bank_object s (Spec.rename funded_account (Fmt.str "BA%d" i))));
+  }
+
+(* Dynamic atomicity is local (Theorem 2): different objects may use
+   different recovery methods and conflict relations in one system.  This
+   build alternates UIP+NRBC and DU+NFC across the accounts. *)
+let transfer_mixed_recovery ?(accounts = 4) () =
+  {
+    name = "transfer-mixed";
+    workload = Workload.transfer ~accounts ();
+    build =
+      (fun _s ->
+        List.init accounts (fun i ->
+            let spec = Spec.rename funded_account (Fmt.str "BA%d" i) in
+            if i mod 2 = 0 then
+              Atomic_object.create ~spec ~conflict:Tm_adt.Bank_account.nrbc_conflict
+                ~recovery:Recovery.UIP ()
+            else
+              Atomic_object.create ~spec ~conflict:Tm_adt.Bank_account.nfc_conflict
+                ~recovery:Recovery.DU ()));
+  }
+
+let all_scenarios =
+  [
+    bank_hotspot;
+    bank_accounts ();
+    inventory;
+    queue_semiqueue;
+    queue_fifo;
+    register_baseline;
+    kv_store ();
+    transfer ();
+  ]
+
+type row = {
+  scenario : string;
+  setup : string;
+  stats : Scheduler.stats;
+  consistent : bool;
+}
+
+let verify_database db =
+  List.for_all
+    (fun o -> Spec.legal (Atomic_object.spec o) (Atomic_object.committed_ops o))
+    (Database.objects db)
+
+let run scenario s cfg =
+  let db = Database.create (scenario.build s) in
+  let stats = Scheduler.run db scenario.workload cfg in
+  { scenario = scenario.name; setup = label s; stats; consistent = verify_database db }
+
+let run_custom ~name ~label ~workload ~build cfg =
+  let db = Database.create (build ()) in
+  let stats = Scheduler.run db workload cfg in
+  { scenario = name; setup = label; stats; consistent = verify_database db }
+
+let run_matrix scenario cfg = List.map (fun s -> run scenario s cfg) default_setups
+
+let pp_row ppf r =
+  Fmt.pf ppf "%-24s %-10s %a%s" r.scenario r.setup Scheduler.pp_stats r.stats
+    (if r.consistent then "" else "  !! INCONSISTENT")
+
+let pp_table ppf rows =
+  Fmt.pf ppf "@[<v>%-24s %-10s %8s %8s %8s %8s %8s %10s %8s@;" "scenario" "setup"
+    "commit" "abort" "rounds" "exec" "blocked" "avg-act" "effcy";
+  List.iter
+    (fun r ->
+      let s = r.stats in
+      Fmt.pf ppf "%-24s %-10s %8d %8d %8d %8d %8d %10.2f %8.3f%s@;" r.scenario r.setup
+        s.Scheduler.committed
+        (s.Scheduler.deadlock_aborts + s.Scheduler.livelock_aborts
+       + s.Scheduler.validation_aborts)
+        s.Scheduler.rounds s.Scheduler.executed s.Scheduler.blocked
+        (Scheduler.avg_active s) (Scheduler.efficiency s)
+        (if r.consistent then "" else "  !! INCONSISTENT"))
+    rows;
+  Fmt.pf ppf "@]"

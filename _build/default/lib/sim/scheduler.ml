@@ -1,0 +1,163 @@
+open Tm_core
+module Database = Tm_engine.Database
+module Atomic_object = Tm_engine.Atomic_object
+
+type config = {
+  concurrency : int;
+  total_txns : int;
+  seed : int;
+  max_rounds : int;
+  max_retries : int;
+}
+
+let config ?(concurrency = 8) ?(total_txns = 100) ?(seed = 42) ?(max_rounds = 100_000)
+    ?(max_retries = 20) () =
+  { concurrency; total_txns; seed; max_rounds; max_retries }
+
+type stats = {
+  committed : int;
+  deadlock_aborts : int;
+  livelock_aborts : int;
+  validation_aborts : int;
+  gave_up : int;
+  rounds : int;
+  attempts : int;
+  executed : int;
+  blocked : int;
+  no_response : int;
+  active_sum : int;
+}
+
+let avg_active s = if s.rounds = 0 then 0. else float_of_int s.active_sum /. float_of_int s.rounds
+
+let efficiency s =
+  if s.attempts = 0 then 0. else float_of_int s.committed /. float_of_int s.attempts
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "committed %d; aborts %d (deadlock) + %d (livelock) + %d (validation); gave up %d; \
+     rounds %d; attempts %d (executed %d, blocked %d, no-response %d); avg active %.2f; \
+     efficiency %.3f"
+    s.committed s.deadlock_aborts s.livelock_aborts s.validation_aborts s.gave_up
+    s.rounds s.attempts
+    s.executed s.blocked s.no_response (avg_active s) (efficiency s)
+
+type active_txn = {
+  tid : Tid.t;
+  program : Workload.program;  (* full program, for restarts *)
+  mutable remaining : Workload.program;
+  retries : int;
+}
+
+let run db (workload : Workload.t) cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let pending = Queue.create () in
+  for _ = 1 to cfg.total_txns do
+    Queue.add (workload.generate rng, 0) pending
+  done;
+  let active : active_txn list ref = ref [] in
+  let stats =
+    ref
+      {
+        committed = 0;
+        deadlock_aborts = 0;
+        livelock_aborts = 0;
+        validation_aborts = 0;
+        gave_up = 0;
+        rounds = 0;
+        attempts = 0;
+        executed = 0;
+        blocked = 0;
+        no_response = 0;
+        active_sum = 0;
+      }
+  in
+  let bump f = stats := f !stats in
+  let admit () =
+    while List.length !active < cfg.concurrency && not (Queue.is_empty pending) do
+      let program, retries = Queue.pop pending in
+      let tid = Database.begin_txn db in
+      active := !active @ [ { tid; program; remaining = program; retries } ]
+    done
+  in
+  let remove tid = active := List.filter (fun t -> not (Tid.equal t.tid tid)) !active in
+  let abort_and_requeue reason t =
+    (match reason with
+    | `Validation ->
+        (* Database.try_commit already aborted the transaction. *)
+        bump (fun s -> { s with validation_aborts = s.validation_aborts + 1 })
+    | `Deadlock ->
+        Database.abort db t.tid;
+        bump (fun s -> { s with deadlock_aborts = s.deadlock_aborts + 1 })
+    | `Livelock ->
+        Database.abort db t.tid;
+        bump (fun s -> { s with livelock_aborts = s.livelock_aborts + 1 }));
+    remove t.tid;
+    if t.retries < cfg.max_retries then Queue.add (t.program, t.retries + 1) pending
+    else bump (fun s -> { s with gave_up = s.gave_up + 1 })
+  in
+  let shuffle l =
+    let arr = Array.of_list l in
+    for i = Array.length arr - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done;
+    Array.to_list arr
+  in
+  let choose values = List.nth values (Random.State.int rng (List.length values)) in
+  let find_active tid = List.find_opt (fun t -> Tid.equal t.tid tid) !active in
+  let progressed = ref false in
+  let step t =
+    match t.remaining with
+    | [] -> (
+        match Database.try_commit db t.tid with
+        | Ok () ->
+            remove t.tid;
+            bump (fun s -> { s with committed = s.committed + 1 });
+            progressed := true
+        | Error _ ->
+            abort_and_requeue `Validation t;
+            progressed := true)
+    | (obj, inv) :: rest -> (
+        bump (fun s -> { s with attempts = s.attempts + 1 });
+        match Database.invoke ~choose db t.tid ~obj inv with
+        | Atomic_object.Executed _ ->
+            t.remaining <- rest;
+            bump (fun s -> { s with executed = s.executed + 1 });
+            progressed := true
+        | Atomic_object.Blocked _ -> (
+            bump (fun s -> { s with blocked = s.blocked + 1 });
+            match Database.deadlock db with
+            | Some cycle -> (
+                let victim = Tm_engine.Deadlock.victim cycle in
+                match find_active victim with
+                | Some v -> abort_and_requeue `Deadlock v
+                | None -> ())
+            | None -> ())
+        | Atomic_object.No_response ->
+            bump (fun s -> { s with no_response = s.no_response + 1 }))
+  in
+  let rec loop round =
+    admit ();
+    if !active = [] || round >= cfg.max_rounds then
+      bump (fun s -> { s with rounds = round })
+    else begin
+      bump (fun s -> { s with active_sum = s.active_sum + List.length !active });
+      progressed := false;
+      List.iter (fun t -> if find_active t.tid <> None then step t) (shuffle !active);
+      if (not !progressed) && !active <> [] then begin
+        (* No transaction advanced and there is no waits-for cycle (else a
+           victim would have been taken): some are stalled on partial
+           operations and the rest wait behind them — break the livelock
+           by aborting the youngest. *)
+        match List.rev !active with
+        | youngest :: _ -> abort_and_requeue `Livelock youngest
+        | [] -> ()
+      end;
+      loop (round + 1)
+    end
+  in
+  loop 0;
+  !stats

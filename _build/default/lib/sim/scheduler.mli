@@ -1,0 +1,55 @@
+(** Deterministic concurrent-transaction scheduler.
+
+    Runs a stream of workload-generated transaction programs against a
+    {!Tm_engine.Database} with bounded concurrency, retrying blocked
+    invocations, detecting deadlocks (victim: youngest in the cycle) and
+    breaking livelocks.  All choices are drawn from a seeded PRNG, so a
+    run is a pure function of (database, workload, config) — measurements
+    are reproducible.
+
+    Scheduling model: time advances in {e rounds}; in each round every
+    active transaction attempts its next invocation once, in random
+    order.  An attempt either executes, blocks (conflict — the
+    transaction keeps its place and retries next round), or finds no
+    legal response yet (partial operation).  A transaction whose program
+    is exhausted commits at the end of its round. *)
+
+type config = {
+  concurrency : int;  (** max simultaneously active transactions *)
+  total_txns : int;  (** programs to admit *)
+  seed : int;
+  max_rounds : int;  (** safety stop *)
+  max_retries : int;  (** per-program restarts after an abort *)
+}
+
+val config :
+  ?concurrency:int -> ?total_txns:int -> ?seed:int -> ?max_rounds:int ->
+  ?max_retries:int -> unit -> config
+
+type stats = {
+  committed : int;
+  deadlock_aborts : int;  (** abort events due to waits-for cycles *)
+  livelock_aborts : int;  (** abort events breaking no-progress rounds *)
+  validation_aborts : int;
+      (** optimistic transactions that failed commit-time validation *)
+  gave_up : int;  (** programs dropped after [max_retries] *)
+  rounds : int;
+  attempts : int;  (** invocation attempts *)
+  executed : int;  (** operations that executed *)
+  blocked : int;  (** attempts that hit a conflict *)
+  no_response : int;  (** attempts on a partial op with no response *)
+  active_sum : int;  (** Σ over rounds of active transactions *)
+}
+
+(** Mean active transactions per round. *)
+val avg_active : stats -> float
+
+(** Committed transactions per attempt — the work-efficiency measure used
+    by the benchmark tables (1.0 = never blocked or retried). *)
+val efficiency : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** [run db workload cfg] drives the database to completion of the
+    admitted programs (or [max_rounds]). *)
+val run : Tm_engine.Database.t -> Workload.t -> config -> stats

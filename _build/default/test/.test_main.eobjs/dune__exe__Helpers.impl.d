@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Atomicity Event History List Op QCheck2 QCheck_alcotest Spec Tid Tm_adt Tm_core Value

@@ -1,0 +1,1 @@
+test/test_adts.ml: Alcotest Commutativity Conflict Fmt Helpers List Op Spec Tm_adt Tm_core

@@ -1,0 +1,1 @@
+test/test_atomicity.ml: Alcotest Atomicity Helpers History List Op Orders Spec Tid Tm_core Value

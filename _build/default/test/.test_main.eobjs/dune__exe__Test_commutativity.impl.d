@@ -1,0 +1,1 @@
+test/test_commutativity.ml: Alcotest Commutativity Conflict Fmt Helpers List QCheck2 Spec String Tm_adt Tm_core

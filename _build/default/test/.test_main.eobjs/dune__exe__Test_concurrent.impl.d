@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Atomicity Helpers List Mutex Op Spec Thread Tm_adt Tm_core Tm_engine Value

@@ -1,0 +1,1 @@
+test/test_conflict.ml: Alcotest Commutativity Conflict Helpers List Spec Theorems Tm_adt Tm_core

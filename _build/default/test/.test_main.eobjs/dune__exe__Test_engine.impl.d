@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Atomicity Event Hashtbl Helpers History List Op Random Spec Tid Tm_adt Tm_core Tm_engine Value

@@ -1,0 +1,1 @@
+test/test_equieffect.ml: Alcotest Equieffect Helpers List QCheck2 Spec Tm_core

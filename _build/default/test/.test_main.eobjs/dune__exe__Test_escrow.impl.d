@@ -1,0 +1,1 @@
+test/test_escrow.ml: Alcotest Fmt Helpers List Op Spec Tid Tm_adt Tm_core Tm_engine Tm_sim Value

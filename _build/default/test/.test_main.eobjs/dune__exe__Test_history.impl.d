@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Event Helpers History List Op QCheck2 Tid Tm_core Value

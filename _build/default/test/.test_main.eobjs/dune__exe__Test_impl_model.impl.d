@@ -1,0 +1,1 @@
+test/test_impl_model.ml: Alcotest Atomicity Conflict Fmt Helpers History Impl_model List Op Random Tid Tm_core Value View

@@ -1,0 +1,1 @@
+test/test_occ.ml: Alcotest Atomicity Helpers List Op Random Spec Tid Tm_adt Tm_core Tm_engine Tm_sim Value

@@ -1,0 +1,1 @@
+test/test_op_event.ml: Alcotest Event Fmt Helpers List Op Spec Tid Tm_adt Tm_core Value

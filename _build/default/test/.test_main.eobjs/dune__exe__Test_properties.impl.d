@@ -1,0 +1,1 @@
+test/test_properties.ml: Atomicity Commutativity Conflict Event Helpers History Impl_model List Op Orders QCheck2 Random Tid Tm_core View

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Atomicity Commutativity Fmt Helpers History Impl_model List Op Option Random Spec String Theorems Tid Tm_adt Tm_core Tm_engine View

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fmt Helpers List Random String Tm_adt Tm_core Tm_engine Tm_sim

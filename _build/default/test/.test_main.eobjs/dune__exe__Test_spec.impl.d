@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Explore Helpers List Op Spec String Tm_adt Tm_core Value

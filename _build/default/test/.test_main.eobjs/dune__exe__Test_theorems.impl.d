@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Atomicity Commutativity Conflict Helpers History Impl_model List Op Orders Spec Theorems Tm_adt Tm_core View

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Helpers List Tm_core Value

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Helpers History Tid Tm_core View

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Fmt Helpers List Op Random Spec Tid Tm_adt Tm_core Tm_engine Value

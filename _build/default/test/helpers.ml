@@ -1,0 +1,74 @@
+(* Shared test utilities: Alcotest testables for core types, operation
+   shorthands, and qcheck generators. *)
+
+open Tm_core
+
+let value = Alcotest.testable Value.pp Value.equal
+let op = Alcotest.testable Op.pp Op.equal
+let tid = Alcotest.testable Tid.pp Tid.equal
+let event = Alcotest.testable Event.pp Event.equal
+
+let history =
+  Alcotest.testable History.pp (fun h k ->
+      List.equal Event.equal (History.events h) (History.events k))
+
+let ops = Alcotest.list op
+let tids = Alcotest.list tid
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Bank-account shorthands used across suites. *)
+module BA = Tm_adt.Bank_account
+
+let dep = BA.deposit
+let wok = BA.withdraw_ok
+let wno = BA.withdraw_no
+let bal = BA.balance
+
+(* The worked example history of Section 3.3: A deposits 3 and reads
+   balance 3; B withdraws 2 and reads balance 1; C's withdraw(2) fails;
+   serializable exactly in the order A-B-C. *)
+let paper_example_history =
+  History.empty
+  |> History.exec Tid.a (dep 3)
+  |> History.exec Tid.b (wok 2)
+  |> History.exec Tid.a (bal 3)
+  |> History.invoke Tid.b ~obj:"BA" (Op.invocation "balance")
+  |> History.commit_at Tid.a "BA"
+  |> History.respond Tid.b ~obj:"BA" (Value.int 1)
+  |> History.commit_at Tid.b "BA"
+  |> History.exec Tid.c (wno 2)
+  |> History.commit_at Tid.c "BA"
+
+(* The Section 5 example: A deposits 5 and commits; B withdraws 3 and is
+   still active. *)
+let section5_history =
+  History.empty
+  |> History.exec Tid.a (dep 5)
+  |> History.commit_at Tid.a "BA"
+  |> History.exec Tid.b (wok 3)
+
+let ba_env = Atomicity.env_of_list [ BA.spec ]
+
+(* qcheck generator for random bank-account operations (drawn from the
+   spec's generator alphabet). *)
+let ba_op_gen =
+  QCheck2.Gen.oneofl (Spec.generators BA.spec)
+
+(* Random legal operation sequence of bounded length from a spec: walk the
+   generator alphabet keeping only legal extensions. *)
+let legal_seq_gen spec max_len =
+  let open QCheck2.Gen in
+  let gens = Spec.generators spec in
+  let rec extend acc n =
+    if n = 0 then return (List.rev acc)
+    else
+      oneofl gens >>= fun op ->
+      if Spec.legal spec (List.rev (op :: acc)) then extend (op :: acc) (n - 1)
+      else return (List.rev acc)
+  in
+  int_bound max_len >>= fun len -> extend [] len
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)

@@ -1,0 +1,146 @@
+(* Forward and right-backward commutativity (Sections 6.2-6.4): the
+   paper's Figures 6-1 and 6-2 regenerated from the specification, the
+   symmetry lemma, asymmetry of RBC, and the incomparability of NFC and
+   NRBC on which the whole paper turns. *)
+
+open Tm_core
+
+let dep = Helpers.dep
+let wok = Helpers.wok
+let wno = Helpers.wno
+let bal = Helpers.bal
+let spec = Helpers.BA.spec
+let p = Commutativity.params ~alpha_depth:5 ~future_depth:5 ()
+
+let test_figure_6_1 () =
+  let computed = Commutativity.fc_table spec p Helpers.BA.classes in
+  Helpers.check_bool "computed FC table = paper Figure 6-1" true
+    (Commutativity.equal_table computed Helpers.BA.paper_fc_table)
+
+let test_figure_6_2 () =
+  let computed = Commutativity.rbc_table spec p Helpers.BA.classes in
+  Helpers.check_bool "computed RBC table = paper Figure 6-2" true
+    (Commutativity.equal_table computed Helpers.BA.paper_rbc_table)
+
+let test_paper_worked_example_6_3 () =
+  (* Section 6.3: P = withdraw(j)→ok does not right commute backward with
+     Q = deposit(i)→ok, but Q does right commute backward with P. *)
+  Helpers.check_bool "withdraw-ok does not RBC with deposit" false
+    (Commutativity.rbc spec p (wok 1) (dep 1));
+  Helpers.check_bool "deposit does RBC with withdraw-ok" true
+    (Commutativity.rbc spec p (dep 1) (wok 1))
+
+let test_withdrawals_forward () =
+  (* Section 6.2's example: successful withdrawals do not commute
+     forward... *)
+  Helpers.check_bool "wok/wok not FC" false (Commutativity.fc spec p (wok 1) (wok 2));
+  (* ...but do right-commute backward with each other (the paper's key
+     asymmetry: the pair's legality requirement is order-symmetric). *)
+  Helpers.check_bool "wok RBC wok" true (Commutativity.rbc spec p (wok 1) (wok 2))
+
+let test_fc_witness_meaningful () =
+  (* For β = γ = wok 1 the two orders are the same sequence, so the only
+     possible refutation is "αβγ ∉ Spec" — and the witness context must
+     really exhibit it. *)
+  match Commutativity.commute_forward spec p (wok 1) (wok 1) with
+  | Commutativity.Commutes -> Alcotest.fail "expected refutation"
+  | Commutativity.Refuted { alpha; future; reason = _ } ->
+      Alcotest.(check (option Helpers.ops)) "no future" None future;
+      Helpers.check_bool "alpha;wok legal" true (Spec.legal spec (alpha @ [ wok 1 ]));
+      Helpers.check_bool "sequence illegal" false
+        (Spec.legal spec (alpha @ [ wok 1; wok 1 ]))
+
+let test_sequence_level () =
+  (* β = [dep 1; dep 1] and γ = [dep 2] commute forward as sequences. *)
+  Helpers.check_bool "sequences commute" true
+    (Commutativity.is_commutes
+       (Commutativity.commute_forward_seq spec p [ dep 1; dep 1 ] [ dep 2 ]));
+  (* [wok 1; wok 1] vs [wok 2] do not. *)
+  Helpers.check_bool "withdraw sequences conflict" false
+    (Commutativity.is_commutes
+       (Commutativity.commute_forward_seq spec p [ wok 1; wok 1 ] [ wok 2 ]))
+
+(* Lemma 8: FC and NFC are symmetric relations. *)
+let prop_lemma8_fc_symmetric =
+  let gen = QCheck2.Gen.pair Helpers.ba_op_gen Helpers.ba_op_gen in
+  Helpers.qcheck ~count:100 "Lemma 8 (FC symmetric)" gen (fun (b, g) ->
+      Commutativity.fc spec p b g = Commutativity.fc spec p g b)
+
+let test_rbc_not_symmetric () =
+  (* deposit RBC withdraw-no fails one way only. *)
+  Helpers.check_bool "wno RBC dep" true (Commutativity.rbc spec p (wno 1) (dep 1));
+  Helpers.check_bool "dep RBC wno fails" false (Commutativity.rbc spec p (dep 1) (wno 1))
+
+let test_incomparability () =
+  (* NFC \ NRBC: successful withdrawals. *)
+  Helpers.check_bool "wok/wok in NFC" true (Commutativity.nfc spec p (wok 1) (wok 1));
+  Helpers.check_bool "wok/wok not in NRBC" false (Commutativity.nrbc spec p (wok 1) (wok 1));
+  (* NRBC \ NFC: failed withdrawal vs successful withdrawal. *)
+  Helpers.check_bool "wno/wok in NRBC" true (Commutativity.nrbc spec p (wno 1) (wok 1));
+  Helpers.check_bool "wno/wok not in NFC" false (Commutativity.nfc spec p (wno 1) (wok 1))
+
+let test_incomparability_all_adts () =
+  (* Every closed-form ADT with partial operations exhibits the
+     incomparability (Section 6.4 generalised). *)
+  let check name (nfc : Conflict.t) (nrbc : Conflict.t) ops =
+    let pairs rel =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b -> if Conflict.conflicts rel ~requested:a ~held:b then Some (a, b) else None)
+            ops)
+        ops
+    in
+    let n1 = pairs nfc and n2 = pairs nrbc in
+    let diff l1 l2 = List.filter (fun x -> not (List.mem x l2)) l1 in
+    Helpers.check_bool (name ^ ": NFC\\NRBC nonempty") true (diff n1 n2 <> []);
+    Helpers.check_bool (name ^ ": NRBC\\NFC nonempty") true (diff n2 n1 <> [])
+  in
+  check "BA" Helpers.BA.nfc_conflict Helpers.BA.nrbc_conflict (Spec.generators spec);
+  let module C = Tm_adt.Bounded_counter in
+  check "CTR" C.nfc_conflict C.nrbc_conflict (Spec.generators C.spec);
+  let module S = Tm_adt.Int_set in
+  check "SET" S.nfc_conflict S.nrbc_conflict (Spec.generators S.spec)
+
+let test_counter_tables_shape () =
+  (* Spot-check the bounded counter's headline entries. *)
+  let module C = Tm_adt.Bounded_counter in
+  let cp = Commutativity.params ~alpha_depth:6 ~future_depth:5 () in
+  Helpers.check_bool "incr-ok/decr-ok FC" true
+    (Commutativity.fc C.spec cp (C.incr_ok 1) (C.decr_ok 1));
+  Helpers.check_bool "incr-ok not RBC decr-ok" false
+    (Commutativity.rbc C.spec cp (C.incr_ok 1) (C.decr_ok 1));
+  Helpers.check_bool "decr-ok not RBC incr-ok" false
+    (Commutativity.rbc C.spec cp (C.decr_ok 1) (C.incr_ok 1));
+  Helpers.check_bool "incr-ok/incr-ok not FC" false
+    (Commutativity.fc C.spec cp (C.incr_ok 1) (C.incr_ok 1));
+  Helpers.check_bool "incr-ok RBC incr-ok" true
+    (Commutativity.rbc C.spec cp (C.incr_ok 1) (C.incr_ok 1))
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.equal (String.sub haystack i nn) needle || at (i + 1)) in
+  at 0
+
+let test_table_rendering () =
+  let t = Commutativity.fc_table spec p Helpers.BA.classes in
+  let rendered = Fmt.str "%a" Commutativity.pp_table t in
+  Helpers.check_bool "mentions labels" true
+    (List.for_all (fun (l, _) -> contains_substring rendered l) Helpers.BA.classes);
+  Helpers.check_bool "contains marks" true (contains_substring rendered "X")
+
+let suite =
+  [
+    Alcotest.test_case "Figure 6-1 (FC table)" `Quick test_figure_6_1;
+    Alcotest.test_case "Figure 6-2 (RBC table)" `Quick test_figure_6_2;
+    Alcotest.test_case "worked example §6.3" `Quick test_paper_worked_example_6_3;
+    Alcotest.test_case "withdrawals: FC vs RBC" `Quick test_withdrawals_forward;
+    Alcotest.test_case "FC witness meaningful" `Quick test_fc_witness_meaningful;
+    Alcotest.test_case "sequence-level relations" `Quick test_sequence_level;
+    prop_lemma8_fc_symmetric;
+    Alcotest.test_case "RBC not symmetric" `Quick test_rbc_not_symmetric;
+    Alcotest.test_case "NFC/NRBC incomparable (BA)" `Quick test_incomparability;
+    Alcotest.test_case "incomparability across ADTs" `Quick test_incomparability_all_adts;
+    Alcotest.test_case "counter headline entries" `Quick test_counter_tables_shape;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+  ]

@@ -1,0 +1,165 @@
+(* The threads-based blocking runtime: real OS threads against one
+   engine, with blocking, deadlock victimisation and transparent retry.
+   Correctness witnesses: final balances equal the sum of committed
+   effects, committed operations replay legally, and small recorded
+   histories are dynamic atomic. *)
+
+open Tm_core
+module Atomic_object = Tm_engine.Atomic_object
+module Concurrent = Tm_engine.Concurrent
+module BA = Tm_adt.Bank_account
+
+let deposit i = Op.invocation ~args:[ Value.int i ] "deposit"
+let withdraw i = Op.invocation ~args:[ Value.int i ] "withdraw"
+let balance = Op.invocation "balance"
+
+let make_db ?(recovery = Tm_engine.Recovery.UIP) ?(initial = 0) ?record_history () =
+  let conflict =
+    match recovery with
+    | Tm_engine.Recovery.UIP -> BA.nrbc_conflict
+    | Tm_engine.Recovery.DU -> BA.nfc_conflict
+  in
+  let spec = if initial = 0 then BA.spec else BA.spec_with_initial initial in
+  (Concurrent.create ?record_history
+     [ Atomic_object.create ~spec ~conflict ~recovery () ],
+   spec)
+
+let test_single_thread_txn () =
+  let db, _spec = make_db () in
+  let result =
+    Concurrent.with_txn db (fun h ->
+        let r1 = Concurrent.invoke h ~obj:"BA" (deposit 5) in
+        let r2 = Concurrent.invoke h ~obj:"BA" balance in
+        (r1, r2))
+  in
+  match result with
+  | Ok (r1, r2) ->
+      Alcotest.check Helpers.value "ok" Value.ok r1;
+      Alcotest.check Helpers.value "balance 5" (Value.int 5) r2;
+      Helpers.check_int "committed" 1 (Concurrent.committed_count db)
+  | Error `Too_many_aborts -> Alcotest.fail "aborted"
+
+let test_user_exception_aborts () =
+  let db, _spec = make_db () in
+  (try
+     ignore
+       (Concurrent.with_txn db (fun h ->
+            ignore (Concurrent.invoke h ~obj:"BA" (deposit 5));
+            failwith "user bug"))
+   with Failure _ -> ());
+  Helpers.check_int "aborted" 1 (Concurrent.aborted_count db);
+  (* the deposit was rolled back *)
+  match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
+  | Ok v -> Alcotest.check Helpers.value "balance 0" (Value.int 0) v
+  | Error `Too_many_aborts -> Alcotest.fail "aborted"
+
+let run_threads n f =
+  let threads = List.init n (fun i -> Thread.create f i) in
+  List.iter Thread.join threads
+
+let test_parallel_deposits () =
+  let db, spec = make_db ~recovery:Tm_engine.Recovery.UIP () in
+  let per_thread = 20 and threads = 6 in
+  run_threads threads (fun _ ->
+      for _ = 1 to per_thread do
+        match
+          Concurrent.with_txn db (fun h ->
+              ignore (Concurrent.invoke h ~obj:"BA" (deposit 1)))
+        with
+        | Ok () -> ()
+        | Error `Too_many_aborts -> ()
+      done);
+  let committed = Concurrent.committed_count db in
+  match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
+  | Ok (Value.Int b) ->
+      (* every committed transaction deposited exactly 1 *)
+      Helpers.check_int "balance = committed deposits" committed b;
+      Helpers.check_int "no aborts for commuting work" (threads * per_thread) committed;
+      let objs = Tm_engine.Database.objects (Concurrent.database db) in
+      Helpers.check_bool "replay" true
+        (List.for_all
+           (fun o -> Spec.legal spec (Atomic_object.committed_ops o))
+           objs)
+  | Ok v -> Alcotest.failf "unexpected balance %a" Value.pp v
+  | Error `Too_many_aborts -> Alcotest.fail "balance txn aborted"
+
+let test_parallel_mixed_with_deadlocks () =
+  (* deposits and withdrawals conflict asymmetrically under NRBC: this
+     mix produces real blocking and deadlock victims; with retry all
+     programs eventually commit and the books must balance. *)
+  let db, spec = make_db ~recovery:Tm_engine.Recovery.UIP ~initial:1000 () in
+  let deposits = ref 0 and withdrawals = ref 0 in
+  let lock = Mutex.create () in
+  let add r a =
+    Mutex.lock lock;
+    r := !r + a;
+    Mutex.unlock lock
+  in
+  run_threads 8 (fun i ->
+      for k = 1 to 10 do
+        let amount = 1 + ((i + k) mod 3) in
+        let is_deposit = (i + k) mod 2 = 0 in
+        match
+          Concurrent.with_txn ~retries:1000 db (fun h ->
+              let inv = if is_deposit then deposit amount else withdraw amount in
+              let res = Concurrent.invoke h ~obj:"BA" inv in
+              (* with 1000 in the pot, withdrawals always succeed *)
+              if (not is_deposit) && not (Value.equal res Value.ok) then
+                Alcotest.failf "unexpected refusal %a" Value.pp res;
+              amount)
+        with
+        | Ok a -> if is_deposit then add deposits a else add withdrawals a
+        | Error `Too_many_aborts -> Alcotest.fail "starved"
+      done);
+  match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
+  | Ok (Value.Int b) ->
+      Helpers.check_int "conservation of money" (1000 + !deposits - !withdrawals) b;
+      let objs = Tm_engine.Database.objects (Concurrent.database db) in
+      Helpers.check_bool "replay" true
+        (List.for_all (fun o -> Spec.legal spec (Atomic_object.committed_ops o)) objs)
+  | Ok v -> Alcotest.failf "unexpected balance %a" Value.pp v
+  | Error `Too_many_aborts -> Alcotest.fail "balance txn aborted"
+
+let test_occ_threads () =
+  let spec = BA.spec_with_initial 1000 in
+  let db =
+    Concurrent.create
+      [ Atomic_object.create_optimistic ~spec ~conflict:BA.nfc_conflict ]
+  in
+  run_threads 6 (fun i ->
+      for k = 1 to 10 do
+        let amount = 1 + ((i * k) mod 3) in
+        match
+          Concurrent.with_txn ~retries:1000 db (fun h ->
+              ignore (Concurrent.invoke h ~obj:"BA" (withdraw amount)))
+        with
+        | Ok () -> ()
+        | Error `Too_many_aborts -> Alcotest.fail "starved"
+      done);
+  let objs = Tm_engine.Database.objects (Concurrent.database db) in
+  Helpers.check_bool "replay" true
+    (List.for_all (fun o -> Spec.legal spec (Atomic_object.committed_ops o)) objs)
+
+let test_recorded_history_dynamic_atomic () =
+  let db, spec = make_db ~recovery:Tm_engine.Recovery.DU ~initial:10 ~record_history:true () in
+  run_threads 3 (fun i ->
+      match
+        Concurrent.with_txn ~retries:1000 db (fun h ->
+            ignore (Concurrent.invoke h ~obj:"BA" (if i = 0 then deposit 2 else withdraw 1)))
+      with
+      | Ok () -> ()
+      | Error `Too_many_aborts -> ());
+  let env = Atomicity.env_of_list [ spec ] in
+  Helpers.check_bool "dynamic atomic" true
+    (Atomicity.is_dynamic_atomic env (Concurrent.history db))
+
+let suite =
+  [
+    Alcotest.test_case "single-thread transaction" `Quick test_single_thread_txn;
+    Alcotest.test_case "user exception aborts" `Quick test_user_exception_aborts;
+    Alcotest.test_case "parallel deposits" `Slow test_parallel_deposits;
+    Alcotest.test_case "parallel mix with deadlocks" `Slow test_parallel_mixed_with_deadlocks;
+    Alcotest.test_case "optimistic threads" `Slow test_occ_threads;
+    Alcotest.test_case "recorded history dynamic atomic" `Quick
+      test_recorded_history_dynamic_atomic;
+  ]

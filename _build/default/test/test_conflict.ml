@@ -1,0 +1,109 @@
+(* Conflict relation combinators, including the Section 8 ablation
+   coarsenings (symmetric closure, invocation-blind locking). *)
+
+open Tm_core
+module BA = Tm_adt.Bank_account
+
+let wok = BA.withdraw_ok
+let wno = BA.withdraw_no
+let dep = BA.deposit
+let bal = BA.balance
+let ops = Spec.generators BA.spec
+
+let test_none_all () =
+  Helpers.check_bool "none" false (Conflict.conflicts Conflict.none ~requested:(dep 1) ~held:(dep 1));
+  Helpers.check_bool "all" true (Conflict.conflicts Conflict.all ~requested:(dep 1) ~held:(dep 1))
+
+let test_of_pairs_and_without () =
+  let rel = Conflict.of_pairs ~name:"test" [ (wok 1, dep 1) ] in
+  Helpers.check_bool "listed pair" true (Conflict.conflicts rel ~requested:(wok 1) ~held:(dep 1));
+  Helpers.check_bool "direction matters" false
+    (Conflict.conflicts rel ~requested:(dep 1) ~held:(wok 1));
+  let weakened = Conflict.without rel [ (wok 1, dep 1) ] in
+  Helpers.check_bool "removed" false
+    (Conflict.conflicts weakened ~requested:(wok 1) ~held:(dep 1))
+
+let test_union () =
+  let r1 = Conflict.of_pairs ~name:"r1" [ (wok 1, dep 1) ] in
+  let r2 = Conflict.of_pairs ~name:"r2" [ (dep 1, wok 1) ] in
+  let u = Conflict.union r1 r2 in
+  Helpers.check_bool "left" true (Conflict.conflicts u ~requested:(wok 1) ~held:(dep 1));
+  Helpers.check_bool "right" true (Conflict.conflicts u ~requested:(dep 1) ~held:(wok 1))
+
+let test_symmetric_closure () =
+  let sym = Conflict.symmetric_closure BA.nrbc_conflict in
+  Helpers.check_bool "closure symmetric" true (Conflict.is_symmetric sym ops);
+  (* NRBC has (wok, dep) but not (dep, wok); the closure has both. *)
+  Helpers.check_bool "nrbc asymmetric" false (Conflict.is_symmetric BA.nrbc_conflict ops);
+  Helpers.check_bool "added pair" true
+    (Conflict.conflicts sym ~requested:(dep 1) ~held:(wok 1));
+  (* contains the original *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if Conflict.conflicts BA.nrbc_conflict ~requested:p ~held:q then
+            Helpers.check_bool "superset" true (Conflict.conflicts sym ~requested:p ~held:q))
+        ops)
+    ops
+
+let test_nfc_symmetric_lemma8 () =
+  Helpers.check_bool "NFC symmetric (Lemma 8)" true
+    (Conflict.is_symmetric BA.nfc_conflict ops)
+
+let test_invocation_blind () =
+  let blind = Conflict.invocation_blind BA.spec BA.nrbc_conflict in
+  (* wno/wok don't share results but share the withdraw invocation with a
+     conflicting pair, so result-blind locking must conflict them all. *)
+  Helpers.check_bool "withdraw vs withdraw" true
+    (Conflict.conflicts blind ~requested:(wok 1) ~held:(wok 1));
+  Helpers.check_bool "wno loses its freedom" true
+    (Conflict.conflicts blind ~requested:(wno 1) ~held:(wno 1));
+  (* deposits still never conflict with deposits *)
+  Helpers.check_bool "deposit vs deposit free" false
+    (Conflict.conflicts blind ~requested:(dep 1) ~held:(dep 2));
+  (* contains the original *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if Conflict.conflicts BA.nrbc_conflict ~requested:p ~held:q then
+            Helpers.check_bool "superset" true (Conflict.conflicts blind ~requested:p ~held:q))
+        ops)
+    ops;
+  (* result-blind balance conflicts with any withdraw *)
+  Helpers.check_bool "balance vs withdraw" true
+    (Conflict.conflicts blind ~requested:(bal 0) ~held:(wok 2))
+
+let test_coarsenings_still_sound () =
+  (* Supersets of a sound relation remain sound (Theorems 9/10 are
+     monotone in the conflict relation): unrefutable. *)
+  let p = Commutativity.default_params in
+  Alcotest.(check (option reject)) "sym(NRBC) sound for UIP" None
+    (Theorems.uip_refute BA.spec p (Conflict.symmetric_closure BA.nrbc_conflict));
+  Alcotest.(check (option reject)) "inv-blind(NRBC) sound for UIP" None
+    (Theorems.uip_refute BA.spec p (Conflict.invocation_blind BA.spec BA.nrbc_conflict));
+  Alcotest.(check (option reject)) "inv-blind(NFC) sound for DU" None
+    (Theorems.du_refute BA.spec p (Conflict.invocation_blind BA.spec BA.nfc_conflict))
+
+let test_pairs_listing () =
+  let rel = Conflict.of_pairs ~name:"t" [ (wok 1, dep 1); (bal 0, dep 1) ] in
+  Helpers.check_int "two pairs" 2 (List.length (Conflict.pairs rel ops))
+
+let test_names () =
+  Alcotest.(check string) "nrbc name" "BA-NRBC" (Conflict.name BA.nrbc_conflict);
+  Alcotest.(check string) "sym name" "BA-NRBC-sym"
+    (Conflict.name (Conflict.symmetric_closure BA.nrbc_conflict))
+
+let suite =
+  [
+    Alcotest.test_case "none/all" `Quick test_none_all;
+    Alcotest.test_case "of_pairs/without" `Quick test_of_pairs_and_without;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "symmetric closure" `Quick test_symmetric_closure;
+    Alcotest.test_case "NFC symmetric (Lemma 8)" `Quick test_nfc_symmetric_lemma8;
+    Alcotest.test_case "invocation-blind" `Quick test_invocation_blind;
+    Alcotest.test_case "coarsenings still sound" `Quick test_coarsenings_still_sound;
+    Alcotest.test_case "pairs listing" `Quick test_pairs_listing;
+    Alcotest.test_case "names" `Quick test_names;
+  ]

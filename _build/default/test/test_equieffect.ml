@@ -1,0 +1,95 @@
+(* Equieffectiveness (Section 6.1): looks-like, equieffective, and the
+   paper's Lemmas 3-7 as (bounded) properties. *)
+
+open Tm_core
+
+let dep = Helpers.dep
+let wok = Helpers.wok
+let wno = Helpers.wno
+let bal = Helpers.bal
+let spec = Helpers.BA.spec
+let looks_like = Equieffect.looks_like spec ~depth:5
+let equieffective = Equieffect.equieffective spec ~depth:5
+let holds = Equieffect.is_holds
+
+let test_same_balance_equieffective () =
+  Helpers.check_bool "dep2 ~ dep1;dep1" true
+    (holds (equieffective [ dep 2 ] [ dep 1; dep 1 ]));
+  Helpers.check_bool "dep1;wok1 ~ empty" true (holds (equieffective [ dep 1; wok 1 ] []));
+  Helpers.check_bool "wno leaves state" true
+    (holds (equieffective [ dep 1; wno 2 ] [ dep 1 ]))
+
+let test_different_balance_not () =
+  Helpers.check_bool "dep1 not~ dep2" false (holds (equieffective [ dep 1 ] [ dep 2 ]));
+  match equieffective [ dep 1 ] [ dep 2 ] with
+  | Equieffect.Holds -> Alcotest.fail "expected refutation"
+  | Equieffect.Refuted w ->
+      (* the witness really distinguishes balance 1 from balance 2 *)
+      Helpers.check_bool "witness distinguishes" true
+        (Spec.legal spec ([ dep 1 ] @ w) <> Spec.legal spec ([ dep 2 ] @ w))
+
+let test_looks_like_asymmetric () =
+  (* An illegal sequence looks like anything (vacuously), but a legal one
+     does not look like an illegal one. *)
+  let illegal = [ wok 1 ] in
+  Helpers.check_bool "illegal looks like legal" true (holds (looks_like illegal [ dep 1 ]));
+  Helpers.check_bool "legal not looks-like illegal" false
+    (holds (looks_like [ dep 1 ] illegal))
+
+let test_balance_observation () =
+  (* bal pins the state: dep1 vs dep1;bal(1) are equieffective (observing
+     doesn't change state). *)
+  Helpers.check_bool "observation is transparent" true
+    (holds (equieffective [ dep 1 ] [ dep 1; bal 1 ]))
+
+(* Lemma 5: if α ∈ Spec and α looks like β then β ∈ Spec. *)
+let prop_lemma5 =
+  let gen = QCheck2.Gen.pair (Helpers.legal_seq_gen spec 5) (Helpers.legal_seq_gen spec 5) in
+  Helpers.qcheck ~count:100 "Lemma 5" gen (fun (a, b) ->
+      (not (holds (looks_like a b))) || Spec.legal spec b)
+
+(* Lemma 3: looks-like is reflexive; and transitive over sampled triples. *)
+let prop_lemma3_reflexive =
+  Helpers.qcheck ~count:100 "Lemma 3 (reflexivity)" (Helpers.legal_seq_gen spec 5)
+    (fun a -> holds (looks_like a a))
+
+let prop_lemma3_transitive =
+  let gen =
+    QCheck2.Gen.triple (Helpers.legal_seq_gen spec 4) (Helpers.legal_seq_gen spec 4)
+      (Helpers.legal_seq_gen spec 4)
+  in
+  Helpers.qcheck ~count:60 "Lemma 3 (transitivity)" gen (fun (a, b, c) ->
+      (not (holds (looks_like a b) && holds (looks_like b c))) || holds (looks_like a c))
+
+(* Lemma 4: equieffectiveness is symmetric (an equivalence together with
+   Lemma 3). *)
+let prop_lemma4_symmetric =
+  let gen = QCheck2.Gen.pair (Helpers.legal_seq_gen spec 5) (Helpers.legal_seq_gen spec 5) in
+  Helpers.qcheck ~count:100 "Lemma 4 (symmetry)" gen (fun (a, b) ->
+      holds (equieffective a b) = holds (equieffective b a))
+
+(* Lemma 6/7: looks-like (and equieffectiveness) are right-congruences:
+   α ≼ β implies αγ ≼ βγ. *)
+let prop_lemma6_right_congruence =
+  let gen =
+    QCheck2.Gen.triple (Helpers.legal_seq_gen spec 4) (Helpers.legal_seq_gen spec 4)
+      (QCheck2.Gen.list_size (QCheck2.Gen.int_bound 2) Helpers.ba_op_gen)
+  in
+  Helpers.qcheck ~count:60 "Lemmas 6-7 (right congruence)" gen (fun (a, b, g) ->
+      (* depth shrinks by |γ| to keep the bounded claims comparable *)
+      let depth = max 1 (5 - List.length g) in
+      (not (Equieffect.is_holds (Equieffect.looks_like spec ~depth:5 a b)))
+      || Equieffect.is_holds (Equieffect.looks_like spec ~depth (a @ g) (b @ g)))
+
+let suite =
+  [
+    Alcotest.test_case "same balance equieffective" `Quick test_same_balance_equieffective;
+    Alcotest.test_case "different balance distinguished" `Quick test_different_balance_not;
+    Alcotest.test_case "looks-like asymmetric" `Quick test_looks_like_asymmetric;
+    Alcotest.test_case "observation transparent" `Quick test_balance_observation;
+    prop_lemma5;
+    prop_lemma3_reflexive;
+    prop_lemma3_transitive;
+    prop_lemma4_symmetric;
+    prop_lemma6_right_congruence;
+  ]

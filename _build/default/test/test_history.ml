@@ -1,0 +1,233 @@
+(* History: well-formedness, projections, Opseq, precedes, Serial,
+   commit order — Sections 2 and 3 of the paper. *)
+
+open Tm_core
+
+let dep = Helpers.dep
+let wok = Helpers.wok
+let bal = Helpers.bal
+
+let test_well_formed_example () =
+  Helpers.check_bool "paper §3.3 history is well-formed" true
+    (History.is_well_formed Helpers.paper_example_history)
+
+let test_violation_invoke_while_pending () =
+  let h =
+    History.empty
+    |> History.invoke Tid.a ~obj:"BA" (Op.invocation "balance")
+    |> History.invoke Tid.a ~obj:"BA" (Op.invocation "balance")
+  in
+  match History.well_formedness_errors h with
+  | [ History.Invoke_while_pending a ] -> Alcotest.check Helpers.tid "tid" Tid.a a
+  | vs -> Alcotest.failf "expected one violation, got %d" (List.length vs)
+
+let test_violation_response_without_pending () =
+  let h = History.empty |> History.respond Tid.a ~obj:"BA" Value.ok in
+  Helpers.check_bool "ill-formed" false (History.is_well_formed h)
+
+let test_violation_response_wrong_object () =
+  let h =
+    History.empty
+    |> History.invoke Tid.a ~obj:"X" (Op.invocation "f")
+    |> History.respond Tid.a ~obj:"Y" Value.ok
+  in
+  Helpers.check_bool "response at wrong object" false (History.is_well_formed h)
+
+let test_violation_commit_while_pending () =
+  let h =
+    History.empty
+    |> History.invoke Tid.a ~obj:"BA" (Op.invocation "balance")
+    |> History.commit_at Tid.a "BA"
+  in
+  Helpers.check_bool "ill-formed" false (History.is_well_formed h)
+
+let test_violation_commit_and_abort () =
+  let h =
+    History.empty
+    |> History.exec Tid.a (dep 1)
+    |> History.commit_at Tid.a "BA"
+    |> History.abort_at Tid.a "BA"
+  in
+  Helpers.check_bool "atomic commitment violated" false (History.is_well_formed h)
+
+let test_violation_event_after_commit () =
+  let h =
+    History.empty
+    |> History.exec Tid.a (dep 1)
+    |> History.commit_at Tid.a "BA"
+    |> History.exec Tid.a (dep 1)
+  in
+  Helpers.check_bool "ill-formed" false (History.is_well_formed h)
+
+let test_commit_at_several_objects_ok () =
+  let x = Op.make ~obj:"X" "f" Value.ok and y = Op.make ~obj:"Y" "g" Value.ok in
+  let h =
+    History.empty
+    |> History.exec Tid.a x
+    |> History.exec Tid.a y
+    |> History.commit_at Tid.a "X"
+    |> History.commit_at Tid.a "Y"
+  in
+  Helpers.check_bool "commit at each object" true (History.is_well_formed h)
+
+let test_duplicate_commit_same_object () =
+  let h =
+    History.empty
+    |> History.exec Tid.a (dep 1)
+    |> History.commit_at Tid.a "BA"
+    |> History.commit_at Tid.a "BA"
+  in
+  Helpers.check_bool "ill-formed" false (History.is_well_formed h)
+
+let test_status_sets () =
+  let h = Helpers.section5_history in
+  Helpers.check_bool "A committed" true (Tid.Set.mem Tid.a (History.committed h));
+  Helpers.check_bool "B active" true (Tid.Set.mem Tid.b (History.active h));
+  Helpers.check_bool "no aborts" true (Tid.Set.is_empty (History.aborted h));
+  let h' = History.abort_at Tid.b "BA" h in
+  Helpers.check_bool "B aborted" true (Tid.Set.mem Tid.b (History.aborted h'));
+  Helpers.check_bool "B no longer active" false (Tid.Set.mem Tid.b (History.active h'))
+
+let test_opseq () =
+  Alcotest.check Helpers.ops "§5 opseq" [ dep 5; wok 3 ]
+    (History.opseq Helpers.section5_history);
+  (* pending invocations are ignored *)
+  let h =
+    Helpers.section5_history |> History.invoke Tid.b ~obj:"BA" (Op.invocation "balance")
+  in
+  Alcotest.check Helpers.ops "pending ignored" [ dep 5; wok 3 ] (History.opseq h)
+
+let test_opseq_order_is_response_order () =
+  (* A invokes first but B responds first: B's operation comes first. *)
+  let h =
+    History.empty
+    |> History.invoke Tid.a ~obj:"BA" (Op.invocation ~args:[ Value.int 1 ] "deposit")
+    |> History.exec Tid.b (dep 2)
+    |> History.respond Tid.a ~obj:"BA" Value.ok
+  in
+  Alcotest.check Helpers.ops "response order" [ dep 2; dep 1 ] (History.opseq h)
+
+let test_projections () =
+  let h = Helpers.paper_example_history in
+  let ha = History.project_tid h Tid.a in
+  Helpers.check_int "H|A events" 5 (History.length ha);
+  Alcotest.check Helpers.ops "H|A ops" [ dep 3; bal 3 ] (History.opseq ha);
+  let hx = History.project_obj h "BA" in
+  Helpers.check_int "H|BA = H" (History.length h) (History.length hx)
+
+let test_permanent () =
+  let h = Helpers.section5_history in
+  Alcotest.check Helpers.ops "permanent drops active B" [ dep 5 ]
+    (History.opseq (History.permanent h));
+  let h' = History.abort_at Tid.b "BA" h in
+  Alcotest.check Helpers.ops "permanent drops aborted B" [ dep 5 ]
+    (History.opseq (History.permanent h'))
+
+let test_precedes () =
+  let h = Helpers.paper_example_history in
+  let p = History.precedes h in
+  Helpers.check_bool "(A,B)" true (p Tid.a Tid.b);
+  Helpers.check_bool "(B,C)" true (p Tid.b Tid.c);
+  Helpers.check_bool "(A,C)" true (p Tid.a Tid.c);
+  Helpers.check_bool "not (B,A)" false (p Tid.b Tid.a);
+  Helpers.check_bool "not (C,B)" false (p Tid.c Tid.b);
+  Helpers.check_bool "irreflexive" false (p Tid.a Tid.a)
+
+let test_precedes_concurrent () =
+  (* B responds before A commits: neither precedes the other. *)
+  let h =
+    History.empty
+    |> History.exec Tid.a (dep 1)
+    |> History.exec Tid.b (dep 2)
+    |> History.commit_at Tid.a "BA"
+    |> History.commit_at Tid.b "BA"
+  in
+  let p = History.precedes h in
+  Helpers.check_bool "not (A,B)" false (p Tid.a Tid.b);
+  Helpers.check_bool "not (B,A)" false (p Tid.b Tid.a)
+
+let test_serial_and_equivalent () =
+  let h =
+    History.empty
+    |> History.exec Tid.a (dep 1)
+    |> History.exec Tid.b (dep 2)
+    |> History.exec Tid.a (dep 3)
+  in
+  let s = History.serial h [ Tid.a; Tid.b ] in
+  Helpers.check_bool "serial" true (History.is_serial s);
+  Helpers.check_bool "equivalent" true (History.equivalent h s);
+  Alcotest.check Helpers.ops "serial ops" [ dep 1; dep 3; dep 2 ] (History.opseq s);
+  Helpers.check_bool "h itself not serial" false (History.is_serial h)
+
+let test_commit_order () =
+  let h =
+    History.empty
+    |> History.exec Tid.b (dep 1)
+    |> History.exec Tid.a (dep 2)
+    |> History.commit_at Tid.b "BA"
+    |> History.commit_at Tid.a "BA"
+  in
+  Alcotest.check Helpers.tids "commit order" [ Tid.b; Tid.a ] (History.commit_order h)
+
+(* Property: random histories built from exec/commit combinators are
+   always well-formed, and opseq length = number of response events. *)
+let gen_builder_history =
+  let open QCheck2.Gen in
+  list_size (int_bound 20)
+    (pair (int_bound 2) (oneofl [ `Dep; `Wok; `Bal; `Commit ]))
+  >|= fun steps ->
+  List.fold_left
+    (fun h (t, action) ->
+      let tid = Tid.of_int t in
+      let finished =
+        Tid.Set.mem tid (History.committed h) || Tid.Set.mem tid (History.aborted h)
+      in
+      if finished then h
+      else
+        match action with
+        | `Dep -> History.exec tid (dep 1) h
+        | `Wok -> History.exec tid (wok 1) h
+        | `Bal -> History.exec tid (bal 0) h
+        | `Commit -> History.commit_at tid "BA" h)
+    History.empty steps
+
+let prop_builder_well_formed =
+  Helpers.qcheck "builder histories are well-formed" gen_builder_history (fun h ->
+      History.is_well_formed h
+      && List.length (History.opseq h)
+         = List.length (List.filter Event.is_respond (History.events h)))
+
+let prop_precedes_transitive_enough =
+  (* precedes(H|X) ⊆ precedes(H) — Lemma 1, single-object instance is
+     equality; exercise the subset claim through object projection. *)
+  Helpers.qcheck "Lemma 1: precedes(H|X) subset of precedes(H)" gen_builder_history
+    (fun h ->
+      let px = History.precedes (History.project_obj h "BA") in
+      let p = History.precedes h in
+      Tid.Set.for_all
+        (fun a -> Tid.Set.for_all (fun b -> (not (px a b)) || p a b) (History.transactions h))
+        (History.transactions h))
+
+let suite =
+  [
+    Alcotest.test_case "paper example well-formed" `Quick test_well_formed_example;
+    Alcotest.test_case "invoke while pending" `Quick test_violation_invoke_while_pending;
+    Alcotest.test_case "response without pending" `Quick test_violation_response_without_pending;
+    Alcotest.test_case "response at wrong object" `Quick test_violation_response_wrong_object;
+    Alcotest.test_case "commit while pending" `Quick test_violation_commit_while_pending;
+    Alcotest.test_case "commit and abort" `Quick test_violation_commit_and_abort;
+    Alcotest.test_case "event after commit" `Quick test_violation_event_after_commit;
+    Alcotest.test_case "commit at several objects" `Quick test_commit_at_several_objects_ok;
+    Alcotest.test_case "duplicate commit" `Quick test_duplicate_commit_same_object;
+    Alcotest.test_case "committed/aborted/active" `Quick test_status_sets;
+    Alcotest.test_case "opseq" `Quick test_opseq;
+    Alcotest.test_case "opseq response order" `Quick test_opseq_order_is_response_order;
+    Alcotest.test_case "projections" `Quick test_projections;
+    Alcotest.test_case "permanent" `Quick test_permanent;
+    Alcotest.test_case "precedes on paper example" `Quick test_precedes;
+    Alcotest.test_case "precedes concurrent" `Quick test_precedes_concurrent;
+    Alcotest.test_case "serial and equivalent" `Quick test_serial_and_equivalent;
+    Alcotest.test_case "commit order" `Quick test_commit_order;
+    prop_builder_well_formed;
+    prop_precedes_transitive_enough;
+  ]

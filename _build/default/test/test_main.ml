@@ -1,0 +1,26 @@
+(* Aggregate test runner: one Alcotest suite per module of the library. *)
+
+let () =
+  Alcotest.run "weihl89"
+    [
+      ("value", Test_value.suite);
+      ("op-event", Test_op_event.suite);
+      ("history", Test_history.suite);
+      ("spec", Test_spec.suite);
+      ("equieffect", Test_equieffect.suite);
+      ("commutativity", Test_commutativity.suite);
+      ("conflict", Test_conflict.suite);
+      ("view", Test_view.suite);
+      ("atomicity", Test_atomicity.suite);
+      ("impl-model", Test_impl_model.suite);
+      ("theorems", Test_theorems.suite);
+      ("adts", Test_adts.suite);
+      ("engine", Test_engine.suite);
+      ("occ", Test_occ.suite);
+      ("concurrent", Test_concurrent.suite);
+      ("escrow", Test_escrow.suite);
+      ("wal", Test_wal.suite);
+      ("registry", Test_registry.suite);
+      ("properties", Test_properties.suite);
+      ("sim", Test_sim.suite);
+    ]

@@ -1,0 +1,76 @@
+(* Unit coverage for the small core types: transaction ids, operations and
+   events — ordering laws, printing conventions, and the set/map
+   instantiations used throughout. *)
+
+open Tm_core
+
+let test_tid () =
+  Alcotest.(check string) "letters" "A" (Tid.to_string Tid.a);
+  Alcotest.(check string) "letters" "E" (Tid.to_string Tid.e);
+  Alcotest.(check string) "beyond letters" "T26" (Tid.to_string (Tid.of_int 26));
+  Helpers.check_int "roundtrip" 7 (Tid.to_int (Tid.of_int 7));
+  Helpers.check_bool "equal" true (Tid.equal Tid.b (Tid.of_int 1));
+  Helpers.check_bool "ordered" true (Tid.compare Tid.a Tid.b < 0);
+  Alcotest.check_raises "negative id" (Invalid_argument "Tid.of_int: negative id")
+    (fun () -> ignore (Tid.of_int (-1)));
+  let s = Tid.Set.of_list [ Tid.a; Tid.b; Tid.a ] in
+  Helpers.check_int "set dedups" 2 (Tid.Set.cardinal s)
+
+let test_op () =
+  let op = Op.make ~obj:"BA" ~args:[ Value.int 3 ] "withdraw" Value.ok in
+  Alcotest.(check string) "paper rendering" "BA:[withdraw(3),ok]" (Op.to_string op);
+  Alcotest.(check string) "short rendering" "withdraw(3)\xe2\x86\x92ok"
+    (Fmt.str "%a" Op.pp_short op);
+  Alcotest.(check string) "no-arg rendering" "BA:[balance,5]"
+    (Op.to_string (Op.make ~obj:"BA" "balance" (Value.int 5)));
+  (* equality is invocation+result+object *)
+  Helpers.check_bool "same" true (Op.equal op (Op.make ~obj:"BA" ~args:[ Value.int 3 ] "withdraw" Value.ok));
+  Helpers.check_bool "different result" false
+    (Op.equal op (Op.make ~obj:"BA" ~args:[ Value.int 3 ] "withdraw" Value.no));
+  Helpers.check_bool "different object" false
+    (Op.equal op (Op.make ~obj:"BA2" ~args:[ Value.int 3 ] "withdraw" Value.ok));
+  Helpers.check_bool "different args" false
+    (Op.equal op (Op.make ~obj:"BA" ~args:[ Value.int 4 ] "withdraw" Value.ok));
+  (* compare consistent with equal over a sample *)
+  let sample = Spec.generators Tm_adt.Bank_account.spec in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q -> Helpers.check_bool "compare=0 iff equal" (Op.compare p q = 0) (Op.equal p q))
+        sample)
+    sample;
+  Helpers.check_int "set dedups" (List.length sample)
+    (Op.Set.cardinal (Op.Set.of_list (sample @ sample)))
+
+let test_event () =
+  let inv = Event.invoke ~obj:"BA" ~tid:Tid.b (Op.invocation ~args:[ Value.int 3 ] "withdraw") in
+  let res = Event.respond ~obj:"BA" ~tid:Tid.b Value.ok in
+  Alcotest.(check string) "paper rendering" "<withdraw(3), BA, B>" (Event.to_string inv);
+  Alcotest.(check string) "response rendering" "<ok, BA, B>" (Event.to_string res);
+  Alcotest.(check string) "commit rendering" "<commit, BA, A>"
+    (Event.to_string (Event.commit ~obj:"BA" ~tid:Tid.a));
+  Alcotest.(check string) "abort rendering" "<abort, BA, A>"
+    (Event.to_string (Event.abort ~obj:"BA" ~tid:Tid.a));
+  Helpers.check_bool "kind predicates" true
+    (Event.is_invoke inv && Event.is_respond res
+    && Event.is_commit (Event.commit ~obj:"X" ~tid:Tid.a)
+    && Event.is_abort (Event.abort ~obj:"X" ~tid:Tid.a));
+  Alcotest.(check string) "obj" "BA" (Event.obj inv);
+  Alcotest.check Helpers.tid "tid" Tid.b (Event.tid inv);
+  let all =
+    [ inv; res; Event.commit ~obj:"BA" ~tid:Tid.b; Event.abort ~obj:"BA" ~tid:Tid.c ]
+  in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun f ->
+          Helpers.check_bool "compare=0 iff equal" (Event.compare e f = 0) (Event.equal e f))
+        all)
+    all
+
+let suite =
+  [
+    Alcotest.test_case "tid" `Quick test_tid;
+    Alcotest.test_case "op" `Quick test_op;
+    Alcotest.test_case "event" `Quick test_event;
+  ]

@@ -1,0 +1,123 @@
+(* Cross-cutting property tests: metamorphic relations between the
+   checkers, structural invariants of histories and views, and the
+   relations the paper states without numbering.  These complement the
+   per-module suites with properties that span modules. *)
+
+open Tm_core
+
+let spec = Helpers.BA.spec
+let env = Helpers.ba_env
+
+(* Generator of arbitrary well-formed single-object histories driven by
+   the implementation model with a permissive conflict relation (so the
+   space is much larger than the sound engines allow; views still gate
+   responses, keeping histories meaningful). *)
+let history_gen view =
+  let i = Impl_model.make ~spec ~view ~conflict:Conflict.none in
+  QCheck2.Gen.(
+    int_range 0 1000 >|= fun seed ->
+    let rng = Random.State.make [| seed |] in
+    Impl_model.random i ~txns:[ Tid.a; Tid.b; Tid.c ] ~ops_per_txn:2 ~steps:14 ~rng)
+
+let prop_online_implies_dynamic =
+  Helpers.qcheck ~count:120 "online DA implies DA" (history_gen View.uip) (fun h ->
+      (not (Atomicity.is_online_dynamic_atomic env h)) || Atomicity.is_dynamic_atomic env h)
+
+let prop_permanent_idempotent =
+  Helpers.qcheck ~count:120 "permanent is idempotent" (history_gen View.uip) (fun h ->
+      let p = History.permanent h in
+      List.equal Event.equal (History.events p) (History.events (History.permanent p)))
+
+let prop_serial_permutation_preserves_wf =
+  Helpers.qcheck ~count:120 "Serial(H,T) of permanent is well-formed"
+    (history_gen View.du) (fun h ->
+      let p = History.permanent h in
+      let ts = Tid.Set.elements (History.transactions p) in
+      List.for_all
+        (fun o -> History.is_well_formed (History.serial p o))
+        (Orders.permutations ts))
+
+let prop_precedes_acyclic =
+  Helpers.qcheck ~count:120 "precedes is acyclic on well-formed histories"
+    (history_gen View.uip) (fun h ->
+      let p = History.precedes h in
+      let ts = Tid.Set.elements (History.transactions h) in
+      (* a partial order has at least one linear extension over any
+         finite carrier; emptiness would witness a cycle *)
+      Orders.linear_extensions ts p <> [])
+
+let prop_du_view_prefix =
+  (* DU(H,A) = committed ++ own: the committed part is shared between all
+     active transactions. *)
+  Helpers.qcheck ~count:120 "DU views share the committed prefix" (history_gen View.du)
+    (fun h ->
+      let committed_part a =
+        (* DU(H,A) = committed · own by construction *)
+        let own = History.opseq (History.project_tid h a) in
+        let v = View.apply View.du h a in
+        List.filteri (fun i _ -> i < List.length v - List.length own) v
+      in
+      match Tid.Set.elements (History.active h) with
+      | a :: b :: _ -> List.equal Op.equal (committed_part a) (committed_part b)
+      | _ -> true)
+
+let prop_uip_view_equals_nonaborted_opseq =
+  Helpers.qcheck ~count:120 "UIP view = opseq of non-aborted" (history_gen View.uip)
+    (fun h ->
+      let non_aborted = Tid.Set.diff (History.transactions h) (History.aborted h) in
+      List.equal Op.equal
+        (View.apply View.uip h Tid.a)
+        (History.opseq (History.project_tids h non_aborted)))
+
+(* Metamorphic: appending an abort for an active transaction never makes
+   a dynamic-atomic history non-dynamic-atomic (aborted work is
+   invisible to the checker). *)
+let prop_abort_preserves_da =
+  Helpers.qcheck ~count:100 "aborting an active txn preserves DA" (history_gen View.uip)
+    (fun h ->
+      match Tid.Set.elements (History.active h) with
+      | [] -> true
+      | a :: _ ->
+          let aborted =
+            if History.pending_invocation h a = None then History.abort_at a "BA" h
+            else h
+          in
+          (not (Atomicity.is_dynamic_atomic env h))
+          || Atomicity.is_dynamic_atomic env aborted)
+
+(* Committing all active transactions of an online-dynamic-atomic history
+   (when none has a pending invocation) keeps it dynamic atomic — that is
+   exactly what "every commit set" quantifies over. *)
+let prop_online_da_commit_closure =
+  Helpers.qcheck ~count:100 "online DA closed under commits" (history_gen View.uip)
+    (fun h ->
+      let committable =
+        Tid.Set.filter (fun a -> History.pending_invocation h a = None) (History.active h)
+      in
+      let h' =
+        Tid.Set.fold (fun a acc -> History.commit_at a "BA" acc) committable h
+      in
+      (not (Atomicity.is_online_dynamic_atomic env h))
+      || Atomicity.is_dynamic_atomic env h')
+
+(* FC of sequences implies FC of each pair cannot hold in general, but
+   singleton sequences must agree with the operation-level relation. *)
+let prop_seq_singleton_agrees =
+  let p = Commutativity.default_params in
+  let gen = QCheck2.Gen.pair Helpers.ba_op_gen Helpers.ba_op_gen in
+  Helpers.qcheck ~count:60 "sequence FC agrees on singletons" gen (fun (b, g) ->
+      Commutativity.is_commutes (Commutativity.commute_forward_seq spec p [ b ] [ g ])
+      = Commutativity.fc spec p b g)
+
+let suite =
+  [
+    prop_online_implies_dynamic;
+    prop_permanent_idempotent;
+    prop_serial_permutation_preserves_wf;
+    prop_precedes_acyclic;
+    prop_du_view_prefix;
+    prop_uip_view_equals_nonaborted_opseq;
+    prop_abort_preserves_da;
+    prop_online_da_commit_closure;
+    prop_seq_singleton_agrees;
+  ]

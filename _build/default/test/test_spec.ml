@@ -1,0 +1,133 @@
+(* Serial specifications and the bounded explorer: legality, response
+   enumeration, prefix closure, reachability, containment. *)
+
+open Tm_core
+
+let dep = Helpers.dep
+let wok = Helpers.wok
+let wno = Helpers.wno
+let bal = Helpers.bal
+
+let test_legal_paper_sequences () =
+  (* The two sequences of Section 3.2. *)
+  Helpers.check_bool "legal" true
+    (Spec.legal Helpers.BA.spec [ dep 5; wok 3; bal 2; wno 3 ]);
+  Helpers.check_bool "illegal" false
+    (Spec.legal Helpers.BA.spec [ dep 5; wok 3; bal 2; wok 3 ])
+
+let test_prefix_closed () =
+  let seq = [ dep 5; wok 3; bal 2; wno 3 ] in
+  let rec prefixes = function
+    | [] -> [ [] ]
+    | x :: rest -> [] :: List.map (fun p -> x :: p) (prefixes rest)
+  in
+  List.iter
+    (fun p -> Helpers.check_bool "prefix legal" true (Spec.legal Helpers.BA.spec p))
+    (prefixes seq)
+
+let test_responses () =
+  Alcotest.check (Alcotest.list Helpers.value) "withdraw ok when funded" [ Value.ok ]
+    (Spec.responses Helpers.BA.spec [ dep 5 ] (Op.invocation ~args:[ Value.int 3 ] "withdraw"));
+  Alcotest.check (Alcotest.list Helpers.value) "withdraw no when broke" [ Value.no ]
+    (Spec.responses Helpers.BA.spec [] (Op.invocation ~args:[ Value.int 3 ] "withdraw"));
+  Alcotest.check (Alcotest.list Helpers.value) "balance pinned" [ Value.int 5 ]
+    (Spec.responses Helpers.BA.spec [ dep 5 ] (Op.invocation "balance"));
+  Alcotest.check (Alcotest.list Helpers.value) "unknown op" []
+    (Spec.responses Helpers.BA.spec [] (Op.invocation "frobnicate"))
+
+let test_nondeterministic_responses () =
+  let module SQ = Tm_adt.Semiqueue in
+  let rs =
+    Spec.responses SQ.spec [ SQ.enq 1; SQ.enq 2 ] (Op.invocation "deq")
+  in
+  Alcotest.check (Alcotest.list Helpers.value) "deq offers both items"
+    [ Value.int 1; Value.int 2 ] rs
+
+let test_partial_operation () =
+  let module FQ = Tm_adt.Fifo_queue in
+  Alcotest.check (Alcotest.list Helpers.value) "deq on empty has no response" []
+    (Spec.responses FQ.spec [] (Op.invocation "deq"));
+  Helpers.check_bool "deq on empty illegal" false (Spec.legal FQ.spec [ FQ.deq 1 ])
+
+let test_rename () =
+  let renamed = Spec.rename Helpers.BA.spec "BA7" in
+  Alcotest.(check string) "name" "BA7" (Spec.name renamed);
+  Helpers.check_bool "generators retagged" true
+    (List.for_all (fun (o : Op.t) -> String.equal o.obj "BA7") (Spec.generators renamed));
+  Helpers.check_bool "same language" true (Spec.legal renamed [ dep 5; wok 3 ])
+
+module E = Explore.Make (Tm_adt.Bank_account.S)
+
+let test_reachable () =
+  let alphabet = [ dep 1 ] in
+  let reached = E.reachable ~depth:3 ~alphabet in
+  (* balances 0,1,2,3 *)
+  Helpers.check_int "4 state-sets" 4 (List.length reached);
+  let words = List.map fst reached in
+  Helpers.check_bool "empty word first" true (List.hd words = []);
+  Helpers.check_bool "shortest representatives" true
+    (List.for_all (fun w -> List.length w <= 3) words)
+
+let test_reachable_dedups_state_sets () =
+  (* deposit(1);deposit(1) and deposit(2) reach the same balance: one
+     state-set, one representative. *)
+  let alphabet = [ dep 1; dep 2 ] in
+  let reached = E.reachable ~depth:2 ~alphabet in
+  (* balances 0,1,2,3,4 *)
+  Helpers.check_int "5 distinct sets" 5 (List.length reached)
+
+let test_contained_positive () =
+  (* Balance 2 via different routes: same state, mutually contained. *)
+  let u = E.after E.initial_set [ dep 2 ] in
+  let t = E.after E.initial_set [ dep 1; dep 1 ] in
+  Alcotest.(check (option Helpers.ops)) "contained" None
+    (E.contained ~depth:5 ~alphabet:(Spec.generators Helpers.BA.spec) u t)
+
+let test_contained_negative_with_witness () =
+  (* From balance 1 one can withdraw 1; from balance 0 one cannot. *)
+  let u = E.after E.initial_set [ dep 1 ] in
+  let t = E.initial_set in
+  match E.contained ~depth:5 ~alphabet:(Spec.generators Helpers.BA.spec) u t with
+  | None -> Alcotest.fail "expected a witness"
+  | Some w ->
+      Helpers.check_bool "witness legal from u" true
+        (Spec.legal Helpers.BA.spec ([ dep 1 ] @ w));
+      Helpers.check_bool "witness illegal from t" false (Spec.legal Helpers.BA.spec w)
+
+let test_contained_empty_cases () =
+  let alphabet = Spec.generators Helpers.BA.spec in
+  let empty = E.after E.initial_set [ wok 1 ] (* illegal: empty set *) in
+  Alcotest.(check (option Helpers.ops)) "empty contained in anything" None
+    (E.contained ~depth:3 ~alphabet empty E.initial_set);
+  Alcotest.(check (option Helpers.ops)) "nonempty not contained in empty" (Some [])
+    (E.contained ~depth:3 ~alphabet E.initial_set empty)
+
+(* Property: for every legal sequence, stepping the state-set never goes
+   empty, and every response offered by [Spec.responses] extends legally. *)
+let prop_responses_extend_legally =
+  Helpers.qcheck "responses extend legally" (Helpers.legal_seq_gen Helpers.BA.spec 6)
+    (fun ops ->
+      List.for_all
+        (fun (inv : Op.invocation) ->
+          List.for_all
+            (fun r -> Spec.legal Helpers.BA.spec (ops @ [ { Op.obj = "BA"; inv; res = r } ]))
+            (Spec.responses Helpers.BA.spec ops inv))
+        [ Op.invocation ~args:[ Value.int 1 ] "deposit";
+          Op.invocation ~args:[ Value.int 2 ] "withdraw";
+          Op.invocation "balance" ])
+
+let suite =
+  [
+    Alcotest.test_case "paper §3.2 sequences" `Quick test_legal_paper_sequences;
+    Alcotest.test_case "prefix closure" `Quick test_prefix_closed;
+    Alcotest.test_case "responses" `Quick test_responses;
+    Alcotest.test_case "non-deterministic responses" `Quick test_nondeterministic_responses;
+    Alcotest.test_case "partial operation" `Quick test_partial_operation;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "reachable dedups" `Quick test_reachable_dedups_state_sets;
+    Alcotest.test_case "containment positive" `Quick test_contained_positive;
+    Alcotest.test_case "containment witness" `Quick test_contained_negative_with_witness;
+    Alcotest.test_case "containment empty cases" `Quick test_contained_empty_cases;
+    prop_responses_extend_legally;
+  ]

@@ -1,0 +1,61 @@
+(* Value: equality, ordering, printing, projections. *)
+
+open Tm_core
+
+let test_equal () =
+  Helpers.check_bool "int eq" true (Value.equal (Value.int 3) (Value.int 3));
+  Helpers.check_bool "int neq" false (Value.equal (Value.int 3) (Value.int 4));
+  Helpers.check_bool "cross-kind" false (Value.equal (Value.int 1) (Value.str "1"));
+  Helpers.check_bool "list eq" true
+    (Value.equal (Value.list [ Value.int 1; Value.ok ]) (Value.list [ Value.int 1; Value.ok ]));
+  Helpers.check_bool "list length" false
+    (Value.equal (Value.list [ Value.int 1 ]) (Value.list []));
+  Helpers.check_bool "unit" true (Value.equal Value.unit Value.unit);
+  Helpers.check_bool "bool" true (Value.equal (Value.bool true) (Value.bool true))
+
+let test_compare_consistent () =
+  let vs =
+    [
+      Value.unit;
+      Value.bool false;
+      Value.bool true;
+      Value.int (-1);
+      Value.int 7;
+      Value.str "a";
+      Value.str "b";
+      Value.list [];
+      Value.list [ Value.int 1 ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          Helpers.check_bool "compare=0 iff equal" (Value.compare v w = 0) (Value.equal v w);
+          Helpers.check_int "antisymmetric" (compare (Value.compare v w) 0)
+            (compare 0 (Value.compare w v)))
+        vs)
+    vs
+
+let test_pp () =
+  Alcotest.(check string) "ok" "ok" (Value.to_string Value.ok);
+  Alcotest.(check string) "int" "42" (Value.to_string (Value.int 42));
+  Alcotest.(check string) "unit" "()" (Value.to_string Value.unit);
+  Alcotest.(check string) "list" "[1;2]"
+    (Value.to_string (Value.list [ Value.int 1; Value.int 2 ]))
+
+let test_projections () =
+  Helpers.check_int "get_int" 5 (Value.get_int (Value.int 5));
+  Helpers.check_bool "get_bool" true (Value.get_bool (Value.bool true));
+  Alcotest.(check string) "get_str" "x" (Value.get_str (Value.str "x"));
+  Helpers.check_int "get_list" 2 (List.length (Value.get_list (Value.list [ Value.unit; Value.unit ])));
+  Alcotest.check_raises "get_int on str" (Invalid_argument "Value.get_int: x") (fun () ->
+      ignore (Value.get_int (Value.str "x")))
+
+let suite =
+  [
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "compare consistent with equal" `Quick test_compare_consistent;
+    Alcotest.test_case "pretty-printing" `Quick test_pp;
+    Alcotest.test_case "projections" `Quick test_projections;
+  ]

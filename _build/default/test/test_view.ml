@@ -1,0 +1,66 @@
+(* The View functions (Section 5): UIP and DU on the paper's worked
+   example and their structural differences. *)
+
+open Tm_core
+
+let dep = Helpers.dep
+let wok = Helpers.wok
+
+(* Section 5's history: A deposits 5 and commits; B withdraws 3, active. *)
+let h = Helpers.section5_history
+
+let test_section5_uip () =
+  (* UIP(H,B) = UIP(H,C): all non-aborted operations in execution order. *)
+  Alcotest.check Helpers.ops "UIP(H,B)" [ dep 5; wok 3 ] (View.apply View.uip h Tid.b);
+  Alcotest.check Helpers.ops "UIP(H,C)" [ dep 5; wok 3 ] (View.apply View.uip h Tid.c)
+
+let test_section5_du () =
+  (* DU(H,B) sees its own withdrawal; DU(H,C) sees only committed ops. *)
+  Alcotest.check Helpers.ops "DU(H,B)" [ dep 5; wok 3 ] (View.apply View.du h Tid.b);
+  Alcotest.check Helpers.ops "DU(H,C)" [ dep 5 ] (View.apply View.du h Tid.c)
+
+let test_uip_drops_aborted () =
+  let h' =
+    History.empty
+    |> History.exec Tid.a (dep 5)
+    |> History.exec Tid.b (wok 3)
+    |> History.abort_at Tid.b "BA"
+  in
+  Alcotest.check Helpers.ops "aborted ops dropped" [ dep 5 ] (View.apply View.uip h' Tid.c)
+
+let test_du_commit_order_not_execution_order () =
+  (* B executes first but commits second: DU orders by commit. *)
+  let h =
+    History.empty
+    |> History.exec Tid.b (dep 1)
+    |> History.exec Tid.a (dep 2)
+    |> History.commit_at Tid.a "BA"
+    |> History.commit_at Tid.b "BA"
+  in
+  Alcotest.check Helpers.ops "DU commit order" [ dep 2; dep 1 ] (View.apply View.du h Tid.c);
+  (* UIP keeps execution order. *)
+  Alcotest.check Helpers.ops "UIP execution order" [ dep 1; dep 2 ]
+    (View.apply View.uip h Tid.c)
+
+let test_du_excludes_other_active () =
+  let h =
+    History.empty |> History.exec Tid.a (dep 5) |> History.exec Tid.b (wok 3)
+    (* nobody commits *)
+  in
+  Alcotest.check Helpers.ops "B sees only itself" [ wok 3 ] (View.apply View.du h Tid.b);
+  Alcotest.check Helpers.ops "A sees only itself" [ dep 5 ] (View.apply View.du h Tid.a);
+  Alcotest.check Helpers.ops "UIP sees both" [ dep 5; wok 3 ] (View.apply View.uip h Tid.a)
+
+let test_names () =
+  Alcotest.(check string) "uip" "UIP" (View.name View.uip);
+  Alcotest.(check string) "du" "DU" (View.name View.du)
+
+let suite =
+  [
+    Alcotest.test_case "§5 example, UIP" `Quick test_section5_uip;
+    Alcotest.test_case "§5 example, DU" `Quick test_section5_du;
+    Alcotest.test_case "UIP drops aborted" `Quick test_uip_drops_aborted;
+    Alcotest.test_case "DU commit order" `Quick test_du_commit_order_not_execution_order;
+    Alcotest.test_case "DU excludes other active" `Quick test_du_excludes_other_active;
+    Alcotest.test_case "names" `Quick test_names;
+  ]

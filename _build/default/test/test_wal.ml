@@ -1,0 +1,250 @@
+(* Crash recovery: the write-ahead log and durable objects.  The key
+   property is crash-consistency at every instant — recovering from every
+   prefix of a generated log yields exactly the transactions whose commit
+   records made it to stable storage, replayed legally in commit order. *)
+
+open Tm_core
+module Wal = Tm_engine.Wal
+module Durable = Tm_engine.Durable_object
+module Atomic_object = Tm_engine.Atomic_object
+module Recovery = Tm_engine.Recovery
+module BA = Tm_adt.Bank_account
+
+let deposit_inv i = Op.invocation ~args:[ Value.int i ] "deposit"
+let withdraw_inv i = Op.invocation ~args:[ Value.int i ] "withdraw"
+let balance_inv = Op.invocation "balance"
+
+let make ?(recovery = Recovery.UIP) wal =
+  Durable.create ~spec:BA.spec ~conflict:BA.nrbc_conflict ~recovery ~wal
+
+let test_replay_basic () =
+  let recs =
+    [
+      Wal.Begin Tid.a;
+      Wal.Operation (Tid.a, BA.deposit 5);
+      Wal.Commit Tid.a;
+      Wal.Begin Tid.b;
+      Wal.Operation (Tid.b, BA.withdraw_ok 2);
+    ]
+  in
+  let committed, losers = Wal.replay recs in
+  Alcotest.check Helpers.ops "committed" [ BA.deposit 5 ] committed;
+  Helpers.check_bool "B is a loser" true (Tid.Set.mem Tid.b losers);
+  Helpers.check_bool "A is not" false (Tid.Set.mem Tid.a losers)
+
+let test_replay_commit_order () =
+  let recs =
+    [
+      Wal.Operation (Tid.b, BA.deposit 1);
+      Wal.Operation (Tid.a, BA.deposit 2);
+      Wal.Commit Tid.a;
+      Wal.Commit Tid.b;
+    ]
+  in
+  let committed, _ = Wal.replay recs in
+  Alcotest.check Helpers.ops "commit order" [ BA.deposit 2; BA.deposit 1 ] committed
+
+let test_replay_abort () =
+  let recs =
+    [ Wal.Operation (Tid.a, BA.deposit 1); Wal.Abort Tid.a ]
+  in
+  let committed, losers = Wal.replay recs in
+  Alcotest.check Helpers.ops "nothing" [] committed;
+  Helpers.check_bool "aborted is not a loser" true (Tid.Set.is_empty losers)
+
+let test_replay_checkpoint () =
+  let recs =
+    [
+      Wal.Operation (Tid.a, BA.deposit 1);
+      Wal.Commit Tid.a;
+      Wal.Checkpoint [ BA.deposit 1 ];
+      Wal.Operation (Tid.b, BA.deposit 2);
+      Wal.Commit Tid.b;
+    ]
+  in
+  let committed, _ = Wal.replay recs in
+  Alcotest.check Helpers.ops "checkpoint + tail" [ BA.deposit 1; BA.deposit 2 ] committed
+
+let test_durable_end_to_end () =
+  let wal = Wal.create () in
+  let d = make wal in
+  let run tid inv =
+    match Durable.invoke d tid inv with
+    | Atomic_object.Executed op -> op
+    | out -> Alcotest.failf "unexpected %a" Atomic_object.pp_outcome out
+  in
+  ignore (run Tid.a (deposit_inv 5));
+  Durable.commit d Tid.a;
+  ignore (run Tid.b (deposit_inv 3));
+  (* crash before B commits: log has A's commit only *)
+  let recovered, losers =
+    Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict ~recovery:Recovery.UIP wal
+  in
+  Helpers.check_bool "B lost" true (Tid.Set.mem Tid.b losers);
+  Alcotest.check Helpers.ops "A's work survives" [ BA.deposit 5 ]
+    (Durable.committed_ops recovered);
+  (* the recovered object serves correct responses *)
+  let t = Tid.of_int 40 in
+  match Durable.invoke recovered t balance_inv with
+  | Atomic_object.Executed op -> Alcotest.check Helpers.op "balance 5" (BA.balance 5) op
+  | out -> Alcotest.failf "unexpected %a" Atomic_object.pp_outcome out
+
+let test_write_ahead_rule () =
+  (* The commit record precedes the commit's effects: a log that ends
+     exactly at the commit record still recovers the transaction. *)
+  let wal = Wal.create () in
+  let d = make wal in
+  ignore (Durable.invoke d Tid.a (deposit_inv 5));
+  Durable.commit d Tid.a;
+  let n = Wal.length wal in
+  let committed, _ = Wal.replay (Wal.records (Wal.prefix wal n)) in
+  Alcotest.check Helpers.ops "durable at commit record" [ BA.deposit 5 ] committed
+
+(* Crash injection: drive a random multi-transaction workload through a
+   durable object, then recover from *every* prefix of the log and check
+   (a) replay legality, (b) the committed set matches the commit records
+   in the prefix, (c) recovery is idempotent. *)
+let crash_injection recovery seed =
+  let wal = Wal.create () in
+  let d = make ~recovery wal in
+  let rng = Random.State.make [| seed |] in
+  let active = ref [] in
+  let next = ref 0 in
+  for _ = 1 to 60 do
+    if List.length !active < 4 then begin
+      let t = Tid.of_int !next in
+      incr next;
+      active := t :: !active
+    end;
+    match !active with
+    | [] -> ()
+    | ts -> (
+        let t = List.nth ts (Random.State.int rng (List.length ts)) in
+        let finish f =
+          f d t;
+          active := List.filter (fun x -> not (Tid.equal x t)) !active
+        in
+        match Random.State.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 ->
+            let inv =
+              match Random.State.int rng 3 with
+              | 0 -> deposit_inv (1 + Random.State.int rng 2)
+              | 1 -> withdraw_inv (1 + Random.State.int rng 2)
+              | _ -> balance_inv
+            in
+            ignore (Durable.invoke d t inv)
+        | 6 | 7 -> finish Durable.commit
+        | 8 -> finish Durable.abort
+        | _ -> if Random.State.int rng 4 = 0 then Durable.checkpoint d)
+  done;
+  let full = Wal.records wal in
+  for cut = 0 to List.length full do
+    let log = Wal.prefix wal cut in
+    let committed, _losers = Wal.replay (Wal.records log) in
+    (* (a) replay legality *)
+    Helpers.check_bool
+      (Fmt.str "prefix %d legal" cut)
+      true (Spec.legal BA.spec committed);
+    (* (b) committed ops = concatenation per commit record *)
+    let expected_commits =
+      List.filter (function Wal.Commit _ -> true | _ -> false) (Wal.records log)
+    in
+    let distinct_committed_txns =
+      List.sort_uniq Tid.compare
+        (List.filter_map (function Wal.Commit t -> Some t | _ -> None) (Wal.records log))
+    in
+    Helpers.check_int
+      (Fmt.str "prefix %d commit records distinct" cut)
+      (List.length expected_commits)
+      (List.length distinct_committed_txns);
+    (* (c) idempotence: recovering twice equals recovering once *)
+    let r1, _ =
+      Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict ~recovery:Recovery.UIP log
+    in
+    Helpers.check_bool
+      (Fmt.str "prefix %d recovered state matches replay" cut)
+      true
+      (List.equal Op.equal (Durable.committed_ops r1) committed)
+  done
+
+let test_crash_injection_uip () = crash_injection Recovery.UIP 101
+let test_crash_injection_du () = crash_injection Recovery.DU 202
+
+(* Multi-object durability: one commit record covers every object a
+   transaction touched — after recovery from any prefix, a transfer is
+   visible at both accounts or neither. *)
+let test_durable_database_atomic_commitment () =
+  let wal = Wal.create () in
+  let funded = BA.spec_with_initial 100 in
+  let rebuild () =
+    List.init 2 (fun i ->
+        Atomic_object.create
+          ~spec:(Spec.rename funded (Fmt.str "BA%d" i))
+          ~conflict:BA.nrbc_conflict ~recovery:Recovery.UIP ())
+  in
+  let module DD = Tm_engine.Durable_database in
+  let db = DD.create ~wal (rebuild ()) in
+  (* transfer 30 from BA0 to BA1, committed *)
+  let a = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA0" (withdraw_inv 30));
+  ignore (DD.invoke db a ~obj:"BA1" (deposit_inv 30));
+  Helpers.check_bool "committed" true (DD.try_commit db a = Ok ());
+  (* a second transfer crashes mid-flight *)
+  let b = DD.begin_txn db in
+  ignore (DD.invoke db b ~obj:"BA0" (withdraw_inv 10));
+  ignore (DD.invoke db b ~obj:"BA1" (deposit_inv 10));
+  (* crash: recover from every prefix and check the invariant:
+     total money is 200 iff both or neither halves of each transfer
+     survive; per-object replay is always legal *)
+  for cut = 0 to Wal.length wal do
+    let log = Wal.prefix wal cut in
+    let db', _losers = DD.recover ~wal:log ~rebuild in
+    let balance obj =
+      match DD.invoke db' (DD.begin_txn db') ~obj balance_inv with
+      | Atomic_object.Executed op -> Value.get_int op.Op.res
+      | _ -> Alcotest.fail "balance failed"
+    in
+    let total = balance "BA0" + balance "BA1" in
+    Helpers.check_int (Fmt.str "prefix %d conserves money" cut) 200 total;
+    List.iter
+      (fun o ->
+        Helpers.check_bool
+          (Fmt.str "prefix %d replay at %s" cut (Atomic_object.name o))
+          true
+          (Spec.legal (Atomic_object.spec o) (Atomic_object.committed_ops o)))
+      (Tm_engine.Database.objects (DD.database db'))
+  done
+
+let test_durable_database_validation_abort_logged () =
+  let wal = Wal.create () in
+  let spec = BA.spec_with_initial 50 in
+  let rebuild () =
+    [ Atomic_object.create_optimistic ~spec ~conflict:BA.nfc_conflict ]
+  in
+  let module DD = Tm_engine.Durable_database in
+  let db = DD.create ~wal (rebuild ()) in
+  let a = DD.begin_txn db and b = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA" (withdraw_inv 10));
+  ignore (DD.invoke db b ~obj:"BA" (withdraw_inv 10));
+  Helpers.check_bool "A commits" true (DD.try_commit db a = Ok ());
+  Helpers.check_bool "B fails validation" true (DD.try_commit db b <> Ok ());
+  let db', _ = DD.recover ~wal ~rebuild in
+  let o = List.hd (Tm_engine.Database.objects (DD.database db')) in
+  Alcotest.check Helpers.ops "only A's withdrawal durable" [ BA.withdraw_ok 10 ]
+    (Atomic_object.committed_ops o)
+
+let suite =
+  [
+    Alcotest.test_case "replay basic" `Quick test_replay_basic;
+    Alcotest.test_case "replay commit order" `Quick test_replay_commit_order;
+    Alcotest.test_case "replay abort" `Quick test_replay_abort;
+    Alcotest.test_case "replay checkpoint" `Quick test_replay_checkpoint;
+    Alcotest.test_case "durable end-to-end" `Quick test_durable_end_to_end;
+    Alcotest.test_case "write-ahead rule" `Quick test_write_ahead_rule;
+    Alcotest.test_case "crash injection (UIP)" `Slow test_crash_injection_uip;
+    Alcotest.test_case "crash injection (DU)" `Slow test_crash_injection_du;
+    Alcotest.test_case "multi-object atomic commitment" `Quick
+      test_durable_database_atomic_commitment;
+    Alcotest.test_case "validation abort logged" `Quick
+      test_durable_database_validation_abort_logged;
+  ]
