@@ -1,0 +1,20 @@
+# Convenience targets; `make check` is what CI runs.
+
+.PHONY: all check test bench clean
+
+all:
+	dune build @all
+
+# The tier-1 gate: full build (executables included) plus every suite.
+check:
+	dune build @all
+	dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -367,6 +367,66 @@ let ext_views () =
      rediscovers the theorems' relations exactly)@."
 
 (* ------------------------------------------------------------------ *)
+(* OBS: registry-backed engine counters per scenario/setup.            *)
+
+module Metrics = Tm_obs.Metrics
+
+(* All histograms of one family (a name across its label sets). *)
+let hist_family reg name =
+  Metrics.fold reg
+    (fun acc n _labels m ->
+      match m with
+      | Metrics.Histogram h when String.equal n name -> h :: acc
+      | _ -> acc)
+    []
+
+let obs_breakdown () =
+  section
+    "OBS — observability breakdown: engine counters from each run's metrics \
+     registry (conflicts are lock-table hits, waits are logical blocked ticks)";
+  Fmt.pr "%-24s %-10s %10s %8s %8s %8s %8s %8s %9s %9s@." "scenario" "setup"
+    "conflicts" "blocked" "no-resp" "v-fail" "victims" "retries" "wait-avg" "wait-p99";
+  let pp_opt ppf = function
+    | None -> Fmt.pf ppf "%9s" "-"
+    | Some v -> Fmt.pf ppf "%9.1f" v
+  in
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun (r : Experiment.row) ->
+          let reg = r.metrics in
+          let total = Metrics.counter_total reg in
+          let waits = hist_family reg "tm_lock_wait_ticks" in
+          let count = List.fold_left (fun a h -> a + Metrics.Histogram.count h) 0 waits in
+          let sum = List.fold_left (fun a h -> a +. Metrics.Histogram.sum h) 0. waits in
+          let avg = if count = 0 then None else Some (sum /. float_of_int count) in
+          let p99 =
+            List.fold_left
+              (fun acc h ->
+                match Metrics.Histogram.quantile h 0.99 with
+                | Some v -> Some (max v (Option.value acc ~default:v))
+                | None -> acc)
+              None waits
+          in
+          Fmt.pr "%-24s %-10s %10d %8d %8d %8d %8d %8d %a %a@." r.scenario r.setup
+            (total "tm_lock_conflicts_total")
+            (total "tm_object_blocked_total")
+            (total "tm_object_no_response_total")
+            (total "tm_validation_failures_total")
+            r.deadlock_victims r.retries pp_opt avg pp_opt p99)
+        (Experiment.run_matrix scenario cfg))
+    [
+      Experiment.bank_hotspot;
+      Experiment.bank_sweep ~withdraw_pct:50;
+      Experiment.inventory;
+      Experiment.queue_semiqueue;
+      Experiment.kv_store ();
+    ];
+  (* One full registry dump as a sample of the summary exporter. *)
+  let r = Experiment.run Experiment.bank_hotspot (Experiment.setup Tm_engine.Recovery.DU Experiment.Semantic) cfg in
+  Fmt.pr "@.full registry for bank-hotspot DU+NFC:@.%a@." Metrics.pp_summary r.Experiment.metrics
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel).                                        *)
 
 let bench_engine_op recovery conflict =
@@ -465,4 +525,5 @@ let () =
   abl_escrow ();
   abl_occ_contention ();
   ext_views ();
+  obs_breakdown ();
   micro_benchmarks ()

@@ -1,9 +1,21 @@
 (* simulate: run an engine scenario from the command line and print the
-   comparison matrix (or a single configured run). *)
+   comparison matrix (or a single configured run).
+
+   With --metrics FILE the registries of all runs are merged (rows
+   distinguished by scenario/setup labels) and written as a Prometheus
+   text snapshot; with --trace FILE every run records transaction spans,
+   dumped as JSON lines, and each trace is replayed through
+   Trace.to_history and re-checked against the paper's dynamic-atomicity
+   definition (the full check is exponential, so it only runs on small
+   histories — well-formedness is always verified). *)
 
 module Experiment = Tm_sim.Experiment
 module Scheduler = Tm_sim.Scheduler
 module Recovery = Tm_engine.Recovery
+module Atomic_object = Tm_engine.Atomic_object
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
+open Tm_core
 
 let scenarios () =
   Experiment.all_scenarios
@@ -17,35 +29,116 @@ let list_scenarios () =
   Fmt.pr "Available scenarios:@.";
   List.iter (fun (s : Experiment.scenario) -> Fmt.pr "  %s@." s.name) (scenarios ())
 
-let main name list_only recovery choice occ concurrency txns seed rounds =
+let with_out file f =
+  match open_out file with
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  | exception Sys_error msg ->
+      Fmt.epr "cannot write %s: %s@." file msg;
+      exit 1
+
+let write_metrics file rows =
+  let all = Metrics.create () in
+  List.iter
+    (fun (r : Experiment.row) ->
+      Metrics.merge
+        ~extra_labels:[ ("scenario", r.scenario); ("setup", r.setup) ]
+        all r.metrics)
+    rows;
+  with_out file (fun oc -> output_string oc (Metrics.to_prometheus all));
+  Fmt.pr "wrote Prometheus snapshot to %s@." file
+
+let write_traces file rows =
+  with_out file (fun oc ->
+      List.iter
+        (fun (r : Experiment.row) ->
+          match r.Experiment.trace with
+          | None -> ()
+          | Some tr ->
+              output_string oc
+                (Trace.to_jsonl
+                   ~extra:[ ("scenario", r.scenario); ("setup", r.setup) ]
+                   tr))
+        rows);
+  Fmt.pr "wrote trace (JSON lines) to %s@." file
+
+(* The exact dynamic-atomicity checkers enumerate serialization orders,
+   so replaying a full production-sized trace is infeasible; beyond this
+   many transactions we settle for well-formedness. *)
+let full_check_txn_limit = 9
+
+let check_traces ~specs rows =
+  let env = Atomicity.env_of_list specs in
+  List.iter
+    (fun (r : Experiment.row) ->
+      match r.Experiment.trace with
+      | None -> ()
+      | Some tr ->
+          let h = Trace.to_history tr in
+          let verdict =
+            if not (History.is_well_formed h) then "history NOT WELL-FORMED"
+            else begin
+              let txns = Tid.Set.cardinal (History.transactions h) in
+              if txns <= full_check_txn_limit then
+                if Atomicity.is_online_dynamic_atomic env h then
+                  "well-formed, dynamically atomic"
+                else "well-formed, NOT DYNAMICALLY ATOMIC"
+              else
+                Fmt.str "well-formed (%d txns; atomicity check needs <= %d)" txns
+                  full_check_txn_limit
+            end
+          in
+          Fmt.pr "trace %-24s %-10s %5d events -> %s@." r.scenario r.setup
+            (Trace.length tr) verdict)
+    rows
+
+let main name list_only recovery choice occ concurrency txns seed rounds metrics_file
+    trace_file =
   if list_only then list_scenarios ()
   else
     match find_scenario name with
     | None ->
         Fmt.epr "unknown scenario %S (try --list)@." name;
         exit 1
-    | Some scenario -> (
+    | Some scenario ->
         let cfg =
           Scheduler.config ~concurrency ~total_txns:txns ~seed ~max_rounds:rounds ()
         in
-        match recovery, choice, occ with
-        | None, None, false ->
-            Fmt.pr "%a@." Experiment.pp_table (Experiment.run_matrix scenario cfg)
-        | _ ->
-            let recovery =
-              match recovery with
-              | Some "du" | Some "DU" -> Recovery.DU
-              | None when occ -> Recovery.DU
-              | _ -> Recovery.UIP
+        let record_trace = trace_file <> None in
+        let rows =
+          match recovery, choice, occ with
+          | None, None, false -> Experiment.run_matrix ~record_trace scenario cfg
+          | _ ->
+              let recovery =
+                match recovery with
+                | Some "du" | Some "DU" -> Recovery.DU
+                | None when occ -> Recovery.DU
+                | _ -> Recovery.UIP
+              in
+              let choice =
+                match choice with
+                | Some "rw" -> Experiment.Read_write
+                | Some "all" -> Experiment.Total
+                | _ -> Experiment.Semantic
+              in
+              [
+                Experiment.run ~record_trace scenario
+                  (Experiment.setup ~occ recovery choice)
+                  cfg;
+              ]
+        in
+        Fmt.pr "%a@." Experiment.pp_table rows;
+        Option.iter (fun f -> write_metrics f rows) metrics_file;
+        Option.iter
+          (fun f ->
+            write_traces f rows;
+            (* Specs don't depend on the setup, so any build serves as the
+               checker environment. *)
+            let specs =
+              List.map Atomic_object.spec
+                (scenario.Experiment.build (Experiment.setup Recovery.UIP Semantic))
             in
-            let choice =
-              match choice with
-              | Some "rw" -> Experiment.Read_write
-              | Some "all" -> Experiment.Total
-              | _ -> Experiment.Semantic
-            in
-            let row = Experiment.run scenario (Experiment.setup ~occ recovery choice) cfg in
-            Fmt.pr "%a@." Experiment.pp_table [ row ])
+            check_traces ~specs rows)
+          trace_file
 
 open Cmdliner
 
@@ -79,12 +172,28 @@ let txns_arg = Arg.(value & opt int 200 & info [ "txns"; "n" ] ~doc:"Transaction
 let seed_arg = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"PRNG seed.")
 let rounds_arg = Arg.(value & opt int 100_000 & info [ "max-rounds" ] ~doc:"Safety stop.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a merged Prometheus text snapshot of all runs to $(docv).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record transaction spans, write them to $(docv) as JSON lines, and \
+           re-check each trace against the dynamic-atomicity definition.")
+
 let cmd =
   let doc = "run a transaction-engine scenario and print scheduler statistics" in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const main $ name_arg $ list_arg $ recovery_arg $ choice_arg $ occ_arg
-      $ concurrency_arg $ txns_arg $ seed_arg $ rounds_arg)
+      $ concurrency_arg $ txns_arg $ seed_arg $ rounds_arg $ metrics_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

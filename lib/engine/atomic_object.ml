@@ -1,4 +1,5 @@
 open Tm_core
+module Metrics = Tm_obs.Metrics
 
 type policy =
   | Locking
@@ -16,6 +17,7 @@ type t = {
   locks : Lock_table.t;
   recovery : Recovery.t;
   mutable blocks : int;
+  mutable metrics : Metrics.t option;
   (* Optimistic bookkeeping: committed operations in commit order (for
      backward validation), each transaction's ops and its start point in
      that log. *)
@@ -44,6 +46,7 @@ let make ?inverse ~spec ~conflict ~policy ~recovery () =
     locks = Lock_table.create conflict;
     recovery = Recovery.create ?inverse recovery spec;
     blocks = 0;
+    metrics = None;
     committed_rev = [];
     committed_len = 0;
     opt_start = Hashtbl.create 16;
@@ -63,6 +66,20 @@ let name t = t.name
 let spec t = t.spec
 let policy t = t.policy
 let recovery_kind t = Recovery.kind t.recovery
+
+let attach_metrics t reg =
+  t.metrics <- Some reg;
+  Lock_table.attach_metrics t.locks ~obj:t.name reg;
+  Recovery.attach_metrics t.recovery reg
+
+(* Per-operation counters run only on contention/failure paths (blocks,
+   stalls, validation failures) — never on a plain executed invocation. *)
+let count_event t metric inv_name =
+  match t.metrics with
+  | None -> ()
+  | Some reg ->
+      Metrics.Counter.incr
+        (Metrics.counter reg metric ~labels:[ ("obj", t.name); ("op", inv_name) ])
 
 let choose_op t ?choose inv enabled_ops =
   match choose, enabled_ops with
@@ -88,6 +105,7 @@ let invoke_locking ?choose t tid inv candidates =
   match List.rev enabled with
   | [] ->
       t.blocks <- t.blocks + 1;
+      count_event t "tm_object_blocked_total" inv.Op.name;
       Blocked (List.sort_uniq Tid.compare blocked_on)
   | enabled_ops ->
       let op = choose_op t ?choose inv enabled_ops in
@@ -109,7 +127,9 @@ let invoke_optimistic ?choose t tid inv candidates =
 
 let invoke ?choose t tid inv =
   match Recovery.responses t.recovery tid inv with
-  | [] -> No_response
+  | [] ->
+      count_event t "tm_object_no_response_total" inv.Op.name;
+      No_response
   | candidates -> (
       match t.policy with
       | Locking -> invoke_locking ?choose t tid inv candidates
@@ -140,7 +160,11 @@ let validate t tid =
                   interleaved)
               mine
           in
-          (match bad with Some pair -> Error pair | None -> Ok ()))
+          (match bad with
+          | Some ((mine_op, _) as p) ->
+              count_event t "tm_validation_failures_total" mine_op.Op.inv.Op.name;
+              Error p
+          | None -> Ok ()))
 
 let forget_optimistic t tid =
   Hashtbl.remove t.opt_start tid;

@@ -55,6 +55,15 @@ val spec : t -> Spec.t
 val policy : t -> policy
 val recovery_kind : t -> Recovery.kind
 
+(** [attach_metrics t reg] wires the object — and its lock table and
+    recovery manager — to a metrics registry.  Adds per-operation
+    contention counters labelled [{obj; op}]: [tm_object_blocked_total],
+    [tm_object_no_response_total] and [tm_validation_failures_total],
+    plus the series documented on {!Lock_table.attach_metrics} and
+    {!Recovery.attach_metrics}.  {!Database.create} calls this for every
+    object; uncontended invocations never touch a metric. *)
+val attach_metrics : t -> Tm_obs.Metrics.t -> unit
+
 (** [invoke t tid inv] attempts the invocation for [tid].  When several
     legal responses are enabled the first in the specification's response
     order is chosen (deterministic); pass [~choose] to override (e.g. a

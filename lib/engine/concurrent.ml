@@ -1,4 +1,6 @@
 open Tm_core
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
 
 type t = {
   db : Database.t;
@@ -7,6 +9,12 @@ type t = {
   (* Transactions condemned by another thread's deadlock detection; they
      notice at their next wake-up or engine call. *)
   doomed : (Tid.t, unit) Hashtbl.t;
+  (* Previously these were swallowed internally: every deadlock victim
+     and every transparent [with_txn] retry is now counted in the
+     database registry (shared metric names with the sim scheduler, so
+     [Experiment] rows read one series regardless of driver). *)
+  c_victims : Metrics.counter;
+  c_retries : Metrics.counter;
 }
 
 type handle = {
@@ -17,11 +25,15 @@ type handle = {
 exception Aborted
 
 let create ?record_history objs =
+  let db = Database.create ?record_history objs in
+  let reg = Database.metrics db in
   {
-    db = Database.create ?record_history objs;
+    db;
     lock = Mutex.create ();
     changed = Condition.create ();
     doomed = Hashtbl.create 8;
+    c_victims = Metrics.counter reg "tm_deadlock_victims_total";
+    c_retries = Metrics.counter reg "tm_txn_retries_total";
   }
 
 let tid h = h.tid
@@ -46,6 +58,8 @@ let break_deadlock t tid =
   | None -> ()
   | Some cycle ->
       let victim = Deadlock.victim cycle in
+      Metrics.Counter.incr t.c_victims;
+      Database.emit_trace t.db ~tid:victim (Trace.Deadlock_victim { cycle });
       if Tid.equal victim tid then abort_self t tid
       else begin
         Hashtbl.replace t.doomed victim ();
@@ -94,7 +108,9 @@ let with_txn ?(retries = 50) t f =
             raise e
       in
       match body with
-      | `Retry -> go (attempts + 1)
+      | `Retry ->
+          Metrics.Counter.incr t.c_retries;
+          go (attempts + 1)
       | `Done result -> (
           match
             locked t (fun () ->
@@ -110,12 +126,18 @@ let with_txn ?(retries = 50) t f =
                     `Validation_failed)
           with
           | `Committed -> Ok result
-          | `Validation_failed -> go (attempts + 1)
-          | exception Aborted -> go (attempts + 1))
+          | `Validation_failed ->
+              Metrics.Counter.incr t.c_retries;
+              go (attempts + 1)
+          | exception Aborted ->
+              Metrics.Counter.incr t.c_retries;
+              go (attempts + 1))
   in
   go 0
 
 let committed_count t = locked t (fun () -> Database.committed_count t.db)
 let aborted_count t = locked t (fun () -> Database.aborted_count t.db)
+let deadlock_victim_count t = locked t (fun () -> Metrics.Counter.get t.c_victims)
+let retry_count t = locked t (fun () -> Metrics.Counter.get t.c_retries)
 let history t = locked t (fun () -> Database.history t.db)
 let database t = t.db

@@ -58,6 +58,15 @@ val with_txn : ?retries:int -> t -> (handle -> 'a) -> ('a, [ `Too_many_aborts ])
 val committed_count : t -> int
 val aborted_count : t -> int
 
+(** Transactions aborted as deadlock victims (read from the
+    [tm_deadlock_victims_total] registry counter; previously this was
+    swallowed by the transparent-retry machinery). *)
+val deadlock_victim_count : t -> int
+
+(** Transparent {!with_txn} retries: deadlock-victim restarts plus
+    optimistic validation failures ([tm_txn_retries_total]). *)
+val retry_count : t -> int
+
 (** The recorded global history (empty unless [record_history]). *)
 val history : t -> History.t
 

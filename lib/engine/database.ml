@@ -1,4 +1,6 @@
 open Tm_core
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
 
 type txn_status =
   | Running
@@ -13,11 +15,28 @@ type t = {
   touched : (Tid.t, string list) Hashtbl.t;
   waits : Deadlock.t;
   mutable next_tid : int;
-  mutable committed : int;
-  mutable aborted : int;
+  (* Observability.  The registry always exists — counters are plain
+     field bumps, so the uninstrumented cost is negligible — and the
+     transaction counts below are *backed* by it ({!committed_count}
+     reads the counter).  The trace recorder is optional: [None] (the
+     default) costs one branch per event site. *)
+  metrics : Metrics.t;
+  c_begins : Metrics.counter;
+  c_committed : Metrics.counter;
+  c_aborted : Metrics.counter;
+  c_executed : Metrics.counter;
+  c_blocked : Metrics.counter;
+  c_no_response : Metrics.counter;
+  mutable trace : Trace.t option;
+  mutable ticks : int;  (* logical clock: one tick per invocation attempt *)
+  blocked_since : (Tid.t, string * int) Hashtbl.t;
 }
 
+let attach o reg = Atomic_object.attach_metrics o reg
+
 let create ?(record_history = false) objs =
+  let metrics = Metrics.create () in
+  List.iter (fun o -> attach o metrics) objs;
   {
     objs = List.map (fun o -> (Atomic_object.name o, o)) objs;
     record_history;
@@ -26,11 +45,23 @@ let create ?(record_history = false) objs =
     touched = Hashtbl.create 64;
     waits = Deadlock.create ();
     next_tid = 0;
-    committed = 0;
-    aborted = 0;
+    metrics;
+    c_begins = Metrics.counter metrics "tm_txn_begins_total";
+    c_committed = Metrics.counter metrics "tm_txn_committed_total";
+    c_aborted = Metrics.counter metrics "tm_txn_aborted_total";
+    c_executed = Metrics.counter metrics "tm_invocations_total" ~labels:[ ("outcome", "executed") ];
+    c_blocked = Metrics.counter metrics "tm_invocations_total" ~labels:[ ("outcome", "blocked") ];
+    c_no_response =
+      Metrics.counter metrics "tm_invocations_total" ~labels:[ ("outcome", "no_response") ];
+    trace = None;
+    ticks = 0;
+    blocked_since = Hashtbl.create 16;
   }
 
-let add_object t o = t.objs <- t.objs @ [ (Atomic_object.name o, o) ]
+let add_object t o =
+  attach o t.metrics;
+  t.objs <- t.objs @ [ (Atomic_object.name o, o) ]
+
 let objects t = List.map snd t.objs
 
 let find_object t name =
@@ -38,10 +69,19 @@ let find_object t name =
   | Some o -> o
   | None -> invalid_arg ("Database.find_object: unknown object " ^ name)
 
+let metrics t = t.metrics
+let set_trace t tr = t.trace <- Some tr
+let trace t = t.trace
+
+let emit_trace t ~tid kind =
+  match t.trace with None -> () | Some tr -> Trace.emit tr ~tid kind
+
 let begin_txn t =
   let tid = Tid.of_int t.next_tid in
   t.next_tid <- t.next_tid + 1;
   Hashtbl.replace t.status tid Running;
+  Metrics.Counter.incr t.c_begins;
+  emit_trace t ~tid Trace.Begin;
   tid
 
 let check_running t tid =
@@ -55,19 +95,44 @@ let push_event t e = if t.record_history then t.events <- e :: t.events
 
 let touched_objs t tid = Option.value (Hashtbl.find_opt t.touched tid) ~default:[]
 
+(* A transaction executing after an earlier block has been woken: record
+   how long (in attempt ticks) it waited, per object. *)
+let note_woken t tid =
+  match Hashtbl.find_opt t.blocked_since tid with
+  | None -> ()
+  | Some (obj, since) ->
+      Hashtbl.remove t.blocked_since tid;
+      let waited = t.ticks - since in
+      Metrics.Histogram.observe_int
+        (Metrics.histogram t.metrics "tm_lock_wait_ticks" ~labels:[ ("obj", obj) ])
+        waited;
+      emit_trace t ~tid (Trace.Woken { obj; waited })
+
 let invoke ?choose t tid ~obj inv =
   check_running t tid;
   let o = find_object t obj in
+  t.ticks <- t.ticks + 1;
+  emit_trace t ~tid (Trace.Invoke { obj; inv });
   let outcome = Atomic_object.invoke ?choose o tid inv in
   (match outcome with
   | Atomic_object.Executed op ->
       Deadlock.clear t.waits tid;
+      Metrics.Counter.incr t.c_executed;
+      note_woken t tid;
+      emit_trace t ~tid (Trace.Executed { op });
       push_event t (Event.invoke ~obj ~tid inv);
       push_event t (Event.respond ~obj ~tid op.Op.res);
       let objs = touched_objs t tid in
       if not (List.mem obj objs) then Hashtbl.replace t.touched tid (obj :: objs)
-  | Atomic_object.Blocked holders -> Deadlock.set_waiting t.waits tid ~on:holders
-  | Atomic_object.No_response -> ());
+  | Atomic_object.Blocked holders ->
+      Metrics.Counter.incr t.c_blocked;
+      if not (Hashtbl.mem t.blocked_since tid) then
+        Hashtbl.replace t.blocked_since tid (obj, t.ticks);
+      emit_trace t ~tid (Trace.Blocked { obj; inv; holders });
+      Deadlock.set_waiting t.waits tid ~on:holders
+  | Atomic_object.No_response ->
+      Metrics.Counter.incr t.c_no_response;
+      emit_trace t ~tid (Trace.No_response { obj; inv }));
   outcome
 
 let finish t tid status per_object =
@@ -82,21 +147,31 @@ let finish t tid status per_object =
     (List.rev (touched_objs t tid));
   Hashtbl.replace t.status tid status;
   Hashtbl.remove t.touched tid;
+  Hashtbl.remove t.blocked_since tid;
   Deadlock.clear t.waits tid
 
 let commit t tid =
   finish t tid Committed Atomic_object.commit;
-  t.committed <- t.committed + 1
+  Metrics.Counter.incr t.c_committed;
+  emit_trace t ~tid Trace.Commit
 
 let abort t tid =
   finish t tid Aborted Atomic_object.abort;
-  t.aborted <- t.aborted + 1
+  Metrics.Counter.incr t.c_aborted;
+  emit_trace t ~tid Trace.Abort
 
 let try_commit t tid =
   check_running t tid;
   (* Two-phase: validate at every touched object, then commit at all of
      them; a single validation failure aborts everywhere. *)
   let objs = List.rev (touched_objs t tid) in
+  let validated =
+    t.trace <> None
+    && List.exists
+         (fun obj ->
+           Atomic_object.policy (find_object t obj) = Atomic_object.Optimistic)
+         objs
+  in
   let failed =
     List.find_map
       (fun obj ->
@@ -105,6 +180,7 @@ let try_commit t tid =
         | Error (mine, theirs) -> Some (obj, mine, theirs))
       objs
   in
+  if validated then emit_trace t ~tid (Trace.Validated { ok = failed = None });
   match failed with
   | None ->
       commit t tid;
@@ -115,8 +191,8 @@ let try_commit t tid =
 
 let deadlock t = Deadlock.find_cycle t.waits
 let history t = History.of_events (List.rev t.events)
-let committed_count t = t.committed
-let aborted_count t = t.aborted
+let committed_count t = Metrics.Counter.get t.c_committed
+let aborted_count t = Metrics.Counter.get t.c_aborted
 
 let total_blocks t =
   List.fold_left (fun acc (_, o) -> acc + Atomic_object.block_count o) 0 t.objs

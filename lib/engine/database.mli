@@ -5,7 +5,14 @@
     recovery methods and conflict relations); the database adds
     transaction bookkeeping, atomic commitment across the objects a
     transaction touched, waits-for tracking and an optional global event
-    history for offline verification with {!Tm_core.Atomicity}. *)
+    history for offline verification with {!Tm_core.Atomicity}.
+
+    Every database owns a {!Tm_obs.Metrics} registry: transaction counts
+    are backed by it ({!committed_count} reads a counter) and every
+    managed object is attached to it at {!create}/{!add_object} time.  A
+    {!Tm_obs.Trace} recorder can additionally be attached with
+    {!set_trace}; without one, tracing costs a single branch per event
+    site. *)
 
 open Tm_core
 
@@ -15,6 +22,21 @@ val create : ?record_history:bool -> Atomic_object.t list -> t
 val add_object : t -> Atomic_object.t -> unit
 val objects : t -> Atomic_object.t list
 val find_object : t -> string -> Atomic_object.t
+
+(** The database's metrics registry (always present). *)
+val metrics : t -> Tm_obs.Metrics.t
+
+(** Attach a trace recorder; subsequent engine activity emits
+    begin/invoke/executed/blocked/woken/validated/commit/abort spans. *)
+val set_trace : t -> Tm_obs.Trace.t -> unit
+
+val trace : t -> Tm_obs.Trace.t option
+
+(** [emit_trace t ~tid kind] — emit a span into the attached recorder
+    (no-op without one).  Used by the layers above the database
+    (scheduler, WAL wrapper, threaded front end) for events only they can
+    see, e.g. deadlock victims and WAL forces. *)
+val emit_trace : t -> tid:Tid.t -> Tm_obs.Trace.kind -> unit
 
 (** [begin_txn t] allocates a fresh transaction id. *)
 val begin_txn : t -> Tid.t
@@ -49,7 +71,9 @@ val deadlock : t -> Tid.t list option
 (** The global event history (empty unless [record_history] was set). *)
 val history : t -> History.t
 
-(** Committed transactions count / aborted count. *)
+(** Committed transactions count / aborted count (read from the
+    [tm_txn_committed_total] / [tm_txn_aborted_total] registry
+    counters). *)
 val committed_count : t -> int
 
 val aborted_count : t -> int

@@ -1,4 +1,6 @@
 open Tm_core
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
 
 type t = {
   db : Database.t;
@@ -6,9 +8,17 @@ type t = {
   begun : (Tid.t, unit) Hashtbl.t;
 }
 
-let create ~wal objs = { db = Database.create objs; wal; begun = Hashtbl.create 16 }
+let create ~wal objs =
+  let db = Database.create objs in
+  Wal.attach_metrics wal (Database.metrics db);
+  { db; wal; begun = Hashtbl.create 16 }
+
 let database t = t.db
 let begin_txn t = Database.begin_txn t.db
+
+let log t tid r =
+  Wal.append t.wal r;
+  Database.emit_trace t.db ~tid (Trace.Wal_append { record = Wal.record_kind r })
 
 let invoke ?choose t tid ~obj inv =
   let outcome = Database.invoke ?choose t.db tid ~obj inv in
@@ -16,11 +26,28 @@ let invoke ?choose t tid ~obj inv =
   | Atomic_object.Executed op ->
       if not (Hashtbl.mem t.begun tid) then begin
         Hashtbl.add t.begun tid ();
-        Wal.append t.wal (Wal.Begin tid)
+        log t tid (Wal.Begin tid)
       end;
-      Wal.append t.wal (Wal.Operation (tid, op))
+      log t tid (Wal.Operation (tid, op))
   | Atomic_object.Blocked _ | Atomic_object.No_response -> ());
   outcome
+
+let force t tid r =
+  (* In-memory stable storage: a force is just an append, but it is the
+     durability point, so it gets its own counter and span. *)
+  log t tid r;
+  Metrics.Counter.incr (Metrics.counter (Database.metrics t.db) "tm_wal_forces_total");
+  Database.emit_trace t.db ~tid Trace.Wal_force
+
+let emit_system db kind =
+  match Database.trace db with Some tr -> Trace.emit_system tr kind | None -> ()
+
+let checkpoint t =
+  let ops =
+    List.concat_map Atomic_object.committed_ops (Database.objects t.db)
+  in
+  Wal.append t.wal (Wal.Checkpoint ops);
+  emit_system t.db (Trace.Checkpoint { ops = List.length ops })
 
 let try_commit t tid =
   (* Validate first (nothing logged on failure), then force the single
@@ -36,22 +63,22 @@ let try_commit t tid =
   in
   match failed with
   | Some _ as e ->
-      Wal.append t.wal (Wal.Abort tid);
+      log t tid (Wal.Abort tid);
       Hashtbl.remove t.begun tid;
       Database.abort t.db tid;
       (match e with Some x -> Error x | None -> assert false)
   | None ->
-      Wal.append t.wal (Wal.Commit tid);
+      force t tid (Wal.Commit tid);
       Hashtbl.remove t.begun tid;
       Database.commit t.db tid;
       Ok ()
 
 let abort t tid =
-  Wal.append t.wal (Wal.Abort tid);
+  log t tid (Wal.Abort tid);
   Hashtbl.remove t.begun tid;
   Database.abort t.db tid
 
-let recover ~wal ~rebuild =
+let recover ?trace ~wal ~rebuild () =
   let committed, losers = Wal.replay (Wal.records wal) in
   let objs = rebuild () in
   List.iter
@@ -63,4 +90,14 @@ let recover ~wal ~rebuild =
       in
       Atomic_object.restore o mine)
     objs;
-  (create ~wal objs, losers)
+  let t = create ~wal objs in
+  (match trace with None -> () | Some tr -> Database.set_trace t.db tr);
+  let reg = Database.metrics t.db in
+  Metrics.Counter.incr ~by:(List.length committed)
+    (Metrics.counter reg "tm_recovery_replayed_ops_total");
+  Metrics.Counter.incr ~by:(Tid.Set.cardinal losers)
+    (Metrics.counter reg "tm_recovery_loser_txns_total");
+  emit_system t.db
+    (Trace.Crash_recover
+       { replayed = List.length committed; losers = Tid.Set.cardinal losers });
+  (t, losers)

@@ -22,13 +22,26 @@ val invoke :
   Atomic_object.outcome
 
 (** Validates (for optimistic objects), forces the commit record, then
-    commits at every touched object. *)
+    commits at every touched object.  The commit-record append is the
+    durability point: it bumps [tm_wal_forces_total] and emits a
+    [Wal_force] trace span. *)
 val try_commit : t -> Tid.t -> (unit, string * Op.t * Op.t) result
 
 val abort : t -> Tid.t -> unit
 
-(** [recover ~wal ~rebuild] reconstructs the database after a crash:
+(** [checkpoint t] appends a [Checkpoint] record carrying every object's
+    committed operations in commit order (size observed in the
+    [tm_wal_checkpoint_ops] histogram). *)
+val checkpoint : t -> unit
+
+(** [recover ~wal ~rebuild ()] reconstructs the database after a crash:
     [rebuild] supplies fresh objects (same specs/conflicts/recovery as
     before the crash); each is restored with the committed operations of
-    {e its} object from the log.  Returns the database and the losers. *)
-val recover : wal:Wal.t -> rebuild:(unit -> Atomic_object.t list) -> t * Tid.Set.t
+    {e its} object from the log.  Returns the database and the losers.
+    Replay volume is counted as [tm_recovery_replayed_ops_total] /
+    [tm_recovery_loser_txns_total] in the new database's registry;
+    [trace], if given, is attached to it and receives the
+    [Crash_recover] span. *)
+val recover :
+  ?trace:Tm_obs.Trace.t -> wal:Wal.t -> rebuild:(unit -> Atomic_object.t list) ->
+  unit -> t * Tid.Set.t

@@ -1,11 +1,31 @@
 open Tm_core
+module Metrics = Tm_obs.Metrics
 
 type t = {
   conflict : Conflict.t;
   mutable held : (Tid.t * Op.t) list;  (* newest first *)
+  mutable metrics : (string * Metrics.t) option;  (* object name for labels *)
 }
 
-let create conflict = { conflict; held = [] }
+let create conflict = { conflict; held = []; metrics = None }
+let attach_metrics t ~obj reg = t.metrics <- Some (obj, reg)
+
+(* Conflict-pair accounting lives here (not in the caller) because only
+   the lock table sees which held operation blocked the request.  It runs
+   on the contention path only — an uncontended request touches no
+   metric. *)
+let note_conflict t ~requested ~held =
+  match t.metrics with
+  | None -> ()
+  | Some (obj, reg) ->
+      Metrics.Counter.incr
+        (Metrics.counter reg "tm_lock_conflicts_total"
+           ~labels:
+             [
+               ("obj", obj);
+               ("requested", requested.Op.inv.Op.name);
+               ("held", held.Op.inv.Op.name);
+             ])
 
 let blockers t ~requested ~tid =
   List.filter_map
@@ -13,7 +33,10 @@ let blockers t ~requested ~tid =
       if
         (not (Tid.equal holder tid))
         && Conflict.conflicts t.conflict ~requested ~held:op
-      then Some holder
+      then begin
+        note_conflict t ~requested ~held:op;
+        Some holder
+      end
       else None)
     t.held
   |> List.sort_uniq Tid.compare

@@ -13,6 +13,12 @@ type t
 
 val create : Conflict.t -> t
 
+(** [attach_metrics t ~obj reg] makes the table count blocking conflict
+    pairs in [reg] as [tm_lock_conflicts_total{obj,requested,held}]
+    (labelled by operation names).  Idempotent; called by
+    {!Database.create} for every object it manages. *)
+val attach_metrics : t -> obj:string -> Tm_obs.Metrics.t -> unit
+
 (** [blockers t ~requested ~tid] is the set of other transactions holding
     an operation that conflicts with [requested] (deduplicated). *)
 val blockers : t -> requested:Op.t -> tid:Tid.t -> Tid.t list

@@ -1,4 +1,5 @@
 open Tm_core
+module Metrics = Tm_obs.Metrics
 
 type kind =
   | UIP
@@ -22,6 +23,7 @@ type t = {
   commit : Tid.t -> unit;
   abort : Tid.t -> unit;
   committed_ops : unit -> Op.t list;
+  set_metrics : Metrics.t -> unit;
 }
 
 let kind t = t.kind
@@ -30,6 +32,16 @@ let record t = t.record
 let commit t = t.commit
 let abort t = t.abort
 let committed_ops t = t.committed_ops ()
+let attach_metrics t reg = t.set_metrics reg
+
+(* Per-object undo/redo accounting; every call is on a commit/abort path,
+   never per recorded operation. *)
+let count_ops meta name ~obj ~mode n =
+  match !meta with
+  | None -> ()
+  | Some reg ->
+      let labels = ("obj", obj) :: (match mode with None -> [] | Some m -> [ ("mode", m) ]) in
+      Metrics.Counter.incr ~by:n (Metrics.counter reg name ~labels)
 
 (* Distinct legal responses to [inv] from a state-set, each of which keeps
    the overall sequence legal by construction. *)
@@ -37,8 +49,10 @@ let candidate_responses (type s) (module S : Spec.S with type state = s) states 
   List.concat_map (fun st -> List.map fst (S.respond st inv)) states
   |> List.sort_uniq Value.compare
 
-let create_uip ?inverse (Spec.Packed (module S)) : t =
+let create_uip ?inverse (Spec.Packed (module S) as spec) : t =
   let module E = Explore.Make (S) in
+  let obj = Spec.name spec in
+  let meta = ref None in
   let current = ref E.initial_set in
   (* Execution-order log of operations by non-aborted transactions; the
      current state-set always equals the initial set stepped through it. *)
@@ -56,7 +70,9 @@ let create_uip ?inverse (Spec.Packed (module S)) : t =
     Hashtbl.replace per_txn tid (op :: txn_ops tid)
   in
   let commit tid =
-    committed_log := txn_ops tid @ !committed_log;
+    let mine = txn_ops tid in
+    count_ops meta "tm_recovery_committed_ops_total" ~obj ~mode:None (List.length mine);
+    committed_log := mine @ !committed_log;
     Hashtbl.remove per_txn tid
   in
   (* Undo by compensation: apply the inverses of the transaction's
@@ -80,19 +96,35 @@ let create_uip ?inverse (Spec.Packed (module S)) : t =
     Hashtbl.remove per_txn tid;
     log := List.filter (fun op -> not (List.memq op mine)) !log;
     let replayed () = E.after E.initial_set (List.rev !log) in
+    let undone mode =
+      count_ops meta "tm_recovery_undone_ops_total" ~obj ~mode:(Some mode)
+        (List.length mine)
+    in
     match compensation mine with
-    | None -> current := replayed ()
+    | None ->
+        undone "replay";
+        current := replayed ()
     | Some undo ->
         let next = E.after !current undo in
         (* Fall back to replay if a compensating operation is not legal
            here (cannot happen for well-chosen inverses, but safety wins). *)
-        current := (if E.States.is_empty next then replayed () else next)
+        if E.States.is_empty next then begin
+          undone "replay";
+          current := replayed ()
+        end
+        else begin
+          undone "inverse";
+          current := next
+        end
   in
   let committed_ops () = List.rev !committed_log in
-  { kind = UIP; responses; record; commit; abort; committed_ops }
+  let set_metrics reg = meta := Some reg in
+  { kind = UIP; responses; record; commit; abort; committed_ops; set_metrics }
 
-let create_du (Spec.Packed (module S)) : t =
+let create_du (Spec.Packed (module S) as spec) : t =
   let module E = Explore.Make (S) in
+  let obj = Spec.name spec in
+  let meta = ref None in
   let base = ref E.initial_set in
   let intentions : (Tid.t, Op.t list) Hashtbl.t = Hashtbl.create 16 in
   let committed_log = ref [] (* newest first *) in
@@ -117,12 +149,18 @@ let create_du (Spec.Packed (module S)) : t =
             (conflict relation too weak)"
            Tid.pp tid);
     base := next;
+    count_ops meta "tm_recovery_committed_ops_total" ~obj ~mode:None (List.length ops);
     committed_log := txn_ops tid @ !committed_log;
     Hashtbl.remove intentions tid
   in
-  let abort tid = Hashtbl.remove intentions tid in
+  let abort tid =
+    count_ops meta "tm_recovery_discarded_ops_total" ~obj ~mode:None
+      (List.length (txn_ops tid));
+    Hashtbl.remove intentions tid
+  in
   let committed_ops () = List.rev !committed_log in
-  { kind = DU; responses; record; commit; abort; committed_ops }
+  let set_metrics reg = meta := Some reg in
+  { kind = DU; responses; record; commit; abort; committed_ops; set_metrics }
 
 let create ?inverse kind spec =
   match kind with

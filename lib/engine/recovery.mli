@@ -61,3 +61,12 @@ val abort : t -> Tid.t -> unit
     (UIP) — or committed operations in commit order followed by nothing
     (DU base).  Exposed for verification in tests. *)
 val committed_ops : t -> Op.t list
+
+(** [attach_metrics t reg] makes the manager count recovery work in
+    [reg], labelled by the object (spec) name: committed operations
+    ([tm_recovery_committed_ops_total{obj}]), operations undone on a UIP
+    abort ([tm_recovery_undone_ops_total{obj,mode="inverse"|"replay"}])
+    and intentions discarded on a DU abort
+    ([tm_recovery_discarded_ops_total{obj}]).  Called by
+    {!Database.create}. *)
+val attach_metrics : t -> Tm_obs.Metrics.t -> unit

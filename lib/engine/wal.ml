@@ -1,4 +1,5 @@
 open Tm_core
+module Metrics = Tm_obs.Metrics
 
 type record =
   | Begin of Tid.t
@@ -14,13 +15,36 @@ let pp_record ppf = function
   | Abort tid -> Fmt.pf ppf "ABORT %a" Tid.pp tid
   | Checkpoint ops -> Fmt.pf ppf "CHECKPOINT (%d ops)" (List.length ops)
 
-type t = { mutable records_rev : record list; mutable count : int }
+type t = {
+  mutable records_rev : record list;
+  mutable count : int;
+  mutable metrics : Metrics.t option;
+}
 
-let create () = { records_rev = []; count = 0 }
+let create () = { records_rev = []; count = 0; metrics = None }
+let attach_metrics t reg = t.metrics <- Some reg
+
+let record_kind = function
+  | Begin _ -> "begin"
+  | Operation _ -> "operation"
+  | Commit _ -> "commit"
+  | Abort _ -> "abort"
+  | Checkpoint _ -> "checkpoint"
 
 let append t r =
   t.records_rev <- r :: t.records_rev;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  match t.metrics with
+  | None -> ()
+  | Some reg -> (
+      Metrics.Counter.incr
+        (Metrics.counter reg "tm_wal_appends_total" ~labels:[ ("kind", record_kind r) ]);
+      match r with
+      | Checkpoint ops ->
+          Metrics.Histogram.observe_int
+            (Metrics.histogram reg "tm_wal_checkpoint_ops")
+            (List.length ops)
+      | Begin _ | Operation _ | Commit _ | Abort _ -> ())
 
 let records t = List.rev t.records_rev
 let length t = t.count
@@ -28,7 +52,7 @@ let length t = t.count
 let prefix t n =
   let rec take n l = if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
   let kept = take n (records t) in
-  { records_rev = List.rev kept; count = List.length kept }
+  { records_rev = List.rev kept; count = List.length kept; metrics = None }
 
 let replay recs =
   (* Start after the latest checkpoint: its operation sequence already

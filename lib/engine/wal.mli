@@ -29,7 +29,18 @@ val pp_record : Format.formatter -> record -> unit
 type t
 
 val create : unit -> t
+
+(** [attach_metrics t reg] counts appends per record kind as
+    [tm_wal_appends_total{kind}] and observes checkpoint sizes in the
+    [tm_wal_checkpoint_ops] histogram.  {!Durable_database.create}
+    attaches its database registry automatically; a log rebuilt by
+    {!prefix} starts detached. *)
+val attach_metrics : t -> Tm_obs.Metrics.t -> unit
+
 val append : t -> record -> unit
+
+(** The record kind as a short lower-case string (metric/trace label). *)
+val record_kind : record -> string
 val records : t -> record list
 val length : t -> int
 

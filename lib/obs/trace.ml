@@ -1,0 +1,178 @@
+open Tm_core
+
+type kind =
+  | Begin
+  | Invoke of { obj : string; inv : Op.invocation }
+  | Executed of { op : Op.t }
+  | Blocked of { obj : string; inv : Op.invocation; holders : Tid.t list }
+  | No_response of { obj : string; inv : Op.invocation }
+  | Woken of { obj : string; waited : int }
+  | Validated of { ok : bool }
+  | Commit
+  | Abort
+  | Deadlock_victim of { cycle : Tid.t list }
+  | Wal_append of { record : string }
+  | Wal_force
+  | Checkpoint of { ops : int }
+  | Crash_recover of { replayed : int; losers : int }
+
+type event = {
+  ts : int;
+  tid : Tid.t option;  (* [None] for system-wide events *)
+  kind : kind;
+}
+
+type t = {
+  mutable events_rev : event list;
+  mutable clock : int;
+}
+
+let create () = { events_rev = []; clock = 0 }
+
+let emit_opt t tid kind =
+  let ts = t.clock in
+  t.clock <- ts + 1;
+  t.events_rev <- { ts; tid; kind } :: t.events_rev
+
+let emit t ~tid kind = emit_opt t (Some tid) kind
+let emit_system t kind = emit_opt t None kind
+
+let events t = List.rev t.events_rev
+let length t = t.clock
+
+let kind_name = function
+  | Begin -> "begin"
+  | Invoke _ -> "invoke"
+  | Executed _ -> "executed"
+  | Blocked _ -> "blocked"
+  | No_response _ -> "no_response"
+  | Woken _ -> "woken"
+  | Validated _ -> "validated"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Deadlock_victim _ -> "deadlock_victim"
+  | Wal_append _ -> "wal_append"
+  | Wal_force -> "wal_force"
+  | Checkpoint _ -> "checkpoint"
+  | Crash_recover _ -> "crash_recover"
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines export (hand-rolled; the repo deliberately has no JSON
+   dependency).                                                        *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec json_of_value = function
+  | Value.Unit -> "null"
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Str s -> Fmt.str "\"%s\"" (json_escape s)
+  | Value.List l -> Fmt.str "[%s]" (String.concat "," (List.map json_of_value l))
+
+let json_str s = Fmt.str "\"%s\"" (json_escape s)
+
+let json_obj fields =
+  Fmt.str "{%s}"
+    (String.concat "," (List.map (fun (k, v) -> Fmt.str "\"%s\":%s" k v) fields))
+
+let json_of_inv (inv : Op.invocation) =
+  json_obj
+    [
+      ("name", json_str inv.name);
+      ("args", Fmt.str "[%s]" (String.concat "," (List.map json_of_value inv.args)));
+    ]
+
+let json_of_tids tids =
+  Fmt.str "[%s]" (String.concat "," (List.map (fun t -> string_of_int (Tid.to_int t)) tids))
+
+let kind_fields = function
+  | Begin | Commit | Abort | Wal_force -> []
+  | Invoke { obj; inv } -> [ ("obj", json_str obj); ("op", json_of_inv inv) ]
+  | Executed { op } ->
+      [
+        ("obj", json_str op.Op.obj);
+        ("op", json_of_inv op.Op.inv);
+        ("res", json_of_value op.Op.res);
+      ]
+  | Blocked { obj; inv; holders } ->
+      [ ("obj", json_str obj); ("op", json_of_inv inv); ("holders", json_of_tids holders) ]
+  | No_response { obj; inv } -> [ ("obj", json_str obj); ("op", json_of_inv inv) ]
+  | Woken { obj; waited } ->
+      [ ("obj", json_str obj); ("waited", string_of_int waited) ]
+  | Validated { ok } -> [ ("ok", string_of_bool ok) ]
+  | Deadlock_victim { cycle } -> [ ("cycle", json_of_tids cycle) ]
+  | Wal_append { record } -> [ ("record", json_str record) ]
+  | Checkpoint { ops } -> [ ("ops", string_of_int ops) ]
+  | Crash_recover { replayed; losers } ->
+      [ ("replayed", string_of_int replayed); ("losers", string_of_int losers) ]
+
+let event_to_json ?(extra = []) e =
+  json_obj
+    (("ts", string_of_int e.ts)
+     :: ( "tid",
+          match e.tid with
+          | Some tid -> string_of_int (Tid.to_int tid)
+          | None -> "null" )
+     :: ("event", json_str (kind_name e.kind))
+     :: kind_fields e.kind
+    @ List.map (fun (k, v) -> (k, json_str v)) extra)
+
+let pp_jsonl ?extra ppf t =
+  List.iter (fun e -> Fmt.pf ppf "%s@." (event_to_json ?extra e)) (events t)
+
+let to_jsonl ?extra t = Fmt.str "%a" (pp_jsonl ?extra) t
+
+(* ------------------------------------------------------------------ *)
+(* Replay: a recorded trace as a paper history.                        *)
+
+(* Only [Executed], [Commit] and [Abort] events carry history content;
+   the rest is scheduling noise.  The objects a transaction touched are
+   reconstructed from its executed operations, mirroring exactly what
+   [Database.finish] does when it emits per-object commit/abort
+   events. *)
+let to_history t =
+  let touched : (Tid.t, string list) Hashtbl.t = Hashtbl.create 16 in
+  let touch tid obj =
+    let objs = Option.value (Hashtbl.find_opt touched tid) ~default:[] in
+    if not (List.mem obj objs) then Hashtbl.replace touched tid (obj :: objs)
+  in
+  let finish h tid per_obj =
+    let objs = List.rev (Option.value (Hashtbl.find_opt touched tid) ~default:[]) in
+    Hashtbl.remove touched tid;
+    List.fold_left (fun h obj -> per_obj tid obj h) h objs
+  in
+  List.fold_left
+    (fun h e ->
+      match e.tid, e.kind with
+      | Some tid, Executed { op } ->
+          touch tid op.Op.obj;
+          History.exec tid op h
+      | Some tid, Commit -> finish h tid (fun tid obj h -> History.commit_at tid obj h)
+      | Some tid, Abort -> finish h tid (fun tid obj h -> History.abort_at tid obj h)
+      | _ -> h)
+    History.empty (events t)
+
+let pp_event ppf e =
+  Fmt.pf ppf "%6d %-4s %-16s" e.ts
+    (match e.tid with Some tid -> Tid.to_string tid | None -> "-")
+    (kind_name e.kind);
+  match e.kind with
+  | Executed { op } -> Fmt.pf ppf " %a" Op.pp op
+  | Blocked { obj; inv; holders } ->
+      Fmt.pf ppf " %s:%a on %a" obj Op.pp_invocation inv
+        Fmt.(list ~sep:(any ",") Tid.pp)
+        holders
+  | _ -> ()

@@ -1,0 +1,77 @@
+(** Transaction trace spans: structured engine events with monotonic
+    logical timestamps.
+
+    A recorder is attached to a {!Tm_engine.Database} (or the durable /
+    threaded front ends built on it); the engine emits one event per
+    transaction-lifecycle step.  Timestamps are logical — each emitted
+    event advances the recorder's clock by one — so traces are
+    deterministic whenever the run is.
+
+    The two consumers are {!pp_jsonl} (a JSON-lines dump, one object per
+    line, for external tooling) and {!to_history}, which converts a
+    recorded trace back into a paper history so the run can be re-checked
+    by {!Tm_core.Atomicity}'s dynamic-atomicity checkers — observability
+    that double-checks the theory. *)
+
+open Tm_core
+
+type kind =
+  | Begin
+  | Invoke of { obj : string; inv : Op.invocation }  (** an invocation attempt *)
+  | Executed of { op : Op.t }
+  | Blocked of { obj : string; inv : Op.invocation; holders : Tid.t list }
+  | No_response of { obj : string; inv : Op.invocation }
+      (** partial operation with no legal response yet *)
+  | Woken of { obj : string; waited : int }
+      (** first execution after a block; [waited] in logical ticks *)
+  | Validated of { ok : bool }  (** optimistic commit-time validation *)
+  | Commit
+  | Abort
+  | Deadlock_victim of { cycle : Tid.t list }
+  | Wal_append of { record : string }
+  | Wal_force  (** the append that makes a commit durable *)
+  | Checkpoint of { ops : int }
+  | Crash_recover of { replayed : int; losers : int }
+
+type event = {
+  ts : int;  (** monotonic logical timestamp, unique per recorder *)
+  tid : Tid.t option;  (** [None] for system-wide events (checkpoints, recovery) *)
+  kind : kind;
+}
+
+type t
+
+val create : unit -> t
+
+val emit : t -> tid:Tid.t -> kind -> unit
+
+(** [emit_system t kind] — an event not attributable to one transaction
+    (a checkpoint, a crash recovery); serialized with [tid:null]. *)
+val emit_system : t -> kind -> unit
+
+(** Events in emission order. *)
+val events : t -> event list
+
+val length : t -> int
+val kind_name : kind -> string
+
+(** {1 Exporters} *)
+
+(** One JSON object per line: [{"ts":..,"tid":..,"event":..,...}].
+    [extra] appends constant string fields to every line (e.g.
+    [("setup", "UIP+NRBC")] when several runs share a file). *)
+val pp_jsonl : ?extra:(string * string) list -> Format.formatter -> t -> unit
+
+val to_jsonl : ?extra:(string * string) list -> t -> string
+val event_to_json : ?extra:(string * string) list -> event -> string
+val pp_event : Format.formatter -> event -> unit
+
+(** {1 Replay} *)
+
+(** [to_history t] reconstructs the global event history of the traced
+    run: each [Executed] operation contributes its invocation/response
+    pair, and [Commit]/[Abort] expand into per-object completion events
+    for exactly the objects the transaction executed at (mirroring
+    [Database]'s own history recording).  The result can be fed to
+    {!Tm_core.Atomicity.is_online_dynamic_atomic}. *)
+val to_history : t -> History.t

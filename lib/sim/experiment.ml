@@ -2,6 +2,8 @@ open Tm_core
 module Atomic_object = Tm_engine.Atomic_object
 module Database = Tm_engine.Database
 module Recovery = Tm_engine.Recovery
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
 
 type conflict_choice =
   | Semantic
@@ -213,6 +215,10 @@ type row = {
   setup : string;
   stats : Scheduler.stats;
   consistent : bool;
+  deadlock_victims : int;
+  retries : int;
+  metrics : Metrics.t;
+  trace : Trace.t option;
 }
 
 let verify_database db =
@@ -220,34 +226,57 @@ let verify_database db =
     (fun o -> Spec.legal (Atomic_object.spec o) (Atomic_object.committed_ops o))
     (Database.objects db)
 
-let run scenario s cfg =
-  let db = Database.create (scenario.build s) in
-  let stats = Scheduler.run db scenario.workload cfg in
-  { scenario = scenario.name; setup = label s; stats; consistent = verify_database db }
-
-let run_custom ~name ~label ~workload ~build cfg =
-  let db = Database.create (build ()) in
+let run_db ?(record_trace = false) ~name ~label db workload cfg =
+  let trace =
+    if record_trace then begin
+      let tr = Trace.create () in
+      Database.set_trace db tr;
+      Some tr
+    end
+    else None
+  in
   let stats = Scheduler.run db workload cfg in
-  { scenario = name; setup = label; stats; consistent = verify_database db }
+  let reg = Database.metrics db in
+  {
+    scenario = name;
+    setup = label;
+    stats;
+    consistent = verify_database db;
+    deadlock_victims = Metrics.counter_value reg "tm_deadlock_victims_total";
+    retries = Metrics.counter_value reg "tm_txn_retries_total";
+    metrics = reg;
+    trace;
+  }
 
-let run_matrix scenario cfg = List.map (fun s -> run scenario s cfg) default_setups
+let run ?record_trace scenario s cfg =
+  let db = Database.create (scenario.build s) in
+  run_db ?record_trace ~name:scenario.name ~label:(label s) db scenario.workload cfg
+
+let run_custom ?record_trace ~name ~label ~workload ~build cfg =
+  let db = Database.create (build ()) in
+  run_db ?record_trace ~name ~label db workload cfg
+
+let run_matrix ?record_trace scenario cfg =
+  List.map (fun s -> run ?record_trace scenario s cfg) default_setups
 
 let pp_row ppf r =
-  Fmt.pf ppf "%-24s %-10s %a%s" r.scenario r.setup Scheduler.pp_stats r.stats
+  Fmt.pf ppf "%-24s %-10s %a; victims %d; retries %d%s" r.scenario r.setup
+    Scheduler.pp_stats r.stats r.deadlock_victims r.retries
     (if r.consistent then "" else "  !! INCONSISTENT")
 
 let pp_table ppf rows =
-  Fmt.pf ppf "@[<v>%-24s %-10s %8s %8s %8s %8s %8s %10s %8s@;" "scenario" "setup"
-    "commit" "abort" "rounds" "exec" "blocked" "avg-act" "effcy";
+  Fmt.pf ppf "@[<v>%-24s %-10s %8s %8s %8s %8s %8s %8s %8s %10s %8s@;" "scenario"
+    "setup" "commit" "abort" "victims" "retries" "rounds" "exec" "blocked" "avg-act"
+    "effcy";
   List.iter
     (fun r ->
       let s = r.stats in
-      Fmt.pf ppf "%-24s %-10s %8d %8d %8d %8d %8d %10.2f %8.3f%s@;" r.scenario r.setup
-        s.Scheduler.committed
+      Fmt.pf ppf "%-24s %-10s %8d %8d %8d %8d %8d %8d %8d %10.2f %8.3f%s@;" r.scenario
+        r.setup s.Scheduler.committed
         (s.Scheduler.deadlock_aborts + s.Scheduler.livelock_aborts
        + s.Scheduler.validation_aborts)
-        s.Scheduler.rounds s.Scheduler.executed s.Scheduler.blocked
-        (Scheduler.avg_active s) (Scheduler.efficiency s)
+        r.deadlock_victims r.retries s.Scheduler.rounds s.Scheduler.executed
+        s.Scheduler.blocked (Scheduler.avg_active s) (Scheduler.efficiency s)
         (if r.consistent then "" else "  !! INCONSISTENT"))
     rows;
   Fmt.pf ppf "@]"

@@ -91,18 +91,25 @@ type row = {
   consistent : bool;
       (** post-run invariant: at every object the committed operations
           replay legally in commit order *)
+  deadlock_victims : int;  (** [tm_deadlock_victims_total] after the run *)
+  retries : int;  (** [tm_txn_retries_total] after the run *)
+  metrics : Tm_obs.Metrics.t;  (** the database registry, for exporters *)
+  trace : Tm_obs.Trace.t option;  (** populated when [record_trace] *)
 }
 
-val run : scenario -> setup -> Scheduler.config -> row
+(** [run ?record_trace scenario setup cfg] — when [record_trace] (default
+    false) a {!Tm_obs.Trace} recorder is attached before the run and
+    returned in the row for JSONL export or trace→history replay. *)
+val run : ?record_trace:bool -> scenario -> setup -> Scheduler.config -> row
 
 (** [run_custom] — for ablations with hand-built objects (custom conflict
     relations, mixed policies); [label] is the setup column text. *)
 val run_custom :
-  name:string -> label:string -> workload:Workload.t ->
+  ?record_trace:bool -> name:string -> label:string -> workload:Workload.t ->
   build:(unit -> Atomic_object.t list) -> Scheduler.config -> row
 
 (** [run_matrix scenario cfg] runs {!default_setups}. *)
-val run_matrix : scenario -> Scheduler.config -> row list
+val run_matrix : ?record_trace:bool -> scenario -> Scheduler.config -> row list
 
 val pp_row : Format.formatter -> row -> unit
 

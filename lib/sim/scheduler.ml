@@ -1,6 +1,8 @@
 open Tm_core
 module Database = Tm_engine.Database
 module Atomic_object = Tm_engine.Atomic_object
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
 
 type config = {
   concurrency : int;
@@ -51,6 +53,16 @@ type active_txn = {
 
 let run db (workload : Workload.t) cfg =
   let rng = Random.State.make [| cfg.seed |] in
+  (* Scheduler-level series in the database registry; the victim/retry
+     counters share their names with [Tm_engine.Concurrent] so consumers
+     read one series regardless of driver. *)
+  let reg = Database.metrics db in
+  let c_rounds = Metrics.counter reg "tm_sched_rounds_total" in
+  let c_victims = Metrics.counter reg "tm_deadlock_victims_total" in
+  let c_retries = Metrics.counter reg "tm_txn_retries_total" in
+  let c_gave_up = Metrics.counter reg "tm_txn_gave_up_total" in
+  let g_active = Metrics.gauge reg "tm_sched_active_txns" in
+  let h_active = Metrics.histogram reg "tm_sched_active_txns_per_round" in
   let pending = Queue.create () in
   for _ = 1 to cfg.total_txns do
     Queue.add (workload.generate rng, 0) pending
@@ -93,8 +105,14 @@ let run db (workload : Workload.t) cfg =
         Database.abort db t.tid;
         bump (fun s -> { s with livelock_aborts = s.livelock_aborts + 1 }));
     remove t.tid;
-    if t.retries < cfg.max_retries then Queue.add (t.program, t.retries + 1) pending
-    else bump (fun s -> { s with gave_up = s.gave_up + 1 })
+    if t.retries < cfg.max_retries then begin
+      Metrics.Counter.incr c_retries;
+      Queue.add (t.program, t.retries + 1) pending
+    end
+    else begin
+      Metrics.Counter.incr c_gave_up;
+      bump (fun s -> { s with gave_up = s.gave_up + 1 })
+    end
   in
   let shuffle l =
     let arr = Array.of_list l in
@@ -133,7 +151,10 @@ let run db (workload : Workload.t) cfg =
             | Some cycle -> (
                 let victim = Tm_engine.Deadlock.victim cycle in
                 match find_active victim with
-                | Some v -> abort_and_requeue `Deadlock v
+                | Some v ->
+                    Metrics.Counter.incr c_victims;
+                    Database.emit_trace db ~tid:victim (Trace.Deadlock_victim { cycle });
+                    abort_and_requeue `Deadlock v
                 | None -> ())
             | None -> ())
         | Atomic_object.No_response ->
@@ -144,7 +165,11 @@ let run db (workload : Workload.t) cfg =
     if !active = [] || round >= cfg.max_rounds then
       bump (fun s -> { s with rounds = round })
     else begin
-      bump (fun s -> { s with active_sum = s.active_sum + List.length !active });
+      let n_active = List.length !active in
+      Metrics.Counter.incr c_rounds;
+      Metrics.Gauge.set g_active (float_of_int n_active);
+      Metrics.Histogram.observe_int h_active n_active;
+      bump (fun s -> { s with active_sum = s.active_sum + n_active });
       progressed := false;
       List.iter (fun t -> if find_active t.tid <> None then step t) (shuffle !active);
       if (not !progressed) && !active <> [] then begin

@@ -51,5 +51,12 @@ val efficiency : stats -> float
 val pp_stats : Format.formatter -> stats -> unit
 
 (** [run db workload cfg] drives the database to completion of the
-    admitted programs (or [max_rounds]). *)
+    admitted programs (or [max_rounds]).
+
+    Scheduler-level observability lands in [db]'s metrics registry:
+    [tm_sched_rounds_total], the per-round concurrency gauge
+    [tm_sched_active_txns] (plus the [.._per_round] histogram),
+    [tm_txn_retries_total], [tm_deadlock_victims_total] and
+    [tm_txn_gave_up_total].  Victim selection also emits a
+    [Deadlock_victim] span when a trace recorder is attached. *)
 val run : Tm_engine.Database.t -> Workload.t -> config -> stats

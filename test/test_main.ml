@@ -23,4 +23,5 @@ let () =
       ("registry", Test_registry.suite);
       ("properties", Test_properties.suite);
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,264 @@
+(* Observability: the metrics registry (bucketing, quantiles, labeled
+   merging, Prometheus export), transaction tracing, and the round trip
+   recorded trace -> history -> dynamic-atomicity checker. *)
+
+open Tm_core
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
+module Atomic_object = Tm_engine.Atomic_object
+module Database = Tm_engine.Database
+module Concurrent = Tm_engine.Concurrent
+module Recovery = Tm_engine.Recovery
+module Experiment = Tm_sim.Experiment
+module Scheduler = Tm_sim.Scheduler
+module BA = Tm_adt.Bank_account
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_opt = Alcotest.(check (option (float 1e-9)))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucketing and quantile estimation.                        *)
+
+let test_histogram_bucketing () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 10.; 20.; 30. |] "h" in
+  List.iter (Metrics.Histogram.observe h) [ 5.; 15.; 25. ];
+  Helpers.check_int "count" 3 (Metrics.Histogram.count h);
+  check_float "sum" 45. (Metrics.Histogram.sum h);
+  (* rank 1.5 falls in (10,20] with one observation below: interpolates
+     to the middle of the bucket *)
+  check_float_opt "p50" (Some 15.) (Metrics.Histogram.quantile h 0.5);
+  check_float_opt "p100" (Some 30.) (Metrics.Histogram.quantile h 1.0);
+  check_float_opt "p0" (Some 0.) (Metrics.Histogram.quantile h 0.)
+
+let test_histogram_overflow_clamp () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 10.; 20.; 30. |] "h" in
+  Metrics.Histogram.observe h 1000.;
+  (* everything in the overflow bucket: clamped to the largest bound *)
+  check_float_opt "clamped" (Some 30.) (Metrics.Histogram.quantile h 0.5)
+
+let test_histogram_empty_and_bad_buckets () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 1.; 2. |] "h" in
+  check_float_opt "empty" None (Metrics.Histogram.quantile h 0.5);
+  Alcotest.check_raises "non-increasing" (Invalid_argument
+    "Metrics.histogram: bucket bounds must be strictly increasing") (fun () ->
+      ignore (Metrics.histogram reg ~buckets:[| 2.; 2. |] "h2"))
+
+(* ------------------------------------------------------------------ *)
+(* Registry semantics: idempotent handles, labels, merging.            *)
+
+let test_counter_idempotent_and_labels () =
+  let reg = Metrics.create () in
+  let c1 = Metrics.counter reg ~labels:[ ("a", "1"); ("b", "2") ] "c" in
+  (* same series under reordered labels *)
+  let c2 = Metrics.counter reg ~labels:[ ("b", "2"); ("a", "1") ] "c" in
+  Metrics.Counter.incr c1;
+  Metrics.Counter.incr ~by:2 c2;
+  Helpers.check_int "one series" 3
+    (Metrics.counter_value reg ~labels:[ ("a", "1"); ("b", "2") ] "c");
+  Helpers.check_int "absent reads 0" 0 (Metrics.counter_value reg "absent");
+  Metrics.Counter.incr ~by:10 (Metrics.counter reg ~labels:[ ("a", "other") ] "c");
+  Helpers.check_int "family total" 13 (Metrics.counter_total reg "c")
+
+let test_type_clash () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "x");
+  Alcotest.check_raises "counter as gauge" (Invalid_argument
+    "Metrics: x already registered as a counter, requested as a gauge") (fun () ->
+      ignore (Metrics.gauge reg "x"))
+
+let test_merge () =
+  let src = Metrics.create () in
+  Metrics.Counter.incr ~by:3 (Metrics.counter src ~labels:[ ("k", "v") ] "c");
+  Metrics.Gauge.set (Metrics.gauge src "g") 7.;
+  let hs = Metrics.histogram src ~buckets:[| 1.; 2. |] "h" in
+  Metrics.Histogram.observe hs 1.5;
+  let dst = Metrics.create () in
+  Metrics.Counter.incr ~by:2
+    (Metrics.counter dst ~labels:[ ("k", "v"); ("run", "a") ] "c");
+  Metrics.merge ~extra_labels:[ ("run", "a") ] dst src;
+  Helpers.check_int "counters accumulate" 5
+    (Metrics.counter_value dst ~labels:[ ("k", "v"); ("run", "a") ] "c");
+  check_float_opt "gauge copied" (Some 7.)
+    (Metrics.gauge_value dst ~labels:[ ("run", "a") ] "g");
+  let hd = Metrics.histogram dst ~labels:[ ("run", "a") ] ~buckets:[| 1.; 2. |] "h" in
+  Helpers.check_int "histogram accumulates" 1 (Metrics.Histogram.count hd);
+  (* merging again doubles the counter *)
+  Metrics.merge ~extra_labels:[ ("run", "a") ] dst src;
+  Helpers.check_int "second merge" 8
+    (Metrics.counter_value dst ~labels:[ ("k", "v"); ("run", "a") ] "c")
+
+let test_merge_bucket_mismatch () =
+  let src = Metrics.create () in
+  ignore (Metrics.histogram src ~buckets:[| 1.; 2. |] "h");
+  let dst = Metrics.create () in
+  ignore (Metrics.histogram dst ~buckets:[| 5.; 6. |] "h");
+  Alcotest.check_raises "bucket mismatch" (Invalid_argument
+    "Metrics: histogram h re-registered with different buckets") (fun () ->
+      Metrics.merge dst src)
+
+let test_prometheus_export () =
+  let reg = Metrics.create () in
+  Metrics.Counter.incr ~by:4 (Metrics.counter reg ~labels:[ ("obj", "BA") ] "tm_c");
+  let h = Metrics.histogram reg ~buckets:[| 1.; 2. |] "tm_h" in
+  Metrics.Histogram.observe h 1.5;
+  let out = Metrics.to_prometheus reg in
+  List.iter
+    (fun needle -> Helpers.check_bool needle true (contains out needle))
+    [
+      "# TYPE tm_c counter";
+      "tm_c{obj=\"BA\"} 4";
+      "# TYPE tm_h histogram";
+      "tm_h_bucket{le=\"1\"} 0";
+      "tm_h_bucket{le=\"2\"} 1";
+      "tm_h_bucket{le=\"+Inf\"} 1";
+      "tm_h_sum 1.5";
+      "tm_h_count 1";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine wiring: database counters and trace spans.                   *)
+
+let deposit_inv i = Op.invocation ~args:[ Value.int i ] "deposit"
+
+let make_db () =
+  Database.create
+    [
+      Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+        ~recovery:Recovery.UIP ();
+    ]
+
+let test_database_counters_registry_backed () =
+  let db = make_db () in
+  let t = Database.begin_txn db in
+  (match Database.invoke db t ~obj:"BA" (deposit_inv 5) with
+  | Atomic_object.Executed _ -> ()
+  | _ -> Alcotest.fail "deposit should execute");
+  Database.commit db t;
+  let u = Database.begin_txn db in
+  ignore (Database.invoke db u ~obj:"BA" (deposit_inv 1));
+  Database.abort db u;
+  let reg = Database.metrics db in
+  Helpers.check_int "committed_count" 1 (Database.committed_count db);
+  Helpers.check_int "backing counter" 1
+    (Metrics.counter_value reg "tm_txn_committed_total");
+  Helpers.check_int "aborted_count" 1 (Database.aborted_count db);
+  Helpers.check_int "aborted counter" 1
+    (Metrics.counter_value reg "tm_txn_aborted_total");
+  Helpers.check_int "begins" 2 (Metrics.counter_value reg "tm_txn_begins_total");
+  Helpers.check_int "executed invocations" 2
+    (Metrics.counter_value reg ~labels:[ ("outcome", "executed") ]
+       "tm_invocations_total")
+
+let test_trace_spans () =
+  let db = make_db () in
+  let tr = Trace.create () in
+  Database.set_trace db tr;
+  let t = Database.begin_txn db in
+  ignore (Database.invoke db t ~obj:"BA" (deposit_inv 5));
+  Database.commit db t;
+  let kinds = List.map (fun e -> Trace.kind_name e.Trace.kind) (Trace.events tr) in
+  Alcotest.(check (list string)) "span sequence"
+    [ "begin"; "invoke"; "executed"; "commit" ]
+    kinds;
+  (* timestamps are the monotonic emission order *)
+  Alcotest.(check (list int)) "timestamps" [ 0; 1; 2; 3 ]
+    (List.map (fun e -> e.Trace.ts) (Trace.events tr));
+  let json = Trace.to_jsonl ~extra:[ ("setup", "UIP+NRBC") ] tr in
+  List.iter
+    (fun needle -> Helpers.check_bool needle true (contains json needle))
+    [ "\"event\":\"begin\""; "\"event\":\"executed\""; "\"setup\":\"UIP+NRBC\"" ]
+
+let test_concurrent_accessors () =
+  let db =
+    Concurrent.create
+      [
+        Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+          ~recovery:Recovery.UIP ();
+      ]
+  in
+  (match
+     Concurrent.with_txn db (fun h ->
+         Concurrent.invoke h ~obj:"BA" (deposit_inv 5))
+   with
+  | Ok _ -> ()
+  | Error `Too_many_aborts -> Alcotest.fail "unexpected abort");
+  Helpers.check_int "committed" 1 (Concurrent.committed_count db);
+  Helpers.check_int "no victims" 0 (Concurrent.deadlock_victim_count db);
+  Helpers.check_int "no retries" 0 (Concurrent.retry_count db)
+
+let test_scheduler_row_counters () =
+  let cfg = Scheduler.config ~concurrency:8 ~total_txns:60 ~seed:11 () in
+  let row =
+    Experiment.run Experiment.bank_hotspot
+      (Experiment.setup Recovery.UIP Experiment.Semantic)
+      cfg
+  in
+  Helpers.check_bool "consistent" true row.Experiment.consistent;
+  Helpers.check_int "victims counter mirrors deadlock aborts"
+    row.Experiment.stats.Scheduler.deadlock_aborts row.Experiment.deadlock_victims;
+  Helpers.check_int "rounds counter" row.Experiment.stats.Scheduler.rounds
+    (Metrics.counter_value row.Experiment.metrics "tm_sched_rounds_total")
+
+(* ------------------------------------------------------------------ *)
+(* Round trip: recorded trace -> history -> dynamic-atomicity checker. *)
+
+let roundtrip_setups =
+  [
+    Experiment.setup Recovery.UIP Experiment.Semantic;
+    Experiment.setup Recovery.DU Experiment.Semantic;
+    Experiment.setup ~occ:true Recovery.DU Experiment.Semantic;
+    Experiment.setup Recovery.UIP Experiment.Read_write;
+  ]
+
+let roundtrip_scenarios =
+  [ Experiment.bank_hotspot; Experiment.inventory; Experiment.kv_store () ]
+
+let trace_roundtrip_gen =
+  QCheck2.Gen.(
+    triple (int_bound 10_000)
+      (oneofl roundtrip_setups)
+      (oneofl roundtrip_scenarios))
+
+let trace_roundtrip_prop (seed, s, scenario) =
+  let cfg =
+    Scheduler.config ~concurrency:3 ~total_txns:4 ~seed ~max_rounds:5_000
+      ~max_retries:4 ()
+  in
+  let row = Experiment.run ~record_trace:true scenario s cfg in
+  match row.Experiment.trace with
+  | None -> false
+  | Some tr ->
+      let h = Trace.to_history tr in
+      let env =
+        Atomicity.env_of_list
+          (List.map Atomic_object.spec (scenario.Experiment.build s))
+      in
+      History.is_well_formed h && Atomicity.is_online_dynamic_atomic env h
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+    Alcotest.test_case "histogram overflow clamp" `Quick test_histogram_overflow_clamp;
+    Alcotest.test_case "histogram empty / bad buckets" `Quick
+      test_histogram_empty_and_bad_buckets;
+    Alcotest.test_case "labeled counters" `Quick test_counter_idempotent_and_labels;
+    Alcotest.test_case "type clash" `Quick test_type_clash;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "merge bucket mismatch" `Quick test_merge_bucket_mismatch;
+    Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
+    Alcotest.test_case "database counters registry-backed" `Quick
+      test_database_counters_registry_backed;
+    Alcotest.test_case "trace spans" `Quick test_trace_spans;
+    Alcotest.test_case "concurrent accessors" `Quick test_concurrent_accessors;
+    Alcotest.test_case "scheduler row counters" `Quick test_scheduler_row_counters;
+    Helpers.qcheck ~count:30 "trace -> history round trip accepted by checker"
+      trace_roundtrip_gen trace_roundtrip_prop;
+  ]

@@ -198,7 +198,7 @@ let test_durable_database_atomic_commitment () =
      survive; per-object replay is always legal *)
   for cut = 0 to Wal.length wal do
     let log = Wal.prefix wal cut in
-    let db', _losers = DD.recover ~wal:log ~rebuild in
+    let db', _losers = DD.recover ~wal:log ~rebuild () in
     let balance obj =
       match DD.invoke db' (DD.begin_txn db') ~obj balance_inv with
       | Atomic_object.Executed op -> Value.get_int op.Op.res
@@ -228,7 +228,7 @@ let test_durable_database_validation_abort_logged () =
   ignore (DD.invoke db b ~obj:"BA" (withdraw_inv 10));
   Helpers.check_bool "A commits" true (DD.try_commit db a = Ok ());
   Helpers.check_bool "B fails validation" true (DD.try_commit db b <> Ok ());
-  let db', _ = DD.recover ~wal ~rebuild in
+  let db', _ = DD.recover ~wal ~rebuild () in
   let o = List.hd (Tm_engine.Database.objects (DD.database db')) in
   Alcotest.check Helpers.ops "only A's withdrawal durable" [ BA.withdraw_ok 10 ]
     (Atomic_object.committed_ops o)
