@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all check test bench clean
+.PHONY: all check test bench crashtest clean
 
 all:
 	dune build @all
@@ -12,6 +12,11 @@ check:
 
 test:
 	dune runtest
+
+# Crash-injection torture: recover at every WAL append point across the
+# scenario matrix and fail on any recovery-invariant violation.
+crashtest:
+	dune exec bin/crashtest.exe
 
 bench:
 	dune exec bench/main.exe

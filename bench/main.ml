@@ -470,6 +470,37 @@ let bench_view view =
   let observer = Tid.of_int 99 in
   fun () -> ignore (View.apply view h observer)
 
+(* WAL recovery path: replay, fuzzy-checkpoint construction and a
+   checkpoint+truncate cycle over a populated log (200 txns, one in ten
+   left in flight). *)
+module Wal = Tm_engine.Wal
+
+let populated_wal () =
+  let wal = Wal.create () in
+  for i = 0 to 199 do
+    let t = Tid.of_int i in
+    Wal.append wal (Wal.Begin t);
+    Wal.append wal (Wal.Operation (t, BA.deposit 1));
+    if i mod 10 <> 0 then Wal.append wal (Wal.Commit t)
+  done;
+  wal
+
+let bench_wal_replay () =
+  let recs = Wal.records (populated_wal ()) in
+  fun () -> ignore (Wal.replay recs)
+
+let bench_wal_checkpoint () =
+  let recs = Wal.records (populated_wal ()) in
+  fun () -> ignore (Wal.fuzzy_checkpoint recs)
+
+let bench_wal_truncate () =
+  (* steady state after the first iteration: one fresh checkpoint
+     summarising the previous one, then truncation to it *)
+  let wal = populated_wal () in
+  fun () ->
+    Wal.append wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.records wal)));
+    ignore (Wal.truncate_to_checkpoint wal)
+
 let micro_benchmarks () =
   section "MICRO — engine operation cost (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -488,6 +519,11 @@ let micro_benchmarks () =
         Test.make ~name:"abort via replay (200-op log)" (Staged.stage (bench_abort ()));
         Test.make ~name:"abort via inverse (200-op log)"
           (Staged.stage (bench_abort ~inverse:BA.inverse ()));
+        Test.make ~name:"WAL replay (200-txn log)" (Staged.stage (bench_wal_replay ()));
+        Test.make ~name:"WAL fuzzy checkpoint (200-txn log)"
+          (Staged.stage (bench_wal_checkpoint ()));
+        Test.make ~name:"WAL checkpoint+truncate cycle"
+          (Staged.stage (bench_wal_truncate ()));
       ]
   in
   let benchmark () =

@@ -176,8 +176,10 @@ let commit t tid =
       t.committed_rev <- ops @ t.committed_rev;
       t.committed_len <- t.committed_len + List.length ops
   | None ->
-      (* locking policy: keep the validation log in step anyway, so mixed
-         policies across objects behave uniformly *)
+      (* Locking policy (or an optimistic transaction that executed
+         nothing here): the validation log is only consulted by
+         [validate], which runs solely for optimistic transactions of
+         this same object, so there is nothing to record. *)
       ());
   forget_optimistic t tid;
   Recovery.commit t.recovery tid;
@@ -192,11 +194,6 @@ let committed_ops t = Recovery.committed_ops t.recovery
 let holds t = Lock_table.holds t.locks
 let block_count t = t.blocks
 
-(* Recovery id: replayed committed work is installed under one reserved
-   transaction that begins and commits within the call. *)
-let recovery_tid = Tid.of_int 1_000_000
-
 let restore t ops =
   if committed_ops t <> [] then invalid_arg "Atomic_object.restore: object not fresh";
-  List.iter (fun op -> Recovery.record t.recovery recovery_tid op) ops;
-  Recovery.commit t.recovery recovery_tid
+  Recovery.restore t.recovery ops

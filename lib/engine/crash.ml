@@ -1,0 +1,221 @@
+open Tm_core
+
+type violation = {
+  cut : int;
+  invariant : string;
+  detail : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf "cut %d [%s]: %s" v.cut v.invariant v.detail
+
+type report = {
+  cuts : int;
+  atomicity_checked : int;
+  violations : violation list;
+}
+
+let ok r = r.violations = []
+
+let pp_report ppf r =
+  if ok r then
+    Fmt.pf ppf "%d crash points, 0 violations (%d atomicity-checked)" r.cuts
+      r.atomicity_checked
+  else
+    Fmt.pf ppf "%d crash points, %d VIOLATIONS (%d atomicity-checked)@,%a" r.cuts
+      (List.length r.violations) r.atomicity_checked
+      (Fmt.list ~sep:Fmt.cut pp_violation)
+      r.violations
+
+(* ------------------------------------------------------------------ *)
+(* Log → history: the history "as replayed" after a crash.             *)
+
+(* Reconstruct the post-crash history a recovered prefix stands for:
+   committed transactions' operations in log (execution) order with their
+   commit events in commit-record order, and every unfinished transaction
+   — a crash loser — explicitly aborted (recovery implicitly aborts it).
+   The latest checkpoint's committed base is installed as one synthetic
+   committed transaction at the head (it is the initial state of the
+   post-checkpoint world); its live snapshot seeds the in-flight
+   transactions.  The result feeds the paper's dynamic-atomicity checker:
+   the logged interleaving of transactions must serialize in every order
+   consistent with commit precedence. *)
+let history_of_records recs =
+  let fresh_tid =
+    match Wal.max_tid recs with Some m -> Tid.to_int m + 1 | None -> 0
+  in
+  (* Split at the latest checkpoint; the scan restarts there. *)
+  let base_cp, tail =
+    let rec latest acc pending = function
+      | [] -> (acc, List.rev pending)
+      | Wal.Checkpoint cp :: rest -> latest (Some cp) [] rest
+      | r :: rest -> latest acc (r :: pending) rest
+    in
+    latest None [] recs
+  in
+  let h = ref History.empty in
+  let touched : (Tid.t, string list) Hashtbl.t = Hashtbl.create 16 in
+  let finished : (Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  let touch tid (op : Op.t) =
+    let objs = Option.value (Hashtbl.find_opt touched tid) ~default:[] in
+    if not (List.mem op.Op.obj objs) then Hashtbl.replace touched tid (op.Op.obj :: objs)
+  in
+  let exec tid op =
+    touch tid op;
+    h := History.exec tid op !h
+  in
+  let complete at tid =
+    List.iter
+      (fun obj -> h := at tid obj !h)
+      (List.rev (Option.value (Hashtbl.find_opt touched tid) ~default:[]));
+    Hashtbl.replace finished tid ()
+  in
+  (match base_cp with
+  | None -> ()
+  | Some cp ->
+      let base = Tid.of_int fresh_tid in
+      List.iter (exec base) cp.Wal.committed;
+      if cp.Wal.committed <> [] then complete History.commit_at base;
+      List.iter (fun (tid, ops) -> List.iter (exec tid) ops) cp.Wal.live);
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Begin _ | Wal.Checkpoint _ -> ()
+      | Wal.Operation (tid, op) -> exec tid op
+      | Wal.Commit tid -> complete History.commit_at tid
+      | Wal.Abort tid -> complete History.abort_at tid)
+    tail;
+  (* Crash losers: recovery implicitly aborts every unfinished txn. *)
+  Hashtbl.iter
+    (fun tid _ -> if not (Hashtbl.mem finished tid) then complete History.abort_at tid)
+    (Hashtbl.copy touched);
+  !h
+
+(* ------------------------------------------------------------------ *)
+(* The torture loop.                                                   *)
+
+(* The exact checker enumerates serialization orders, so it only runs on
+   histories with at most this many transactions (crashtest workloads are
+   sized to stay under it). *)
+let default_max_atomicity_txns = 8
+
+let is_prefix ~equal xs ys =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> equal x y && go (xs, ys)
+  in
+  go (xs, ys)
+
+let pp_ops = Fmt.(list ~sep:(any "; ") Op.pp)
+
+let committed_by_object db =
+  List.map
+    (fun o -> (Atomic_object.name o, Atomic_object.committed_ops o))
+    (Database.objects (Durable_database.database db))
+
+let torture ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
+  let env =
+    Atomicity.env_of_list (List.map Atomic_object.spec (rebuild ()))
+  in
+  let atomicity_checked = ref 0 in
+  let prev_committed = ref [] in
+  let check cut =
+    let log = Wal.prefix wal cut in
+    let recs = Wal.records log in
+    let bad invariant detail = Some { cut; invariant; detail } in
+    match Durable_database.recover ~wal:log ~rebuild () with
+    | exception exn ->
+        [
+          {
+            cut;
+            invariant = "replay-legality";
+            detail = Fmt.str "recovery raised %s" (Printexc.to_string exn);
+          };
+        ]
+    | db, losers ->
+        let committed, _ = Wal.replay recs in
+        (* Invariant 1a: every object's restored sequence is legal. *)
+        let legality =
+          List.filter_map
+            (fun (name, ops) ->
+              let o = Database.find_object (Durable_database.database db) name in
+              if Spec.legal (Atomic_object.spec o) ops then None
+              else bad "replay-legality" (Fmt.str "%s replays illegally: [%a]" name pp_ops ops))
+            (committed_by_object db)
+        in
+        (* Invariant 1b: the replayed history is dynamically atomic. *)
+        let atomicity =
+          let h = history_of_records recs in
+          if not (History.is_well_formed h) then
+            Option.to_list (bad "dynamic-atomicity" "replayed history not well-formed")
+          else if Tid.Set.cardinal (History.transactions h) > max_atomicity_txns then []
+          else begin
+            incr atomicity_checked;
+            match Atomicity.dynamic_atomic env h with
+            | Atomicity.Ok -> []
+            | Atomicity.Counterexample order ->
+                Option.to_list
+                  (bad "dynamic-atomicity"
+                     (Fmt.str "not serializable in %a"
+                        Fmt.(list ~sep:(any "-") Tid.pp)
+                        order))
+          end
+        in
+        (* Invariant 2: committed work is prefix-stable across crash points —
+           one more surviving record can only extend it (this is also what
+           makes a checkpoint record a faithful snapshot of its prefix). *)
+        let stability =
+          if is_prefix ~equal:Op.equal !prev_committed committed then begin
+            prev_committed := committed;
+            []
+          end
+          else
+            Option.to_list
+              (bad "prefix-stability"
+                 (Fmt.str "committed [%a] does not extend previous cut's [%a]" pp_ops
+                    committed pp_ops !prev_committed))
+        in
+        (* Invariant 3: a second crash-recover is idempotent, through a
+           post-recovery fuzzy checkpoint and log truncation. *)
+        let idempotence =
+          Durable_database.checkpoint db;
+          ignore (Wal.truncate_to_checkpoint log);
+          match Durable_database.recover ~wal:log ~rebuild () with
+          | exception exn ->
+              Option.to_list
+                (bad "idempotence"
+                   (Fmt.str "second recovery raised %s" (Printexc.to_string exn)))
+          | db2, losers2 ->
+              let diffs =
+                List.filter_map
+                  (fun ((name, ops1), (_, ops2)) ->
+                    if List.equal Op.equal ops1 ops2 then None
+                    else
+                      bad "idempotence"
+                        (Fmt.str "%s: [%a] after first recovery, [%a] after second" name
+                           pp_ops ops1 pp_ops ops2))
+                  (List.combine (committed_by_object db) (committed_by_object db2))
+              in
+              if Tid.Set.equal losers losers2 then diffs
+              else
+                diffs
+                @ Option.to_list
+                    (bad "idempotence"
+                       (Fmt.str "losers {%a} became {%a}"
+                          Fmt.(list ~sep:comma Tid.pp)
+                          (Tid.Set.elements losers)
+                          Fmt.(list ~sep:comma Tid.pp)
+                          (Tid.Set.elements losers2)))
+        in
+        legality @ atomicity @ stability @ idempotence
+  in
+  let cuts = Wal.length wal + 1 in
+  let violations = List.concat_map check (List.init cuts Fun.id) in
+  { cuts; atomicity_checked = !atomicity_checked; violations }
+
+let run ?max_atomicity_txns ~rebuild ~drive () =
+  let wal = Wal.create () in
+  let db = Durable_database.create ~wal (rebuild ()) in
+  drive db;
+  torture ?max_atomicity_txns ~rebuild wal

@@ -1,0 +1,76 @@
+(** Crash-injection torture harness for WAL recovery.
+
+    The paper's thesis is that recovery and concurrency control must be
+    designed together; this module adversarially exercises the join.  A
+    workload is driven through a {!Durable_database}; then, for {e every}
+    append point of the resulting log (every [Wal.prefix], i.e. every
+    possible torn tail), the harness crashes, recovers and checks three
+    invariants:
+
+    + {b replay legality / dynamic atomicity} — every object's restored
+      operation sequence is legal for its specification, and the history
+      the recovered prefix stands for (committed transactions in their
+      logged interleaving, crash losers aborted) passes the paper's
+      dynamic-atomicity checker;
+    + {b prefix stability} — the committed operation sequence at each
+      crash point extends the one at the previous crash point: one more
+      surviving record can never un-commit work (this is also what makes
+      a fuzzy checkpoint record a faithful snapshot of its prefix);
+    + {b idempotence} — recovering, taking a fuzzy checkpoint, truncating
+      the log to it and recovering again reproduces exactly the same
+      committed state and loser set.
+
+    The checks follow Börger–Schewe–Wang's discipline (PAPERS.md) of
+    verifying recovery against the specification instead of trusting the
+    implementation. *)
+
+open Tm_core
+
+type violation = {
+  cut : int;  (** how many log records survived the crash *)
+  invariant : string;  (** ["replay-legality"], ["dynamic-atomicity"],
+                           ["prefix-stability"] or ["idempotence"] *)
+  detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  cuts : int;  (** crash points exercised (log length + 1) *)
+  atomicity_checked : int;
+      (** cuts on which the exact dynamic-atomicity check ran (it is
+          skipped above [max_atomicity_txns] transactions) *)
+  violations : violation list;
+}
+
+(** [ok r] — no invariant was violated. *)
+val ok : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+(** [history_of_records recs] — the post-crash history a recovered log
+    stands for: the latest checkpoint's committed base as one synthetic
+    committed transaction, then the logged operations in execution order,
+    commits in commit-record order, and every unfinished transaction
+    aborted (recovery implicitly aborts crash losers).  Exposed for
+    tests. *)
+val history_of_records : Wal.record list -> History.t
+
+(** [torture ?max_atomicity_txns ~rebuild wal] crashes at every append
+    point of [wal] (which must already contain a driven workload) and
+    checks the three invariants; [rebuild] supplies fresh objects exactly
+    as for {!Durable_database.recover}.  [max_atomicity_txns] (default 8)
+    gates the exponential atomicity check.  [wal] itself is never
+    mutated — each cut works on a {!Wal.prefix} copy. *)
+val torture :
+  ?max_atomicity_txns:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
+
+(** [run ~rebuild ~drive ()] builds a fresh durable database over
+    [rebuild ()], lets [drive] run a workload against it (including any
+    mid-run {!Durable_database.checkpoint} calls), then tortures the
+    resulting log. *)
+val run :
+  ?max_atomicity_txns:int ->
+  rebuild:(unit -> Atomic_object.t list) ->
+  drive:(Durable_database.t -> unit) ->
+  unit -> report

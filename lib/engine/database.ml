@@ -34,7 +34,8 @@ type t = {
 
 let attach o reg = Atomic_object.attach_metrics o reg
 
-let create ?(record_history = false) objs =
+let create ?(record_history = false) ?(first_tid = 0) objs =
+  if first_tid < 0 then invalid_arg "Database.create: negative first_tid";
   let metrics = Metrics.create () in
   List.iter (fun o -> attach o metrics) objs;
   {
@@ -44,7 +45,7 @@ let create ?(record_history = false) objs =
     status = Hashtbl.create 64;
     touched = Hashtbl.create 64;
     waits = Deadlock.create ();
-    next_tid = 0;
+    next_tid = first_tid;
     metrics;
     c_begins = Metrics.counter metrics "tm_txn_begins_total";
     c_committed = Metrics.counter metrics "tm_txn_committed_total";
@@ -70,6 +71,7 @@ let find_object t name =
   | None -> invalid_arg ("Database.find_object: unknown object " ^ name)
 
 let metrics t = t.metrics
+let next_tid t = t.next_tid
 let set_trace t tr = t.trace <- Some tr
 let trace t = t.trace
 

@@ -18,13 +18,22 @@ open Tm_core
 
 type t
 
-val create : ?record_history:bool -> Atomic_object.t list -> t
+(** [create ?record_history ?first_tid objs] — [first_tid] (default 0)
+    seeds the transaction-id allocator; recovery passes the WAL's tid
+    high-water mark so post-crash transactions never reuse an id that may
+    still appear in the log. *)
+val create : ?record_history:bool -> ?first_tid:int -> Atomic_object.t list -> t
 val add_object : t -> Atomic_object.t -> unit
 val objects : t -> Atomic_object.t list
 val find_object : t -> string -> Atomic_object.t
 
 (** The database's metrics registry (always present). *)
 val metrics : t -> Tm_obs.Metrics.t
+
+(** The transaction-id allocator's current position (the next id
+    {!begin_txn} will issue) — the high-water mark recorded by fuzzy
+    checkpoints. *)
+val next_tid : t -> int
 
 (** Attach a trace recorder; subsequent engine activity emits
     begin/invoke/executed/blocked/woken/validated/commit/abort spans. *)

@@ -7,11 +7,17 @@ let set_waiting t tid ~on = Hashtbl.replace t.edges tid (List.sort_uniq Tid.comp
 
 let clear t tid =
   Hashtbl.remove t.edges tid;
-  Hashtbl.iter
-    (fun src dsts ->
-      if List.exists (Tid.equal tid) dsts then
-        Hashtbl.replace t.edges src (List.filter (fun d -> not (Tid.equal d tid)) dsts))
-    t.edges
+  (* Mutating a table during Hashtbl.iter over it is unspecified: collect
+     the sources whose edge lists mention [tid] first, then update. *)
+  let affected =
+    Hashtbl.fold
+      (fun src dsts acc -> if List.exists (Tid.equal tid) dsts then (src, dsts) :: acc else acc)
+      t.edges []
+  in
+  List.iter
+    (fun (src, dsts) ->
+      Hashtbl.replace t.edges src (List.filter (fun d -> not (Tid.equal d tid)) dsts))
+    affected
 
 let waiting t tid = Option.value (Hashtbl.find_opt t.edges tid) ~default:[]
 

@@ -8,8 +8,8 @@ type t = {
   begun : (Tid.t, unit) Hashtbl.t;
 }
 
-let create ~wal objs =
-  let db = Database.create objs in
+let create ?first_tid ~wal objs =
+  let db = Database.create ?first_tid objs in
   Wal.attach_metrics wal (Database.metrics db);
   { db; wal; begun = Hashtbl.create 16 }
 
@@ -43,11 +43,17 @@ let emit_system db kind =
   match Database.trace db with Some tr -> Trace.emit_system tr kind | None -> ()
 
 let checkpoint t =
-  let ops =
-    List.concat_map Atomic_object.committed_ops (Database.objects t.db)
+  (* Fuzzy: snapshot the replay state of the log itself — committed
+     operations in true global commit order plus the per-transaction logs
+     of in-flight transactions — so the pre-checkpoint log segment can be
+     truncated without losing losers or the early operations of a
+     transaction that commits later.  The allocator position rides along
+     as the tid high-water mark. *)
+  let cp =
+    Wal.fuzzy_checkpoint ~next_tid:(Database.next_tid t.db) (Wal.records t.wal)
   in
-  Wal.append t.wal (Wal.Checkpoint ops);
-  emit_system t.db (Trace.Checkpoint { ops = List.length ops })
+  Wal.append t.wal (Wal.Checkpoint cp);
+  emit_system t.db (Trace.Checkpoint { ops = List.length cp.Wal.committed })
 
 let try_commit t tid =
   (* Validate first (nothing logged on failure), then force the single
@@ -63,8 +69,13 @@ let try_commit t tid =
   in
   match failed with
   | Some _ as e ->
-      log t tid (Wal.Abort tid);
-      Hashtbl.remove t.begun tid;
+      (* Only transactions that logged a Begin have anything to undo in
+         the log; an Abort for an unlogged transaction would be noise
+         (and inflate tm_wal_appends_total{kind="abort"}). *)
+      if Hashtbl.mem t.begun tid then begin
+        log t tid (Wal.Abort tid);
+        Hashtbl.remove t.begun tid
+      end;
       Database.abort t.db tid;
       (match e with Some x -> Error x | None -> assert false)
   | None ->
@@ -74,12 +85,21 @@ let try_commit t tid =
       Ok ()
 
 let abort t tid =
-  log t tid (Wal.Abort tid);
-  Hashtbl.remove t.begun tid;
+  if Hashtbl.mem t.begun tid then begin
+    log t tid (Wal.Abort tid);
+    Hashtbl.remove t.begun tid
+  end;
   Database.abort t.db tid
 
 let recover ?trace ~wal ~rebuild () =
-  let committed, losers = Wal.replay (Wal.records wal) in
+  let recs = Wal.records wal in
+  let committed, losers = Wal.replay recs in
+  (* Post-crash transactions must allocate above every tid the log still
+     mentions: a reused tid would merge a new transaction's records with
+     a pre-crash loser's on the next replay. *)
+  let first_tid =
+    match Wal.max_tid recs with Some m -> Tid.to_int m + 1 | None -> 0
+  in
   let objs = rebuild () in
   List.iter
     (fun o ->
@@ -90,7 +110,7 @@ let recover ?trace ~wal ~rebuild () =
       in
       Atomic_object.restore o mine)
     objs;
-  let t = create ~wal objs in
+  let t = create ~first_tid ~wal objs in
   (match trace with None -> () | Some tr -> Database.set_trace t.db tr);
   let reg = Database.metrics t.db in
   Metrics.Counter.incr ~by:(List.length committed)

@@ -13,7 +13,10 @@ open Tm_core
 
 type t
 
-val create : wal:Wal.t -> Atomic_object.t list -> t
+(** [create ?first_tid ~wal objs] — [first_tid] seeds the database's
+    transaction-id allocator (see {!Database.create}); {!recover} passes
+    the log's tid high-water mark. *)
+val create : ?first_tid:int -> wal:Wal.t -> Atomic_object.t list -> t
 val database : t -> Database.t
 val begin_txn : t -> Tid.t
 
@@ -27,21 +30,29 @@ val invoke :
     [Wal_force] trace span. *)
 val try_commit : t -> Tid.t -> (unit, string * Op.t * Op.t) result
 
+(** Aborts the transaction; the [Abort] record is logged only when the
+    transaction logged a [Begin] (i.e. executed at least one operation
+    here) — aborts of unlogged transactions leave the WAL untouched. *)
 val abort : t -> Tid.t -> unit
 
-(** [checkpoint t] appends a [Checkpoint] record carrying every object's
-    committed operations in commit order (size observed in the
-    [tm_wal_checkpoint_ops] histogram). *)
+(** [checkpoint t] appends a {e fuzzy} [Checkpoint] record: the committed
+    operations in global commit order, every in-flight transaction's
+    logged operations, and the tid allocator's high-water mark (committed
+    size observed in the [tm_wal_checkpoint_ops] histogram).  After a
+    checkpoint the preceding log segment may be dropped with
+    {!Wal.truncate_to_checkpoint} without changing replay. *)
 val checkpoint : t -> unit
 
 (** [recover ~wal ~rebuild ()] reconstructs the database after a crash:
     [rebuild] supplies fresh objects (same specs/conflicts/recovery as
     before the crash); each is restored with the committed operations of
     {e its} object from the log.  Returns the database and the losers.
-    Replay volume is counted as [tm_recovery_replayed_ops_total] /
-    [tm_recovery_loser_txns_total] in the new database's registry;
-    [trace], if given, is attached to it and receives the
-    [Crash_recover] span. *)
+    Transaction-id allocation restarts strictly above every tid the log
+    mentions ({!Wal.max_tid}), so post-crash transactions never merge
+    with a pre-crash loser on a later replay.  Replay volume is counted
+    as [tm_recovery_replayed_ops_total] / [tm_recovery_loser_txns_total]
+    in the new database's registry; [trace], if given, is attached to it
+    and receives the [Crash_recover] span. *)
 val recover :
   ?trace:Tm_obs.Trace.t -> wal:Wal.t -> rebuild:(unit -> Atomic_object.t list) ->
   unit -> t * Tid.Set.t

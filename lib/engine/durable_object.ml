@@ -36,11 +36,17 @@ let commit t tid =
   Atomic_object.commit t.obj tid
 
 let abort t tid =
-  Wal.append t.wal (Wal.Abort tid);
-  Hashtbl.remove t.begun tid;
+  if Hashtbl.mem t.begun tid then begin
+    Wal.append t.wal (Wal.Abort tid);
+    Hashtbl.remove t.begun tid
+  end;
   Atomic_object.abort t.obj tid
 
-let checkpoint t = Wal.append t.wal (Wal.Checkpoint (Atomic_object.committed_ops t.obj))
+(* Fuzzy: snapshot the log's own replay state so in-flight transactions
+   survive the checkpoint (and later truncation).  There is no tid
+   allocator here — callers manage tids — so the high-water mark comes
+   from the log scan alone. *)
+let checkpoint t = Wal.append t.wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.records t.wal)))
 
 let recover ~spec ~conflict ~recovery wal =
   let committed, losers = Wal.replay (Wal.records wal) in

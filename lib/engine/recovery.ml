@@ -22,6 +22,7 @@ type t = {
   record : Tid.t -> Op.t -> unit;
   commit : Tid.t -> unit;
   abort : Tid.t -> unit;
+  restore : Op.t list -> unit;
   committed_ops : unit -> Op.t list;
   set_metrics : Metrics.t -> unit;
 }
@@ -31,6 +32,7 @@ let responses t = t.responses
 let record t = t.record
 let commit t = t.commit
 let abort t = t.abort
+let restore t = t.restore
 let committed_ops t = t.committed_ops ()
 let attach_metrics t reg = t.set_metrics reg
 
@@ -117,9 +119,22 @@ let create_uip ?inverse (Spec.Packed (module S) as spec) : t =
           current := next
         end
   in
+  (* Install an already-committed sequence into a fresh manager: replayed
+     work belongs to no live transaction, so it goes straight into the
+     log and committed log (no per-transaction bookkeeping, no tid). *)
+  let restore ops =
+    if !log <> [] || !committed_log <> [] || Hashtbl.length per_txn > 0 then
+      invalid_arg "Recovery.restore(UIP): manager not fresh";
+    let next = E.after E.initial_set ops in
+    if ops <> [] && E.States.is_empty next then
+      invalid_arg "Recovery.restore(UIP): sequence not legal";
+    current := next;
+    log := List.rev ops;
+    committed_log := List.rev ops
+  in
   let committed_ops () = List.rev !committed_log in
   let set_metrics reg = meta := Some reg in
-  { kind = UIP; responses; record; commit; abort; committed_ops; set_metrics }
+  { kind = UIP; responses; record; commit; abort; restore; committed_ops; set_metrics }
 
 let create_du (Spec.Packed (module S) as spec) : t =
   let module E = Explore.Make (S) in
@@ -158,9 +173,18 @@ let create_du (Spec.Packed (module S) as spec) : t =
       (List.length (txn_ops tid));
     Hashtbl.remove intentions tid
   in
+  let restore ops =
+    if !committed_log <> [] || Hashtbl.length intentions > 0 then
+      invalid_arg "Recovery.restore(DU): manager not fresh";
+    let next = E.after E.initial_set ops in
+    if ops <> [] && E.States.is_empty next then
+      invalid_arg "Recovery.restore(DU): sequence not legal";
+    base := next;
+    committed_log := List.rev ops
+  in
   let committed_ops () = List.rev !committed_log in
   let set_metrics reg = meta := Some reg in
-  { kind = DU; responses; record; commit; abort; committed_ops; set_metrics }
+  { kind = DU; responses; record; commit; abort; restore; committed_ops; set_metrics }
 
 let create ?inverse kind spec =
   match kind with

@@ -57,6 +57,14 @@ val record : t -> Tid.t -> Op.t -> unit
 val commit : t -> Tid.t -> unit
 val abort : t -> Tid.t -> unit
 
+(** [restore t ops] installs [ops] (a commit-order sequence, e.g. the
+    outcome of {!Wal.replay}) into a {e fresh} manager as
+    already-committed work: UIP seeds its log and current state, DU its
+    committed base.  Replayed work belongs to no live transaction, so no
+    transaction id is involved.  Raises [Invalid_argument] if the manager
+    is not fresh or the sequence is not legal. *)
+val restore : t -> Op.t list -> unit
+
 (** Operations executed by non-aborted transactions, in execution order
     (UIP) — or committed operations in commit order followed by nothing
     (DU base).  Exposed for verification in tests. *)

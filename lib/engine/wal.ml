@@ -1,27 +1,36 @@
 open Tm_core
 module Metrics = Tm_obs.Metrics
 
+type checkpoint = {
+  committed : Op.t list;
+  live : (Tid.t * Op.t list) list;
+  next_tid : int;
+}
+
 type record =
   | Begin of Tid.t
   | Operation of Tid.t * Op.t
   | Commit of Tid.t
   | Abort of Tid.t
-  | Checkpoint of Op.t list
+  | Checkpoint of checkpoint
 
 let pp_record ppf = function
   | Begin tid -> Fmt.pf ppf "BEGIN %a" Tid.pp tid
   | Operation (tid, op) -> Fmt.pf ppf "OP %a %a" Tid.pp tid Op.pp op
   | Commit tid -> Fmt.pf ppf "COMMIT %a" Tid.pp tid
   | Abort tid -> Fmt.pf ppf "ABORT %a" Tid.pp tid
-  | Checkpoint ops -> Fmt.pf ppf "CHECKPOINT (%d ops)" (List.length ops)
+  | Checkpoint cp ->
+      Fmt.pf ppf "CHECKPOINT (%d ops, %d live txns, next tid %d)"
+        (List.length cp.committed) (List.length cp.live) cp.next_tid
 
 type t = {
   mutable records_rev : record list;
   mutable count : int;
+  mutable truncated : int;
   mutable metrics : Metrics.t option;
 }
 
-let create () = { records_rev = []; count = 0; metrics = None }
+let create () = { records_rev = []; count = 0; truncated = 0; metrics = None }
 let attach_metrics t reg = t.metrics <- Some reg
 
 let record_kind = function
@@ -40,58 +49,135 @@ let append t r =
       Metrics.Counter.incr
         (Metrics.counter reg "tm_wal_appends_total" ~labels:[ ("kind", record_kind r) ]);
       match r with
-      | Checkpoint ops ->
+      | Checkpoint cp ->
           Metrics.Histogram.observe_int
             (Metrics.histogram reg "tm_wal_checkpoint_ops")
-            (List.length ops)
+            (List.length cp.committed)
       | Begin _ | Operation _ | Commit _ | Abort _ -> ())
 
 let records t = List.rev t.records_rev
 let length t = t.count
+let truncated t = t.truncated
 
 let prefix t n =
   let rec take n l = if n <= 0 then [] else match l with [] -> [] | x :: r -> x :: take (n - 1) r in
   let kept = take n (records t) in
-  { records_rev = List.rev kept; count = List.length kept; metrics = None }
+  (* The rebuilt log keeps the metrics attachment: a crash loses volatile
+     state, not the accounting of the log that survived it.  (Recovery
+     re-attaches the new database's registry anyway.) *)
+  { records_rev = List.rev kept; count = List.length kept; truncated = 0; metrics = t.metrics }
 
-let replay recs =
-  (* Start after the latest checkpoint: its operation sequence already
-     reflects every transaction committed before it. *)
-  let after_checkpoint =
-    let rec latest acc pending = function
-      | [] -> (acc, List.rev pending)
-      | Checkpoint ops :: rest -> latest ops [] rest
-      | r :: rest -> latest acc (r :: pending) rest
-    in
-    latest [] [] recs
+let truncate_to_checkpoint t =
+  (* [records_rev] is newest first, so the first [Checkpoint] found is the
+     latest one; everything older is summarised by it (the fuzzy snapshot
+     carries live transactions' logs) and can be dropped. *)
+  let rec split kept_rev = function
+    | [] -> None
+    | (Checkpoint _ as c) :: older -> Some (kept_rev, c, older)
+    | r :: older -> split (r :: kept_rev) older
   in
-  let base, tail = after_checkpoint in
-  (* Scan: collect per-transaction operations; redo at commit records. *)
-  let ops_of : (Tid.t, Op.t list) Hashtbl.t = Hashtbl.create 16 in
-  let seen : (Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
-  let committed_rev = ref (List.rev base) in
-  let finished : (Tid.t, unit) Hashtbl.t = Hashtbl.create 16 in
+  match split [] t.records_rev with
+  | None -> 0
+  | Some (newer_rev, c, older) ->
+      let dropped = List.length older in
+      if dropped > 0 then begin
+        t.records_rev <- List.rev_append newer_rev [ c ];
+        t.count <- t.count - dropped;
+        t.truncated <- t.truncated + dropped;
+        match t.metrics with
+        | None -> ()
+        | Some reg ->
+            Metrics.Counter.incr ~by:dropped
+              (Metrics.counter reg "tm_wal_truncated_records_total")
+      end;
+      dropped
+
+(* One pass shared by [replay], [fuzzy_checkpoint] and [max_tid]: fold the
+   log into committed operations (commit order), the per-transaction logs
+   of unfinished transactions, and the tid high-water mark.  A checkpoint
+   record summarises its whole prefix, so scanning restarts from its
+   snapshot (only the high-water mark is carried monotonically through). *)
+type scan = {
+  mutable committed_rev : Op.t list;
+  ops_of : (Tid.t, Op.t list) Hashtbl.t;  (* newest first; unfinished txns *)
+  seen : (Tid.t, unit) Hashtbl.t;
+  finished : (Tid.t, unit) Hashtbl.t;
+  mutable hwm : int;  (* first tid strictly above every tid in the log *)
+}
+
+let scan recs =
+  let st =
+    {
+      committed_rev = [];
+      ops_of = Hashtbl.create 16;
+      seen = Hashtbl.create 16;
+      finished = Hashtbl.create 16;
+      hwm = 0;
+    }
+  in
+  let note tid = st.hwm <- max st.hwm (Tid.to_int tid + 1) in
   List.iter
     (fun r ->
       match r with
-      | Begin tid -> Hashtbl.replace seen tid ()
+      | Begin tid ->
+          note tid;
+          Hashtbl.replace st.seen tid ()
       | Operation (tid, op) ->
-          Hashtbl.replace seen tid ();
-          Hashtbl.replace ops_of tid
-            (op :: Option.value (Hashtbl.find_opt ops_of tid) ~default:[])
+          note tid;
+          Hashtbl.replace st.seen tid ();
+          Hashtbl.replace st.ops_of tid
+            (op :: Option.value (Hashtbl.find_opt st.ops_of tid) ~default:[])
       | Commit tid ->
-          committed_rev :=
-            Option.value (Hashtbl.find_opt ops_of tid) ~default:[] @ !committed_rev;
-          Hashtbl.remove ops_of tid;
-          Hashtbl.replace finished tid ()
+          note tid;
+          st.committed_rev <-
+            Option.value (Hashtbl.find_opt st.ops_of tid) ~default:[] @ st.committed_rev;
+          Hashtbl.remove st.ops_of tid;
+          Hashtbl.replace st.finished tid ()
       | Abort tid ->
-          Hashtbl.remove ops_of tid;
-          Hashtbl.replace finished tid ()
-      | Checkpoint _ -> ())
-    tail;
+          note tid;
+          Hashtbl.remove st.ops_of tid;
+          Hashtbl.replace st.finished tid ()
+      | Checkpoint cp ->
+          (* The snapshot stands for the whole prefix: committed operations
+             and the logs of transactions that were in flight when it was
+             taken.  Everything else about the prefix is forgotten. *)
+          st.committed_rev <- List.rev cp.committed;
+          Hashtbl.reset st.ops_of;
+          Hashtbl.reset st.seen;
+          Hashtbl.reset st.finished;
+          List.iter
+            (fun (tid, ops) ->
+              note tid;
+              Hashtbl.replace st.seen tid ();
+              if ops <> [] then Hashtbl.replace st.ops_of tid (List.rev ops))
+            cp.live;
+          st.hwm <- max st.hwm cp.next_tid)
+    recs;
+  st
+
+let replay recs =
+  let st = scan recs in
   let losers =
     Hashtbl.fold
-      (fun tid () acc -> if Hashtbl.mem finished tid then acc else Tid.Set.add tid acc)
-      seen Tid.Set.empty
+      (fun tid () acc -> if Hashtbl.mem st.finished tid then acc else Tid.Set.add tid acc)
+      st.seen Tid.Set.empty
   in
-  (List.rev !committed_rev, losers)
+  (List.rev st.committed_rev, losers)
+
+let max_tid recs =
+  let st = scan recs in
+  if st.hwm = 0 then None else Some (Tid.of_int (st.hwm - 1))
+
+let fuzzy_checkpoint ?(next_tid = 0) recs =
+  let st = scan recs in
+  let live =
+    Hashtbl.fold
+      (fun tid () acc ->
+        if Hashtbl.mem st.finished tid then acc
+        else
+          (tid, List.rev (Option.value (Hashtbl.find_opt st.ops_of tid) ~default:[]))
+          :: acc)
+      st.seen []
+    |> List.sort (fun (a, _) (b, _) -> Tid.compare a b)
+  in
+  { committed = List.rev st.committed_rev; live; next_tid = max next_tid st.hwm }

@@ -5,7 +5,7 @@
     recovery mechanisms" (Section 1), leaving their analysis as future
     work.  This module and {!Durable_object} implement that extension for
     the engine: a logical redo log of operations, with commit records
-    forced before a commit is acknowledged, and optional checkpoints.
+    forced before a commit is acknowledged, and fuzzy checkpoints.
 
     Stable storage is modelled in-memory; a {e crash} loses every
     volatile object state but none of the appended log records (append is
@@ -15,14 +15,29 @@
 
 open Tm_core
 
+(** A {e fuzzy} checkpoint: a faithful snapshot of the replay state at
+    the instant it was taken, valid even with transactions in flight.
+
+    [committed] is every committed operation so far in commit order;
+    [live] carries the per-transaction operation log (oldest first,
+    possibly empty) of each transaction that had begun but not finished —
+    so the log prefix before the checkpoint can be discarded without
+    losing a loser or the pre-checkpoint operations of a transaction that
+    commits later; [next_tid] is the transaction-id allocator's
+    high-water mark, so recovery never reissues a tid that may still
+    appear in the log. *)
+type checkpoint = {
+  committed : Op.t list;
+  live : (Tid.t * Op.t list) list;
+  next_tid : int;
+}
+
 type record =
   | Begin of Tid.t
   | Operation of Tid.t * Op.t
   | Commit of Tid.t
   | Abort of Tid.t
-  | Checkpoint of Op.t list
-      (** committed operations so far, in commit order: recovery resumes
-          from the latest checkpoint *)
+  | Checkpoint of checkpoint
 
 val pp_record : Format.formatter -> record -> unit
 
@@ -31,26 +46,62 @@ type t
 val create : unit -> t
 
 (** [attach_metrics t reg] counts appends per record kind as
-    [tm_wal_appends_total{kind}] and observes checkpoint sizes in the
-    [tm_wal_checkpoint_ops] histogram.  {!Durable_database.create}
-    attaches its database registry automatically; a log rebuilt by
-    {!prefix} starts detached. *)
+    [tm_wal_appends_total{kind}], observes checkpoint sizes in the
+    [tm_wal_checkpoint_ops] histogram and counts records dropped by
+    {!truncate_to_checkpoint} as [tm_wal_truncated_records_total].
+    {!Durable_database.create} attaches its database registry
+    automatically; a log rebuilt by {!prefix} keeps the attachment. *)
 val attach_metrics : t -> Tm_obs.Metrics.t -> unit
 
 val append : t -> record -> unit
 
 (** The record kind as a short lower-case string (metric/trace label). *)
 val record_kind : record -> string
+
+(** The retained records, oldest first (truncated records excluded). *)
 val records : t -> record list
+
+(** Number of retained records. *)
 val length : t -> int
 
+(** Cumulative records dropped by {!truncate_to_checkpoint}. *)
+val truncated : t -> int
+
 (** [prefix t n] — the stable log as it would read after a crash that
-    persisted only the first [n] records. *)
+    persisted only the first [n] retained records.  The metrics
+    attachment is carried over (the crash loses volatile object state,
+    not the log's accounting); recovery re-attaches the new database's
+    registry on top. *)
 val prefix : t -> int -> t
 
+(** [truncate_to_checkpoint t] drops every record preceding the latest
+    [Checkpoint] in place, bounding log growth; the checkpoint itself and
+    its tail are retained.  Returns the number of records dropped (0 when
+    there is no checkpoint or nothing precedes it).  Replay of the
+    truncated log equals replay of the full log: the fuzzy snapshot
+    carries the committed prefix and every in-flight transaction's
+    operations. *)
+val truncate_to_checkpoint : t -> int
+
 (** [replay records] folds a log into the durable outcome: the committed
-    operations in commit order (starting from the latest checkpoint) and
-    the set of transactions that must be considered aborted (begun or
-    operating, but with no commit record).  Operations of a transaction
-    are redone only if its commit record is present. *)
+    operations in commit order and the set of transactions that must be
+    considered aborted (begun or operating — including those known only
+    from the latest checkpoint's [live] snapshot — but with no commit
+    record).  Operations of a transaction are redone only if its commit
+    record is present; a transaction live at the latest checkpoint that
+    commits afterwards replays its snapshot operations followed by the
+    ones it logged after the checkpoint. *)
 val replay : record list -> Op.t list * Tid.Set.t
+
+(** [max_tid records] is the highest transaction id mentioned anywhere in
+    the log — by a record or by a checkpoint's [live]/[next_tid] snapshot
+    — or [None] for a log that mentions none.  Recovery seeds tid
+    allocation strictly above it. *)
+val max_tid : record list -> Tid.t option
+
+(** [fuzzy_checkpoint ?next_tid records] computes the checkpoint snapshot
+    of [records]: committed operations in commit order, the operation log
+    of every unfinished transaction, and a high-water mark covering both
+    every tid in the log and the caller's allocator position [next_tid]
+    (default 0 — callers without an allocator rely on the log scan). *)
+val fuzzy_checkpoint : ?next_tid:int -> record list -> checkpoint

@@ -252,6 +252,26 @@ let run ?record_trace scenario s cfg =
   let db = Database.create (scenario.build s) in
   run_db ?record_trace ~name:scenario.name ~label:(label s) db scenario.workload cfg
 
+let run_durable ?(checkpoint_every = 0) scenario s cfg =
+  let wal = Tm_engine.Wal.create () in
+  let dd = Tm_engine.Durable_database.create ~wal (scenario.build s) in
+  let stats = Scheduler.run_durable ~checkpoint_every dd scenario.workload cfg in
+  let db = Tm_engine.Durable_database.database dd in
+  let reg = Database.metrics db in
+  let row =
+    {
+      scenario = scenario.name;
+      setup = label s;
+      stats;
+      consistent = verify_database db;
+      deadlock_victims = Metrics.counter_value reg "tm_deadlock_victims_total";
+      retries = Metrics.counter_value reg "tm_txn_retries_total";
+      metrics = reg;
+      trace = None;
+    }
+  in
+  (row, wal)
+
 let run_custom ?record_trace ~name ~label ~workload ~build cfg =
   let db = Database.create (build ()) in
   run_db ?record_trace ~name ~label db workload cfg

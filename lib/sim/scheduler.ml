@@ -51,7 +51,22 @@ type active_txn = {
   retries : int;
 }
 
-let run db (workload : Workload.t) cfg =
+(* The transaction-facing surface of a database, so one scheduling loop
+   drives both the plain {!Tm_engine.Database} and the WAL-backed
+   {!Tm_engine.Durable_database} (whose durable runs the crash-injection
+   harness tortures).  [db] is the underlying database, used for
+   scheduler metrics, deadlock detection and trace spans. *)
+type ops = {
+  begin_txn : unit -> Tid.t;
+  invoke :
+    choose:(Value.t list -> Value.t) ->
+    Tid.t -> obj:string -> Op.invocation -> Atomic_object.outcome;
+  try_commit : Tid.t -> (unit, string * Op.t * Op.t) result;
+  abort : Tid.t -> unit;
+  on_commit : unit -> unit;  (* post-commit hook: durable checkpoints *)
+}
+
+let run_ops db ops (workload : Workload.t) cfg =
   let rng = Random.State.make [| cfg.seed |] in
   (* Scheduler-level series in the database registry; the victim/retry
      counters share their names with [Tm_engine.Concurrent] so consumers
@@ -88,7 +103,7 @@ let run db (workload : Workload.t) cfg =
   let admit () =
     while List.length !active < cfg.concurrency && not (Queue.is_empty pending) do
       let program, retries = Queue.pop pending in
-      let tid = Database.begin_txn db in
+      let tid = ops.begin_txn () in
       active := !active @ [ { tid; program; remaining = program; retries } ]
     done
   in
@@ -99,10 +114,10 @@ let run db (workload : Workload.t) cfg =
         (* Database.try_commit already aborted the transaction. *)
         bump (fun s -> { s with validation_aborts = s.validation_aborts + 1 })
     | `Deadlock ->
-        Database.abort db t.tid;
+        ops.abort t.tid;
         bump (fun s -> { s with deadlock_aborts = s.deadlock_aborts + 1 })
     | `Livelock ->
-        Database.abort db t.tid;
+        ops.abort t.tid;
         bump (fun s -> { s with livelock_aborts = s.livelock_aborts + 1 }));
     remove t.tid;
     if t.retries < cfg.max_retries then begin
@@ -130,17 +145,18 @@ let run db (workload : Workload.t) cfg =
   let step t =
     match t.remaining with
     | [] -> (
-        match Database.try_commit db t.tid with
+        match ops.try_commit t.tid with
         | Ok () ->
             remove t.tid;
             bump (fun s -> { s with committed = s.committed + 1 });
+            ops.on_commit ();
             progressed := true
         | Error _ ->
             abort_and_requeue `Validation t;
             progressed := true)
     | (obj, inv) :: rest -> (
         bump (fun s -> { s with attempts = s.attempts + 1 });
-        match Database.invoke ~choose db t.tid ~obj inv with
+        match ops.invoke ~choose t.tid ~obj inv with
         | Atomic_object.Executed _ ->
             t.remaining <- rest;
             bump (fun s -> { s with executed = s.executed + 1 });
@@ -186,3 +202,31 @@ let run db (workload : Workload.t) cfg =
   in
   loop 0;
   !stats
+
+let run db workload cfg =
+  run_ops db
+    {
+      begin_txn = (fun () -> Database.begin_txn db);
+      invoke = (fun ~choose tid ~obj inv -> Database.invoke ~choose db tid ~obj inv);
+      try_commit = (fun tid -> Database.try_commit db tid);
+      abort = (fun tid -> Database.abort db tid);
+      on_commit = ignore;
+    }
+    workload cfg
+
+let run_durable ?(checkpoint_every = 0) dd workload cfg =
+  let module DD = Tm_engine.Durable_database in
+  let commits = ref 0 in
+  run_ops (DD.database dd)
+    {
+      begin_txn = (fun () -> DD.begin_txn dd);
+      invoke = (fun ~choose tid ~obj inv -> DD.invoke ~choose dd tid ~obj inv);
+      try_commit = (fun tid -> DD.try_commit dd tid);
+      abort = (fun tid -> DD.abort dd tid);
+      on_commit =
+        (fun () ->
+          incr commits;
+          if checkpoint_every > 0 && !commits mod checkpoint_every = 0 then
+            DD.checkpoint dd);
+    }
+    workload cfg

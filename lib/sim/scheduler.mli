@@ -60,3 +60,13 @@ val pp_stats : Format.formatter -> stats -> unit
     [tm_txn_gave_up_total].  Victim selection also emits a
     [Deadlock_victim] span when a trace recorder is attached. *)
 val run : Tm_engine.Database.t -> Workload.t -> config -> stats
+
+(** [run_durable ?checkpoint_every dd workload cfg] — same scheduling
+    loop, but every transaction-facing call goes through the WAL-logged
+    {!Tm_engine.Durable_database} surface, so the resulting log is a
+    faithful record of a concurrent run (the crash-injection harness
+    tortures it).  When [checkpoint_every = n > 0], a fuzzy checkpoint is
+    taken after every [n]th commit — deliberately {e mid-run}, while
+    other transactions are in flight.  Default [0]: never. *)
+val run_durable :
+  ?checkpoint_every:int -> Tm_engine.Durable_database.t -> Workload.t -> config -> stats

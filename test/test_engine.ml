@@ -246,6 +246,24 @@ let test_deadlock_cycle () =
   Deadlock.clear d Tid.c;
   Alcotest.(check (option Helpers.tids)) "cleared" None (Deadlock.find_cycle d)
 
+(* Regression: [clear] used to Hashtbl.replace inside Hashtbl.iter over
+   the same table — unspecified behaviour.  Clearing a tid that appears
+   in many edge lists must remove every mention and nothing else. *)
+let test_deadlock_clear_many_edges () =
+  let d = Deadlock.create () in
+  let tids = List.init 40 Tid.of_int in
+  let victim = Tid.of_int 40 in
+  List.iter (fun t -> Deadlock.set_waiting d t ~on:[ victim; Tid.a ]) tids;
+  Deadlock.set_waiting d victim ~on:[ Tid.b ];
+  Deadlock.clear d victim;
+  Alcotest.check Helpers.tids "victim's own edges gone" [] (Deadlock.waiting d victim);
+  List.iter
+    (fun t ->
+      Alcotest.check Helpers.tids
+        (Fmt.str "only %a's edge to the victim removed" Tid.pp t)
+        [ Tid.a ] (Deadlock.waiting d t))
+    tids
+
 let test_deadlock_self_loop_impossible () =
   (* The lock table never reports a transaction as blocking itself, but
      the graph handles a self-edge gracefully if given one. *)
@@ -401,6 +419,8 @@ let suite =
     Alcotest.test_case "inverse undo = replay undo" `Slow test_inverse_undo_equivalence;
     Alcotest.test_case "inverse undo (counter)" `Quick test_inverse_undo_counter;
     Alcotest.test_case "deadlock cycle" `Quick test_deadlock_cycle;
+    Alcotest.test_case "deadlock clear with many edges" `Quick
+      test_deadlock_clear_many_edges;
     Alcotest.test_case "deadlock self-loop" `Quick test_deadlock_self_loop_impossible;
     Alcotest.test_case "database end-to-end" `Quick test_database_end_to_end;
     Alcotest.test_case "database deadlock" `Quick test_database_deadlock_and_abort;

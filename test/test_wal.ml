@@ -52,18 +52,205 @@ let test_replay_abort () =
   Alcotest.check Helpers.ops "nothing" [] committed;
   Helpers.check_bool "aborted is not a loser" true (Tid.Set.is_empty losers)
 
+let cp ?(live = []) ?(next_tid = 0) committed =
+  { Wal.committed; live; next_tid }
+
 let test_replay_checkpoint () =
   let recs =
     [
       Wal.Operation (Tid.a, BA.deposit 1);
       Wal.Commit Tid.a;
-      Wal.Checkpoint [ BA.deposit 1 ];
+      Wal.Checkpoint (cp [ BA.deposit 1 ]);
       Wal.Operation (Tid.b, BA.deposit 2);
       Wal.Commit Tid.b;
     ]
   in
   let committed, _ = Wal.replay recs in
   Alcotest.check Helpers.ops "checkpoint + tail" [ BA.deposit 1; BA.deposit 2 ] committed
+
+(* Regression: a transaction in flight at checkpoint time, all of whose
+   records precede the checkpoint, must still be reported as a loser —
+   the old committed-ops-only checkpoint silently dropped it. *)
+let test_checkpoint_keeps_pre_checkpoint_loser () =
+  let head =
+    [
+      Wal.Begin Tid.a;
+      Wal.Operation (Tid.a, BA.deposit 3);
+      Wal.Begin Tid.b;  (* bare Begin: no operations yet *)
+    ]
+  in
+  let snapshot = Wal.fuzzy_checkpoint head in
+  let recs = head @ [ Wal.Checkpoint snapshot ] in
+  let committed, losers = Wal.replay recs in
+  Alcotest.check Helpers.ops "nothing committed" [] committed;
+  Helpers.check_bool "pre-checkpoint in-flight txn is a loser" true
+    (Tid.Set.mem Tid.a losers);
+  Helpers.check_bool "bare-Begin txn is a loser" true (Tid.Set.mem Tid.b losers)
+
+(* A transaction live at the checkpoint that commits afterwards replays
+   its snapshot operations followed by the post-checkpoint ones. *)
+let test_checkpoint_live_txn_commits_later () =
+  let head = [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 3) ] in
+  let recs =
+    head
+    @ [
+        Wal.Checkpoint (Wal.fuzzy_checkpoint head);
+        Wal.Operation (Tid.a, BA.deposit 4);
+        Wal.Commit Tid.a;
+      ]
+  in
+  let committed, losers = Wal.replay recs in
+  Alcotest.check Helpers.ops "snapshot ops + tail ops" [ BA.deposit 3; BA.deposit 4 ]
+    committed;
+  Helpers.check_bool "no losers" true (Tid.Set.is_empty losers)
+
+(* The fuzzy snapshot is faithful: replaying just the checkpoint record
+   gives the same outcome as replaying the records it summarises. *)
+let test_fuzzy_checkpoint_roundtrip () =
+  let recs =
+    [
+      Wal.Begin Tid.a;
+      Wal.Operation (Tid.a, BA.deposit 1);
+      Wal.Commit Tid.a;
+      Wal.Begin Tid.b;
+      Wal.Operation (Tid.b, BA.withdraw_ok 1);
+      Wal.Begin Tid.c;
+      Wal.Abort Tid.c;
+    ]
+  in
+  let snapshot = Wal.fuzzy_checkpoint recs in
+  let c1, l1 = Wal.replay recs in
+  let c2, l2 = Wal.replay [ Wal.Checkpoint snapshot ] in
+  Alcotest.check Helpers.ops "same committed" c1 c2;
+  Helpers.check_bool "same losers" true (Tid.Set.equal l1 l2)
+
+let test_truncate_to_checkpoint () =
+  let wal = Wal.create () in
+  let reg = Tm_obs.Metrics.create () in
+  Wal.attach_metrics wal reg;
+  List.iter (Wal.append wal)
+    [
+      Wal.Begin Tid.a;
+      Wal.Operation (Tid.a, BA.deposit 1);
+      Wal.Commit Tid.a;
+      Wal.Begin Tid.b;
+      Wal.Operation (Tid.b, BA.deposit 2);
+    ];
+  Wal.append wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.records wal)));
+  Wal.append wal (Wal.Operation (Tid.b, BA.deposit 4));
+  Wal.append wal (Wal.Commit Tid.b);
+  let before = Wal.replay (Wal.records wal) in
+  let dropped = Wal.truncate_to_checkpoint wal in
+  Helpers.check_int "records dropped" 5 dropped;
+  Helpers.check_int "retained length" 3 (Wal.length wal);
+  Helpers.check_int "truncated counter" 5 (Wal.truncated wal);
+  Helpers.check_int "truncated metric" 5
+    (Tm_obs.Metrics.counter_value reg "tm_wal_truncated_records_total");
+  let after = Wal.replay (Wal.records wal) in
+  Alcotest.check Helpers.ops "replay unchanged" (fst before) (fst after);
+  Helpers.check_bool "losers unchanged" true (Tid.Set.equal (snd before) (snd after));
+  Helpers.check_int "nothing more to drop" 0 (Wal.truncate_to_checkpoint wal)
+
+let test_max_tid () =
+  Helpers.check_bool "empty log" true (Wal.max_tid [] = None);
+  let t9 = Tid.of_int 9 in
+  Helpers.check_bool "from records" true
+    (Wal.max_tid [ Wal.Begin Tid.a; Wal.Begin t9; Wal.Commit Tid.b ] = Some t9);
+  (* A checkpoint's high-water mark survives truncation of the records
+     that justified it. *)
+  Helpers.check_bool "from checkpoint next_tid" true
+    (Wal.max_tid [ Wal.Checkpoint (cp ~next_tid:10 []) ] = Some t9);
+  Helpers.check_bool "from checkpoint live snapshot" true
+    (Wal.max_tid [ Wal.Checkpoint (cp ~live:[ (t9, []) ] []) ] = Some t9)
+
+(* A crash-surviving prefix keeps the log's metrics attachment. *)
+let test_prefix_carries_metrics () =
+  let wal = Wal.create () in
+  let reg = Tm_obs.Metrics.create () in
+  Wal.attach_metrics wal reg;
+  Wal.append wal (Wal.Begin Tid.a);
+  let before =
+    Tm_obs.Metrics.counter_value reg "tm_wal_appends_total"
+      ~labels:[ ("kind", "begin") ]
+  in
+  Wal.append (Wal.prefix wal 1) (Wal.Begin Tid.b);
+  Helpers.check_int "append through prefix counted" (before + 1)
+    (Tm_obs.Metrics.counter_value reg "tm_wal_appends_total"
+       ~labels:[ ("kind", "begin") ])
+
+(* Regression: aborting a transaction that never reached the log must not
+   append an Abort record for an unknown tid. *)
+let test_abort_not_begun_not_logged () =
+  let wal = Wal.create () in
+  let d = make wal in
+  Durable.abort d Tid.a;
+  Helpers.check_int "no record for unknown txn" 0 (Wal.length wal);
+  let module DD = Tm_engine.Durable_database in
+  let wal2 = Wal.create () in
+  let db =
+    DD.create ~wal:wal2
+      [
+        Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+          ~recovery:Recovery.UIP ();
+      ]
+  in
+  let t = DD.begin_txn db in
+  DD.abort db t;  (* begun but never logged: nothing to undo *)
+  Helpers.check_int "no record for unlogged txn" 0 (Wal.length wal2)
+
+(* Regression: recovery must seed tid allocation above every tid in the
+   log, else a post-recovery transaction can reuse a crash loser's tid
+   and replay merges their operations. *)
+let test_no_tid_reuse_after_recovery () =
+  let module DD = Tm_engine.Durable_database in
+  let wal = Wal.create () in
+  let rebuild () =
+    [
+      Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+        ~recovery:Recovery.UIP ();
+    ]
+  in
+  let db = DD.create ~wal (rebuild ()) in
+  let a = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA" (deposit_inv 5));
+  (* crash with [a] in flight *)
+  let db', losers = DD.recover ~wal ~rebuild () in
+  Helpers.check_bool "a lost" true (Tid.Set.mem a losers);
+  let b = DD.begin_txn db' in
+  Helpers.check_bool "fresh tid after recovery" false (Tid.equal a b);
+  ignore (DD.invoke db' b ~obj:"BA" (deposit_inv 7));
+  Helpers.check_bool "b commits" true (DD.try_commit db' b = Ok ());
+  (* second crash: the loser's operations must not ride b's commit *)
+  let committed, losers2 = Wal.replay (Wal.records wal) in
+  Alcotest.check Helpers.ops "only b's work is durable" [ BA.deposit 7 ] committed;
+  Helpers.check_bool "a still a loser" true (Tid.Set.mem a losers2)
+
+(* A mid-run fuzzy checkpoint followed by truncation preserves both the
+   loser and the later commit of a transaction spanning the checkpoint. *)
+let test_durable_database_truncated_recovery () =
+  let module DD = Tm_engine.Durable_database in
+  let wal = Wal.create () in
+  let rebuild () =
+    [
+      Atomic_object.create ~spec:(BA.spec_with_initial 100)
+        ~conflict:BA.nrbc_conflict ~recovery:Recovery.UIP ();
+    ]
+  in
+  let db = DD.create ~wal (rebuild ()) in
+  let a = DD.begin_txn db and b = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA" (deposit_inv 5));
+  ignore (DD.invoke db b ~obj:"BA" (deposit_inv 2));
+  DD.checkpoint db;  (* both a and b in flight *)
+  ignore (DD.invoke db b ~obj:"BA" (deposit_inv 4));
+  Helpers.check_bool "b commits" true (DD.try_commit db b = Ok ());
+  ignore (Wal.truncate_to_checkpoint wal);
+  let db', losers = DD.recover ~wal ~rebuild () in
+  Helpers.check_bool "a lost" true (Tid.Set.mem a losers);
+  Helpers.check_bool "b not lost" false (Tid.Set.mem b losers);
+  let o = List.hd (Tm_engine.Database.objects (DD.database db')) in
+  Alcotest.check Helpers.ops "b's pre- and post-checkpoint ops survive"
+    [ BA.deposit 2; BA.deposit 4 ]
+    (Atomic_object.committed_ops o)
 
 let test_durable_end_to_end () =
   let wal = Wal.create () in
@@ -239,6 +426,21 @@ let suite =
     Alcotest.test_case "replay commit order" `Quick test_replay_commit_order;
     Alcotest.test_case "replay abort" `Quick test_replay_abort;
     Alcotest.test_case "replay checkpoint" `Quick test_replay_checkpoint;
+    Alcotest.test_case "checkpoint keeps pre-checkpoint loser" `Quick
+      test_checkpoint_keeps_pre_checkpoint_loser;
+    Alcotest.test_case "checkpoint live txn commits later" `Quick
+      test_checkpoint_live_txn_commits_later;
+    Alcotest.test_case "fuzzy checkpoint round-trip" `Quick
+      test_fuzzy_checkpoint_roundtrip;
+    Alcotest.test_case "truncate to checkpoint" `Quick test_truncate_to_checkpoint;
+    Alcotest.test_case "max tid" `Quick test_max_tid;
+    Alcotest.test_case "prefix carries metrics" `Quick test_prefix_carries_metrics;
+    Alcotest.test_case "abort of unknown txn not logged" `Quick
+      test_abort_not_begun_not_logged;
+    Alcotest.test_case "no tid reuse after recovery" `Quick
+      test_no_tid_reuse_after_recovery;
+    Alcotest.test_case "recovery from truncated log" `Quick
+      test_durable_database_truncated_recovery;
     Alcotest.test_case "durable end-to-end" `Quick test_durable_end_to_end;
     Alcotest.test_case "write-ahead rule" `Quick test_write_ahead_rule;
     Alcotest.test_case "crash injection (UIP)" `Slow test_crash_injection_uip;
