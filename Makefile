@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all check test bench crashtest clean
+.PHONY: all check test bench crashtest faulttest clean
 
 all:
 	dune build @all
@@ -17,6 +17,13 @@ test:
 # scenario matrix and fail on any recovery-invariant violation.
 crashtest:
 	dune exec bin/crashtest.exe
+
+# Storage-fault torture with a fixed seed: byte-granularity crash cuts,
+# bit-flip corruption sweeps, and a fault-injected storage run that must
+# match the fault-free one (torn writes / transient errors absorbed by
+# the WAL retry loop).
+faulttest:
+	dune exec bin/crashtest.exe -- --fault --seed 11
 
 bench:
 	dune exec bench/main.exe

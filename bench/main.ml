@@ -501,6 +501,31 @@ let bench_wal_truncate () =
     Wal.append wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.records wal)));
     ignore (Wal.truncate_to_checkpoint wal)
 
+(* On-disk path (PR 3): frame encoding, the full append-through-storage
+   write path, and decode+rebuild from the backend's bytes. *)
+module Storage = Tm_engine.Storage
+module Disk_wal = Tm_engine.Disk_wal
+
+let bench_wal_encode () =
+  let recs = Wal.records (populated_wal ()) in
+  fun () -> ignore (Wal.Codec.encode_all recs)
+
+let bench_disk_append () =
+  let recs = Wal.records (populated_wal ()) in
+  fun () ->
+    let dw = Disk_wal.create (Storage.memory ()) in
+    List.iter (Wal.append (Disk_wal.wal dw)) recs;
+    Wal.force (Disk_wal.wal dw)
+
+let bench_disk_replay () =
+  let store = Storage.memory () in
+  let dw = Disk_wal.create store in
+  List.iter (Wal.append (Disk_wal.wal dw)) (Wal.records (populated_wal ()));
+  fun () ->
+    match Disk_wal.load store with
+    | Ok dw -> ignore (Wal.replay (Wal.records (Disk_wal.wal dw)))
+    | Error _ -> assert false
+
 let micro_benchmarks () =
   section "MICRO — engine operation cost (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -524,6 +549,11 @@ let micro_benchmarks () =
           (Staged.stage (bench_wal_checkpoint ()));
         Test.make ~name:"WAL checkpoint+truncate cycle"
           (Staged.stage (bench_wal_truncate ()));
+        Test.make ~name:"WAL encode (200-txn log)" (Staged.stage (bench_wal_encode ()));
+        Test.make ~name:"WAL append to storage (200-txn log)"
+          (Staged.stage (bench_disk_append ()));
+        Test.make ~name:"WAL replay from storage (200-txn log)"
+          (Staged.stage (bench_disk_replay ()));
       ]
   in
   let benchmark () =

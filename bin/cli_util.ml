@@ -1,0 +1,20 @@
+(* Shared output plumbing for the CLI executables. *)
+
+(* Create every missing directory on the way to [dir]. *)
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+(* [with_out file f] opens [file] for writing — creating parent
+   directories as needed — runs [f] on the channel and closes it; a
+   filesystem error prints a diagnostic and exits non-zero (these are
+   leaf CLI tools, not a library). *)
+let with_out file f =
+  mkdir_p (Filename.dirname file);
+  match open_out file with
+  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+  | exception Sys_error msg ->
+      Fmt.epr "cannot write %s: %s@." file msg;
+      exit 1

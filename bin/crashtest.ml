@@ -6,12 +6,25 @@
    log and checks the three recovery invariants (replay legality /
    dynamic atomicity, prefix stability, idempotence through a
    post-recovery checkpoint + truncation).  Exits non-zero on any
-   violation, so CI can gate on it. *)
+   violation, so CI can gate on it.
+
+   --fault switches to storage-level torture of the on-disk format:
+   byte-granularity crash cuts over the encoded log, a bit-flip
+   corruption sweep (every damage must be detected as interior
+   corruption or contained as a torn tail), and a fault-injected run —
+   the same workload against storage dealing seeded torn writes and
+   transient errors — which must commit identical state to the
+   fault-free run, with the absorbed faults visible in
+   tm_storage_retries_total. *)
 
 module Experiment = Tm_sim.Experiment
 module Scheduler = Tm_sim.Scheduler
 module Crash = Tm_engine.Crash
 module Recovery = Tm_engine.Recovery
+module Wal = Tm_engine.Wal
+module Storage = Tm_engine.Storage
+module Disk_wal = Tm_engine.Disk_wal
+module Metrics = Tm_obs.Metrics
 
 (* Workloads stay tiny so most cuts fall under the exponential
    dynamic-atomicity checker's transaction gate; the log still contains
@@ -27,18 +40,21 @@ let setups =
     Experiment.setup Recovery.UIP Experiment.Read_write;
   ]
 
-let main filter txns concurrency seed checkpoint_every verbose =
-  let scenarios =
-    List.filter
-      (fun (s : Experiment.scenario) ->
-        match filter with None -> true | Some f -> String.equal s.name f)
-      (scenarios ())
-  in
-  if scenarios = [] then begin
-    Fmt.epr "no scenario matches %S@." (Option.value filter ~default:"");
-    exit 1
-  end;
-  let cfg = Scheduler.config ~concurrency ~total_txns:txns ~seed () in
+(* Collect report lines so --report can dump the full run even when the
+   console only shows failures. *)
+let lines : string list ref = ref []
+
+let say ~verbose fmt =
+  Fmt.kstr
+    (fun s ->
+      lines := s :: !lines;
+      if verbose then Fmt.pr "%s@." s)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Default mode: record-granularity torture.                           *)
+
+let record_mode ~verbose cfg checkpoint_every scenarios =
   let failures = ref 0 in
   let total_cuts = ref 0 in
   let total_checked = ref 0 in
@@ -52,16 +68,137 @@ let main filter txns concurrency seed checkpoint_every verbose =
           total_cuts := !total_cuts + report.Crash.cuts;
           total_checked := !total_checked + report.Crash.atomicity_checked;
           if not (Crash.ok report) then incr failures;
-          if verbose || not (Crash.ok report) then
-            Fmt.pr "%-24s %-10s %a@." scenario.Experiment.name
-              (Experiment.label setup) Crash.pp_report report)
+          say ~verbose:(verbose || not (Crash.ok report)) "%-24s %-10s %a"
+            scenario.Experiment.name (Experiment.label setup) Crash.pp_report report)
         setups)
     scenarios;
-  Fmt.pr "crashtest: %d scenario x setup combinations, %d crash points (%d \
-          atomicity-checked), %d with violations@."
+  say ~verbose:true
+    "crashtest: %d scenario x setup combinations, %d crash points (%d \
+     atomicity-checked), %d with violations"
     (List.length scenarios * List.length setups)
     !total_cuts !total_checked !failures;
-  if !failures > 0 then exit 1
+  !failures
+
+(* ------------------------------------------------------------------ *)
+(* --fault mode: byte-granularity cuts, corruption sweeps, and a
+   fault-injected storage run checked against the fault-free one.       *)
+
+let fault_mode ~verbose cfg checkpoint_every seed scenarios =
+  let failures = ref 0 in
+  let total_cuts = ref 0 in
+  let total_flips = ref 0 in
+  let total_retries = ref 0 in
+  let total_faults = ref 0 in
+  List.iter
+    (fun (scenario : Experiment.scenario) ->
+      List.iter
+        (fun setup ->
+          let rebuild () = scenario.Experiment.build setup in
+          let combo = Fmt.str "%-24s %-10s" scenario.Experiment.name (Experiment.label setup) in
+
+          (* 1. Drive the workload onto real (in-memory-backed) storage
+             through the framing codec, fault-free. *)
+          let clean_store = Storage.memory () in
+          let clean_dw = Disk_wal.create clean_store in
+          let _row, wal =
+            Experiment.run_durable ~wal:(Disk_wal.wal clean_dw) ~checkpoint_every
+              scenario setup cfg
+          in
+
+          (* 2. Byte-granularity crash cuts over the encoded log. *)
+          let report = Crash.torture_bytes ~rebuild wal in
+          total_cuts := !total_cuts + report.Crash.cuts;
+          if not (Crash.ok report) then incr failures;
+          say ~verbose:(verbose || not (Crash.ok report)) "%s bytes:  %a" combo
+            Crash.pp_report report;
+
+          (* 3. Bit-flip corruption sweep: detected or contained, never
+             silent. *)
+          let sweep = Crash.corruption_sweep wal in
+          total_flips := !total_flips + sweep.Crash.flips;
+          if not (Crash.sweep_ok sweep) then incr failures;
+          say ~verbose:(verbose || not (Crash.sweep_ok sweep)) "%s flips:  %a" combo
+            Crash.pp_sweep_report sweep;
+
+          (* 4. The same workload against storage dealing seeded torn
+             writes and transient errors: the retry loop must absorb
+             them and commit the identical log. *)
+          let inner = Storage.memory () in
+          let faulty = Storage.faulty ~seed Storage.write_faults inner in
+          let faulty_dw = Disk_wal.create faulty in
+          let frow, fwal =
+            Experiment.run_durable ~wal:(Disk_wal.wal faulty_dw) ~checkpoint_every
+              scenario setup cfg
+          in
+          let retries =
+            Metrics.counter_value frow.Experiment.metrics "tm_storage_retries_total"
+          in
+          total_retries := !total_retries + retries;
+          total_faults := !total_faults + Storage.fault_count faulty;
+          let identical =
+            List.equal Wal.equal_record (Wal.records wal) (Wal.records fwal)
+          in
+          if not identical then begin
+            incr failures;
+            say ~verbose:true "%s faults: DIVERGED from fault-free run" combo
+          end;
+          (* The bytes that actually reached the (clean) inner store must
+             reload to the same log — torn prefixes were overwritten. *)
+          (match Disk_wal.load inner with
+          | Error c ->
+              incr failures;
+              say ~verbose:true "%s faults: persisted log CORRUPT: %a" combo
+                Wal.Codec.pp_corruption c
+          | Ok reloaded ->
+              if
+                not
+                  (List.equal Wal.equal_record (Wal.records wal)
+                     (Wal.records (Disk_wal.wal reloaded)))
+              then begin
+                incr failures;
+                say ~verbose:true "%s faults: reloaded log DIVERGED" combo
+              end);
+          say ~verbose:(verbose && identical)
+            "%s faults: %d injected, %d retries, committed state identical" combo
+            (Storage.fault_count faulty) retries)
+        setups)
+    scenarios;
+  (* The sweep is vacuous if the fault dice never fired: fail loudly so a
+     mis-seeded CI run cannot pass by doing nothing. *)
+  if !total_retries = 0 then begin
+    incr failures;
+    say ~verbose:true "crashtest --fault: NO transient faults were injected/retried"
+  end;
+  say ~verbose:true
+    "crashtest --fault: %d combinations, %d byte cuts, %d bit flips, %d faults \
+     injected, %d retries absorbed, %d failures"
+    (List.length scenarios * List.length setups)
+    !total_cuts !total_flips !total_faults !total_retries !failures;
+  !failures
+
+let main filter txns concurrency seed checkpoint_every fault report_file verbose =
+  let scenarios =
+    List.filter
+      (fun (s : Experiment.scenario) ->
+        match filter with None -> true | Some f -> String.equal s.name f)
+      (scenarios ())
+  in
+  if scenarios = [] then begin
+    Fmt.epr "no scenario matches %S@." (Option.value filter ~default:"");
+    exit 1
+  end;
+  let cfg = Scheduler.config ~concurrency ~total_txns:txns ~seed () in
+  let failures =
+    if fault then fault_mode ~verbose cfg checkpoint_every seed scenarios
+    else record_mode ~verbose cfg checkpoint_every scenarios
+  in
+  (match report_file with
+  | None -> ()
+  | Some file ->
+      Cli_util.with_out file (fun oc ->
+          List.iter (fun l -> output_string oc (l ^ "\n")) (List.rev !lines));
+      Fmt.pr "wrote report to %s@." file);
+  if failures > 0 then exit 1
 
 open Cmdliner
 
@@ -82,13 +219,34 @@ let txns_arg =
 let concurrency_arg =
   Arg.(value & opt int 3 & info [ "concurrency"; "c" ] ~doc:"Concurrent transactions.")
 
-let seed_arg = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"PRNG seed.")
+let seed_arg =
+  Arg.(
+    value & opt int 11
+    & info [ "seed" ] ~doc:"PRNG seed (workload; also seeds fault injection).")
 
 let checkpoint_arg =
   Arg.(
     value & opt int 2
     & info [ "checkpoint-every" ]
         ~doc:"Fuzzy checkpoint after every Nth commit (0: never).")
+
+let fault_arg =
+  Arg.(
+    value & flag
+    & info [ "fault" ]
+        ~doc:
+          "Storage-fault mode: byte-granularity crash cuts over the encoded \
+           log, a bit-flip corruption sweep, and a run over storage with \
+           seeded torn writes and transient errors that must match the \
+           fault-free run.")
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write the full per-combination report to $(docv) (parent \
+              directories are created).")
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every report, not just failures.")
@@ -99,6 +257,6 @@ let cmd =
     (Cmd.info "crashtest" ~doc)
     Term.(
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
-      $ checkpoint_arg $ verbose_arg)
+      $ checkpoint_arg $ fault_arg $ report_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

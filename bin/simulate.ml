@@ -29,12 +29,7 @@ let list_scenarios () =
   Fmt.pr "Available scenarios:@.";
   List.iter (fun (s : Experiment.scenario) -> Fmt.pr "  %s@." s.name) (scenarios ())
 
-let with_out file f =
-  match open_out file with
-  | oc -> Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
-  | exception Sys_error msg ->
-      Fmt.epr "cannot write %s: %s@." file msg;
-      exit 1
+let with_out = Cli_util.with_out
 
 let write_metrics file rows =
   let all = Metrics.create () in

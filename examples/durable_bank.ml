@@ -47,8 +47,12 @@ let () =
 
   Fmt.pr "@.*** CRASH *** (volatile state lost; the log survives)@.@.";
   let recovered, losers =
-    Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict
-      ~recovery:Tm_engine.Recovery.UIP wal
+    match
+      Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict
+        ~recovery:Tm_engine.Recovery.UIP wal
+    with
+    | Ok x -> x
+    | Error e -> Fmt.failwith "recovery failed: %a" Tm_engine.Recovery.pp_error e
   in
   Fmt.pr "losers (no commit record): %a@."
     Fmt.(list ~sep:comma Tid.pp)

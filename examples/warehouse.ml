@@ -61,7 +61,7 @@ let () =
                 (* restock *)
                 let qty = 5 + Random.State.int rng 5 in
                 match
-                  Concurrent.with_txn ~retries:2000 db (fun h ->
+                  Concurrent.with_txn ~max_attempts:2000 db (fun h ->
                       ignore
                         (Concurrent.invoke h ~obj:(item_name item)
                            (Op.invocation ~args:[ Value.int qty ] "incr")))
@@ -70,14 +70,14 @@ let () =
                     Mutex.lock tally;
                     restocked.(item) <- restocked.(item) + qty;
                     Mutex.unlock tally
-                | Error `Too_many_aborts -> ()
+                | Error (`Gave_up _) -> ()
               end
               else begin
                 (* order: reserve stock, charge customer, publish *)
                 let qty = 1 + Random.State.int rng 3 in
                 let customer = Random.State.int rng customers in
                 match
-                  Concurrent.with_txn ~retries:2000 db (fun h ->
+                  Concurrent.with_txn ~max_attempts:2000 db (fun h ->
                       let reserved =
                         Concurrent.invoke h ~obj:(item_name item)
                           (Op.invocation ~args:[ Value.int qty ] "decr")
@@ -101,7 +101,7 @@ let () =
                     placed.(item) <- placed.(item) + qty;
                     spent.(customer) <- spent.(customer) + (qty * price);
                     Mutex.unlock tally
-                | Ok None | Error `Too_many_aborts -> ()
+                | Ok None | Error (`Gave_up _) -> ()
               end
             done)
           ())

@@ -195,5 +195,6 @@ let holds t = Lock_table.holds t.locks
 let block_count t = t.blocks
 
 let restore t ops =
-  if committed_ops t <> [] then invalid_arg "Atomic_object.restore: object not fresh";
-  Recovery.restore t.recovery ops
+  if committed_ops t <> [] then
+    Error { Recovery.obj = t.name; reason = "restore: object not fresh" }
+  else Recovery.restore t.recovery ops

@@ -101,7 +101,7 @@ val block_count : t -> int
 (** [restore t ops] installs [ops] (a commit-order sequence, e.g. the
     outcome of {!Wal.replay}) into a freshly created object as
     already-committed work (directly into the recovery manager's
-    committed state — no transaction id is consumed).  Raises
-    [Invalid_argument] if the object is not fresh or the sequence is not
-    legal. *)
-val restore : t -> Op.t list -> unit
+    committed state — no transaction id is consumed).  [Error] if the
+    object is not fresh or the sequence is not legal — a typed recovery
+    violation the caller can report (see {!Recovery.error}). *)
+val restore : t -> Op.t list -> (unit, Recovery.error) result

@@ -15,6 +15,7 @@ type t = {
      [Experiment] rows read one series regardless of driver). *)
   c_victims : Metrics.counter;
   c_retries : Metrics.counter;
+  c_gave_up : Metrics.counter;
 }
 
 type handle = {
@@ -34,6 +35,7 @@ let create ?record_history objs =
     doomed = Hashtbl.create 8;
     c_victims = Metrics.counter reg "tm_deadlock_victims_total";
     c_retries = Metrics.counter reg "tm_txn_retries_total";
+    c_gave_up = Metrics.counter reg "tm_txn_gave_up_total";
   }
 
 let tid h = h.tid
@@ -87,57 +89,70 @@ let invoke ?choose h ~obj inv =
       in
       attempt ())
 
-let with_txn ?(retries = 50) t f =
-  let rec go attempts =
-    if attempts > retries then Error `Too_many_aborts
-    else
-      let tid = locked t (fun () -> Database.begin_txn t.db) in
-      let h = { sys = t; tid } in
-      let body =
-        (* [Aborted] escapes [invoke] only after the transaction has been
-           aborted in the database; any other exception leaves it running
-           and must roll it back before propagating. *)
-        match f h with
-        | result -> `Done result
-        | exception Aborted -> `Retry
-        | exception e ->
-            locked t (fun () ->
-                (try Database.abort t.db tid with Invalid_argument _ -> ());
-                Hashtbl.remove t.doomed tid;
-                Condition.broadcast t.changed);
-            raise e
-      in
-      match body with
-      | `Retry ->
-          Metrics.Counter.incr t.c_retries;
-          go (attempts + 1)
-      | `Done result -> (
-          match
-            locked t (fun () ->
-                check_doom t tid;
-                match Database.try_commit t.db tid with
-                | Ok () ->
-                    Condition.broadcast t.changed;
-                    `Committed
-                | Error _ ->
-                    (* try_commit aborted the transaction *)
-                    Hashtbl.remove t.doomed tid;
-                    Condition.broadcast t.changed;
-                    `Validation_failed)
-          with
-          | `Committed -> Ok result
-          | `Validation_failed ->
-              Metrics.Counter.incr t.c_retries;
-              go (attempts + 1)
-          | exception Aborted ->
-              Metrics.Counter.incr t.c_retries;
-              go (attempts + 1))
+let with_txn ?(max_attempts = 50) ?(backoff = fun _ -> ()) t f =
+  if max_attempts < 1 then invalid_arg "Concurrent.with_txn: max_attempts < 1";
+  (* [attempt] is the number of the attempt about to run (1-based).  A
+     retry first counts the metric, then runs the backoff hook OUTSIDE
+     the monitor — a sleeping backoff must not block other threads. *)
+  let retry attempt =
+    if attempt >= max_attempts then begin
+      Metrics.Counter.incr t.c_gave_up;
+      None
+    end
+    else begin
+      Metrics.Counter.incr t.c_retries;
+      backoff attempt;
+      Some (attempt + 1)
+    end
   in
-  go 0
+  let rec go attempt =
+    let tid = locked t (fun () -> Database.begin_txn t.db) in
+    let h = { sys = t; tid } in
+    let body =
+      (* [Aborted] escapes [invoke] only after the transaction has been
+         aborted in the database; any other exception leaves it running
+         and must roll it back before propagating. *)
+      match f h with
+      | result -> `Done result
+      | exception Aborted -> `Retry
+      | exception e ->
+          locked t (fun () ->
+              (try Database.abort t.db tid with Invalid_argument _ -> ());
+              Hashtbl.remove t.doomed tid;
+              Condition.broadcast t.changed);
+          raise e
+    in
+    let next () =
+      match retry attempt with
+      | Some attempt -> go attempt
+      | None -> Error (`Gave_up attempt)
+    in
+    match body with
+    | `Retry -> next ()
+    | `Done result -> (
+        match
+          locked t (fun () ->
+              check_doom t tid;
+              match Database.try_commit t.db tid with
+              | Ok () ->
+                  Condition.broadcast t.changed;
+                  `Committed
+              | Error _ ->
+                  (* try_commit aborted the transaction *)
+                  Hashtbl.remove t.doomed tid;
+                  Condition.broadcast t.changed;
+                  `Validation_failed)
+        with
+        | `Committed -> Ok result
+        | `Validation_failed -> next ()
+        | exception Aborted -> next ())
+  in
+  go 1
 
 let committed_count t = locked t (fun () -> Database.committed_count t.db)
 let aborted_count t = locked t (fun () -> Database.aborted_count t.db)
 let deadlock_victim_count t = locked t (fun () -> Metrics.Counter.get t.c_victims)
 let retry_count t = locked t (fun () -> Metrics.Counter.get t.c_retries)
+let gave_up_count t = locked t (fun () -> Metrics.Counter.get t.c_gave_up)
 let history t = locked t (fun () -> Database.history t.db)
 let database t = t.db

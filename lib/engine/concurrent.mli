@@ -18,7 +18,7 @@
             Concurrent.invoke h ~obj:"BA" (Op.invocation "balance"))
       with
       | Ok balance -> ...
-      | Error `Too_many_aborts -> ...
+      | Error (`Gave_up attempts) -> ...
     ]} *)
 
 open Tm_core
@@ -48,10 +48,16 @@ val invoke : ?choose:(Value.t list -> Value.t) -> handle -> obj:string ->
 
 (** [with_txn db f] begins a transaction, runs [f], and commits (with
     optimistic validation where applicable).  On {!Aborted} the
-    transaction is rolled back and [f] retried from scratch, up to
-    [retries] times (default 50) with no backoff — the monitor wakes
-    waiters on every completion. *)
-val with_txn : ?retries:int -> t -> (handle -> 'a) -> ('a, [ `Too_many_aborts ]) result
+    transaction is rolled back and [f] retried from scratch, for at most
+    [max_attempts] attempts in total (default 50).  Before each retry the
+    [backoff] hook is called — outside the monitor — with the number of
+    the attempt that just failed (1-based); the default is no delay, since
+    the monitor wakes waiters on every completion.  When the attempt
+    budget is exhausted the transaction {e gives up}: the result is
+    [Error (`Gave_up attempts)] and [tm_txn_gave_up_total] is bumped. *)
+val with_txn :
+  ?max_attempts:int -> ?backoff:(int -> unit) -> t -> (handle -> 'a) ->
+  ('a, [ `Gave_up of int ]) result
 
 (** Run statistics. *)
 
@@ -66,6 +72,10 @@ val deadlock_victim_count : t -> int
 (** Transparent {!with_txn} retries: deadlock-victim restarts plus
     optimistic validation failures ([tm_txn_retries_total]). *)
 val retry_count : t -> int
+
+(** Transactions that exhausted their attempt budget
+    ([tm_txn_gave_up_total]). *)
+val gave_up_count : t -> int
 
 (** The recorded global history (empty unless [record_history]). *)
 val history : t -> History.t

@@ -114,29 +114,34 @@ let committed_by_object db =
     (fun o -> (Atomic_object.name o, Atomic_object.committed_ops o))
     (Database.objects (Durable_database.database db))
 
-let torture ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
-  let env =
-    Atomicity.env_of_list (List.map Atomic_object.spec (rebuild ()))
-  in
-  let atomicity_checked = ref 0 in
-  let prev_committed = ref [] in
-  let check cut =
-    let log = Wal.prefix wal cut in
-    let recs = Wal.records log in
-    let bad invariant detail = Some { cut; invariant; detail } in
-    match Durable_database.recover ~wal:log ~rebuild () with
-    | exception exn ->
-        [
-          {
-            cut;
-            invariant = "replay-legality";
-            detail = Fmt.str "recovery raised %s" (Printexc.to_string exn);
-          };
-        ]
-    | db, losers ->
-        let committed, _ = Wal.replay recs in
-        (* Invariant 1a: every object's restored sequence is legal. *)
-        let legality =
+(* One crash point: recover [log] (a private copy — the idempotence leg
+   mutates it) and check all invariants.  [prev_committed] threads the
+   prefix-stability state between successive cuts of one torture run. *)
+let check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed ~rebuild
+    ~cut log =
+  let recs = Wal.records log in
+  let bad invariant detail = Some { cut; invariant; detail } in
+  match Durable_database.recover ~wal:log ~rebuild () with
+  | exception exn ->
+      [
+        {
+          cut;
+          invariant = "replay-legality";
+          detail = Fmt.str "recovery raised %s" (Printexc.to_string exn);
+        };
+      ]
+  | Error e ->
+      [
+        {
+          cut;
+          invariant = "replay-legality";
+          detail = Fmt.str "recovery failed: %a" Recovery.pp_error e;
+        };
+      ]
+  | Ok (db, losers) ->
+      let committed, _ = Wal.replay recs in
+      (* Invariant 1a: every object's restored sequence is legal. *)
+      let legality =
           List.filter_map
             (fun (name, ops) ->
               let o = Database.find_object (Durable_database.database db) name in
@@ -186,7 +191,11 @@ let torture ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
               Option.to_list
                 (bad "idempotence"
                    (Fmt.str "second recovery raised %s" (Printexc.to_string exn)))
-          | db2, losers2 ->
+          | Error e ->
+              Option.to_list
+                (bad "idempotence"
+                   (Fmt.str "second recovery failed: %a" Recovery.pp_error e))
+          | Ok (db2, losers2) ->
               let diffs =
                 List.filter_map
                   (fun ((name, ops1), (_, ops2)) ->
@@ -209,10 +218,133 @@ let torture ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
                           (Tid.Set.elements losers2)))
         in
         legality @ atomicity @ stability @ idempotence
+
+let torture ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
+  let env = Atomicity.env_of_list (List.map Atomic_object.spec (rebuild ())) in
+  let atomicity_checked = ref 0 in
+  let prev_committed = ref [] in
+  let check cut =
+    check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed ~rebuild
+      ~cut (Wal.prefix wal cut)
   in
   let cuts = Wal.length wal + 1 in
   let violations = List.concat_map check (List.init cuts Fun.id) in
   { cuts; atomicity_checked = !atomicity_checked; violations }
+
+(* ------------------------------------------------------------------ *)
+(* Byte-granularity torture and corruption sweeps over the encoded log. *)
+
+let torture_bytes ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
+  let env = Atomicity.env_of_list (List.map Atomic_object.spec (rebuild ())) in
+  let atomicity_checked = ref 0 in
+  let prev_committed = ref [] in
+  let bytes = Wal.Codec.encode_all (Wal.records wal) in
+  let len = String.length bytes in
+  (* Only cuts that change the decoded record list need the full invariant
+     battery; intermediate byte positions inside a frame decode to the same
+     records (the torn frame is dropped) and would re-check identical state. *)
+  let prev_count = ref (-1) in
+  let check cut =
+    match Wal.Codec.decode_all (String.sub bytes 0 cut) with
+    | Error c ->
+        (* A pure prefix of a well-formed log can only tear the tail —
+           there is no later intact frame to resynchronise on — so an
+           interior-corruption verdict here is itself a bug. *)
+        [
+          {
+            cut;
+            invariant = "torn-tail";
+            detail =
+              Fmt.str "prefix cut misclassified as interior corruption: %a"
+                Wal.Codec.pp_corruption c;
+          };
+        ]
+    | Ok decoded ->
+        let n = List.length decoded.Wal.Codec.records in
+        if n = !prev_count then []
+        else begin
+          prev_count := n;
+          check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed
+            ~rebuild ~cut
+            (Wal.of_records decoded.Wal.Codec.records)
+        end
+  in
+  let cuts = len + 1 in
+  let violations = List.concat_map check (List.init cuts Fun.id) in
+  { cuts; atomicity_checked = !atomicity_checked; violations }
+
+type sweep_report = {
+  flips : int;  (** single-bit corruptions injected *)
+  interior_detected : int;  (** flips reported as interior [Corrupt_log] *)
+  tail_losses : int;  (** flips absorbed as a torn tail (records lost) *)
+  harmless : int;  (** flips that left the decoded records identical *)
+  sweep_violations : violation list;
+}
+
+let sweep_ok r = r.sweep_violations = []
+
+let pp_sweep_report ppf r =
+  if sweep_ok r then
+    Fmt.pf ppf
+      "%d bit flips: %d detected as interior corruption, %d torn-tail losses, \
+       %d harmless, 0 silent corruptions"
+      r.flips r.interior_detected r.tail_losses r.harmless
+  else
+    Fmt.pf ppf "%d bit flips, %d SILENT CORRUPTIONS@,%a" r.flips
+      (List.length r.sweep_violations)
+      (Fmt.list ~sep:Fmt.cut pp_violation)
+      r.sweep_violations
+
+(* Flip one bit in every byte of the encoded log (bit index rotates with
+   the offset, so all eight positions are exercised) and demand that every
+   corruption is either {e detected} — an interior [Corrupt_log] — or
+   {e contained} — decoded as a torn tail whose records are a prefix of
+   the originals.  Any decode that silently yields different records is a
+   violation: checksummed framing failed. *)
+let corruption_sweep wal =
+  let original = Wal.records wal in
+  let bytes = Wal.Codec.encode_all original in
+  let len = String.length bytes in
+  let interior_detected = ref 0 in
+  let tail_losses = ref 0 in
+  let harmless = ref 0 in
+  let check off =
+    let b = Bytes.of_string bytes in
+    Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl (off mod 8))));
+    match Wal.Codec.decode_all (Bytes.to_string b) with
+    | Error _ ->
+        incr interior_detected;
+        None
+    | Ok decoded ->
+        let recs = decoded.Wal.Codec.records in
+        if List.equal Wal.equal_record recs original then begin
+          incr harmless;
+          None
+        end
+        else if is_prefix ~equal:Wal.equal_record recs original then begin
+          incr tail_losses;
+          None
+        end
+        else
+          Some
+            {
+              cut = off;
+              invariant = "corruption-detection";
+              detail =
+                Fmt.str
+                  "bit flip at offset %d decoded silently to a non-prefix \
+                   record list (%d records vs %d original)"
+                  off (List.length recs) (List.length original);
+            }
+  in
+  let sweep_violations = List.filter_map check (List.init len Fun.id) in
+  {
+    flips = len;
+    interior_detected = !interior_detected;
+    tail_losses = !tail_losses;
+    harmless = !harmless;
+    sweep_violations;
+  }
 
 let run ?max_atomicity_txns ~rebuild ~drive () =
   let wal = Wal.create () in

@@ -65,6 +65,43 @@ val history_of_records : Wal.record list -> History.t
 val torture :
   ?max_atomicity_txns:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
 
+(** [torture_bytes ~rebuild wal] is {!torture} at byte granularity: the
+    log is serialised with {!Wal.Codec.encode_all} and the crash is
+    injected at {e every byte offset} of the encoding — so cuts land in
+    the middle of frames, not just between records.  Each cut is decoded
+    with {!Wal.Codec.decode_all}; a prefix cut must always classify as a
+    clean log or a torn tail (an interior-corruption verdict on a pure
+    prefix is reported as a ["torn-tail"] violation), and the surviving
+    records then pass the full invariant battery.  Cuts that decode to
+    the same record list as the previous cut are skipped — the recovered
+    state cannot differ.  [cuts] in the report counts byte offsets. *)
+val torture_bytes :
+  ?max_atomicity_txns:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
+
+type sweep_report = {
+  flips : int;  (** single-bit corruptions injected (one per byte offset) *)
+  interior_detected : int;
+      (** flips detected as interior corruption (typed [Corrupt_log]) *)
+  tail_losses : int;
+      (** flips absorbed as a torn tail — records lost but the survivors
+          are a prefix of the original log (crash-equivalent, safe) *)
+  harmless : int;  (** flips that decoded to the identical record list *)
+  sweep_violations : violation list;
+      (** silent corruptions: decode succeeded with a record list that is
+          {e not} a prefix of the original — the framing failed *)
+}
+
+(** [sweep_ok r] — every injected corruption was detected or contained. *)
+val sweep_ok : sweep_report -> bool
+
+val pp_sweep_report : Format.formatter -> sweep_report -> unit
+
+(** [corruption_sweep wal] flips one bit in every byte of the encoded log
+    (bit position rotating with the offset) and decodes each corrupted
+    copy, classifying the outcome; see {!sweep_report}.  [wal] is not
+    mutated. *)
+val corruption_sweep : Wal.t -> sweep_report
+
 (** [run ~rebuild ~drive ()] builds a fresh durable database over
     [rebuild ()], lets [drive] run a workload against it (including any
     mid-run {!Durable_database.checkpoint} calls), then tortures the

@@ -1,0 +1,105 @@
+module Metrics = Tm_obs.Metrics
+
+type retry = {
+  max_attempts : int;
+  backoff : int -> unit;
+}
+
+let default_retry = { max_attempts = 8; backoff = (fun _ -> ()) }
+
+exception Storage_unavailable of { attempts : int; last : string }
+
+type t = {
+  storage : Storage.t;
+  wal : Wal.t;
+  retry : retry;
+  mutable end_off : int;  (* logical end: bytes of intact, persisted log *)
+  mutable bytes_written : int;
+  mutable retries : int;
+  mutable metrics : Metrics.t option;
+}
+
+let wal t = t.wal
+let storage t = t.storage
+let bytes_written t = t.bytes_written
+let retries t = t.retries
+
+let count t name by =
+  match t.metrics with
+  | None -> ()
+  | Some reg -> Metrics.Counter.incr ~by (Metrics.counter reg name)
+
+(* Run [f] through the retry budget.  A torn write persists a prefix,
+   but every attempt rewrites from the same offset, so the torn bytes
+   are overwritten rather than accumulated. *)
+let with_retry t f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Storage.Transient last ->
+        if attempt >= t.retry.max_attempts then
+          raise (Storage_unavailable { attempts = attempt; last })
+        else begin
+          t.retries <- t.retries + 1;
+          count t "tm_storage_retries_total" 1;
+          t.retry.backoff attempt;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+let persist t record =
+  let frame = Wal.Codec.encode record in
+  with_retry t (fun () -> Storage.write_at t.storage ~pos:t.end_off frame);
+  t.end_off <- t.end_off + String.length frame;
+  t.bytes_written <- t.bytes_written + String.length frame;
+  count t "tm_wal_bytes_total" (String.length frame)
+
+let install_sink t =
+  Wal.set_sink t.wal
+    {
+      Wal.sink_append = (fun r -> persist t r);
+      sink_force = (fun () -> with_retry t (fun () -> Storage.force t.storage));
+      sink_attach =
+        (fun reg ->
+          t.metrics <- Some reg;
+          Storage.attach_metrics t.storage reg);
+    }
+
+let make ?(retry = default_retry) storage wal ~end_off =
+  let t =
+    { storage; wal; retry; end_off; bytes_written = 0; retries = 0; metrics = None }
+  in
+  install_sink t;
+  t
+
+let create ?retry storage =
+  let t = make ?retry storage (Wal.create ()) ~end_off:0 in
+  (* A fresh log owns the backend from byte 0; stale contents (a
+     previous incarnation's log) would otherwise replay after ours. *)
+  if Storage.size storage > 0 then
+    with_retry t (fun () -> Storage.write_at storage ~pos:0 "");
+  t
+
+let load ?retry storage =
+  (* Reads are not retried on content grounds — a short or bit-flipped
+     read is silent, and it is the decoder's job to catch it. *)
+  match Wal.Codec.decode_all (Storage.read_all storage) with
+  | Error _ as e -> e
+  | Ok { Wal.Codec.records; clean_bytes; torn = _ } ->
+      (* The mirror is rebuilt before the sink is installed, so the
+         replayed records are not re-persisted; a torn tail is dropped
+         logically — [end_off] points at the intact prefix, and the next
+         append overwrites the debris. *)
+      let wal = Wal.of_records records in
+      Ok (make ?retry storage wal ~end_off:clean_bytes)
+
+let checkpoint_truncate t =
+  let dropped = Wal.truncate_to_checkpoint t.wal in
+  if dropped > 0 then begin
+    let bytes = Wal.Codec.encode_all (Wal.records t.wal) in
+    with_retry t (fun () -> Storage.write_at t.storage ~pos:0 bytes);
+    with_retry t (fun () -> Storage.force t.storage);
+    t.end_off <- String.length bytes
+  end;
+  dropped

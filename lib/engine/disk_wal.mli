@@ -1,0 +1,59 @@
+(** A {!Wal} persisted through a {!Storage} backend.
+
+    The in-memory log stays the source of truth for replay and the
+    crash-torture harness; this module mirrors every append onto stable
+    storage as a {!Wal.Codec} frame, makes {!Wal.force} a real backend
+    barrier, and reloads a log from the backend's bytes after a crash —
+    truncating a torn tail, refusing interior corruption.
+
+    Transient storage faults ({!Storage.Transient}) are absorbed by a
+    bounded retry loop: a torn append is re-issued at the same offset
+    (overwriting the torn prefix — the backend's {!Storage.write_at}
+    contract), with a deterministic backoff hook between attempts.
+    Faults that outlive the budget surface as {!Storage_unavailable}. *)
+
+(** Retry policy for transient faults.  [backoff n] is called after the
+    [n]th failed attempt (n = 1, 2, ...) before retrying; the default
+    does nothing (deterministic tests) — a production caller can sleep
+    exponentially here. *)
+type retry = {
+  max_attempts : int;
+  backoff : int -> unit;
+}
+
+val default_retry : retry
+
+(** A write or force still failing after [attempts] tries. *)
+exception Storage_unavailable of { attempts : int; last : string }
+
+type t
+
+(** [create ?retry storage] starts a fresh, empty log on [storage]
+    (discarding any previous contents). *)
+val create : ?retry:retry -> Storage.t -> t
+
+(** [load ?retry storage] rebuilds the log from the backend's bytes.  A
+    torn or corrupt tail is truncated (crash loss; recovery proceeds);
+    interior corruption is returned as [Error] with its byte offset —
+    never skipped. *)
+val load : ?retry:retry -> Storage.t -> (t, Wal.Codec.corruption) result
+
+(** The in-memory mirror.  Appends to it are persisted (with retry) as
+    they happen; {!Wal.force} forces the backend. *)
+val wal : t -> Wal.t
+
+val storage : t -> Storage.t
+
+(** [checkpoint_truncate t] = {!Wal.truncate_to_checkpoint} on the
+    mirror plus a compaction of the backend: the retained records are
+    re-encoded, written from offset 0 and forced.  Returns the number of
+    records dropped. *)
+val checkpoint_truncate : t -> int
+
+(** Bytes appended to the backend so far (also counted as
+    [tm_wal_bytes_total]). *)
+val bytes_written : t -> int
+
+(** Transient faults absorbed by the retry loop so far (also counted as
+    [tm_storage_retries_total]). *)
+val retries : t -> int

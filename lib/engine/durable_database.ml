@@ -33,9 +33,12 @@ let invoke ?choose t tid ~obj inv =
   outcome
 
 let force t tid r =
-  (* In-memory stable storage: a force is just an append, but it is the
-     durability point, so it gets its own counter and span. *)
+  (* Append, then the durability barrier: for an in-memory log the
+     barrier is a no-op (append is atomic and forced by fiat); a log
+     with a storage sink ({!Disk_wal}) makes the backend flush here —
+     the commit is acknowledged only once the record is on the device. *)
   log t tid r;
+  Wal.force t.wal;
   Metrics.Counter.incr (Metrics.counter (Database.metrics t.db) "tm_wal_forces_total");
   Database.emit_trace t.db ~tid Trace.Wal_force
 
@@ -101,23 +104,28 @@ let recover ?trace ~wal ~rebuild () =
     match Wal.max_tid recs with Some m -> Tid.to_int m + 1 | None -> 0
   in
   let objs = rebuild () in
-  List.iter
-    (fun o ->
-      let mine =
-        List.filter
-          (fun (op : Op.t) -> String.equal op.obj (Atomic_object.name o))
-          committed
-      in
-      Atomic_object.restore o mine)
-    objs;
-  let t = create ~first_tid ~wal objs in
-  (match trace with None -> () | Some tr -> Database.set_trace t.db tr);
-  let reg = Database.metrics t.db in
-  Metrics.Counter.incr ~by:(List.length committed)
-    (Metrics.counter reg "tm_recovery_replayed_ops_total");
-  Metrics.Counter.incr ~by:(Tid.Set.cardinal losers)
-    (Metrics.counter reg "tm_recovery_loser_txns_total");
-  emit_system t.db
-    (Trace.Crash_recover
-       { replayed = List.length committed; losers = Tid.Set.cardinal losers });
-  (t, losers)
+  let failed =
+    List.find_map
+      (fun o ->
+        let mine =
+          List.filter
+            (fun (op : Op.t) -> String.equal op.obj (Atomic_object.name o))
+            committed
+        in
+        match Atomic_object.restore o mine with Ok () -> None | Error e -> Some e)
+      objs
+  in
+  match failed with
+  | Some e -> Error e
+  | None ->
+      let t = create ~first_tid ~wal objs in
+      (match trace with None -> () | Some tr -> Database.set_trace t.db tr);
+      let reg = Database.metrics t.db in
+      Metrics.Counter.incr ~by:(List.length committed)
+        (Metrics.counter reg "tm_recovery_replayed_ops_total");
+      Metrics.Counter.incr ~by:(Tid.Set.cardinal losers)
+        (Metrics.counter reg "tm_recovery_loser_txns_total");
+      emit_system t.db
+        (Trace.Crash_recover
+           { replayed = List.length committed; losers = Tid.Set.cardinal losers });
+      Ok (t, losers)

@@ -46,13 +46,16 @@ val checkpoint : t -> unit
 (** [recover ~wal ~rebuild ()] reconstructs the database after a crash:
     [rebuild] supplies fresh objects (same specs/conflicts/recovery as
     before the crash); each is restored with the committed operations of
-    {e its} object from the log.  Returns the database and the losers.
-    Transaction-id allocation restarts strictly above every tid the log
-    mentions ({!Wal.max_tid}), so post-crash transactions never merge
-    with a pre-crash loser on a later replay.  Replay volume is counted
-    as [tm_recovery_replayed_ops_total] / [tm_recovery_loser_txns_total]
-    in the new database's registry; [trace], if given, is attached to it
+    {e its} object from the log.  Returns the database and the losers,
+    or a typed {!Recovery.error} when a replayed sequence violates an
+    object's specification (the caller — crash harness, CLI — reports it
+    instead of catching exceptions).  Transaction-id allocation restarts
+    strictly above every tid the log mentions ({!Wal.max_tid}), so
+    post-crash transactions never merge with a pre-crash loser on a
+    later replay.  Replay volume is counted as
+    [tm_recovery_replayed_ops_total] / [tm_recovery_loser_txns_total] in
+    the new database's registry; [trace], if given, is attached to it
     and receives the [Crash_recover] span. *)
 val recover :
   ?trace:Tm_obs.Trace.t -> wal:Wal.t -> rebuild:(unit -> Atomic_object.t list) ->
-  unit -> t * Tid.Set.t
+  unit -> (t * Tid.Set.t, Recovery.error) result

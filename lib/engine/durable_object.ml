@@ -51,7 +51,8 @@ let checkpoint t = Wal.append t.wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.r
 let recover ~spec ~conflict ~recovery wal =
   let committed, losers = Wal.replay (Wal.records wal) in
   let t = create ~spec ~conflict ~recovery ~wal in
-  Atomic_object.restore t.obj committed;
-  (t, losers)
+  match Atomic_object.restore t.obj committed with
+  | Ok () -> Ok (t, losers)
+  | Error e -> Error e
 
 let committed_ops t = Atomic_object.committed_ops t.obj

@@ -44,9 +44,10 @@ val checkpoint : t -> unit
 
 (** [recover ~spec ~conflict ~recovery wal] rebuilds the object from the
     log: equivalent to the pre-crash object with all in-flight
-    transactions aborted.  Returns the object and the loser set. *)
+    transactions aborted.  Returns the object and the loser set, or a
+    typed error when the log replays illegally (see {!Recovery.error}). *)
 val recover :
   spec:Spec.t -> conflict:Conflict.t -> recovery:Recovery.kind -> Wal.t ->
-  t * Tid.Set.t
+  (t * Tid.Set.t, Recovery.error) result
 
 val committed_ops : t -> Op.t list

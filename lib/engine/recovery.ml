@@ -14,6 +14,17 @@ let kind_of_string = function
   | "du" | "DU" -> Some DU
   | _ -> None
 
+(* Failures on the recovery path (replaying a log into a fresh manager)
+   are typed, not [Invalid_argument]: recovery callers — the crash
+   harness, the durable database — must be able to report a violation
+   with its object rather than pattern-match exception strings. *)
+type error = {
+  obj : string;
+  reason : string;
+}
+
+let pp_error ppf e = Fmt.pf ppf "%s: %s" e.obj e.reason
+
 (* The spec's state type is abstract; each manager is a record of closures
    built in a scope where the module is unpacked. *)
 type t = {
@@ -22,7 +33,7 @@ type t = {
   record : Tid.t -> Op.t -> unit;
   commit : Tid.t -> unit;
   abort : Tid.t -> unit;
-  restore : Op.t list -> unit;
+  restore : Op.t list -> (unit, error) result;
   committed_ops : unit -> Op.t list;
   set_metrics : Metrics.t -> unit;
 }
@@ -124,13 +135,18 @@ let create_uip ?inverse (Spec.Packed (module S) as spec) : t =
      log and committed log (no per-transaction bookkeeping, no tid). *)
   let restore ops =
     if !log <> [] || !committed_log <> [] || Hashtbl.length per_txn > 0 then
-      invalid_arg "Recovery.restore(UIP): manager not fresh";
-    let next = E.after E.initial_set ops in
-    if ops <> [] && E.States.is_empty next then
-      invalid_arg "Recovery.restore(UIP): sequence not legal";
-    current := next;
-    log := List.rev ops;
-    committed_log := List.rev ops
+      Error { obj; reason = "restore(UIP): manager not fresh" }
+    else begin
+      let next = E.after E.initial_set ops in
+      if ops <> [] && E.States.is_empty next then
+        Error { obj; reason = "restore(UIP): replayed sequence not legal" }
+      else begin
+        current := next;
+        log := List.rev ops;
+        committed_log := List.rev ops;
+        Ok ()
+      end
+    end
   in
   let committed_ops () = List.rev !committed_log in
   let set_metrics reg = meta := Some reg in
@@ -175,12 +191,17 @@ let create_du (Spec.Packed (module S) as spec) : t =
   in
   let restore ops =
     if !committed_log <> [] || Hashtbl.length intentions > 0 then
-      invalid_arg "Recovery.restore(DU): manager not fresh";
-    let next = E.after E.initial_set ops in
-    if ops <> [] && E.States.is_empty next then
-      invalid_arg "Recovery.restore(DU): sequence not legal";
-    base := next;
-    committed_log := List.rev ops
+      Error { obj; reason = "restore(DU): manager not fresh" }
+    else begin
+      let next = E.after E.initial_set ops in
+      if ops <> [] && E.States.is_empty next then
+        Error { obj; reason = "restore(DU): replayed sequence not legal" }
+      else begin
+        base := next;
+        committed_log := List.rev ops;
+        Ok ()
+      end
+    end
   in
   let committed_ops () = List.rev !committed_log in
   let set_metrics reg = meta := Some reg in

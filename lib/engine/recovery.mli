@@ -57,13 +57,26 @@ val record : t -> Tid.t -> Op.t -> unit
 val commit : t -> Tid.t -> unit
 val abort : t -> Tid.t -> unit
 
+(** A recovery-path failure: replaying a log into a manager that is not
+    fresh, or a replayed sequence that is not legal for the object's
+    specification.  Typed (rather than [Invalid_argument]) so recovery
+    callers — the crash harness, {!Durable_database.recover} — can
+    report the violation with its object instead of catching generic
+    exceptions. *)
+type error = {
+  obj : string;
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
 (** [restore t ops] installs [ops] (a commit-order sequence, e.g. the
     outcome of {!Wal.replay}) into a {e fresh} manager as
     already-committed work: UIP seeds its log and current state, DU its
     committed base.  Replayed work belongs to no live transaction, so no
-    transaction id is involved.  Raises [Invalid_argument] if the manager
-    is not fresh or the sequence is not legal. *)
-val restore : t -> Op.t list -> unit
+    transaction id is involved.  [Error] if the manager is not fresh or
+    the sequence is not legal. *)
+val restore : t -> Op.t list -> (unit, error) result
 
 (** Operations executed by non-aborted transactions, in execution order
     (UIP) — or committed operations in commit order followed by nothing

@@ -1,0 +1,174 @@
+module Metrics = Tm_obs.Metrics
+
+exception Transient of string
+
+(* A backend is a record of closures, like {!Recovery}: each constructor
+   closes over its own state. *)
+type t = {
+  name : string;
+  write_at : pos:int -> string -> unit;
+  force : unit -> unit;
+  read_all : unit -> string;
+  size : unit -> int;
+  close : unit -> unit;
+  fault_count : unit -> int;
+  attach : Metrics.t -> unit;
+}
+
+let name t = t.name
+let write_at t ~pos data = t.write_at ~pos data
+let force t = t.force ()
+let read_all t = t.read_all ()
+let size t = t.size ()
+let close t = t.close ()
+let fault_count t = t.fault_count ()
+let attach_metrics t reg = t.attach reg
+
+let check_pos ~who ~pos ~size =
+  if pos < 0 || pos > size then
+    invalid_arg (Fmt.str "Storage.write_at(%s): pos %d outside [0,%d]" who pos size)
+
+let of_string ?(name = "memory") contents =
+  let contents = ref contents in
+  {
+    name;
+    write_at =
+      (fun ~pos data ->
+        check_pos ~who:name ~pos ~size:(String.length !contents);
+        contents := String.sub !contents 0 pos ^ data);
+    force = (fun () -> ());
+    read_all = (fun () -> !contents);
+    size = (fun () -> String.length !contents);
+    close = (fun () -> ());
+    fault_count = (fun () -> 0);
+    attach = (fun _ -> ());
+  }
+
+let memory ?name () = of_string ?name ""
+
+let file path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  (* The OS can interrupt any of these mid-call; those are the genuine
+     transient errors a production log retries. *)
+  let io f =
+    try f () with
+    | Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), fn, _) ->
+        raise (Transient (Fmt.str "%s: interrupted" fn))
+  in
+  let write_all data =
+    let b = Bytes.of_string data in
+    let rec go off =
+      if off < Bytes.length b then
+        go (off + io (fun () -> Unix.write fd b off (Bytes.length b - off)))
+    in
+    go 0
+  in
+  let file_size () = (Unix.fstat fd).Unix.st_size in
+  {
+    name = path;
+    write_at =
+      (fun ~pos data ->
+        check_pos ~who:path ~pos ~size:(file_size ());
+        ignore (io (fun () -> Unix.lseek fd pos Unix.SEEK_SET));
+        write_all data;
+        io (fun () -> Unix.ftruncate fd (pos + String.length data)));
+    force = (fun () -> io (fun () -> Unix.fsync fd));
+    read_all =
+      (fun () ->
+        let len = file_size () in
+        let b = Bytes.create len in
+        ignore (io (fun () -> Unix.lseek fd 0 Unix.SEEK_SET));
+        let rec go off =
+          if off < len then
+            match io (fun () -> Unix.read fd b off (len - off)) with
+            | 0 -> Bytes.sub_string b 0 off  (* concurrent truncation *)
+            | n -> go (off + n)
+          else Bytes.to_string b
+        in
+        go 0);
+    size = file_size;
+    close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+    fault_count = (fun () -> 0);
+    attach = (fun _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection.                                                    *)
+
+type fault_config = {
+  torn_write : float;
+  write_error : float;
+  force_error : float;
+  bit_flip : float;
+  short_read : float;
+}
+
+let no_faults =
+  { torn_write = 0.; write_error = 0.; force_error = 0.; bit_flip = 0.; short_read = 0. }
+
+let write_faults = { no_faults with torn_write = 0.1; write_error = 0.08; force_error = 0.08 }
+
+let faulty ~seed cfg inner =
+  let rng = Random.State.make [| seed; 0x57a9 |] in
+  let metrics = ref None in
+  let faults = ref 0 in
+  let inject kind =
+    incr faults;
+    match !metrics with
+    | None -> ()
+    | Some reg ->
+        Metrics.Counter.incr
+          (Metrics.counter reg "tm_storage_faults_total"
+             ~labels:[ ("backend", inner.name); ("kind", kind) ])
+  in
+  let hit p = p > 0. && Random.State.float rng 1. < p in
+  let flip_bit data =
+    let b = Bytes.of_string data in
+    let i = Random.State.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Random.State.int rng 8)));
+    Bytes.to_string b
+  in
+  {
+    name = inner.name ^ "+faults";
+    write_at =
+      (fun ~pos data ->
+        if hit cfg.write_error then begin
+          inject "write_error";
+          raise (Transient "injected: write error")
+        end
+        else if String.length data > 1 && hit cfg.torn_write then begin
+          inject "torn_write";
+          (* A strict prefix reaches the device before the failure; the
+             retry must overwrite it by rewriting at the same position. *)
+          let torn = 1 + Random.State.int rng (String.length data - 1) in
+          inner.write_at ~pos (String.sub data 0 torn);
+          raise (Transient (Fmt.str "injected: torn write (%d/%d bytes)" torn (String.length data)))
+        end
+        else inner.write_at ~pos data);
+    force =
+      (fun () ->
+        if hit cfg.force_error then begin
+          inject "force_error";
+          raise (Transient "injected: force error")
+        end
+        else inner.force ());
+    read_all =
+      (fun () ->
+        let data = inner.read_all () in
+        if String.length data > 0 && hit cfg.short_read then begin
+          inject "short_read";
+          String.sub data 0 (Random.State.int rng (String.length data))
+        end
+        else if String.length data > 0 && hit cfg.bit_flip then begin
+          inject "bit_flip";
+          flip_bit data
+        end
+        else data);
+    size = inner.size;
+    close = inner.close;
+    fault_count = (fun () -> !faults);
+    attach =
+      (fun reg ->
+        metrics := Some reg;
+        inner.attach reg);
+  }

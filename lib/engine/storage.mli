@@ -1,0 +1,88 @@
+(** Pluggable byte storage for the on-disk write-ahead log.
+
+    {!Wal} up to PR 2 modelled stable storage in-memory with an append
+    that is atomic and incorruptible.  Real logs live on real devices
+    that tear writes, rot bits, return short reads and fail transiently;
+    this module is the seam where those behaviours enter the system.  A
+    backend is a flat byte store with WAL-shaped positional writes:
+    {!write_at} replaces everything from a position onward, which is how
+    {!Disk_wal} retries a torn append — rewriting from the last
+    known-good offset instead of appending garbage after a torn prefix.
+
+    Three backends: {!memory} (tests, sweeps), {!file} (a real
+    fsync-able file via [Unix]), and {!faulty}, a wrapper that deals
+    storage faults from a seeded RNG so every failure mode is
+    reproducible. *)
+
+(** A retryable I/O failure.  A torn write may have persisted a prefix
+    of the data before raising; the caller must re-issue the {e whole}
+    write at the {e same} position (which overwrites the torn prefix),
+    not append. *)
+exception Transient of string
+
+type t
+
+val name : t -> string
+
+(** [write_at t ~pos data] — the contents become the old contents up to
+    [pos] followed by [data]; anything previously beyond [pos + length
+    data] is discarded (WAL semantics: writes happen only at or before
+    the logical end, never leaving stale bytes after the tail).  Raises
+    [Invalid_argument] if [pos] exceeds the current size, {!Transient}
+    on a retryable fault. *)
+val write_at : t -> pos:int -> string -> unit
+
+(** Barrier: data from every completed {!write_at} is durable when
+    [force] returns.  Raises {!Transient} on a retryable fault. *)
+val force : t -> unit
+
+(** The full contents.  Under {!faulty} the result may be corrupted
+    (flipped bit) or short — decoding, not this module, is responsible
+    for detecting that. *)
+val read_all : t -> string
+
+val size : t -> int
+val close : t -> unit
+
+(** In-memory backend (volatile; for tests and corruption sweeps). *)
+val memory : ?name:string -> unit -> t
+
+(** In-memory backend pre-seeded with [contents]. *)
+val of_string : ?name:string -> string -> t
+
+(** File backend: [write_at] is pwrite + ftruncate, [force] is fsync.
+    The file is created if missing.  [EINTR]/[EAGAIN] surface as
+    {!Transient}; other I/O errors propagate as [Unix.Unix_error]. *)
+val file : string -> t
+
+(** {1 Fault injection} *)
+
+(** Per-call fault probabilities, all in [0,1].  Write-side faults are
+    retryable ({!Transient}); read-side faults are {e silent} — they
+    return damaged data and let recovery find out. *)
+type fault_config = {
+  torn_write : float;
+      (** a strict prefix of the data is persisted, then {!Transient} *)
+  write_error : float;  (** nothing persisted, {!Transient} *)
+  force_error : float;  (** barrier fails with {!Transient} *)
+  bit_flip : float;  (** {!read_all} returns data with one flipped bit *)
+  short_read : float;  (** {!read_all} returns a strict prefix *)
+}
+
+val no_faults : fault_config
+
+(** Moderate write-side faults only (torn writes + transient errors);
+    reads are clean.  The configuration used by [crashtest --fault]. *)
+val write_faults : fault_config
+
+(** [faulty ~seed cfg inner] wraps [inner] with seeded fault injection.
+    Each injected fault is counted as
+    [tm_storage_faults_total{backend,kind}] once {!attach_metrics} has
+    been called (kinds: [torn_write], [write_error], [force_error],
+    [bit_flip], [short_read]). *)
+val faulty : seed:int -> fault_config -> t -> t
+
+(** Total faults injected so far (0 for non-faulty backends). *)
+val fault_count : t -> int
+
+val attach_metrics : t -> Tm_obs.Metrics.t -> unit

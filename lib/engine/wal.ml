@@ -23,15 +23,54 @@ let pp_record ppf = function
       Fmt.pf ppf "CHECKPOINT (%d ops, %d live txns, next tid %d)"
         (List.length cp.committed) (List.length cp.live) cp.next_tid
 
+let equal_checkpoint a b =
+  List.equal Op.equal a.committed b.committed
+  && List.equal
+       (fun (t1, o1) (t2, o2) -> Tid.equal t1 t2 && List.equal Op.equal o1 o2)
+       a.live b.live
+  && a.next_tid = b.next_tid
+
+let equal_record a b =
+  match a, b with
+  | Begin x, Begin y | Commit x, Commit y | Abort x, Abort y -> Tid.equal x y
+  | Operation (x, p), Operation (y, q) -> Tid.equal x y && Op.equal p q
+  | Checkpoint x, Checkpoint y -> equal_checkpoint x y
+  | (Begin _ | Operation _ | Commit _ | Abort _ | Checkpoint _), _ -> false
+
+(* A sink mirrors the in-memory log onto stable storage ({!Disk_wal}):
+   appends are persisted as they happen, [force] is the durability
+   barrier, and a metrics attachment is forwarded so storage counters
+   land in the same registry as the log's own. *)
+type sink = {
+  sink_append : record -> unit;
+  sink_force : unit -> unit;
+  sink_attach : Metrics.t -> unit;
+}
+
 type t = {
   mutable records_rev : record list;
   mutable count : int;
   mutable truncated : int;
   mutable metrics : Metrics.t option;
+  mutable sink : sink option;
 }
 
-let create () = { records_rev = []; count = 0; truncated = 0; metrics = None }
-let attach_metrics t reg = t.metrics <- Some reg
+let create () =
+  { records_rev = []; count = 0; truncated = 0; metrics = None; sink = None }
+
+let of_records recs =
+  { records_rev = List.rev recs; count = List.length recs; truncated = 0;
+    metrics = None; sink = None }
+
+let set_sink t sink =
+  t.sink <- Some sink;
+  match t.metrics with None -> () | Some reg -> sink.sink_attach reg
+
+let attach_metrics t reg =
+  t.metrics <- Some reg;
+  match t.sink with None -> () | Some s -> s.sink_attach reg
+
+let force t = match t.sink with None -> () | Some s -> s.sink_force ()
 
 let record_kind = function
   | Begin _ -> "begin"
@@ -43,6 +82,7 @@ let record_kind = function
 let append t r =
   t.records_rev <- r :: t.records_rev;
   t.count <- t.count + 1;
+  (match t.sink with None -> () | Some s -> s.sink_append r);
   match t.metrics with
   | None -> ()
   | Some reg -> (
@@ -64,8 +104,11 @@ let prefix t n =
   let kept = take n (records t) in
   (* The rebuilt log keeps the metrics attachment: a crash loses volatile
      state, not the accounting of the log that survived it.  (Recovery
-     re-attaches the new database's registry anyway.) *)
-  { records_rev = List.rev kept; count = List.length kept; truncated = 0; metrics = t.metrics }
+     re-attaches the new database's registry anyway.)  The sink is NOT
+     carried over — a prefix is a volatile recovery artifact, and
+     appending to it must not touch the stable storage it came from. *)
+  { records_rev = List.rev kept; count = List.length kept; truncated = 0;
+    metrics = t.metrics; sink = None }
 
 let truncate_to_checkpoint t =
   (* [records_rev] is newest first, so the first [Checkpoint] found is the
@@ -167,6 +210,216 @@ let replay recs =
 let max_tid recs =
   let st = scan recs in
   if st.hwm = 0 then None else Some (Tid.of_int (st.hwm - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Binary framing for the on-disk log.                                 *)
+
+module Codec = struct
+  let version = 1
+
+  (* Frame: 2-byte magic, 1-byte version, 4-byte LE payload length,
+     4-byte LE CRC32 of the payload, payload (tag byte + body).  The
+     magic gives the decoder a resynchronization anchor: after a corrupt
+     frame it can scan for the next intact one to tell interior
+     corruption from a torn tail. *)
+  let magic0 = '\xd7'
+  let magic1 = 'W'
+  let header_size = 11
+
+  (* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). *)
+  let crc_table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref (Int32.of_int n) in
+           for _ = 0 to 7 do
+             c :=
+               if Int32.logand !c 1l <> 0l then
+                 Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+               else Int32.shift_right_logical !c 1
+           done;
+           !c))
+
+  let crc32 s =
+    let table = Lazy.force crc_table in
+    let c = ref 0xFFFFFFFFl in
+    String.iter
+      (fun ch ->
+        c :=
+          Int32.logxor
+            table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl))
+            (Int32.shift_right_logical !c 8))
+      s;
+    Int32.logxor !c 0xFFFFFFFFl
+
+  (* --- payload writer --- *)
+
+  let put_int b i = Buffer.add_int64_le b (Int64.of_int i)
+  let put_string b s = put_int b (String.length s); Buffer.add_string b s
+  let put_list put b l = put_int b (List.length l); List.iter (put b) l
+  let put_tid b tid = put_int b (Tid.to_int tid)
+
+  let rec put_value b = function
+    | Value.Unit -> Buffer.add_char b '\000'
+    | Value.Bool false -> Buffer.add_char b '\001'
+    | Value.Bool true -> Buffer.add_char b '\002'
+    | Value.Int i -> Buffer.add_char b '\003'; put_int b i
+    | Value.Str s -> Buffer.add_char b '\004'; put_string b s
+    | Value.List l -> Buffer.add_char b '\005'; put_list put_value b l
+
+  let put_op b (op : Op.t) =
+    put_string b op.obj;
+    put_string b op.inv.Op.name;
+    put_list put_value b op.inv.Op.args;
+    put_value b op.res
+
+  let put_record b = function
+    | Begin tid -> Buffer.add_char b '\000'; put_tid b tid
+    | Operation (tid, op) -> Buffer.add_char b '\001'; put_tid b tid; put_op b op
+    | Commit tid -> Buffer.add_char b '\002'; put_tid b tid
+    | Abort tid -> Buffer.add_char b '\003'; put_tid b tid
+    | Checkpoint cp ->
+        Buffer.add_char b '\004';
+        put_list put_op b cp.committed;
+        put_list (fun b (tid, ops) -> put_tid b tid; put_list put_op b ops) b cp.live;
+        put_int b cp.next_tid
+
+  let encode r =
+    let payload = Buffer.create 64 in
+    put_record payload r;
+    let payload = Buffer.contents payload in
+    let b = Buffer.create (header_size + String.length payload) in
+    Buffer.add_char b magic0;
+    Buffer.add_char b magic1;
+    Buffer.add_char b (Char.chr version);
+    Buffer.add_int32_le b (Int32.of_int (String.length payload));
+    Buffer.add_int32_le b (crc32 payload);
+    Buffer.add_string b payload;
+    Buffer.contents b
+
+  let encode_all recs = String.concat "" (List.map encode recs)
+
+  (* --- payload reader --- *)
+
+  exception Bad of string
+
+  type reader = { src : string; mutable pos : int; stop : int }
+
+  let need r n = if r.stop - r.pos < n then raise (Bad "truncated payload")
+
+  let get_byte r = need r 1; let c = r.src.[r.pos] in r.pos <- r.pos + 1; Char.code c
+
+  let get_int r =
+    need r 8;
+    let v = Int64.to_int (String.get_int64_le r.src r.pos) in
+    r.pos <- r.pos + 8;
+    v
+
+  let get_len r =
+    let n = get_int r in
+    if n < 0 || n > r.stop - r.pos then raise (Bad "implausible length") else n
+
+  let get_string r = let n = get_len r in
+    let s = String.sub r.src r.pos n in r.pos <- r.pos + n; s
+
+  let get_list get r = List.init (get_len r) (fun _ -> get r)
+  let get_tid r = Tid.of_int (get_int r)
+
+  let rec get_value r =
+    match get_byte r with
+    | 0 -> Value.Unit
+    | 1 -> Value.Bool false
+    | 2 -> Value.Bool true
+    | 3 -> Value.Int (get_int r)
+    | 4 -> Value.Str (get_string r)
+    | 5 -> Value.List (get_list get_value r)
+    | n -> raise (Bad (Fmt.str "bad value tag %d" n))
+
+  let get_op r =
+    let obj = get_string r in
+    let name = get_string r in
+    let args = get_list get_value r in
+    let res = get_value r in
+    { Op.obj; inv = { Op.name; args }; res }
+
+  let get_record r =
+    match get_byte r with
+    | 0 -> Begin (get_tid r)
+    | 1 -> let tid = get_tid r in Operation (tid, get_op r)
+    | 2 -> Commit (get_tid r)
+    | 3 -> Abort (get_tid r)
+    | 4 ->
+        let committed = get_list get_op r in
+        let live = get_list (fun r -> let tid = get_tid r in (tid, get_list get_op r)) r in
+        let next_tid = get_int r in
+        Checkpoint { committed; live; next_tid }
+    | n -> raise (Bad (Fmt.str "bad record tag %d" n))
+
+  type corruption = {
+    offset : int;
+    reason : string;
+  }
+
+  let pp_corruption ppf c = Fmt.pf ppf "byte %d: %s" c.offset c.reason
+
+  (* Decode the frame starting at [pos]; [Ok (record, next_pos)] or the
+     reason it is unreadable. *)
+  let decode_frame s pos =
+    let len = String.length s in
+    try
+      if len - pos < header_size then raise (Bad "truncated header");
+      if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then raise (Bad "bad magic");
+      let v = Char.code s.[pos + 2] in
+      if v <> version then raise (Bad (Fmt.str "unsupported format version %d" v));
+      let payload_len = Int32.to_int (String.get_int32_le s (pos + 3)) in
+      if payload_len < 0 || payload_len > len - pos - header_size then
+        raise (Bad "truncated payload");
+      let expected = String.get_int32_le s (pos + 7) in
+      let payload = String.sub s (pos + header_size) payload_len in
+      if crc32 payload <> expected then raise (Bad "crc mismatch");
+      let r = { src = payload; pos = 0; stop = payload_len } in
+      let record = get_record r in
+      if r.pos <> r.stop then raise (Bad "trailing bytes in payload");
+      Ok (record, pos + header_size + payload_len)
+    with Bad reason -> Error { offset = pos; reason }
+
+  (* Is there an intact frame anywhere at or after [pos]?  Used to
+     classify a decode failure: damage followed by provably-written data
+     is interior corruption; damage extending to the end of the log is a
+     torn tail. *)
+  let valid_frame_after s pos =
+    let len = String.length s in
+    let rec scan pos =
+      if len - pos < header_size then false
+      else if s.[pos] = magic0 && s.[pos + 1] = magic1
+              && (match decode_frame s pos with Ok _ -> true | Error _ -> false)
+      then true
+      else scan (pos + 1)
+    in
+    scan pos
+
+  type decoded = {
+    records : record list;
+    clean_bytes : int;  (** length of the intact prefix *)
+    torn : corruption option;
+        (** a trailing torn/corrupt frame that was dropped as crash loss *)
+  }
+
+  let decode_all s =
+    let len = String.length s in
+    let rec go acc pos =
+      if pos = len then Ok { records = List.rev acc; clean_bytes = pos; torn = None }
+      else
+        match decode_frame s pos with
+        | Ok (r, next) -> go (r :: acc) next
+        | Error c ->
+            (* Tail or interior?  A later intact frame proves bytes past
+               the damage were durably written, so the damage cannot be
+               an interrupted final append. *)
+            if valid_frame_after s (pos + 1) then Error c
+            else Ok { records = List.rev acc; clean_bytes = pos; torn = Some c }
+    in
+    go [] 0
+end
 
 let fuzzy_checkpoint ?(next_tid = 0) recs =
   let st = scan recs in

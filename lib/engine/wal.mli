@@ -41,9 +41,34 @@ type record =
 
 val pp_record : Format.formatter -> record -> unit
 
+(** Structural equality (used by the corruption sweep to check that a
+    damaged log is never silently accepted as something new). *)
+val equal_record : record -> record -> bool
+
 type t
 
 val create : unit -> t
+
+(** [of_records recs] builds a log holding exactly [recs] (no metrics,
+    no sink) — e.g. one decoded from disk by {!Disk_wal.load}. *)
+val of_records : record list -> t
+
+(** A stable-storage mirror: {!append} forwards every record,
+    {!force} is the durability barrier, and a metrics attachment is
+    forwarded so storage counters join the log's registry.  Installed by
+    {!Disk_wal}; {!prefix} copies never carry the sink (a recovered
+    prefix is a volatile artifact, not the stable log). *)
+type sink = {
+  sink_append : record -> unit;
+  sink_force : unit -> unit;
+  sink_attach : Tm_obs.Metrics.t -> unit;
+}
+
+val set_sink : t -> sink -> unit
+
+(** [force t] asks the sink (if any) to make every appended record
+    durable; a no-op for a purely in-memory log. *)
+val force : t -> unit
 
 (** [attach_metrics t reg] counts appends per record kind as
     [tm_wal_appends_total{kind}], observes checkpoint sizes in the
@@ -105,3 +130,46 @@ val max_tid : record list -> Tid.t option
     every tid in the log and the caller's allocator position [next_tid]
     (default 0 — callers without an allocator rely on the log scan). *)
 val fuzzy_checkpoint : ?next_tid:int -> record list -> checkpoint
+
+(** Binary record framing for the on-disk log.
+
+    Each record is one frame: a 2-byte magic, a 1-byte format version, a
+    4-byte little-endian payload length, a 4-byte CRC32 of the payload,
+    then the payload (record tag + body).  {!Codec.decode_all} never
+    guesses: a frame that fails its CRC (or any other check) with {e no}
+    intact frame after it is a {e torn tail} — dropped and reported in
+    [torn], recovery proceeds treating it as crash loss — while a failing
+    frame {e followed} by an intact one proves bytes beyond the damage
+    were durably written, so it is {e interior corruption} and decoding
+    returns an error with the byte offset rather than silently skipping
+    records. *)
+module Codec : sig
+  val version : int
+  val header_size : int
+
+  (** CRC-32 (IEEE), exposed for tests. *)
+  val crc32 : string -> int32
+
+  (** [encode r] is the full frame (header + payload) for [r]. *)
+  val encode : record -> string
+
+  val encode_all : record list -> string
+
+  type corruption = {
+    offset : int;  (** byte offset of the unreadable frame *)
+    reason : string;
+  }
+
+  val pp_corruption : Format.formatter -> corruption -> unit
+
+  type decoded = {
+    records : record list;
+    clean_bytes : int;  (** length of the intact prefix *)
+    torn : corruption option;
+        (** a trailing torn/corrupt frame that was dropped as crash loss *)
+  }
+
+  (** [decode_all s] — [Ok] with the decoded records (and possibly a
+      truncated torn tail), or [Error] on interior corruption. *)
+  val decode_all : string -> (decoded, corruption) result
+end

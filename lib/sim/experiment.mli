@@ -102,15 +102,17 @@ type row = {
     returned in the row for JSONL export or trace→history replay. *)
 val run : ?record_trace:bool -> scenario -> setup -> Scheduler.config -> row
 
-(** [run_durable ?checkpoint_every scenario setup cfg] runs the scenario
-    through a WAL-backed {!Tm_engine.Durable_database} (fresh in-memory
-    log) and returns the row together with the log, ready for the
-    crash-injection harness ({!Tm_engine.Crash.torture}).  When
+(** [run_durable ?wal ?checkpoint_every scenario setup cfg] runs the
+    scenario through a WAL-backed {!Tm_engine.Durable_database} and
+    returns the row together with the log, ready for the crash-injection
+    harness ({!Tm_engine.Crash.torture}).  [wal] defaults to a fresh
+    in-memory log; pass a {!Tm_engine.Disk_wal}-backed one to drive the
+    workload against real (or fault-injected) storage.  When
     [checkpoint_every = n > 0] a fuzzy checkpoint is appended after every
     [n]th commit, i.e. while other transactions are typically in flight. *)
 val run_durable :
-  ?checkpoint_every:int -> scenario -> setup -> Scheduler.config ->
-  row * Tm_engine.Wal.t
+  ?wal:Tm_engine.Wal.t -> ?checkpoint_every:int -> scenario -> setup ->
+  Scheduler.config -> row * Tm_engine.Wal.t
 
 (** [run_custom] — for ablations with hand-built objects (custom conflict
     relations, mixed policies); [label] is the setup column text. *)

@@ -37,7 +37,7 @@ let test_single_thread_txn () =
       Alcotest.check Helpers.value "ok" Value.ok r1;
       Alcotest.check Helpers.value "balance 5" (Value.int 5) r2;
       Helpers.check_int "committed" 1 (Concurrent.committed_count db)
-  | Error `Too_many_aborts -> Alcotest.fail "aborted"
+  | Error (`Gave_up _) -> Alcotest.fail "aborted"
 
 let test_user_exception_aborts () =
   let db, _spec = make_db () in
@@ -51,7 +51,7 @@ let test_user_exception_aborts () =
   (* the deposit was rolled back *)
   match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
   | Ok v -> Alcotest.check Helpers.value "balance 0" (Value.int 0) v
-  | Error `Too_many_aborts -> Alcotest.fail "aborted"
+  | Error (`Gave_up _) -> Alcotest.fail "aborted"
 
 let run_threads n f =
   let threads = List.init n (fun i -> Thread.create f i) in
@@ -67,7 +67,7 @@ let test_parallel_deposits () =
               ignore (Concurrent.invoke h ~obj:"BA" (deposit 1)))
         with
         | Ok () -> ()
-        | Error `Too_many_aborts -> ()
+        | Error (`Gave_up _) -> ()
       done);
   let committed = Concurrent.committed_count db in
   match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
@@ -81,7 +81,7 @@ let test_parallel_deposits () =
            (fun o -> Spec.legal spec (Atomic_object.committed_ops o))
            objs)
   | Ok v -> Alcotest.failf "unexpected balance %a" Value.pp v
-  | Error `Too_many_aborts -> Alcotest.fail "balance txn aborted"
+  | Error (`Gave_up _) -> Alcotest.fail "balance txn aborted"
 
 let test_parallel_mixed_with_deadlocks () =
   (* deposits and withdrawals conflict asymmetrically under NRBC: this
@@ -100,7 +100,7 @@ let test_parallel_mixed_with_deadlocks () =
         let amount = 1 + ((i + k) mod 3) in
         let is_deposit = (i + k) mod 2 = 0 in
         match
-          Concurrent.with_txn ~retries:1000 db (fun h ->
+          Concurrent.with_txn ~max_attempts:1000 db (fun h ->
               let inv = if is_deposit then deposit amount else withdraw amount in
               let res = Concurrent.invoke h ~obj:"BA" inv in
               (* with 1000 in the pot, withdrawals always succeed *)
@@ -109,7 +109,7 @@ let test_parallel_mixed_with_deadlocks () =
               amount)
         with
         | Ok a -> if is_deposit then add deposits a else add withdrawals a
-        | Error `Too_many_aborts -> Alcotest.fail "starved"
+        | Error (`Gave_up _) -> Alcotest.fail "starved"
       done);
   match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
   | Ok (Value.Int b) ->
@@ -118,7 +118,7 @@ let test_parallel_mixed_with_deadlocks () =
       Helpers.check_bool "replay" true
         (List.for_all (fun o -> Spec.legal spec (Atomic_object.committed_ops o)) objs)
   | Ok v -> Alcotest.failf "unexpected balance %a" Value.pp v
-  | Error `Too_many_aborts -> Alcotest.fail "balance txn aborted"
+  | Error (`Gave_up _) -> Alcotest.fail "balance txn aborted"
 
 let test_occ_threads () =
   let spec = BA.spec_with_initial 1000 in
@@ -130,11 +130,11 @@ let test_occ_threads () =
       for k = 1 to 10 do
         let amount = 1 + ((i * k) mod 3) in
         match
-          Concurrent.with_txn ~retries:1000 db (fun h ->
+          Concurrent.with_txn ~max_attempts:1000 db (fun h ->
               ignore (Concurrent.invoke h ~obj:"BA" (withdraw amount)))
         with
         | Ok () -> ()
-        | Error `Too_many_aborts -> Alcotest.fail "starved"
+        | Error (`Gave_up _) -> Alcotest.fail "starved"
       done);
   let objs = Tm_engine.Database.objects (Concurrent.database db) in
   Helpers.check_bool "replay" true
@@ -144,11 +144,11 @@ let test_recorded_history_dynamic_atomic () =
   let db, spec = make_db ~recovery:Tm_engine.Recovery.DU ~initial:10 ~record_history:true () in
   run_threads 3 (fun i ->
       match
-        Concurrent.with_txn ~retries:1000 db (fun h ->
+        Concurrent.with_txn ~max_attempts:1000 db (fun h ->
             ignore (Concurrent.invoke h ~obj:"BA" (if i = 0 then deposit 2 else withdraw 1)))
       with
       | Ok () -> ()
-      | Error `Too_many_aborts -> ());
+      | Error (`Gave_up _) -> ());
   let env = Atomicity.env_of_list [ spec ] in
   Helpers.check_bool "dynamic atomic" true
     (Atomicity.is_dynamic_atomic env (Concurrent.history db))

@@ -106,6 +106,43 @@ let test_torture_detects_corrupt_log () =
   let report = Crash.torture ~rebuild:rebuild_ba wal in
   Helpers.check_bool "violation detected" false (Crash.ok report)
 
+(* --- byte-granularity torture and corruption sweep --- *)
+
+let driven_wal () =
+  let wal = Wal.create () in
+  let db = DD.create ~wal (rebuild_ba ()) in
+  let a = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA" (deposit_inv 5));
+  Helpers.check_bool "a commits" true (DD.try_commit db a = Ok ());
+  let b = DD.begin_txn db in
+  ignore (DD.invoke db b ~obj:"BA" (deposit_inv 3));
+  DD.checkpoint db;
+  ignore (DD.invoke db b ~obj:"BA" (deposit_inv 4));
+  Helpers.check_bool "b commits" true (DD.try_commit db b = Ok ());
+  let c = DD.begin_txn db in
+  ignore (DD.invoke db c ~obj:"BA" (deposit_inv 9));
+  wal
+
+let test_torture_bytes_clean () =
+  let wal = driven_wal () in
+  let report = Crash.torture_bytes ~rebuild:rebuild_ba wal in
+  Helpers.check_bool
+    (Fmt.str "no violations: %a" Crash.pp_report report)
+    true (Crash.ok report);
+  (* Byte cuts strictly outnumber record cuts: most land inside frames. *)
+  Helpers.check_bool "more cuts than records" true
+    (report.Crash.cuts > Wal.length wal + 1)
+
+let test_corruption_sweep_contained () =
+  let wal = driven_wal () in
+  let sweep = Crash.corruption_sweep wal in
+  Helpers.check_bool
+    (Fmt.str "nothing silent: %a" Crash.pp_sweep_report sweep)
+    true (Crash.sweep_ok sweep);
+  Helpers.check_bool "interior corruption was detected" true
+    (sweep.Crash.interior_detected > 0);
+  Helpers.check_bool "tail flips were contained" true (sweep.Crash.tail_losses > 0)
+
 (* --- the property --- *)
 
 (* Scenario pool for the property: single- and multi-object, plus the
@@ -150,5 +187,9 @@ let suite =
     Alcotest.test_case "torture: clean run" `Quick test_torture_clean_run;
     Alcotest.test_case "torture: detects corrupt log" `Quick
       test_torture_detects_corrupt_log;
+    Alcotest.test_case "torture: byte-granularity cuts" `Quick
+      test_torture_bytes_clean;
+    Alcotest.test_case "corruption sweep contained" `Quick
+      test_corruption_sweep_contained;
     prop_crash_invariants;
   ]

@@ -20,6 +20,7 @@ let () =
       ("concurrent", Test_concurrent.suite);
       ("escrow", Test_escrow.suite);
       ("wal", Test_wal.suite);
+      ("storage", Test_storage.suite);
       ("crash", Test_crash.suite);
       ("registry", Test_registry.suite);
       ("properties", Test_properties.suite);

@@ -189,7 +189,7 @@ let test_concurrent_accessors () =
          Concurrent.invoke h ~obj:"BA" (deposit_inv 5))
    with
   | Ok _ -> ()
-  | Error `Too_many_aborts -> Alcotest.fail "unexpected abort");
+  | Error (`Gave_up _) -> Alcotest.fail "unexpected abort");
   Helpers.check_int "committed" 1 (Concurrent.committed_count db);
   Helpers.check_int "no victims" 0 (Concurrent.deadlock_victim_count db);
   Helpers.check_int "no retries" 0 (Concurrent.retry_count db)

@@ -1,0 +1,344 @@
+(* On-disk WAL robustness: codec framing round trips, corruption
+   detection (torn tail vs interior), storage backend semantics, fault
+   injection, and the retrying disk log. *)
+
+open Tm_core
+module Wal = Tm_engine.Wal
+module Codec = Tm_engine.Wal.Codec
+module Storage = Tm_engine.Storage
+module Disk_wal = Tm_engine.Disk_wal
+module BA = Tm_adt.Bank_account
+
+(* ------------------------------------------------------------------ *)
+(* Generators: arbitrary WAL records, including fuzzy checkpoints with
+   live-transaction logs.                                              *)
+
+let tid_gen = QCheck2.Gen.(map Tid.of_int (int_bound 9))
+
+let record_gen =
+  let open QCheck2.Gen in
+  let op = Helpers.ba_op_gen in
+  oneof
+    [
+      map (fun t -> Wal.Begin t) tid_gen;
+      map2 (fun t o -> Wal.Operation (t, o)) tid_gen op;
+      map (fun t -> Wal.Commit t) tid_gen;
+      map (fun t -> Wal.Abort t) tid_gen;
+      map3
+        (fun committed live next_tid -> Wal.Checkpoint { Wal.committed; live; next_tid })
+        (list_size (int_bound 4) op)
+        (list_size (int_bound 3) (pair tid_gen (list_size (int_bound 3) op)))
+        (int_bound 20);
+    ]
+
+let records_gen = QCheck2.Gen.(list_size (int_bound 12) record_gen)
+
+let is_record_prefix xs ys =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> Wal.equal_record x y && go (xs, ys)
+  in
+  go (xs, ys)
+
+(* ------------------------------------------------------------------ *)
+(* Codec properties.                                                   *)
+
+let prop_roundtrip =
+  Helpers.qcheck "decode (encode rs) = rs" records_gen (fun rs ->
+      let bytes = Codec.encode_all rs in
+      match Codec.decode_all bytes with
+      | Error _ -> false
+      | Ok d ->
+          d.Codec.torn = None
+          && d.Codec.clean_bytes = String.length bytes
+          && List.equal Wal.equal_record rs d.Codec.records)
+
+(* Cutting the encoding anywhere must decode to a record prefix with at
+   most a torn tail — never an interior-corruption verdict, never extra
+   or different records. *)
+let prop_truncation =
+  Helpers.qcheck "truncated encoding = torn tail"
+    QCheck2.Gen.(pair records_gen (int_bound 10_000))
+    (fun (rs, n) ->
+      let bytes = Codec.encode_all rs in
+      let cut = if String.length bytes = 0 then 0 else n mod String.length bytes in
+      match Codec.decode_all (String.sub bytes 0 cut) with
+      | Error _ -> false
+      | Ok d -> is_record_prefix d.Codec.records rs)
+
+(* A single flipped bit is either detected (interior corruption) or
+   contained (torn tail whose records are a prefix) — never a silent
+   change of the record list. *)
+let prop_bit_flip =
+  Helpers.qcheck "bit flip never silent"
+    QCheck2.Gen.(triple records_gen (int_bound 100_000) (int_bound 7))
+    (fun (rs, n, bit) ->
+      let bytes = Codec.encode_all rs in
+      if String.length bytes = 0 then true
+      else begin
+        let i = n mod String.length bytes in
+        let b = Bytes.of_string bytes in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+        match Codec.decode_all (Bytes.to_string b) with
+        | Error _ -> true
+        | Ok d -> is_record_prefix d.Codec.records rs
+      end)
+
+let sample_records =
+  [
+    Wal.Begin Tid.a;
+    Wal.Operation (Tid.a, BA.deposit 5);
+    Wal.Commit Tid.a;
+    Wal.Begin Tid.b;
+    Wal.Operation (Tid.b, BA.withdraw_ok 2);
+  ]
+
+let test_codec_frame_shape () =
+  Helpers.check_int "format version" 1 Codec.version;
+  let frame = Codec.encode (Wal.Begin Tid.a) in
+  Helpers.check_bool "frame longer than header" true
+    (String.length frame > Codec.header_size);
+  Helpers.check_bool "magic byte 0" true (frame.[0] = '\xd7');
+  Helpers.check_bool "magic byte 1" true (frame.[1] = 'W');
+  Helpers.check_int "version byte" Codec.version (Char.code frame.[2])
+
+let test_codec_torn_tail () =
+  let bytes = Codec.encode_all sample_records in
+  (* Drop the last byte: the final frame is torn, the rest decodes. *)
+  match Codec.decode_all (String.sub bytes 0 (String.length bytes - 1)) with
+  | Error c -> Alcotest.failf "misclassified as interior: %a" Codec.pp_corruption c
+  | Ok d ->
+      Helpers.check_bool "torn tail reported" true (d.Codec.torn <> None);
+      Helpers.check_int "one record lost" 4 (List.length d.Codec.records);
+      Helpers.check_bool "survivors are a prefix" true
+        (is_record_prefix d.Codec.records sample_records)
+
+let test_codec_interior_corruption () =
+  let bytes = Codec.encode_all sample_records in
+  (* Flip a payload byte of the FIRST frame: later intact frames prove
+     the damage is interior, so decode must refuse with the offset. *)
+  let b = Bytes.of_string bytes in
+  let i = Codec.header_size in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  match Codec.decode_all (Bytes.to_string b) with
+  | Ok _ -> Alcotest.fail "interior corruption decoded silently"
+  | Error c -> Helpers.check_int "corruption offset" 0 c.Codec.offset
+
+(* ------------------------------------------------------------------ *)
+(* Storage backends.                                                   *)
+
+let test_memory_semantics () =
+  let s = Storage.memory () in
+  Helpers.check_int "empty" 0 (Storage.size s);
+  Storage.write_at s ~pos:0 "hello";
+  Helpers.check_int "size" 5 (Storage.size s);
+  (* WAL semantics: a write at pos discards everything beyond it. *)
+  Storage.write_at s ~pos:2 "xy";
+  Alcotest.(check string) "overwrite truncates" "hexy" (Storage.read_all s);
+  Alcotest.check_raises "past-end write rejected"
+    (Invalid_argument "Storage.write_at(memory): pos 9 outside [0,4]") (fun () ->
+      Storage.write_at s ~pos:9 "z");
+  let seeded = Storage.of_string "abc" in
+  Helpers.check_int "seeded size" 3 (Storage.size seeded)
+
+let test_file_backend () =
+  let path = Filename.temp_file "tm_storage" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let s = Storage.file path in
+      Storage.write_at s ~pos:0 "hello world";
+      Storage.write_at s ~pos:6 "wal";
+      Storage.force s;
+      Alcotest.(check string) "pwrite + ftruncate" "hello wal" (Storage.read_all s);
+      Storage.close s;
+      (* Reopen: the bytes survived the handle. *)
+      let s2 = Storage.file path in
+      Alcotest.(check string) "persistent" "hello wal" (Storage.read_all s2);
+      Helpers.check_int "size" 9 (Storage.size s2);
+      Storage.close s2)
+
+let test_faulty_torn_write () =
+  let inner = Storage.memory () in
+  let cfg = { Storage.no_faults with torn_write = 1. } in
+  let s = Storage.faulty ~seed:42 cfg inner in
+  let reg = Tm_obs.Metrics.create () in
+  Storage.attach_metrics s reg;
+  (match Storage.write_at s ~pos:0 "0123456789" with
+  | () -> Alcotest.fail "torn write did not raise"
+  | exception Storage.Transient _ -> ());
+  let persisted = Storage.read_all inner in
+  Helpers.check_bool "strict prefix persisted" true
+    (String.length persisted > 0
+    && String.length persisted < 10
+    && String.equal persisted (String.sub "0123456789" 0 (String.length persisted)));
+  Helpers.check_int "fault counted" 1 (Storage.fault_count s);
+  Helpers.check_int "fault metric" 1
+    (Tm_obs.Metrics.counter_value reg "tm_storage_faults_total"
+       ~labels:[ ("backend", "memory"); ("kind", "torn_write") ]);
+  (* Retrying at the same position overwrites the torn prefix. *)
+  let clean = Storage.faulty ~seed:42 Storage.no_faults inner in
+  Storage.write_at clean ~pos:0 "0123456789";
+  Alcotest.(check string) "retry overwrites debris" "0123456789"
+    (Storage.read_all inner)
+
+(* ------------------------------------------------------------------ *)
+(* Disk_wal: persistence, reload, retry.                               *)
+
+let append_sample wal = List.iter (Wal.append wal) sample_records
+
+let test_disk_wal_roundtrip () =
+  let storage = Storage.memory () in
+  let dw = Disk_wal.create storage in
+  append_sample (Disk_wal.wal dw);
+  Wal.force (Disk_wal.wal dw);
+  Helpers.check_bool "bytes persisted" true (Storage.size storage > 0);
+  Helpers.check_int "bytes_written = backend size" (Storage.size storage)
+    (Disk_wal.bytes_written dw);
+  match Disk_wal.load storage with
+  | Error c -> Alcotest.failf "load failed: %a" Codec.pp_corruption c
+  | Ok dw2 ->
+      Helpers.check_bool "records survive reload" true
+        (List.equal Wal.equal_record sample_records (Wal.records (Disk_wal.wal dw2)))
+
+let test_disk_wal_create_discards_stale () =
+  let storage = Storage.of_string "stale garbage from a previous log" in
+  let dw = Disk_wal.create storage in
+  Helpers.check_int "backend emptied" 0 (Storage.size storage);
+  Wal.append (Disk_wal.wal dw) (Wal.Begin Tid.a);
+  match Disk_wal.load storage with
+  | Error c -> Alcotest.failf "load failed: %a" Codec.pp_corruption c
+  | Ok dw2 -> Helpers.check_int "only new record" 1 (Wal.length (Disk_wal.wal dw2))
+
+let test_disk_wal_torn_tail_truncated () =
+  let storage = Storage.memory () in
+  let dw = Disk_wal.create storage in
+  append_sample (Disk_wal.wal dw);
+  (* Crash mid-append: the backend holds a torn final frame. *)
+  let bytes = Storage.read_all storage in
+  let torn = Storage.of_string (String.sub bytes 0 (String.length bytes - 3)) in
+  (match Disk_wal.load torn with
+  | Error c -> Alcotest.failf "torn tail misclassified: %a" Codec.pp_corruption c
+  | Ok dw2 ->
+      Helpers.check_int "torn record dropped" 4 (Wal.length (Disk_wal.wal dw2));
+      (* The next append lands where the intact prefix ends, overwriting
+         the debris; a reload then sees the fresh record. *)
+      Wal.append (Disk_wal.wal dw2) (Wal.Commit Tid.b);
+      match Disk_wal.load torn with
+      | Error c -> Alcotest.failf "post-repair load failed: %a" Codec.pp_corruption c
+      | Ok dw3 ->
+          Helpers.check_bool "repair overwrote debris" true
+            (List.equal Wal.equal_record
+               (List.filteri (fun i _ -> i < 4) sample_records @ [ Wal.Commit Tid.b ])
+               (Wal.records (Disk_wal.wal dw3))))
+
+let test_disk_wal_interior_corruption_refused () =
+  let storage = Storage.memory () in
+  let dw = Disk_wal.create storage in
+  append_sample (Disk_wal.wal dw);
+  let bytes = Storage.read_all storage in
+  let b = Bytes.of_string bytes in
+  Bytes.set b Codec.header_size
+    (Char.chr (Char.code (Bytes.get b Codec.header_size) lxor 1));
+  match Disk_wal.load (Storage.of_string (Bytes.to_string b)) with
+  | Ok _ -> Alcotest.fail "interior corruption loaded silently"
+  | Error c -> Helpers.check_int "offset of corrupt frame" 0 c.Codec.offset
+
+let test_disk_wal_checkpoint_truncate () =
+  let storage = Storage.memory () in
+  let dw = Disk_wal.create storage in
+  let wal = Disk_wal.wal dw in
+  List.iter (Wal.append wal)
+    [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 1); Wal.Commit Tid.a ];
+  Wal.append wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.records wal)));
+  Wal.append wal (Wal.Commit Tid.b);
+  let before = Storage.size storage in
+  let dropped = Disk_wal.checkpoint_truncate dw in
+  Helpers.check_int "records dropped" 3 dropped;
+  Helpers.check_bool "backend compacted" true (Storage.size storage < before);
+  match Disk_wal.load storage with
+  | Error c -> Alcotest.failf "load after truncate: %a" Codec.pp_corruption c
+  | Ok dw2 ->
+      let c1, l1 = Wal.replay (Wal.records wal) in
+      let c2, l2 = Wal.replay (Wal.records (Disk_wal.wal dw2)) in
+      Alcotest.check Helpers.ops "replay preserved" c1 c2;
+      Helpers.check_bool "losers preserved" true (Tid.Set.equal l1 l2)
+
+(* Seeded write-side faults: the retry loop absorbs every torn write and
+   transient error, the persisted log equals the fault-free run, and the
+   absorbed faults are visible in [retries] and the metrics registry. *)
+let test_disk_wal_retry_absorbs_faults () =
+  let inner = Storage.memory () in
+  let faulty = Storage.faulty ~seed:7 Storage.write_faults inner in
+  let dw = Disk_wal.create faulty in
+  let reg = Tm_obs.Metrics.create () in
+  Wal.attach_metrics (Disk_wal.wal dw) reg;
+  for i = 0 to 19 do
+    let t = Tid.of_int i in
+    Wal.append (Disk_wal.wal dw) (Wal.Begin t);
+    Wal.append (Disk_wal.wal dw) (Wal.Operation (t, BA.deposit 1));
+    Wal.append (Disk_wal.wal dw) (Wal.Commit t);
+    Wal.force (Disk_wal.wal dw)
+  done;
+  Helpers.check_bool "faults were injected" true (Storage.fault_count faulty > 0);
+  Helpers.check_bool "retries absorbed them" true (Disk_wal.retries dw > 0);
+  Helpers.check_int "retry metric matches" (Disk_wal.retries dw)
+    (Tm_obs.Metrics.counter_value reg "tm_storage_retries_total");
+  Helpers.check_bool "fault metric populated" true
+    (Tm_obs.Metrics.counter_value reg "tm_storage_faults_total"
+       ~labels:[ ("backend", "memory"); ("kind", "torn_write") ]
+     > 0
+    || Tm_obs.Metrics.counter_value reg "tm_storage_faults_total"
+         ~labels:[ ("backend", "memory"); ("kind", "write_error") ]
+       > 0);
+  (* The underlying bytes decode to exactly the appended records. *)
+  match Disk_wal.load inner with
+  | Error c -> Alcotest.failf "faulty run corrupted the log: %a" Codec.pp_corruption c
+  | Ok dw2 ->
+      Helpers.check_bool "identical to fault-free log" true
+        (List.equal Wal.equal_record
+           (Wal.records (Disk_wal.wal dw))
+           (Wal.records (Disk_wal.wal dw2)))
+
+let test_disk_wal_gives_up () =
+  let cfg = { Storage.no_faults with write_error = 1. } in
+  let storage = Storage.faulty ~seed:1 cfg (Storage.memory ()) in
+  let backoffs = ref [] in
+  let retry =
+    { Disk_wal.max_attempts = 3; backoff = (fun n -> backoffs := n :: !backoffs) }
+  in
+  let dw = Disk_wal.create ~retry storage in
+  (match Wal.append (Disk_wal.wal dw) (Wal.Begin Tid.a) with
+  | () -> Alcotest.fail "append succeeded under write_error = 1"
+  | exception Disk_wal.Storage_unavailable { attempts; _ } ->
+      Helpers.check_int "attempt budget spent" 3 attempts);
+  Alcotest.(check (list int)) "backoff hook saw each failed attempt" [ 2; 1 ]
+    !backoffs
+
+let suite =
+  [
+    prop_roundtrip;
+    prop_truncation;
+    prop_bit_flip;
+    Alcotest.test_case "codec frame shape" `Quick test_codec_frame_shape;
+    Alcotest.test_case "codec torn tail" `Quick test_codec_torn_tail;
+    Alcotest.test_case "codec interior corruption" `Quick
+      test_codec_interior_corruption;
+    Alcotest.test_case "memory semantics" `Quick test_memory_semantics;
+    Alcotest.test_case "file backend" `Quick test_file_backend;
+    Alcotest.test_case "faulty torn write" `Quick test_faulty_torn_write;
+    Alcotest.test_case "disk wal roundtrip" `Quick test_disk_wal_roundtrip;
+    Alcotest.test_case "create discards stale log" `Quick
+      test_disk_wal_create_discards_stale;
+    Alcotest.test_case "torn tail truncated on load" `Quick
+      test_disk_wal_torn_tail_truncated;
+    Alcotest.test_case "interior corruption refused" `Quick
+      test_disk_wal_interior_corruption_refused;
+    Alcotest.test_case "checkpoint truncate compacts backend" `Quick
+      test_disk_wal_checkpoint_truncate;
+    Alcotest.test_case "retry absorbs injected faults" `Quick
+      test_disk_wal_retry_absorbs_faults;
+    Alcotest.test_case "storage unavailable after budget" `Quick
+      test_disk_wal_gives_up;
+  ]

@@ -17,6 +17,11 @@ let balance_inv = Op.invocation "balance"
 let make ?(recovery = Recovery.UIP) wal =
   Durable.create ~spec:BA.spec ~conflict:BA.nrbc_conflict ~recovery ~wal
 
+(* Recovery now returns a result; tests on well-formed logs expect Ok. *)
+let recover_exn = function
+  | Ok x -> x
+  | Error e -> Alcotest.failf "recovery failed: %a" Recovery.pp_error e
+
 let test_replay_basic () =
   let recs =
     [
@@ -214,7 +219,7 @@ let test_no_tid_reuse_after_recovery () =
   let a = DD.begin_txn db in
   ignore (DD.invoke db a ~obj:"BA" (deposit_inv 5));
   (* crash with [a] in flight *)
-  let db', losers = DD.recover ~wal ~rebuild () in
+  let db', losers = recover_exn (DD.recover ~wal ~rebuild ()) in
   Helpers.check_bool "a lost" true (Tid.Set.mem a losers);
   let b = DD.begin_txn db' in
   Helpers.check_bool "fresh tid after recovery" false (Tid.equal a b);
@@ -244,7 +249,7 @@ let test_durable_database_truncated_recovery () =
   ignore (DD.invoke db b ~obj:"BA" (deposit_inv 4));
   Helpers.check_bool "b commits" true (DD.try_commit db b = Ok ());
   ignore (Wal.truncate_to_checkpoint wal);
-  let db', losers = DD.recover ~wal ~rebuild () in
+  let db', losers = recover_exn (DD.recover ~wal ~rebuild ()) in
   Helpers.check_bool "a lost" true (Tid.Set.mem a losers);
   Helpers.check_bool "b not lost" false (Tid.Set.mem b losers);
   let o = List.hd (Tm_engine.Database.objects (DD.database db')) in
@@ -265,7 +270,9 @@ let test_durable_end_to_end () =
   ignore (run Tid.b (deposit_inv 3));
   (* crash before B commits: log has A's commit only *)
   let recovered, losers =
-    Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict ~recovery:Recovery.UIP wal
+    recover_exn
+      (Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict
+         ~recovery:Recovery.UIP wal)
   in
   Helpers.check_bool "B lost" true (Tid.Set.mem Tid.b losers);
   Alcotest.check Helpers.ops "A's work survives" [ BA.deposit 5 ]
@@ -346,7 +353,9 @@ let crash_injection recovery seed =
       (List.length distinct_committed_txns);
     (* (c) idempotence: recovering twice equals recovering once *)
     let r1, _ =
-      Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict ~recovery:Recovery.UIP log
+      recover_exn
+        (Durable.recover ~spec:BA.spec ~conflict:BA.nrbc_conflict
+           ~recovery:Recovery.UIP log)
     in
     Helpers.check_bool
       (Fmt.str "prefix %d recovered state matches replay" cut)
@@ -385,7 +394,7 @@ let test_durable_database_atomic_commitment () =
      survive; per-object replay is always legal *)
   for cut = 0 to Wal.length wal do
     let log = Wal.prefix wal cut in
-    let db', _losers = DD.recover ~wal:log ~rebuild () in
+    let db', _losers = recover_exn (DD.recover ~wal:log ~rebuild ()) in
     let balance obj =
       match DD.invoke db' (DD.begin_txn db') ~obj balance_inv with
       | Atomic_object.Executed op -> Value.get_int op.Op.res
@@ -415,7 +424,7 @@ let test_durable_database_validation_abort_logged () =
   ignore (DD.invoke db b ~obj:"BA" (withdraw_inv 10));
   Helpers.check_bool "A commits" true (DD.try_commit db a = Ok ());
   Helpers.check_bool "B fails validation" true (DD.try_commit db b <> Ok ());
-  let db', _ = DD.recover ~wal ~rebuild () in
+  let db', _ = recover_exn (DD.recover ~wal ~rebuild ()) in
   let o = List.hd (Tm_engine.Database.objects (DD.database db')) in
   Alcotest.check Helpers.ops "only A's withdrawal durable" [ BA.withdraw_ok 10 ]
     (Atomic_object.committed_ops o)
