@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all check test bench crashtest faulttest clean
+.PHONY: all check test bench crashtest faulttest stresstest clean
 
 all:
 	dune build @all
@@ -19,11 +19,19 @@ crashtest:
 	dune exec bin/crashtest.exe
 
 # Storage-fault torture with a fixed seed: byte-granularity crash cuts,
-# bit-flip corruption sweeps, and a fault-injected storage run that must
-# match the fault-free one (torn writes / transient errors absorbed by
-# the WAL retry loop).
+# bit-flip corruption sweeps, batch-prefix cuts inside group-commit
+# batches, and a fault-injected storage run that must match the
+# fault-free one (torn writes / transient errors absorbed by the WAL
+# retry loop).
 faulttest:
-	dune exec bin/crashtest.exe -- --fault --seed 11
+	dune exec bin/crashtest.exe -- --fault --seed 11 --group-commit 4
+
+# Threaded group-commit stress with a pinned seed: OS threads against
+# the durable engine over slow storage; fails if any transaction is
+# lost, the balance diverges from the serial expectation, batching does
+# not form (fsyncs >= commits), or the persisted log replays wrong.
+stresstest:
+	dune exec bin/stresstest.exe -- --seed 7 --verbose
 
 bench:
 	dune exec bench/main.exe

@@ -526,6 +526,125 @@ let bench_disk_replay () =
     | Ok dw -> ignore (Wal.replay (Wal.records (Disk_wal.wal dw)))
     | Error _ -> assert false
 
+(* Lock-table before/after: the pre-PR-4 association-list table
+   (inlined here as the baseline) against Lock_table's per-tid
+   hashtable index.  Same logical workload for both: 64 transactions
+   acquire 4 holds each, then each in turn is probed for blockers and
+   released. *)
+let lock_txns = 64
+let lock_ops_per_txn = 4
+
+let bench_lock_table_list () =
+  let conflict = BA.nrbc_conflict in
+  let requested = BA.withdraw_ok 1 in
+  let op = BA.deposit 1 in
+  fun () ->
+    let held = ref [] in
+    for i = 0 to lock_txns - 1 do
+      let t = Tid.of_int i in
+      for _ = 1 to lock_ops_per_txn do
+        held := (t, op) :: !held
+      done
+    done;
+    for i = 0 to lock_txns - 1 do
+      let t = Tid.of_int i in
+      ignore
+        (List.filter_map
+           (fun (holder, o) ->
+             if
+               (not (Tid.equal holder t))
+               && Conflict.conflicts conflict ~requested ~held:o
+             then Some holder
+             else None)
+           !held
+        |> List.sort_uniq Tid.compare);
+      held := List.filter (fun (h, _) -> not (Tid.equal h t)) !held
+    done
+
+let bench_lock_table_indexed () =
+  let requested = BA.withdraw_ok 1 in
+  let op = BA.deposit 1 in
+  fun () ->
+    let lt = Tm_engine.Lock_table.create BA.nrbc_conflict in
+    for i = 0 to lock_txns - 1 do
+      let t = Tid.of_int i in
+      for _ = 1 to lock_ops_per_txn do
+        Tm_engine.Lock_table.add lt t op
+      done
+    done;
+    for i = 0 to lock_txns - 1 do
+      let t = Tid.of_int i in
+      ignore (Tm_engine.Lock_table.blockers lt ~requested ~tid:t);
+      Tm_engine.Lock_table.release lt t
+    done
+
+(* Group commit: the staged commit pipeline under OS threads.  Deposits
+   run through [Concurrent.create_durable] over a disk-format WAL whose
+   storage backend has a deliberately slow durability barrier;
+   concurrency 1 is the per-commit-force baseline, concurrency 8 is
+   where the combiner should amortise the barrier (several commits per
+   fsync) without losing throughput. *)
+module Concurrent = Tm_engine.Concurrent
+module Atomic_object = Tm_engine.Atomic_object
+
+let gc_force_delay = 0.0005
+let gc_total_txns = 240
+let gc_deposit = Op.invocation ~args:[ Value.int 1 ] "deposit"
+
+let gc_run ~concurrency =
+  let dw =
+    Disk_wal.create (Storage.slow ~force_delay:gc_force_delay (Storage.memory ()))
+  in
+  let db =
+    Concurrent.create_durable ~wal:(Disk_wal.wal dw)
+      [
+        Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+          ~recovery:Tm_engine.Recovery.UIP ();
+      ]
+  in
+  let per_thread = gc_total_txns / concurrency in
+  let backoff = Concurrent.default_backoff () in
+  let worker _ =
+    for _ = 1 to per_thread do
+      ignore
+        (Concurrent.with_txn ~max_attempts:1000 ~backoff db (fun h ->
+             ignore (Concurrent.invoke h ~obj:"BA" gc_deposit)))
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let handles = List.init concurrency (fun i -> Thread.create worker i) in
+  List.iter Thread.join handles;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let reg = Tm_engine.Database.metrics (Concurrent.database db) in
+  let commits = Metrics.counter_value reg "tm_txn_committed_total" in
+  let forces = Metrics.counter_value reg "tm_wal_forces_total" in
+  (commits, forces, elapsed)
+
+let group_commit_pipeline () =
+  section "GC — staged commit pipeline: fsyncs per commit vs concurrency";
+  Fmt.pr
+    "Disk WAL over storage with a %.1f ms durability barrier; %d deposit txns@."
+    (gc_force_delay *. 1000.) gc_total_txns;
+  Fmt.pr "%12s %10s %10s %15s %12s@." "concurrency" "commits" "fsyncs"
+    "forces/commit" "commits/s";
+  let row ~concurrency =
+    let commits, forces, elapsed = gc_run ~concurrency in
+    let ratio =
+      if commits = 0 then 0. else float_of_int forces /. float_of_int commits
+    in
+    let rate = if elapsed <= 0. then 0. else float_of_int commits /. elapsed in
+    Fmt.pr "%12d %10d %10d %15.2f %12.0f@." concurrency commits forces ratio rate;
+    (ratio, rate)
+  in
+  let _, base_rate = row ~concurrency:1 in
+  let ratio8, rate8 = row ~concurrency:8 in
+  Fmt.pr "verdict: forces/commit %.2f at concurrency 8 (target <= 0.5) %s@."
+    ratio8
+    (if ratio8 <= 0.5 then "OK" else "FAIL");
+  Fmt.pr "verdict: throughput %.0f vs baseline %.0f commits/s %s@." rate8
+    base_rate
+    (if rate8 >= base_rate then "OK" else "FAIL")
+
 let micro_benchmarks () =
   section "MICRO — engine operation cost (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -554,6 +673,10 @@ let micro_benchmarks () =
           (Staged.stage (bench_disk_append ()));
         Test.make ~name:"WAL replay from storage (200-txn log)"
           (Staged.stage (bench_disk_replay ()));
+        Test.make ~name:"lock table 64x4 holds (list scan)"
+          (Staged.stage (bench_lock_table_list ()));
+        Test.make ~name:"lock table 64x4 holds (tid index)"
+          (Staged.stage (bench_lock_table_indexed ()));
       ]
   in
   let benchmark () =
@@ -592,4 +715,5 @@ let () =
   abl_occ_contention ();
   ext_views ();
   obs_breakdown ();
+  group_commit_pipeline ();
   micro_benchmarks ()

@@ -83,9 +83,10 @@ let record_mode ~verbose cfg checkpoint_every scenarios =
 (* --fault mode: byte-granularity cuts, corruption sweeps, and a
    fault-injected storage run checked against the fault-free one.       *)
 
-let fault_mode ~verbose cfg checkpoint_every seed scenarios =
+let fault_mode ~verbose cfg checkpoint_every seed group_commit scenarios =
   let failures = ref 0 in
   let total_cuts = ref 0 in
+  let total_batch_cuts = ref 0 in
   let total_flips = ref 0 in
   let total_retries = ref 0 in
   let total_faults = ref 0 in
@@ -97,12 +98,13 @@ let fault_mode ~verbose cfg checkpoint_every seed scenarios =
           let combo = Fmt.str "%-24s %-10s" scenario.Experiment.name (Experiment.label setup) in
 
           (* 1. Drive the workload onto real (in-memory-backed) storage
-             through the framing codec, fault-free. *)
+             through the framing codec, fault-free, batching durability
+             every [group_commit] commits. *)
           let clean_store = Storage.memory () in
           let clean_dw = Disk_wal.create clean_store in
           let _row, wal =
             Experiment.run_durable ~wal:(Disk_wal.wal clean_dw) ~checkpoint_every
-              scenario setup cfg
+              ~group_commit scenario setup cfg
           in
 
           (* 2. Byte-granularity crash cuts over the encoded log. *)
@@ -111,6 +113,15 @@ let fault_mode ~verbose cfg checkpoint_every seed scenarios =
           if not (Crash.ok report) then incr failures;
           say ~verbose:(verbose || not (Crash.ok report)) "%s bytes:  %a" combo
             Crash.pp_report report;
+
+          (* 2b. Batch-prefix torture: cuts inside a group-commit batch
+             must recover a prefix of the batch's commit order and never
+             lose a commit acknowledged at a flush frontier. *)
+          let batch = Crash.torture_batched ~group_every:group_commit wal in
+          total_batch_cuts := !total_batch_cuts + batch.Crash.byte_cuts;
+          if not (Crash.batch_ok batch) then incr failures;
+          say ~verbose:(verbose || not (Crash.batch_ok batch)) "%s batch:  %a" combo
+            Crash.pp_batch_report batch;
 
           (* 3. Bit-flip corruption sweep: detected or contained, never
              silent. *)
@@ -128,7 +139,7 @@ let fault_mode ~verbose cfg checkpoint_every seed scenarios =
           let faulty_dw = Disk_wal.create faulty in
           let frow, fwal =
             Experiment.run_durable ~wal:(Disk_wal.wal faulty_dw) ~checkpoint_every
-              scenario setup cfg
+              ~group_commit scenario setup cfg
           in
           let retries =
             Metrics.counter_value frow.Experiment.metrics "tm_storage_retries_total"
@@ -170,13 +181,16 @@ let fault_mode ~verbose cfg checkpoint_every seed scenarios =
     say ~verbose:true "crashtest --fault: NO transient faults were injected/retried"
   end;
   say ~verbose:true
-    "crashtest --fault: %d combinations, %d byte cuts, %d bit flips, %d faults \
-     injected, %d retries absorbed, %d failures"
+    "crashtest --fault: %d combinations, %d byte cuts (+%d batch-prefix cuts, \
+     group commit %d), %d bit flips, %d faults injected, %d retries absorbed, \
+     %d failures"
     (List.length scenarios * List.length setups)
-    !total_cuts !total_flips !total_faults !total_retries !failures;
+    !total_cuts !total_batch_cuts group_commit !total_flips !total_faults
+    !total_retries !failures;
   !failures
 
-let main filter txns concurrency seed checkpoint_every fault report_file verbose =
+let main filter txns concurrency seed checkpoint_every fault group_commit report_file
+    verbose =
   let scenarios =
     List.filter
       (fun (s : Experiment.scenario) ->
@@ -189,7 +203,7 @@ let main filter txns concurrency seed checkpoint_every fault report_file verbose
   end;
   let cfg = Scheduler.config ~concurrency ~total_txns:txns ~seed () in
   let failures =
-    if fault then fault_mode ~verbose cfg checkpoint_every seed scenarios
+    if fault then fault_mode ~verbose cfg checkpoint_every seed group_commit scenarios
     else record_mode ~verbose cfg checkpoint_every scenarios
   in
   (match report_file with
@@ -240,6 +254,16 @@ let fault_arg =
            seeded torn writes and transient errors that must match the \
            fault-free run.")
 
+let group_commit_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "group-commit" ] ~docv:"N"
+        ~doc:
+          "In --fault mode, batch the durability barrier every $(docv) commits \
+           when driving the workloads, and torture byte cuts inside each batch \
+           (recovery must admit exactly a prefix of the batch's commit order, \
+           and never lose a commit acknowledged at a flush frontier).")
+
 let report_arg =
   Arg.(
     value
@@ -257,6 +281,6 @@ let cmd =
     (Cmd.info "crashtest" ~doc)
     Term.(
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
-      $ checkpoint_arg $ fault_arg $ report_arg $ verbose_arg)
+      $ checkpoint_arg $ fault_arg $ group_commit_arg $ report_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

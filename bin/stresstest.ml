@@ -1,0 +1,154 @@
+(* stresstest: OS threads against the durable engine with group commit.
+
+   N threads each run M deposit transactions through Concurrent's
+   staged commit pipeline over a disk-format WAL whose storage backend
+   has a deliberately slow durability barrier — the regime where group
+   commit matters.  The run then checks the serial expectation end to
+   end:
+
+     - every transaction committed and the final balance equals the sum
+       of the committed deposits (the engine lost or duplicated
+       nothing);
+     - tm_wal_forces_total < committed count (batching actually formed:
+       fewer fsyncs than commits);
+     - the bytes on storage reload to a log whose replay matches the
+       committed state (what was acknowledged is really on disk).
+
+   Exits non-zero on any violation, so CI can gate on it (the seed is
+   pinned by the Makefile target). *)
+
+open Tm_core
+module Atomic_object = Tm_engine.Atomic_object
+module Concurrent = Tm_engine.Concurrent
+module Database = Tm_engine.Database
+module Disk_wal = Tm_engine.Disk_wal
+module Storage = Tm_engine.Storage
+module Wal = Tm_engine.Wal
+module Metrics = Tm_obs.Metrics
+module BA = Tm_adt.Bank_account
+
+let deposit i = Op.invocation ~args:[ Value.int i ] "deposit"
+let balance = Op.invocation "balance"
+
+let main threads txns seed force_delay verbose =
+  let failures = ref 0 in
+  let fail fmt =
+    Fmt.kstr
+      (fun s ->
+        incr failures;
+        Fmt.pr "FAIL: %s@." s)
+      fmt
+  in
+  let store = Storage.memory () in
+  let dw = Disk_wal.create (Storage.slow ~force_delay store) in
+  let db =
+    Concurrent.create_durable ~wal:(Disk_wal.wal dw)
+      [
+        Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+          ~recovery:Tm_engine.Recovery.UIP ();
+      ]
+  in
+  let deposited = ref 0 in
+  let lock = Mutex.create () in
+  let backoff = Concurrent.default_backoff () in
+  let worker i =
+    for k = 1 to txns do
+      (* Deterministic per-(seed, thread, txn) amount, so the serial
+         expectation is reproducible for a pinned seed. *)
+      let amount = 1 + ((seed + (i * 31) + (k * 7)) mod 5) in
+      match
+        Concurrent.with_txn ~max_attempts:1000 ~backoff db (fun h ->
+            ignore (Concurrent.invoke h ~obj:"BA" (deposit amount)))
+      with
+      | Ok () ->
+          Mutex.lock lock;
+          deposited := !deposited + amount;
+          Mutex.unlock lock
+      | Error (`Gave_up attempts) -> fail "thread %d txn %d gave up after %d attempts" i k attempts
+    done
+  in
+  let handles = List.init threads (fun i -> Thread.create worker i) in
+  List.iter Thread.join handles;
+
+  let committed = Concurrent.committed_count db in
+  let reg = Database.metrics (Concurrent.database db) in
+  let forces = Metrics.counter_value reg "tm_wal_forces_total" in
+  let batches = Metrics.histogram reg "tm_wal_group_commit_batch" in
+  let batch_count = Metrics.Histogram.count batches in
+  let mean_batch =
+    if batch_count = 0 then 0.
+    else Metrics.Histogram.sum batches /. float_of_int batch_count
+  in
+
+  (* Serial expectation: all deposits commute, so with enough retry
+     budget every transaction commits and the balance is their sum. *)
+  if committed <> threads * txns then
+    fail "committed %d of %d transactions" committed (threads * txns);
+  (match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
+  | Ok (Value.Int b) ->
+      if b <> !deposited then
+        fail "balance %d but committed deposits sum to %d" b !deposited
+  | Ok v -> fail "unexpected balance %a" Value.pp v
+  | Error (`Gave_up _) -> fail "balance transaction gave up");
+  let committed = Concurrent.committed_count db in
+
+  (* Group commit must have amortised the barrier. *)
+  if forces >= committed then
+    fail "%d fsyncs for %d commits: no batching formed" forces committed;
+
+  (* What was acknowledged must be on the device: reload the raw bytes
+     and compare replayed state against the log we think we wrote. *)
+  (match Disk_wal.load store with
+  | Error c -> fail "persisted log corrupt: %a" Wal.Codec.pp_corruption c
+  | Ok reloaded ->
+      let replayed, _losers = Wal.replay (Wal.records (Disk_wal.wal reloaded)) in
+      let total =
+        List.fold_left
+          (fun acc (op : Op.t) ->
+            match op.Op.inv.Op.args with [ Value.Int a ] -> acc + a | _ -> acc)
+          0
+          (List.filter (fun (op : Op.t) -> String.equal op.Op.inv.Op.name "deposit") replayed)
+      in
+      if total <> !deposited then
+        fail "reloaded log replays %d deposited, engine committed %d" total !deposited);
+
+  if verbose || !failures > 0 then
+    Fmt.pr
+      "stresstest: %d threads x %d txns: %d committed, %d fsyncs (%.2f \
+       commits/fsync, mean batch %.1f), %d futile wakeups, %d retries@."
+      threads txns committed forces
+      (if forces = 0 then 0. else float_of_int committed /. float_of_int forces)
+      mean_batch
+      (Concurrent.futile_wakeup_count db)
+      (Concurrent.retry_count db);
+  if !failures > 0 then exit 1;
+  Fmt.pr "stresstest: OK (%d commits over %d fsyncs)@." committed forces
+
+open Cmdliner
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "threads"; "j" ] ~doc:"OS threads.")
+
+let txns_arg =
+  Arg.(value & opt int 50 & info [ "txns"; "n" ] ~doc:"Transactions per thread.")
+
+let seed_arg =
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Seed for the deposit amounts.")
+
+let force_delay_arg =
+  Arg.(
+    value & opt float 0.0005
+    & info [ "force-delay" ] ~docv:"SECONDS"
+        ~doc:"Simulated device barrier latency (what makes batching form).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the run summary even on success.")
+
+let cmd =
+  let doc = "threaded group-commit stress against the durable engine" in
+  Cmd.v
+    (Cmd.info "stresstest" ~doc)
+    Term.(
+      const main $ threads_arg $ txns_arg $ seed_arg $ force_delay_arg $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

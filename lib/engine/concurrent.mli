@@ -27,6 +27,16 @@ type t
 
 val create : ?record_history:bool -> Atomic_object.t list -> t
 
+(** [create_durable ?record_history ~wal objs] — the same front end over
+    a {!Durable_database}: operations, commits and aborts reach [wal],
+    and commit follows the staged pipeline — validate / append / apply
+    under the monitor, then park on the flushed-LSN watermark {e
+    outside} it, so invokers and deadlock detection proceed while a
+    group-commit batch fsyncs ({!Durable_database.try_commit_nowait} /
+    {!Durable_database.wait_durable}).  [with_txn] acknowledges [Ok]
+    only after the transaction's commit record is durable. *)
+val create_durable : ?record_history:bool -> wal:Wal.t -> Atomic_object.t list -> t
+
 (** A handle on a running transaction; only valid within the callback of
     {!with_txn} and on the thread that owns it. *)
 type handle
@@ -59,6 +69,14 @@ val with_txn :
   ?max_attempts:int -> ?backoff:(int -> unit) -> t -> (handle -> 'a) ->
   ('a, [ `Gave_up of int ]) result
 
+(** [default_backoff ?base ?cap ()] builds a backoff hook for
+    {!with_txn}: capped exponential (starting at [base] seconds,
+    doubling per attempt, clamped to [cap]) with {e deterministic}
+    jitter derived from the attempt number alone — threads that abort
+    in lockstep spread out, yet a run's delays are reproducible.
+    Defaults: [base = 0.0002], [cap = 0.02]. *)
+val default_backoff : ?base:float -> ?cap:float -> unit -> int -> unit
+
 (** Run statistics. *)
 
 val committed_count : t -> int
@@ -77,7 +95,16 @@ val retry_count : t -> int
     ([tm_txn_gave_up_total]). *)
 val gave_up_count : t -> int
 
+(** Broadcast wake-ups after which the woken waiter was still blocked
+    (or still had no legal response) and re-blocked without progress
+    ([tm_futile_wakeups_total]) — the price of the monitor's broadcast
+    discipline. *)
+val futile_wakeup_count : t -> int
+
 (** The recorded global history (empty unless [record_history]). *)
 val history : t -> History.t
 
 val database : t -> Database.t
+
+(** The durable backend, when built by {!create_durable}. *)
+val durable_database : t -> Durable_database.t option

@@ -273,6 +273,132 @@ let torture_bytes ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wa
   let violations = List.concat_map check (List.init cuts Fun.id) in
   { cuts; atomicity_checked = !atomicity_checked; violations }
 
+(* ------------------------------------------------------------------ *)
+(* Batch-prefix torture: crash cuts inside a group commit.             *)
+
+type batch_report = {
+  byte_cuts : int;
+  frontiers : int;
+  acked_max : int;
+  batch_violations : violation list;
+}
+
+let batch_ok r = r.batch_violations = []
+
+let pp_batch_report ppf r =
+  if batch_ok r then
+    Fmt.pf ppf "%d byte cuts over %d ack frontiers (%d commits acked), 0 violations"
+      r.byte_cuts r.frontiers r.acked_max
+  else
+    Fmt.pf ppf "%d byte cuts over %d ack frontiers, %d VIOLATIONS@,%a" r.byte_cuts
+      r.frontiers
+      (List.length r.batch_violations)
+      (Fmt.list ~sep:Fmt.cut pp_violation)
+      r.batch_violations
+
+let commit_tids recs =
+  List.filter_map (function Wal.Commit tid -> Some tid | _ -> None) recs
+
+(* The log was driven with a durability barrier after every
+   [group_every]-th commit (plus a final one), so commits are
+   acknowledged in batches: at the byte offset of each barrier, every
+   commit record before it is acked.  Cut the encoded log at every byte
+   and check the two group-commit guarantees: (1) the recovered commit
+   order is a {e prefix} of the full commit order — a crash inside a
+   batch admits some leading part of it, never a subset with holes —
+   and (2) at least the commits acked at the last barrier at or before
+   the cut survive: once the watermark passed a commit's LSN and the
+   client was told [Ok], no crash may lose it. *)
+let torture_batched ~group_every wal =
+  if group_every < 1 then invalid_arg "Crash.torture_batched: group_every < 1";
+  let recs = Wal.records wal in
+  let frontiers_rev = ref [] in
+  let off = ref 0 in
+  let commits = ref 0 in
+  List.iter
+    (fun r ->
+      off := !off + String.length (Wal.Codec.encode r);
+      match r with
+      | Wal.Commit _ ->
+          incr commits;
+          if !commits mod group_every = 0 then
+            frontiers_rev := (!off, !commits) :: !frontiers_rev
+      | _ -> ())
+    recs;
+  (* The run's final flush acks everything appended. *)
+  (match !frontiers_rev with
+  | (o, n) :: _ when o = !off && n = !commits -> ()
+  | _ -> frontiers_rev := (!off, !commits) :: !frontiers_rev);
+  let frontiers = List.rev !frontiers_rev in
+  let acked_at cut =
+    List.fold_left (fun acc (b, n) -> if b <= cut then max acc n else acc) 0 frontiers
+  in
+  let all_commits = commit_tids recs in
+  let bytes = Wal.Codec.encode_all recs in
+  let len = String.length bytes in
+  let prev = ref (-1, -1) in
+  let check cut =
+    let acked = acked_at cut in
+    match Wal.Codec.decode_all (String.sub bytes 0 cut) with
+    | Error c ->
+        [
+          {
+            cut;
+            invariant = "torn-tail";
+            detail =
+              Fmt.str "prefix cut misclassified as interior corruption: %a"
+                Wal.Codec.pp_corruption c;
+          };
+        ]
+    | Ok decoded ->
+        let n = List.length decoded.Wal.Codec.records in
+        if (n, acked) = !prev then []
+        else begin
+          prev := (n, acked);
+          let recovered = commit_tids decoded.Wal.Codec.records in
+          let prefix_bad =
+            if is_prefix ~equal:Tid.equal recovered all_commits then []
+            else
+              [
+                {
+                  cut;
+                  invariant = "batch-prefix";
+                  detail =
+                    Fmt.str
+                      "recovered commit order [%a] is not a prefix of [%a]"
+                      Fmt.(list ~sep:comma Tid.pp)
+                      recovered
+                      Fmt.(list ~sep:comma Tid.pp)
+                      all_commits;
+                };
+              ]
+          in
+          let acked_bad =
+            if List.length recovered >= acked then []
+            else
+              [
+                {
+                  cut;
+                  invariant = "acked-durability";
+                  detail =
+                    Fmt.str
+                      "cut at byte %d recovers %d commits but %d were \
+                       acknowledged at the last flush frontier"
+                      cut (List.length recovered) acked;
+                };
+              ]
+          in
+          prefix_bad @ acked_bad
+        end
+  in
+  let batch_violations = List.concat_map check (List.init (len + 1) Fun.id) in
+  {
+    byte_cuts = len + 1;
+    frontiers = List.length frontiers;
+    acked_max = !commits;
+    batch_violations;
+  }
+
 type sweep_report = {
   flips : int;  (** single-bit corruptions injected *)
   interior_detected : int;  (** flips reported as interior [Corrupt_log] *)

@@ -78,6 +78,35 @@ val torture :
 val torture_bytes :
   ?max_atomicity_txns:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
 
+(** {1 Batch-prefix torture (group commit)} *)
+
+type batch_report = {
+  byte_cuts : int;  (** byte offsets exercised (encoded length + 1) *)
+  frontiers : int;  (** durability barriers the driven run performed *)
+  acked_max : int;  (** commits acknowledged by the final barrier *)
+  batch_violations : violation list;
+}
+
+(** [batch_ok r] — every cut inside a batch recovered to a prefix of the
+    batch's commit order, and no acknowledged commit was lost. *)
+val batch_ok : batch_report -> bool
+
+val pp_batch_report : Format.formatter -> batch_report -> unit
+
+(** [torture_batched ~group_every wal] replays the ack discipline of a
+    group-commit run over [wal] — a barrier after every
+    [group_every]-th commit record plus a final one, as
+    {!Tm_sim.Scheduler.run_durable}'s [~group_commit] knob produces —
+    and cuts the encoded log at every byte offset.  Each cut must
+    decode as a clean log or torn tail (["torn-tail"] violation
+    otherwise), recover a commit order that is a {e prefix} of the full
+    one (["batch-prefix"]), and retain at least every commit
+    acknowledged at the last barrier at or before the cut
+    (["acked-durability"] — the no-lost-acked-commit guarantee: a
+    commit is acked only once the flushed-LSN watermark passes its
+    commit record). *)
+val torture_batched : group_every:int -> Wal.t -> batch_report
+
 type sweep_report = {
   flips : int;  (** single-bit corruptions injected (one per byte offset) *)
   interior_detected : int;

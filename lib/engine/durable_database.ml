@@ -8,8 +8,8 @@ type t = {
   begun : (Tid.t, unit) Hashtbl.t;
 }
 
-let create ?first_tid ~wal objs =
-  let db = Database.create ?first_tid objs in
+let create ?record_history ?first_tid ~wal objs =
+  let db = Database.create ?record_history ?first_tid objs in
   Wal.attach_metrics wal (Database.metrics db);
   { db; wal; begun = Hashtbl.create 16 }
 
@@ -32,16 +32,6 @@ let invoke ?choose t tid ~obj inv =
   | Atomic_object.Blocked _ | Atomic_object.No_response -> ());
   outcome
 
-let force t tid r =
-  (* Append, then the durability barrier: for an in-memory log the
-     barrier is a no-op (append is atomic and forced by fiat); a log
-     with a storage sink ({!Disk_wal}) makes the backend flush here —
-     the commit is acknowledged only once the record is on the device. *)
-  log t tid r;
-  Wal.force t.wal;
-  Metrics.Counter.incr (Metrics.counter (Database.metrics t.db) "tm_wal_forces_total");
-  Database.emit_trace t.db ~tid Trace.Wal_force
-
 let emit_system db kind =
   match Database.trace db with Some tr -> Trace.emit_system tr kind | None -> ()
 
@@ -58,10 +48,17 @@ let checkpoint t =
   Wal.append t.wal (Wal.Checkpoint cp);
   emit_system t.db (Trace.Checkpoint { ops = List.length cp.Wal.committed })
 
-let try_commit t tid =
-  (* Validate first (nothing logged on failure), then force the single
-     commit record — the transaction is durable at every object from
-     that instant — then apply. *)
+let try_commit_nowait t tid =
+  (* Stage 1 of the commit pipeline: validate first (nothing logged on
+     failure), append the single commit record — fixing the
+     transaction's place in the durable commit order at every object —
+     and apply.  Durability is NOT awaited here: the caller holds
+     whatever engine lock serialises this stage and must release it
+     before parking on the watermark ({!wait_durable}), so the fsync
+     never runs under the lock.  Applying before durability is sound:
+     any transaction that reads the applied state commits {e later} in
+     the log, so a crash that loses this commit record also loses every
+     dependent one (the log's prefix property). *)
   let failed =
     List.find_map
       (fun o ->
@@ -82,10 +79,29 @@ let try_commit t tid =
       Database.abort t.db tid;
       (match e with Some x -> Error x | None -> assert false)
   | None ->
-      force t tid (Wal.Commit tid);
+      log t tid (Wal.Commit tid);
+      let lsn = Wal.last_lsn t.wal in
       Hashtbl.remove t.begun tid;
       Database.commit t.db tid;
+      Ok lsn
+
+let wait_durable t tid lsn =
+  (* Stage 2: park on the flushed-LSN watermark (the group-commit
+     combiner in {!Wal.force_upto}); the commit may be acknowledged
+     once the watermark passes the commit record's LSN. *)
+  Database.emit_trace t.db ~tid (Trace.Wal_flush_wait { upto = lsn });
+  Wal.force_upto t.wal lsn
+
+let try_commit t tid =
+  match try_commit_nowait t tid with
+  | Error _ as e -> e
+  | Ok lsn ->
+      wait_durable t tid lsn;
       Ok ()
+
+let flush t =
+  Wal.force t.wal;
+  emit_system t.db Trace.Wal_force
 
 let abort t tid =
   if Hashtbl.mem t.begun tid then begin

@@ -13,10 +13,12 @@ open Tm_core
 
 type t
 
-(** [create ?first_tid ~wal objs] — [first_tid] seeds the database's
-    transaction-id allocator (see {!Database.create}); {!recover} passes
-    the log's tid high-water mark. *)
-val create : ?first_tid:int -> wal:Wal.t -> Atomic_object.t list -> t
+(** [create ?record_history ?first_tid ~wal objs] — [record_history]
+    and [first_tid] are passed through to {!Database.create}
+    ([first_tid] seeds the transaction-id allocator; {!recover} passes
+    the log's tid high-water mark). *)
+val create :
+  ?record_history:bool -> ?first_tid:int -> wal:Wal.t -> Atomic_object.t list -> t
 val database : t -> Database.t
 val begin_txn : t -> Tid.t
 
@@ -24,11 +26,43 @@ val invoke :
   ?choose:(Value.t list -> Value.t) -> t -> Tid.t -> obj:string -> Op.invocation ->
   Atomic_object.outcome
 
-(** Validates (for optimistic objects), forces the commit record, then
-    commits at every touched object.  The commit-record append is the
-    durability point: it bumps [tm_wal_forces_total] and emits a
-    [Wal_force] trace span. *)
+(** {2 The staged commit pipeline}
+
+    Commit is split into two stages so the durability barrier never
+    runs under the engine lock.  {!try_commit_nowait} validates,
+    appends the commit record (fixing the transaction's place in the
+    durable commit order), applies the commit at every touched object,
+    and returns the commit record's LSN — all serialised by the
+    caller's engine lock.  {!wait_durable} then parks on the WAL's
+    flushed-LSN watermark {e outside} that lock (the group-commit
+    combiner amortises one fsync over every commit in the batch; see
+    {!Wal.force_upto}).  The commit may be acknowledged only after
+    {!wait_durable} returns.  Applying before durability is sound
+    because a dependent transaction's commit record necessarily lands
+    later in the log: a crash losing this commit also loses every
+    dependent one (prefix property), so recovery never exposes an
+    effect whose commit record was lost. *)
+
+(** Stage 1: validate (for optimistic objects), append the commit
+    record, apply.  [Ok lsn] is the commit record's LSN to pass to
+    {!wait_durable}; on validation failure the transaction is aborted
+    (and its [Abort] logged if it logged a [Begin]). *)
+val try_commit_nowait : t -> Tid.t -> (int, string * Op.t * Op.t) result
+
+(** Stage 2: block until the WAL's flushed watermark covers [lsn]
+    (emits a [Wal_flush_wait] trace span).  Call without holding the
+    engine lock. *)
+val wait_durable : t -> Tid.t -> int -> unit
+
+(** [try_commit t tid] is both stages back to back — the per-commit
+    durability discipline (still the default for single-threaded
+    drivers). *)
 val try_commit : t -> Tid.t -> (unit, string * Op.t * Op.t) result
+
+(** [flush t] forces everything appended so far (a deterministic batch
+    boundary for {!Tm_sim.Scheduler.run_durable}'s [~group_commit]
+    knob); emits a system [Wal_force] span. *)
+val flush : t -> unit
 
 (** Aborts the transaction; the [Abort] record is logged only when the
     transaction logged a [Begin] (i.e. executed at least one operation

@@ -93,6 +93,18 @@ let file path =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Simulated device latency.                                           *)
+
+let slow ?(write_delay = 0.) ?(force_delay = 0.001) inner =
+  let pause d = if d > 0. then Thread.delay d in
+  {
+    inner with
+    name = inner.name ^ "+slow";
+    write_at = (fun ~pos data -> pause write_delay; inner.write_at ~pos data);
+    force = (fun () -> pause force_delay; inner.force ());
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection.                                                    *)
 
 type fault_config = {

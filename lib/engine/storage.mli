@@ -55,6 +55,14 @@ val of_string : ?name:string -> string -> t
     {!Transient}; other I/O errors propagate as [Unix.Unix_error]. *)
 val file : string -> t
 
+(** {1 Simulated device latency} *)
+
+(** [slow ?write_delay ?force_delay inner] sleeps before delegating each
+    {!write_at} (default 0) and {!force} (default 1ms) — a stand-in for
+    a device whose barrier dominates, so group-commit batching actually
+    forms in benchmarks and threaded tests over {!memory}. *)
+val slow : ?write_delay:float -> ?force_delay:float -> t -> t
+
 (** {1 Fault injection} *)
 
 (** Per-call fault probabilities, all in [0,1].  Write-side faults are

@@ -53,24 +53,132 @@ type t = {
   mutable truncated : int;
   mutable metrics : Metrics.t option;
   mutable sink : sink option;
+  (* --- durability pipeline state (group commit) ---
+     Appends are assigned monotone LSNs (1-based, counting every append
+     since creation — truncation does not rewind them); [flushed] is the
+     watermark below which the sink has certified durability.  The
+     combiner fields serialise flushing across OS threads: exactly one
+     waiter runs [sink_force] per round while later arrivals park on
+     [flush_done] and piggyback on the result. *)
+  mutable appended : int;  (* lsn of the newest fully-appended record *)
+  mutable flushed : int;  (* durability watermark (meaningful with a sink) *)
+  mutable commits_appended : int;  (* Commit records appended so far *)
+  mutable commits_flushed : int;  (* Commit records covered by a force *)
+  flush_lock : Mutex.t;
+  flush_done : Condition.t;
+  mutable flusher_busy : bool;
 }
 
-let create () =
-  { records_rev = []; count = 0; truncated = 0; metrics = None; sink = None }
+let make_log records_rev count =
+  let commits =
+    List.fold_left
+      (fun n r -> match r with Commit _ -> n + 1 | _ -> n)
+      0 records_rev
+  in
+  {
+    records_rev;
+    count;
+    truncated = 0;
+    metrics = None;
+    sink = None;
+    appended = count;
+    flushed = 0;
+    commits_appended = commits;
+    commits_flushed = 0;
+    flush_lock = Mutex.create ();
+    flush_done = Condition.create ();
+    flusher_busy = false;
+  }
 
-let of_records recs =
-  { records_rev = List.rev recs; count = List.length recs; truncated = 0;
-    metrics = None; sink = None }
+let create () = make_log [] 0
+let of_records recs = make_log (List.rev recs) (List.length recs)
 
 let set_sink t sink =
   t.sink <- Some sink;
+  (* Everything already present predates the sink (e.g. records decoded
+     from the backend by {!Disk_wal.load}); it is exactly what stable
+     storage holds, so the watermark starts there. *)
+  t.flushed <- max t.flushed t.appended;
+  t.commits_flushed <- max t.commits_flushed t.commits_appended;
   match t.metrics with None -> () | Some reg -> sink.sink_attach reg
 
 let attach_metrics t reg =
   t.metrics <- Some reg;
   match t.sink with None -> () | Some s -> s.sink_attach reg
 
-let force t = match t.sink with None -> () | Some s -> s.sink_force ()
+let last_lsn t = t.appended
+
+let flushed_lsn t =
+  (* Without a sink, stable storage is modelled in-memory: an append is
+     durable by fiat the instant it returns. *)
+  match t.sink with None -> t.appended | Some _ -> t.flushed
+
+(* Accounting for one actual barrier: [batch] is the number of commit
+   records whose durability this single [sink_force] certified. *)
+let note_force t batch =
+  match t.metrics with
+  | None -> ()
+  | Some reg ->
+      Metrics.Counter.incr (Metrics.counter reg "tm_wal_forces_total");
+      Metrics.Counter.incr (Metrics.counter reg "tm_wal_group_commits_total");
+      Metrics.Histogram.observe_int
+        (Metrics.histogram reg "tm_wal_group_commit_batch")
+        batch
+
+let force_upto t lsn =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+      Mutex.lock t.flush_lock;
+      let rec await () =
+        if t.flushed >= lsn then Ok ()
+        else if t.flusher_busy then begin
+          (* Piggyback: a batch is in flight; park on the group-commit
+             condition and re-check when its round completes. *)
+          Condition.wait t.flush_done t.flush_lock;
+          await ()
+        end
+        else begin
+          t.flusher_busy <- true;
+          (* Snapshot under the lock: records with lsn <= target finished
+             their sink append before being numbered, so the barrier below
+             provably covers their bytes. *)
+          let target = t.appended in
+          let commits_target = t.commits_appended in
+          Mutex.unlock t.flush_lock;
+          let result = try Ok (s.sink_force ()) with e -> Error e in
+          Mutex.lock t.flush_lock;
+          t.flusher_busy <- false;
+          match result with
+          | Ok () ->
+              if target > t.flushed then begin
+                t.flushed <- target;
+                let batch = commits_target - t.commits_flushed in
+                t.commits_flushed <- max t.commits_flushed commits_target;
+                note_force t batch
+              end;
+              Condition.broadcast t.flush_done;
+              await ()
+          | Error e ->
+              (* The flusher died.  Hand the round over — a parked waiter
+                 wakes, finds the combiner free and retries the flush
+                 itself — and surface the failure to this caller (no
+                 thread is left blocked on a dead flusher). *)
+              Condition.broadcast t.flush_done;
+              Error e
+        end
+      in
+      let result = await () in
+      Mutex.unlock t.flush_lock;
+      (match result with Ok () -> () | Error e -> raise e)
+
+let force t = force_upto t t.appended
+
+let mark_all_flushed t =
+  Mutex.lock t.flush_lock;
+  t.flushed <- max t.flushed t.appended;
+  t.commits_flushed <- max t.commits_flushed t.commits_appended;
+  Mutex.unlock t.flush_lock
 
 let record_kind = function
   | Begin _ -> "begin"
@@ -83,6 +191,14 @@ let append t r =
   t.records_rev <- r :: t.records_rev;
   t.count <- t.count + 1;
   (match t.sink with None -> () | Some s -> s.sink_append r);
+  (* Publish the LSN only after the sink has the bytes: a flusher that
+     snapshots [appended] and forces is then guaranteed to have covered
+     every numbered record.  Counter updates are taken under [flush_lock]
+     so a concurrent flusher's snapshot is consistent. *)
+  Mutex.lock t.flush_lock;
+  t.appended <- t.appended + 1;
+  (match r with Commit _ -> t.commits_appended <- t.commits_appended + 1 | _ -> ());
+  Mutex.unlock t.flush_lock;
   match t.metrics with
   | None -> ()
   | Some reg -> (
@@ -107,8 +223,9 @@ let prefix t n =
      re-attaches the new database's registry anyway.)  The sink is NOT
      carried over — a prefix is a volatile recovery artifact, and
      appending to it must not touch the stable storage it came from. *)
-  { records_rev = List.rev kept; count = List.length kept; truncated = 0;
-    metrics = t.metrics; sink = None }
+  let log = make_log (List.rev kept) (List.length kept) in
+  log.metrics <- t.metrics;
+  log
 
 let truncate_to_checkpoint t =
   (* [records_rev] is newest first, so the first [Checkpoint] found is the

@@ -64,11 +64,54 @@ type sink = {
   sink_attach : Tm_obs.Metrics.t -> unit;
 }
 
+(** [set_sink t sink] installs the mirror and moves the durability
+    watermark to the current end of the log: whatever the log already
+    holds was decoded {e from} stable storage, so it is durable by
+    construction. *)
 val set_sink : t -> sink -> unit
 
-(** [force t] asks the sink (if any) to make every appended record
-    durable; a no-op for a purely in-memory log. *)
+(** {2 The staged durability pipeline}
+
+    Every {!append} is assigned the next monotone {e log sequence
+    number} (1-based over the log's lifetime; {!truncate_to_checkpoint}
+    does not rewind it).  [flushed_lsn] is the watermark below which the
+    sink has certified durability; a commit may be acknowledged exactly
+    when the watermark passes its commit record's LSN.
+
+    {!force_upto} is a {e group-commit combiner}: the first thread to
+    need a flush becomes the flusher and forces everything appended so
+    far, while threads arriving during the barrier park on a condition
+    and piggyback on the result (or on the next round if their record
+    landed after the flusher's snapshot).  One [sink_force] thereby
+    covers a whole batch of commits.  If the flusher's barrier raises,
+    the round is handed over — every parked waiter is woken, one of them
+    retries the flush — and the failure propagates to the failed
+    flusher's caller only, so no thread is left blocked on a dead
+    flusher. *)
+
+(** The LSN of the newest fully-appended record (0 for an empty log). *)
+val last_lsn : t -> int
+
+(** The durability watermark.  For a sink-less log stable storage is
+    modelled in-memory — every append is durable by fiat, so this equals
+    {!last_lsn}. *)
+val flushed_lsn : t -> int
+
+(** [force_upto t lsn] blocks until [flushed_lsn t >= lsn], flushing or
+    piggybacking as described above.  A no-op for a sink-less log.  Each
+    actual barrier bumps [tm_wal_forces_total] and
+    [tm_wal_group_commits_total] and records the number of commit
+    records it covered in the [tm_wal_group_commit_batch] histogram. *)
+val force_upto : t -> int -> unit
+
+(** [force t] is [force_upto t (last_lsn t)]. *)
 val force : t -> unit
+
+(** [mark_all_flushed t] moves the watermark to the end of the log
+    without a barrier — for callers that have just forced the backend
+    through a side channel (e.g. {!Disk_wal.checkpoint_truncate}'s
+    rewrite). *)
+val mark_all_flushed : t -> unit
 
 (** [attach_metrics t reg] counts appends per record kind as
     [tm_wal_appends_total{kind}], observes checkpoint sizes in the

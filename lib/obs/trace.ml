@@ -13,6 +13,7 @@ type kind =
   | Deadlock_victim of { cycle : Tid.t list }
   | Wal_append of { record : string }
   | Wal_force
+  | Wal_flush_wait of { upto : int }
   | Checkpoint of { ops : int }
   | Crash_recover of { replayed : int; losers : int }
 
@@ -53,6 +54,7 @@ let kind_name = function
   | Deadlock_victim _ -> "deadlock_victim"
   | Wal_append _ -> "wal_append"
   | Wal_force -> "wal_force"
+  | Wal_flush_wait _ -> "wal_flush_wait"
   | Checkpoint _ -> "checkpoint"
   | Crash_recover _ -> "crash_recover"
 
@@ -115,6 +117,7 @@ let kind_fields = function
   | Validated { ok } -> [ ("ok", string_of_bool ok) ]
   | Deadlock_victim { cycle } -> [ ("cycle", json_of_tids cycle) ]
   | Wal_append { record } -> [ ("record", json_str record) ]
+  | Wal_flush_wait { upto } -> [ ("upto", string_of_int upto) ]
   | Checkpoint { ops } -> [ ("ops", string_of_int ops) ]
   | Crash_recover { replayed; losers } ->
       [ ("replayed", string_of_int replayed); ("losers", string_of_int losers) ]

@@ -30,6 +30,9 @@ type kind =
   | Deadlock_victim of { cycle : Tid.t list }
   | Wal_append of { record : string }
   | Wal_force  (** the append that makes a commit durable *)
+  | Wal_flush_wait of { upto : int }
+      (** a committer parking on the group-commit watermark until
+          [flushed_lsn >= upto] *)
   | Checkpoint of { ops : int }
   | Crash_recover of { replayed : int; losers : int }
 

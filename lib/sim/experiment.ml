@@ -252,10 +252,12 @@ let run ?record_trace scenario s cfg =
   let db = Database.create (scenario.build s) in
   run_db ?record_trace ~name:scenario.name ~label:(label s) db scenario.workload cfg
 
-let run_durable ?wal ?(checkpoint_every = 0) scenario s cfg =
+let run_durable ?wal ?(checkpoint_every = 0) ?(group_commit = 1) scenario s cfg =
   let wal = match wal with Some w -> w | None -> Tm_engine.Wal.create () in
   let dd = Tm_engine.Durable_database.create ~wal (scenario.build s) in
-  let stats = Scheduler.run_durable ~checkpoint_every dd scenario.workload cfg in
+  let stats =
+    Scheduler.run_durable ~checkpoint_every ~group_commit dd scenario.workload cfg
+  in
   let db = Tm_engine.Durable_database.database dd in
   let reg = Database.metrics db in
   let row =

@@ -109,10 +109,13 @@ val run : ?record_trace:bool -> scenario -> setup -> Scheduler.config -> row
     in-memory log; pass a {!Tm_engine.Disk_wal}-backed one to drive the
     workload against real (or fault-injected) storage.  When
     [checkpoint_every = n > 0] a fuzzy checkpoint is appended after every
-    [n]th commit, i.e. while other transactions are typically in flight. *)
+    [n]th commit, i.e. while other transactions are typically in flight.
+    [group_commit] (default 1) is {!Scheduler.run_durable}'s
+    deterministic batching knob: the durability barrier runs after every
+    [n]th commit instead of every commit. *)
 val run_durable :
-  ?wal:Tm_engine.Wal.t -> ?checkpoint_every:int -> scenario -> setup ->
-  Scheduler.config -> row * Tm_engine.Wal.t
+  ?wal:Tm_engine.Wal.t -> ?checkpoint_every:int -> ?group_commit:int ->
+  scenario -> setup -> Scheduler.config -> row * Tm_engine.Wal.t
 
 (** [run_custom] — for ablations with hand-built objects (custom conflict
     relations, mixed policies); [label] is the setup column text. *)

@@ -67,6 +67,15 @@ val run : Tm_engine.Database.t -> Workload.t -> config -> stats
     faithful record of a concurrent run (the crash-injection harness
     tortures it).  When [checkpoint_every = n > 0], a fuzzy checkpoint is
     taken after every [n]th commit — deliberately {e mid-run}, while
-    other transactions are in flight.  Default [0]: never. *)
+    other transactions are in flight.  Default [0]: never.
+
+    [group_commit] (default 1) batches durability deterministically:
+    commits run stage 1 only ({!Tm_engine.Durable_database.try_commit_nowait})
+    and the barrier ({!Tm_engine.Durable_database.flush}) runs after
+    every [n]th commit plus once after the loop, so a disk-backed log
+    sees one fsync per batch while the record order — and therefore
+    replay — is exactly that of a per-commit-force run.  [1] reproduces
+    the per-commit discipline. *)
 val run_durable :
-  ?checkpoint_every:int -> Tm_engine.Durable_database.t -> Workload.t -> config -> stats
+  ?checkpoint_every:int -> ?group_commit:int -> Tm_engine.Durable_database.t ->
+  Workload.t -> config -> stats

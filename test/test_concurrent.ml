@@ -153,6 +153,197 @@ let test_recorded_history_dynamic_atomic () =
   Helpers.check_bool "dynamic atomic" true
     (Atomicity.is_dynamic_atomic env (Concurrent.history db))
 
+(* --- the staged commit pipeline under OS threads --- *)
+
+let test_durable_group_commit_threads () =
+  (* N threads commit through a disk-format WAL whose storage has a slow
+     durability barrier.  The committed state must match the serial
+     expectation, the device must have seen fewer barriers than commits
+     (batching formed), and the bytes on storage must replay to exactly
+     the acknowledged commits. *)
+  let store = Tm_engine.Storage.memory () in
+  let dw =
+    Tm_engine.Disk_wal.create (Tm_engine.Storage.slow ~force_delay:0.001 store)
+  in
+  let db =
+    Concurrent.create_durable ~wal:(Tm_engine.Disk_wal.wal dw)
+      [
+        Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+          ~recovery:Tm_engine.Recovery.UIP ();
+      ]
+  in
+  let threads = 6 and per_thread = 15 in
+  run_threads threads (fun _ ->
+      for _ = 1 to per_thread do
+        match
+          Concurrent.with_txn ~max_attempts:1000 db (fun h ->
+              ignore (Concurrent.invoke h ~obj:"BA" (deposit 1)))
+        with
+        | Ok () -> ()
+        | Error (`Gave_up _) -> Alcotest.fail "starved"
+      done);
+  let deposits = Concurrent.committed_count db in
+  Helpers.check_int "every transaction committed" (threads * per_thread) deposits;
+  (match Concurrent.with_txn db (fun h -> Concurrent.invoke h ~obj:"BA" balance) with
+  | Ok (Value.Int b) -> Helpers.check_int "balance = committed deposits" deposits b
+  | Ok v -> Alcotest.failf "unexpected balance %a" Value.pp v
+  | Error (`Gave_up _) -> Alcotest.fail "balance txn aborted");
+  let committed = Concurrent.committed_count db in
+  let reg = Tm_engine.Database.metrics (Concurrent.database db) in
+  let forces = Tm_obs.Metrics.counter_value reg "tm_wal_forces_total" in
+  Helpers.check_bool
+    (Fmt.str "batching formed: %d fsyncs for %d commits" forces committed)
+    true
+    (forces < committed);
+  match Tm_engine.Disk_wal.load store with
+  | Error c ->
+      Alcotest.failf "persisted log corrupt: %a" Tm_engine.Wal.Codec.pp_corruption c
+  | Ok reloaded ->
+      let committed_ops, _ =
+        Tm_engine.Wal.replay
+          (Tm_engine.Wal.records (Tm_engine.Disk_wal.wal reloaded))
+      in
+      (* one op per committed transaction (deposits + the balance read) *)
+      Helpers.check_int "device replays every acknowledged commit" committed
+        (List.length committed_ops)
+
+let test_flusher_death_wakes_parked_committer () =
+  (* Regression: commit A becomes the flusher and its fsync dies; commit
+     B is parked on the watermark.  B must be woken by the failure
+     broadcast and take over as flusher — not sleep forever — and A must
+     see the device error. *)
+  let wal = Tm_engine.Wal.create () in
+  let calls = ref 0 in
+  let m = Mutex.create () in
+  let sink =
+    {
+      Tm_engine.Wal.sink_append = (fun _ -> ());
+      sink_force =
+        (fun () ->
+          let n =
+            Mutex.lock m;
+            incr calls;
+            let n = !calls in
+            Mutex.unlock m;
+            n
+          in
+          if n = 1 then begin
+            (* stay busy long enough for B to park, then die *)
+            Thread.delay 0.05;
+            failwith "device died"
+          end);
+      sink_attach = (fun _ -> ());
+    }
+  in
+  Tm_engine.Wal.set_sink wal sink;
+  let db =
+    Concurrent.create_durable ~wal
+      [
+        Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+          ~recovery:Tm_engine.Recovery.UIP ();
+      ]
+  in
+  let a_saw_failure = ref false and b_committed = ref false in
+  let a =
+    Thread.create
+      (fun () ->
+        match
+          Concurrent.with_txn db (fun h ->
+              ignore (Concurrent.invoke h ~obj:"BA" (deposit 1)))
+        with
+        | exception Failure _ -> a_saw_failure := true
+        | Ok () | Error (`Gave_up _) -> ())
+      ()
+  in
+  let b =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.02;
+        match
+          Concurrent.with_txn db (fun h ->
+              ignore (Concurrent.invoke h ~obj:"BA" (deposit 2)))
+        with
+        | Ok () -> b_committed := true
+        | Error (`Gave_up _) -> ())
+      ()
+  in
+  Thread.join a;
+  Thread.join b;
+  Helpers.check_bool "the failed flusher saw the device error" true !a_saw_failure;
+  Helpers.check_bool "the parked committer took over and committed" true
+    !b_committed;
+  Helpers.check_int "watermark covers both commits"
+    (Tm_engine.Wal.last_lsn wal)
+    (Tm_engine.Wal.flushed_lsn wal)
+
+let test_futile_wakeup_counted () =
+  (* B blocks on A's hold at one object; an unrelated commit at another
+     object broadcasts the monitor, waking B to find itself still
+     blocked — tm_futile_wakeups_total must record it. *)
+  let funded = BA.spec_with_initial 100 in
+  let db =
+    Concurrent.create
+      [
+        Atomic_object.create ~spec:funded ~conflict:BA.nrbc_conflict
+          ~recovery:Tm_engine.Recovery.UIP ();
+        Atomic_object.create
+          ~spec:(Spec.rename funded "BA2")
+          ~conflict:BA.nrbc_conflict ~recovery:Tm_engine.Recovery.UIP ();
+      ]
+  in
+  let check label = function
+    | Ok _ -> ()
+    | Error (`Gave_up _) -> Alcotest.failf "%s gave up" label
+  in
+  let a =
+    Thread.create
+      (fun () ->
+        check "A"
+          (Concurrent.with_txn db (fun h ->
+               (* hold the deposit lock while B blocks and C commits *)
+               ignore (Concurrent.invoke h ~obj:"BA" (deposit 1));
+               Thread.delay 0.08)))
+      ()
+  in
+  let b =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.02;
+        (* a successful withdrawal conflicts with A's held deposit *)
+        check "B"
+          (Concurrent.with_txn ~max_attempts:1000 db (fun h ->
+               ignore (Concurrent.invoke h ~obj:"BA" (withdraw 1)))))
+      ()
+  in
+  let c =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.04;
+        check "C"
+          (Concurrent.with_txn db (fun h ->
+               ignore (Concurrent.invoke h ~obj:"BA2" (deposit 1)))))
+      ()
+  in
+  Thread.join a;
+  Thread.join b;
+  Thread.join c;
+  Helpers.check_int "all three committed" 3 (Concurrent.committed_count db);
+  Helpers.check_bool "futile wakeup counted" true
+    (Concurrent.futile_wakeup_count db >= 1)
+
+let test_default_backoff () =
+  let hook = Concurrent.default_backoff ~base:1e-6 ~cap:1e-5 () in
+  (* bounded and total over any attempt number (no float overflow) *)
+  List.iter hook [ 1; 2; 3; 10; 30; 1000 ];
+  (try
+     ignore (Concurrent.default_backoff ~base:0. () : int -> unit);
+     Alcotest.fail "base must be positive"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Concurrent.default_backoff ~base:0.1 ~cap:0.01 () : int -> unit);
+    Alcotest.fail "cap must dominate base"
+  with Invalid_argument _ -> ()
+
 let suite =
   [
     Alcotest.test_case "single-thread transaction" `Quick test_single_thread_txn;
@@ -162,4 +353,10 @@ let suite =
     Alcotest.test_case "optimistic threads" `Slow test_occ_threads;
     Alcotest.test_case "recorded history dynamic atomic" `Quick
       test_recorded_history_dynamic_atomic;
+    Alcotest.test_case "durable group commit under threads" `Slow
+      test_durable_group_commit_threads;
+    Alcotest.test_case "flusher death wakes parked committer" `Slow
+      test_flusher_death_wakes_parked_committer;
+    Alcotest.test_case "futile wakeups counted" `Slow test_futile_wakeup_counted;
+    Alcotest.test_case "default backoff" `Quick test_default_backoff;
   ]

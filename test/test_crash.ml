@@ -143,6 +143,34 @@ let test_corruption_sweep_contained () =
     (sweep.Crash.interior_detected > 0);
   Helpers.check_bool "tail flips were contained" true (sweep.Crash.tail_losses > 0)
 
+(* --- batch-prefix torture of a group-committed run --- *)
+
+let test_torture_batched_group_commit () =
+  (* Drive a workload with the durability barrier batched every 3
+     commits, then prove every byte cut recovers a prefix of the commit
+     order and never loses a commit acknowledged at a flush frontier. *)
+  let scenario = Experiment.transfer () in
+  let setup = Experiment.setup Recovery.UIP Experiment.Semantic in
+  let dw = Tm_engine.Disk_wal.create (Tm_engine.Storage.memory ()) in
+  let cfg = Scheduler.config ~concurrency:3 ~total_txns:6 ~seed:5 () in
+  let _row, wal =
+    Experiment.run_durable ~wal:(Tm_engine.Disk_wal.wal dw) ~checkpoint_every:2
+      ~group_commit:3 scenario setup cfg
+  in
+  let rebuild () = scenario.Experiment.build setup in
+  let report = Crash.torture_bytes ~rebuild wal in
+  Helpers.check_bool
+    (Fmt.str "byte cuts clean on a batched run: %a" Crash.pp_report report)
+    true (Crash.ok report);
+  let batch = Crash.torture_batched ~group_every:3 wal in
+  Helpers.check_bool
+    (Fmt.str "batch-prefix clean: %a" Crash.pp_batch_report batch)
+    true (Crash.batch_ok batch);
+  Helpers.check_bool "cuts cover the encoded log" true (batch.Crash.byte_cuts > 0);
+  Helpers.check_bool "the run performed durability barriers" true
+    (batch.Crash.frontiers >= 1);
+  Helpers.check_bool "commits were acknowledged" true (batch.Crash.acked_max > 0)
+
 (* --- the property --- *)
 
 (* Scenario pool for the property: single- and multi-object, plus the
@@ -191,5 +219,7 @@ let suite =
       test_torture_bytes_clean;
     Alcotest.test_case "corruption sweep contained" `Quick
       test_corruption_sweep_contained;
+    Alcotest.test_case "batch-prefix torture of group-committed run" `Quick
+      test_torture_batched_group_commit;
     prop_crash_invariants;
   ]

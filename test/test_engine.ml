@@ -34,6 +34,39 @@ let test_lock_table () =
   Alcotest.check Helpers.tids "released" []
     (Lock_table.blockers t ~requested:(wok 1) ~tid:Tid.b)
 
+(* The per-tid index must preserve the observable contract of the old
+   association list: [holds] in global acquisition order, [release]
+   dropping exactly one transaction's holds, [blockers] deduplicated. *)
+let test_lock_table_holds_order () =
+  let t = Lock_table.create BA.nrbc_conflict in
+  Lock_table.add t Tid.a (dep 1);
+  Lock_table.add t Tid.b (dep 2);
+  Lock_table.add t Tid.a (dep 3);
+  let pair = Alcotest.pair Helpers.tid Helpers.op in
+  Alcotest.check (Alcotest.list pair) "acquisition order across tids"
+    [ (Tid.a, dep 1); (Tid.b, dep 2); (Tid.a, dep 3) ]
+    (Lock_table.holds t);
+  Lock_table.release t Tid.a;
+  Alcotest.check (Alcotest.list pair) "only a's holds dropped"
+    [ (Tid.b, dep 2) ]
+    (Lock_table.holds t);
+  Lock_table.release t Tid.a;
+  (* idempotent *)
+  Alcotest.check (Alcotest.list pair) "release of absent tid is a no-op"
+    [ (Tid.b, dep 2) ]
+    (Lock_table.holds t)
+
+let test_lock_table_blockers_dedup () =
+  let t = Lock_table.create BA.nrbc_conflict in
+  Lock_table.add t Tid.a (dep 1);
+  Lock_table.add t Tid.a (dep 2);
+  Lock_table.add t Tid.b (dep 3);
+  Alcotest.check Helpers.tids "each holder reported once"
+    [ Tid.a; Tid.b ]
+    (List.sort Tid.compare (Lock_table.blockers t ~requested:(wok 1) ~tid:Tid.c));
+  Alcotest.check Helpers.tids "own holds ignored" [ Tid.b ]
+    (Lock_table.blockers t ~requested:(wok 1) ~tid:Tid.a)
+
 (* --- Recovery managers --- *)
 
 let test_uip_view_semantics () =
@@ -404,6 +437,9 @@ let prop_engine_histories_dynamic_atomic =
 let suite =
   [
     Alcotest.test_case "lock table" `Quick test_lock_table;
+    Alcotest.test_case "lock table holds order" `Quick test_lock_table_holds_order;
+    Alcotest.test_case "lock table blockers dedup" `Quick
+      test_lock_table_blockers_dedup;
     Alcotest.test_case "UIP view semantics (§5)" `Quick test_uip_view_semantics;
     Alcotest.test_case "DU view semantics (§5)" `Quick test_du_view_semantics;
     Alcotest.test_case "UIP abort undoes" `Quick test_uip_abort_undoes;

@@ -429,6 +429,101 @@ let test_durable_database_validation_abort_logged () =
   Alcotest.check Helpers.ops "only A's withdrawal durable" [ BA.withdraw_ok 10 ]
     (Atomic_object.committed_ops o)
 
+(* --- the staged durability pipeline: LSNs, the flushed watermark and
+   the group-commit combiner --- *)
+
+let counting_sink () =
+  let forces = ref 0 in
+  ( {
+      Wal.sink_append = (fun _ -> ());
+      sink_force = (fun () -> incr forces);
+      sink_attach = (fun _ -> ());
+    },
+    forces )
+
+let test_lsn_monotone_sinkless_durable () =
+  let wal = Wal.create () in
+  Helpers.check_int "empty log" 0 (Wal.last_lsn wal);
+  Wal.append wal (Wal.Begin Tid.a);
+  Helpers.check_int "lsn counts appends" 1 (Wal.last_lsn wal);
+  Wal.append wal (Wal.Operation (Tid.a, BA.deposit 1));
+  Wal.append wal (Wal.Commit Tid.a);
+  Helpers.check_int "lsn 3" 3 (Wal.last_lsn wal);
+  (* a sink-less log's stable storage is the list itself *)
+  Helpers.check_int "durable by fiat" 3 (Wal.flushed_lsn wal);
+  Wal.force_upto wal 3 (* and the barrier is a non-blocking no-op *)
+
+let test_force_upto_batches_commits () =
+  let wal = Wal.create () in
+  let reg = Tm_obs.Metrics.create () in
+  Wal.attach_metrics wal reg;
+  let sink, forces = counting_sink () in
+  Wal.set_sink wal sink;
+  List.iter (Wal.append wal)
+    [
+      Wal.Begin Tid.a;
+      Wal.Operation (Tid.a, BA.deposit 1);
+      Wal.Commit Tid.a;
+      Wal.Begin Tid.b;
+      Wal.Operation (Tid.b, BA.deposit 2);
+      Wal.Commit Tid.b;
+    ];
+  Helpers.check_int "nothing certified before a force" 0 (Wal.flushed_lsn wal);
+  let lsn = Wal.last_lsn wal in
+  Wal.force_upto wal lsn;
+  Helpers.check_int "one barrier covers the whole batch" 1 !forces;
+  Helpers.check_int "watermark at the end" lsn (Wal.flushed_lsn wal);
+  (* already durable: asking again must not hit the device *)
+  Wal.force_upto wal lsn;
+  Wal.force_upto wal 1;
+  Helpers.check_int "no futile barrier" 1 !forces;
+  List.iter (Wal.append wal) [ Wal.Begin Tid.c; Wal.Commit Tid.c ];
+  Wal.force wal;
+  Helpers.check_int "second batch, second barrier" 2 !forces;
+  Helpers.check_int "tm_wal_forces_total counts device barriers" 2
+    (Tm_obs.Metrics.counter_value reg "tm_wal_forces_total");
+  Helpers.check_int "tm_wal_group_commits_total" 2
+    (Tm_obs.Metrics.counter_value reg "tm_wal_group_commits_total");
+  let h = Tm_obs.Metrics.histogram reg "tm_wal_group_commit_batch" in
+  Helpers.check_int "two batches observed" 2 (Tm_obs.Metrics.Histogram.count h);
+  Helpers.check_bool "batch sizes 2 then 1" true
+    (Tm_obs.Metrics.Histogram.sum h = 3.)
+
+let test_set_sink_marks_existing_durable () =
+  (* Records present before the sink attaches came *from* the device
+     (Disk_wal.load): attaching must not schedule them for re-flushing. *)
+  let wal = Wal.create () in
+  List.iter (Wal.append wal) [ Wal.Begin Tid.a; Wal.Commit Tid.a ];
+  let sink, forces = counting_sink () in
+  Wal.set_sink wal sink;
+  Helpers.check_int "pre-sink records already durable" 2 (Wal.flushed_lsn wal);
+  Wal.force wal;
+  Helpers.check_int "no barrier needed" 0 !forces
+
+let test_failed_flush_leaves_combiner_usable () =
+  let wal = Wal.create () in
+  let calls = ref 0 in
+  let sink =
+    {
+      Wal.sink_append = (fun _ -> ());
+      sink_force =
+        (fun () ->
+          incr calls;
+          if !calls = 1 then failwith "device hiccup");
+      sink_attach = (fun _ -> ());
+    }
+  in
+  Wal.set_sink wal sink;
+  Wal.append wal (Wal.Begin Tid.a);
+  (match Wal.force wal with
+  | () -> Alcotest.fail "barrier failure must propagate"
+  | exception Failure _ -> ());
+  Helpers.check_int "watermark unmoved by the failed flush" 0 (Wal.flushed_lsn wal);
+  (* the combiner's busy flag must have been cleared *)
+  Wal.force wal;
+  Helpers.check_int "second attempt certifies" 1 (Wal.flushed_lsn wal);
+  Helpers.check_int "device asked twice" 2 !calls
+
 let suite =
   [
     Alcotest.test_case "replay basic" `Quick test_replay_basic;
@@ -458,4 +553,12 @@ let suite =
       test_durable_database_atomic_commitment;
     Alcotest.test_case "validation abort logged" `Quick
       test_durable_database_validation_abort_logged;
+    Alcotest.test_case "LSNs monotone, sink-less durable by fiat" `Quick
+      test_lsn_monotone_sinkless_durable;
+    Alcotest.test_case "force_upto batches commits" `Quick
+      test_force_upto_batches_commits;
+    Alcotest.test_case "set_sink marks existing records durable" `Quick
+      test_set_sink_marks_existing_durable;
+    Alcotest.test_case "failed flush leaves combiner usable" `Quick
+      test_failed_flush_leaves_combiner_usable;
   ]
