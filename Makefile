@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all check test bench crashtest faulttest stresstest clean
+.PHONY: all check test bench crashtest faulttest stresstest report clean
 
 all:
 	dune build @all
@@ -32,6 +32,22 @@ faulttest:
 # not form (fsyncs >= commits), or the persisted log replays wrong.
 stresstest:
 	dune exec bin/stresstest.exe -- --seed 7 --verbose
+
+# Trace analytics over a pinned simulate run: dump trace + metrics,
+# then render the text report and the Perfetto (Chrome trace-event)
+# JSON with obsreport.  Fails if obsreport exits non-zero or either
+# artifact comes out empty.
+report:
+	dune build @all
+	dune exec bin/simulate.exe -- bank-hotspot --seed 7 --txns 60 \
+	  --trace _report/trace.jsonl --metrics _report/metrics.prom
+	dune exec bin/obsreport.exe -- --trace _report/trace.jsonl \
+	  --metrics _report/metrics.prom --format text -o _report/report.txt
+	dune exec bin/obsreport.exe -- --trace _report/trace.jsonl \
+	  --format perfetto -o _report/perfetto.json
+	test -s _report/report.txt
+	test -s _report/perfetto.json
+	@echo "report: _report/report.txt and _report/perfetto.json"
 
 bench:
 	dune exec bench/main.exe

@@ -427,6 +427,45 @@ let obs_breakdown () =
   Fmt.pr "@.full registry for bank-hotspot DU+NFC:@.%a@." Metrics.pp_summary r.Experiment.metrics
 
 (* ------------------------------------------------------------------ *)
+(* OBS-analytics: conflict heat maps, UIP vs DU.                       *)
+
+let obs_analytics_setups =
+  [
+    Experiment.setup Tm_engine.Recovery.UIP Experiment.Semantic;
+    Experiment.setup Tm_engine.Recovery.DU Experiment.Semantic;
+  ]
+
+(* Heat maps for one scenario under both semantic setups, in one
+   registry distinguished by the setup label — exactly what
+   Heatmap.comparison pairs up. *)
+let obs_heatmaps scenario =
+  let merged = Metrics.create () in
+  List.iter
+    (fun s ->
+      let r = Experiment.run scenario s cfg in
+      assert r.Experiment.consistent;
+      Metrics.merge
+        ~extra_labels:[ ("scenario", r.Experiment.scenario); ("setup", r.Experiment.setup) ]
+        merged r.Experiment.metrics)
+    obs_analytics_setups;
+  Tm_obs.Heatmap.of_metrics merged
+
+let obs_analytics () =
+  section
+    "OBS-A — conflict heat maps, UIP(NRBC) vs DU(NFC): which operation \
+     pairs actually collided (requested x held, from \
+     tm_lock_conflicts_total)";
+  List.iter
+    (fun scenario ->
+      let maps = obs_heatmaps scenario in
+      Fmt.pr "%a@." (Tm_obs.Heatmap.pp_comparison ~by:"setup") maps)
+    [ Experiment.bank_hotspot; Experiment.queue_semiqueue; Experiment.inventory ];
+  Fmt.pr
+    "(asymmetric hot cells are Section 6's tables made empirical: e.g. \
+     withdraw@.held-withdraw conflicts only under DU/NFC, \
+     withdraw-vs-deposit only under UIP/NRBC)@."
+
+(* ------------------------------------------------------------------ *)
 (* Micro-benchmarks (Bechamel).                                        *)
 
 let bench_engine_op recovery conflict =
@@ -715,5 +754,6 @@ let () =
   abl_occ_contention ();
   ext_views ();
   obs_breakdown ();
+  obs_analytics ();
   group_commit_pipeline ();
   micro_benchmarks ()

@@ -18,3 +18,49 @@ let with_out file f =
   | exception Sys_error msg ->
       Fmt.epr "cannot write %s: %s@." file msg;
       exit 1
+
+(* [read_file file] reads the whole file; same leaf-CLI error policy as
+   {!with_out}. *)
+let read_file file =
+  match open_in_bin file with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+  | exception Sys_error msg ->
+      Fmt.epr "cannot read %s: %s@." file msg;
+      exit 1
+
+(* Shared dump formats for experiment rows: every executable that takes
+   --metrics/--trace writes the same artifacts, so obsreport can consume
+   any of them.  Rows are distinguished by scenario/setup labels (extra
+   Prometheus labels; extra JSONL fields). *)
+
+let prom_of_rows rows =
+  let module Metrics = Tm_obs.Metrics in
+  let all = Metrics.create () in
+  List.iter
+    (fun (r : Tm_sim.Experiment.row) ->
+      Metrics.merge
+        ~extra_labels:[ ("scenario", r.scenario); ("setup", r.setup) ]
+        all r.metrics)
+    rows;
+  Metrics.to_prometheus all
+
+let jsonl_of_rows rows =
+  String.concat ""
+    (List.filter_map
+       (fun (r : Tm_sim.Experiment.row) ->
+         Option.map
+           (Tm_obs.Trace.to_jsonl
+              ~extra:[ ("scenario", r.scenario); ("setup", r.setup) ])
+           r.Tm_sim.Experiment.trace)
+       rows)
+
+let write_metrics_rows file rows =
+  with_out file (fun oc -> output_string oc (prom_of_rows rows));
+  Fmt.pr "wrote Prometheus snapshot to %s@." file
+
+let write_traces_rows file rows =
+  with_out file (fun oc -> output_string oc (jsonl_of_rows rows));
+  Fmt.pr "wrote trace (JSON lines) to %s@." file

@@ -44,6 +44,10 @@ let setups =
    console only shows failures. *)
 let lines : string list ref = ref []
 
+(* Rows of the driving (fault-free) workload runs, for --trace/--metrics
+   dumps in the shared artifact formats. *)
+let rows : Experiment.row list ref = ref []
+
 let say ~verbose fmt =
   Fmt.kstr
     (fun s ->
@@ -54,7 +58,7 @@ let say ~verbose fmt =
 (* ------------------------------------------------------------------ *)
 (* Default mode: record-granularity torture.                           *)
 
-let record_mode ~verbose cfg checkpoint_every scenarios =
+let record_mode ~verbose ~record_trace cfg checkpoint_every scenarios =
   let failures = ref 0 in
   let total_cuts = ref 0 in
   let total_checked = ref 0 in
@@ -62,7 +66,10 @@ let record_mode ~verbose cfg checkpoint_every scenarios =
     (fun (scenario : Experiment.scenario) ->
       List.iter
         (fun setup ->
-          let _row, wal = Experiment.run_durable ~checkpoint_every scenario setup cfg in
+          let row, wal =
+            Experiment.run_durable ~record_trace ~checkpoint_every scenario setup cfg
+          in
+          rows := row :: !rows;
           let rebuild () = scenario.Experiment.build setup in
           let report = Crash.torture ~rebuild wal in
           total_cuts := !total_cuts + report.Crash.cuts;
@@ -83,7 +90,7 @@ let record_mode ~verbose cfg checkpoint_every scenarios =
 (* --fault mode: byte-granularity cuts, corruption sweeps, and a
    fault-injected storage run checked against the fault-free one.       *)
 
-let fault_mode ~verbose cfg checkpoint_every seed group_commit scenarios =
+let fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit scenarios =
   let failures = ref 0 in
   let total_cuts = ref 0 in
   let total_batch_cuts = ref 0 in
@@ -102,10 +109,11 @@ let fault_mode ~verbose cfg checkpoint_every seed group_commit scenarios =
              every [group_commit] commits. *)
           let clean_store = Storage.memory () in
           let clean_dw = Disk_wal.create clean_store in
-          let _row, wal =
-            Experiment.run_durable ~wal:(Disk_wal.wal clean_dw) ~checkpoint_every
-              ~group_commit scenario setup cfg
+          let row, wal =
+            Experiment.run_durable ~record_trace ~wal:(Disk_wal.wal clean_dw)
+              ~checkpoint_every ~group_commit scenario setup cfg
           in
+          rows := row :: !rows;
 
           (* 2. Byte-granularity crash cuts over the encoded log. *)
           let report = Crash.torture_bytes ~rebuild wal in
@@ -190,7 +198,7 @@ let fault_mode ~verbose cfg checkpoint_every seed group_commit scenarios =
   !failures
 
 let main filter txns concurrency seed checkpoint_every fault group_commit report_file
-    verbose =
+    trace_file metrics_file verbose =
   let scenarios =
     List.filter
       (fun (s : Experiment.scenario) ->
@@ -202,9 +210,12 @@ let main filter txns concurrency seed checkpoint_every fault group_commit report
     exit 1
   end;
   let cfg = Scheduler.config ~concurrency ~total_txns:txns ~seed () in
+  let record_trace = trace_file <> None in
   let failures =
-    if fault then fault_mode ~verbose cfg checkpoint_every seed group_commit scenarios
-    else record_mode ~verbose cfg checkpoint_every scenarios
+    if fault then
+      fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit
+        scenarios
+    else record_mode ~verbose ~record_trace cfg checkpoint_every scenarios
   in
   (match report_file with
   | None -> ()
@@ -212,6 +223,9 @@ let main filter txns concurrency seed checkpoint_every fault group_commit report
       Cli_util.with_out file (fun oc ->
           List.iter (fun l -> output_string oc (l ^ "\n")) (List.rev !lines));
       Fmt.pr "wrote report to %s@." file);
+  let dump_rows = List.rev !rows in
+  Option.iter (fun f -> Cli_util.write_traces_rows f dump_rows) trace_file;
+  Option.iter (fun f -> Cli_util.write_metrics_rows f dump_rows) metrics_file;
   if failures > 0 then exit 1
 
 open Cmdliner
@@ -272,6 +286,24 @@ let report_arg =
         ~doc:"Write the full per-combination report to $(docv) (parent \
               directories are created).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record transaction spans of the driving workload runs and write \
+           them to $(docv) as JSON lines (rows tagged by scenario/setup).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a merged Prometheus text snapshot of the driving workload \
+           runs to $(docv).")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every report, not just failures.")
 
@@ -281,6 +313,7 @@ let cmd =
     (Cmd.info "crashtest" ~doc)
     Term.(
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
-      $ checkpoint_arg $ fault_arg $ group_commit_arg $ report_arg $ verbose_arg)
+      $ checkpoint_arg $ fault_arg $ group_commit_arg $ report_arg $ trace_arg
+      $ metrics_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

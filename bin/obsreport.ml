@@ -1,0 +1,87 @@
+(* obsreport: offline trace analytics.
+
+   Consumes the artifacts the other executables dump — a JSONL trace
+   (simulate/stresstest/crashtest --trace) and/or a Prometheus text
+   snapshot (--metrics) — and renders per-transaction phase timelines,
+   blocking blame, flame views and conflict heat maps as text, a JSON
+   summary, or Chrome trace-event JSON loadable in Perfetto.  Exits
+   non-zero when the inputs parse to nothing: an empty report in CI
+   means the producing run is broken. *)
+
+module Report = Tm_obs.Report
+module Json = Tm_obs.Json
+
+type format =
+  | Text
+  | Json_fmt
+  | Perfetto
+
+let main trace_file metrics_file format out_file =
+  if trace_file = None && metrics_file = None then begin
+    Fmt.epr "obsreport: nothing to analyse (need --trace and/or --metrics)@.";
+    exit 2
+  end;
+  let trace_jsonl = Option.map Cli_util.read_file trace_file in
+  let metrics_text = Option.map Cli_util.read_file metrics_file in
+  match Report.of_sources ?trace_jsonl ?metrics_text () with
+  | Error e ->
+      Fmt.epr "obsreport: %s@." e;
+      exit 1
+  | Ok report ->
+      if Report.is_empty report then begin
+        Fmt.epr "obsreport: inputs contain no events and no conflict samples@.";
+        exit 1
+      end;
+      let body =
+        match format with
+        | Text -> Report.to_text report
+        | Json_fmt -> Json.to_string (Report.to_json report) ^ "\n"
+        | Perfetto -> Report.to_perfetto report ^ "\n"
+      in
+      (match out_file with
+      | None -> print_string body
+      | Some file ->
+          Cli_util.with_out file (fun oc -> output_string oc body);
+          Fmt.pr "wrote %s@." file)
+
+open Cmdliner
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"JSONL trace dump to analyse (as written by simulate --trace).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Prometheus text snapshot; its tm_lock_conflicts_total family \
+           becomes the conflict heat maps.")
+
+let format_arg =
+  let fmts = [ ("text", Text); ("json", Json_fmt); ("perfetto", Perfetto) ] in
+  Arg.(
+    value
+    & opt (enum fmts) Text
+    & info [ "format"; "f" ] ~docv:"text|json|perfetto"
+        ~doc:
+          "Output format: a human report, a JSON summary, or Chrome \
+           trace-event JSON for Perfetto / chrome://tracing.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+
+let cmd =
+  let doc = "analyse trace/metrics dumps: timelines, blocking, heat maps, Perfetto" in
+  Cmd.v
+    (Cmd.info "obsreport" ~doc)
+    Term.(const main $ trace_arg $ metrics_arg $ format_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -31,30 +31,33 @@ let list_scenarios () =
 
 let with_out = Cli_util.with_out
 
-let write_metrics file rows =
-  let all = Metrics.create () in
-  List.iter
-    (fun (r : Experiment.row) ->
-      Metrics.merge
-        ~extra_labels:[ ("scenario", r.scenario); ("setup", r.setup) ]
-        all r.metrics)
-    rows;
-  with_out file (fun oc -> output_string oc (Metrics.to_prometheus all));
-  Fmt.pr "wrote Prometheus snapshot to %s@." file
+let prom_of_rows = Cli_util.prom_of_rows
+let jsonl_of_rows = Cli_util.jsonl_of_rows
+let write_metrics file rows = Cli_util.write_metrics_rows file rows
+let write_traces file rows = Cli_util.write_traces_rows file rows
 
-let write_traces file rows =
+(* --report/--perfetto: run the offline analytics (Tm_obs.Report) in
+   process over the rows just produced — same pipeline obsreport runs on
+   dumped files. *)
+let build_report rows =
+  match
+    Tm_obs.Report.of_sources ~trace_jsonl:(jsonl_of_rows rows)
+      ~metrics_text:(prom_of_rows rows) ()
+  with
+  | Ok rep -> rep
+  | Error e ->
+      Fmt.epr "internal report error: %s@." e;
+      exit 1
+
+let write_report file rows =
+  with_out file (fun oc -> output_string oc (Tm_obs.Report.to_text (build_report rows)));
+  Fmt.pr "wrote analytics report to %s@." file
+
+let write_perfetto file rows =
   with_out file (fun oc ->
-      List.iter
-        (fun (r : Experiment.row) ->
-          match r.Experiment.trace with
-          | None -> ()
-          | Some tr ->
-              output_string oc
-                (Trace.to_jsonl
-                   ~extra:[ ("scenario", r.scenario); ("setup", r.setup) ]
-                   tr))
-        rows);
-  Fmt.pr "wrote trace (JSON lines) to %s@." file
+      output_string oc (Tm_obs.Report.to_perfetto (build_report rows));
+      output_char oc '\n');
+  Fmt.pr "wrote Perfetto (Chrome trace-event) JSON to %s@." file
 
 (* The exact dynamic-atomicity checkers enumerate serialization orders,
    so replaying a full production-sized trace is infeasible; beyond this
@@ -91,13 +94,13 @@ let check_traces ~specs rows =
    barrier accounting), batching durability every N commits.  The
    summary reads the pipeline's own metrics: actual fsyncs vs commits
    and the batch-size histogram. *)
-let run_group_commit scenario setups cfg n =
+let run_group_commit ?record_trace scenario setups cfg n =
   List.map
     (fun s ->
       let dw = Tm_engine.Disk_wal.create (Tm_engine.Storage.memory ()) in
       let row, _wal =
-        Experiment.run_durable ~wal:(Tm_engine.Disk_wal.wal dw) ~group_commit:n
-          scenario s cfg
+        Experiment.run_durable ?record_trace ~wal:(Tm_engine.Disk_wal.wal dw)
+          ~group_commit:n scenario s cfg
       in
       row)
     setups
@@ -122,7 +125,7 @@ let pp_group_commit_summary n rows =
     rows
 
 let main name list_only recovery choice occ concurrency txns seed rounds group_commit
-    metrics_file trace_file =
+    metrics_file trace_file report_file perfetto_file =
   if list_only then list_scenarios ()
   else
     match find_scenario name with
@@ -133,7 +136,9 @@ let main name list_only recovery choice occ concurrency txns seed rounds group_c
         let cfg =
           Scheduler.config ~concurrency ~total_txns:txns ~seed ~max_rounds:rounds ()
         in
-        let record_trace = trace_file <> None in
+        let record_trace =
+          trace_file <> None || report_file <> None || perfetto_file <> None
+        in
         let setup_of_flags () =
           let recovery =
             match recovery with
@@ -157,7 +162,7 @@ let main name list_only recovery choice occ concurrency txns seed rounds group_c
                 | None, None, false -> Experiment.default_setups
                 | _ -> [ setup_of_flags () ]
               in
-              run_group_commit scenario setups cfg n
+              run_group_commit ~record_trace scenario setups cfg n
           | None -> (
               match recovery, choice, occ with
               | None, None, false -> Experiment.run_matrix ~record_trace scenario cfg
@@ -166,6 +171,8 @@ let main name list_only recovery choice occ concurrency txns seed rounds group_c
         Fmt.pr "%a@." Experiment.pp_table rows;
         Option.iter (fun n -> pp_group_commit_summary n rows) group_commit;
         Option.iter (fun f -> write_metrics f rows) metrics_file;
+        Option.iter (fun f -> write_report f rows) report_file;
+        Option.iter (fun f -> write_perfetto f rows) perfetto_file;
         Option.iter
           (fun f ->
             write_traces f rows;
@@ -236,6 +243,24 @@ let trace_arg =
           "Record transaction spans, write them to $(docv) as JSON lines, and \
            re-check each trace against the dynamic-atomicity definition.")
 
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Record transaction spans and write the text analytics report \
+           (timelines, blocking, heat maps) to $(docv).")
+
+let perfetto_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "perfetto" ] ~docv:"FILE"
+        ~doc:
+          "Record transaction spans and write Chrome trace-event JSON \
+           (loadable in Perfetto / chrome://tracing) to $(docv).")
+
 let cmd =
   let doc = "run a transaction-engine scenario and print scheduler statistics" in
   Cmd.v
@@ -243,6 +268,6 @@ let cmd =
     Term.(
       const main $ name_arg $ list_arg $ recovery_arg $ choice_arg $ occ_arg
       $ concurrency_arg $ txns_arg $ seed_arg $ rounds_arg $ group_commit_arg
-      $ metrics_arg $ trace_arg)
+      $ metrics_arg $ trace_arg $ report_arg $ perfetto_arg)
 
 let () = exit (Cmd.eval cmd)

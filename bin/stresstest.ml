@@ -30,7 +30,7 @@ module BA = Tm_adt.Bank_account
 let deposit i = Op.invocation ~args:[ Value.int i ] "deposit"
 let balance = Op.invocation "balance"
 
-let main threads txns seed force_delay verbose =
+let main threads txns seed force_delay verbose trace_file metrics_file =
   let failures = ref 0 in
   let fail fmt =
     Fmt.kstr
@@ -47,6 +47,17 @@ let main threads txns seed force_delay verbose =
         Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
           ~recovery:Tm_engine.Recovery.UIP ();
       ]
+  in
+  let trace =
+    (* Attached before any worker starts; the recorder itself is
+       mutex-guarded, so threaded emission (including the flush-wait
+       spans emitted outside the engine monitor) is safe. *)
+    if trace_file <> None then begin
+      let tr = Tm_obs.Trace.create () in
+      Database.set_trace (Concurrent.database db) tr;
+      Some tr
+    end
+    else None
   in
   let deposited = ref 0 in
   let lock = Mutex.create () in
@@ -121,6 +132,24 @@ let main threads txns seed force_delay verbose =
       mean_batch
       (Concurrent.futile_wakeup_count db)
       (Concurrent.retry_count db);
+  (* Dumps use the same artifact formats as simulate, so obsreport can
+     analyse a threaded run too.  Threaded timestamps still interleave
+     deterministically per event (the recorder's clock is atomic under
+     its mutex), though the interleaving itself is scheduling-dependent. *)
+  (match trace_file, trace with
+  | Some file, Some tr ->
+      Cli_util.with_out file (fun oc ->
+          output_string oc
+            (Tm_obs.Trace.to_jsonl
+               ~extra:[ ("scenario", "stresstest"); ("setup", "UIP+NRBC") ]
+               tr));
+      Fmt.pr "wrote trace (JSON lines) to %s@." file
+  | _ -> ());
+  Option.iter
+    (fun file ->
+      Cli_util.with_out file (fun oc -> output_string oc (Metrics.to_prometheus reg));
+      Fmt.pr "wrote Prometheus snapshot to %s@." file)
+    metrics_file;
   if !failures > 0 then exit 1;
   Fmt.pr "stresstest: OK (%d commits over %d fsyncs)@." committed forces
 
@@ -144,11 +173,26 @@ let force_delay_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print the run summary even on success.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Record transaction spans and write them to $(docv) as JSON lines.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"Write a Prometheus text snapshot of the run's registry to $(docv).")
+
 let cmd =
   let doc = "threaded group-commit stress against the durable engine" in
   Cmd.v
     (Cmd.info "stresstest" ~doc)
     Term.(
-      const main $ threads_arg $ txns_arg $ seed_arg $ force_delay_arg $ verbose_arg)
+      const main $ threads_arg $ txns_arg $ seed_arg $ force_delay_arg $ verbose_arg
+      $ trace_arg $ metrics_arg)
 
 let () = exit (Cmd.eval cmd)

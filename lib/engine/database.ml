@@ -142,6 +142,7 @@ let finish t tid status per_object =
   List.iter
     (fun obj ->
       per_object (find_object t obj) tid;
+      emit_trace t ~tid (Trace.Lock_release { obj });
       push_event t
         (match status with
         | Committed -> Event.commit ~obj ~tid
@@ -174,6 +175,7 @@ let try_commit t tid =
            Atomic_object.policy (find_object t obj) = Atomic_object.Optimistic)
          objs
   in
+  if validated then emit_trace t ~tid Trace.Validating;
   let failed =
     List.find_map
       (fun obj ->

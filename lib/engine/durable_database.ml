@@ -90,7 +90,8 @@ let wait_durable t tid lsn =
      combiner in {!Wal.force_upto}); the commit may be acknowledged
      once the watermark passes the commit record's LSN. *)
   Database.emit_trace t.db ~tid (Trace.Wal_flush_wait { upto = lsn });
-  Wal.force_upto t.wal lsn
+  Wal.force_upto t.wal lsn;
+  Database.emit_trace t.db ~tid (Trace.Durable { lsn })
 
 let try_commit t tid =
   match try_commit_nowait t tid with

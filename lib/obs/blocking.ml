@@ -1,0 +1,170 @@
+open Tm_core
+
+type edge = {
+  blocked : Tid.t;
+  holder : Tid.t;
+  obj : string;
+  start_ts : int;
+  stop_ts : int;
+}
+
+let weight e = e.stop_ts - e.start_ts
+
+(* An open block episode: who [tid] is waiting behind at [obj] since
+   [start_ts].  The scheduler re-emits [Blocked] every round a
+   transaction stays parked; a repeat with the same object extends the
+   same episode (holders may gain members as more of the cycle forms —
+   keep the union).  A different object, or any sign of running again,
+   closes it. *)
+type pending = {
+  p_obj : string;
+  p_start : int;
+  mutable p_holders : Tid.t list;
+}
+
+let edges events =
+  let open_blocks : (Tid.t, pending) Hashtbl.t = Hashtbl.create 32 in
+  let acc = ref [] in
+  let close tid ts =
+    match Hashtbl.find_opt open_blocks tid with
+    | None -> ()
+    | Some p ->
+        Hashtbl.remove open_blocks tid;
+        if ts > p.p_start then
+          List.iter
+            (fun holder ->
+              acc :=
+                {
+                  blocked = tid;
+                  holder;
+                  obj = p.p_obj;
+                  start_ts = p.p_start;
+                  stop_ts = ts;
+                }
+                :: !acc)
+            (List.rev p.p_holders)
+  in
+  let last_ts = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      last_ts := e.Trace.ts;
+      match e.Trace.tid with
+      | None -> ()
+      | Some tid -> (
+          match e.Trace.kind with
+          | Trace.Blocked { obj; holders; _ } -> (
+              match Hashtbl.find_opt open_blocks tid with
+              | Some p when p.p_obj = obj ->
+                  List.iter
+                    (fun h ->
+                      if not (List.mem h p.p_holders) then
+                        p.p_holders <- h :: p.p_holders)
+                    holders
+              | _ ->
+                  close tid e.Trace.ts;
+                  Hashtbl.add open_blocks tid
+                    { p_obj = obj; p_start = e.Trace.ts; p_holders = List.rev holders }
+              )
+          | Trace.Executed _ | Trace.Woken _ | Trace.Commit | Trace.Abort
+          | Trace.Validating | Trace.Validated _ ->
+              close tid e.Trace.ts
+          | _ -> ()))
+    events;
+  (* trace ended with some transactions still parked *)
+  Hashtbl.fold (fun tid _ tids -> tid :: tids) open_blocks []
+  |> List.sort compare
+  |> List.iter (fun tid -> close tid !last_ts);
+  List.rev !acc
+
+let tally ~key es =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let k = key e in
+      let w, n = Option.value (Hashtbl.find_opt tbl k) ~default:(0, 0) in
+      Hashtbl.replace tbl k (w + weight e, n + 1))
+    es;
+  Hashtbl.fold (fun k (w, n) acc -> (k, w, n) :: acc) tbl []
+  |> List.sort (fun (ka, wa, _) (kb, wb, _) -> compare (wb, ka) (wa, kb))
+
+let by_holder es = tally ~key:(fun e -> e.holder) es
+let by_object es = tally ~key:(fun e -> e.obj) es
+
+let critical_paths txns =
+  List.map
+    (fun (t : Timeline.txn) ->
+      ( t,
+        Timeline.all_phases
+        |> List.filter_map (fun ph ->
+               match Timeline.phase_total t ph with
+               | 0 -> None
+               | d -> Some (ph, d)) ))
+    txns
+
+let flame txns =
+  let tbl : (string list, int) Hashtbl.t = Hashtbl.create 16 in
+  let add path d =
+    Hashtbl.replace tbl path (d + Option.value (Hashtbl.find_opt tbl path) ~default:0)
+  in
+  List.iter
+    (fun (t : Timeline.txn) ->
+      List.iter
+        (fun (s : Timeline.segment) ->
+          let d = s.Timeline.stop_ts - s.Timeline.start_ts in
+          let ph = Timeline.phase_name s.Timeline.phase in
+          add [ ph ] d;
+          match s.Timeline.obj with
+          | Some obj -> add [ ph; obj ] d
+          | None -> ())
+        t.Timeline.segments)
+    txns;
+  Hashtbl.fold (fun path d acc -> (path, d) :: acc) tbl []
+  |> List.sort (fun (pa, da) (pb, db) ->
+         (* phases in name order, each followed by its object children
+            heaviest first — deterministic for the golden tests *)
+         compare (List.hd pa, List.length pa, -da, pa) (List.hd pb, List.length pb, -db, pb))
+
+let pp_edges ppf es =
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "%s waited %d on %s held by %s  [%d,%d)@." (Tid.to_string e.blocked)
+        (weight e) e.obj (Tid.to_string e.holder) e.start_ts e.stop_ts)
+    es
+
+let pp_blame ppf es =
+  Fmt.pf ppf "by holder:@.";
+  List.iter
+    (fun (tid, w, n) ->
+      Fmt.pf ppf "  %-5s blocked others for %5d ticks over %d episodes@."
+        (Tid.to_string tid) w n)
+    (by_holder es);
+  Fmt.pf ppf "by object:@.";
+  List.iter
+    (fun (obj, w, n) ->
+      Fmt.pf ppf "  %-12s %5d ticks over %d episodes@." obj w n)
+    (by_object es)
+
+let pp_flame ppf txns =
+  let rows = flame txns in
+  let total =
+    List.fold_left
+      (fun acc (path, d) -> match path with [ _ ] -> acc + d | _ -> acc)
+      0 rows
+  in
+  let widest =
+    List.fold_left
+      (fun acc (path, _) -> max acc (String.length (String.concat ";" path)))
+      0 rows
+  in
+  List.iter
+    (fun (path, d) ->
+      let label =
+        match path with
+        | [ ph ] -> ph
+        | ph :: rest -> "  " ^ ph ^ ";" ^ String.concat ";" rest
+        | [] -> ""
+      in
+      let bar_w = if total = 0 then 0 else d * 40 / total in
+      Fmt.pf ppf "%-*s %6d %s@." (widest + 2) label d (String.make bar_w '#'))
+    rows;
+  Fmt.pf ppf "%-*s %6d@." (widest + 2) "total" total

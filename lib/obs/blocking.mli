@@ -1,0 +1,51 @@
+(** The blocking graph: who blocked whom, for how long, and where the
+    latency of each commit actually went.
+
+    Edges are reconstructed from [Blocked]/[Woken] spans: a transaction
+    that blocks at [t1] on holders [H] and next runs at [t2] contributes
+    one edge per holder weighted [t2 - t1] logical ticks.  Aggregations
+    turn the edge list into per-holder blame and per-object contention;
+    {!flame} folds whole timelines into a text flame view (phase, then
+    object within the waiting phases). *)
+
+open Tm_core
+
+type edge = {
+  blocked : Tid.t;
+  holder : Tid.t;
+  obj : string;
+  start_ts : int;
+  stop_ts : int;  (** exclusive *)
+}
+
+(** Events must be in emission order. *)
+val edges : Trace.event list -> edge list
+
+val weight : edge -> int
+
+(** {1 Aggregations} *)
+
+(** [(holder, total ticks of others it blocked, distinct block episodes)]
+    sorted by blame, heaviest first. *)
+val by_holder : edge list -> (Tid.t * int * int) list
+
+(** [(obj, total blocked ticks, episodes)], heaviest first. *)
+val by_object : edge list -> (string * int * int) list
+
+(** Per-transaction critical-path attribution: for each transaction, its
+    whole span decomposed into the phase totals of its timeline —
+    [(txn, [(phase, ticks)])] with zero phases omitted. *)
+val critical_paths : Timeline.txn list -> (Timeline.txn * (Timeline.phase * int) list) list
+
+(** {1 Flame view} *)
+
+(** Aggregate phase totals across all given transactions, waiting phases
+    further keyed by object: rows are ([path], ticks) where [path] is
+    [[phase]] or [[phase; obj]]. *)
+val flame : Timeline.txn list -> (string list * int) list
+
+val pp_edges : Format.formatter -> edge list -> unit
+val pp_blame : Format.formatter -> edge list -> unit
+
+(** The flame rows of {!flame} with proportional bars. *)
+val pp_flame : Format.formatter -> Timeline.txn list -> unit

@@ -1,0 +1,288 @@
+type labels = (string * string) list
+
+type t = {
+  key : labels;
+  cells : ((string * string) * int) list;
+}
+
+let conflicts_metric = "tm_lock_conflicts_total"
+
+(* Group a flat [(labels, count)] sample list into matrices: the group
+   key is the label set minus the two axis labels. *)
+let of_samples samples =
+  let tbl : (labels, (string * string, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (labels, v) ->
+      match
+        (List.assoc_opt "requested" labels, List.assoc_opt "held" labels)
+      with
+      | Some requested, Some held ->
+          let key =
+            List.filter
+              (fun (k, _) -> k <> "requested" && k <> "held")
+              labels
+            |> List.sort compare
+          in
+          let cells =
+            match Hashtbl.find_opt tbl key with
+            | Some c -> c
+            | None ->
+                let c = Hashtbl.create 8 in
+                Hashtbl.add tbl key c;
+                c
+          in
+          let cell = (requested, held) in
+          Hashtbl.replace cells cell
+            (v + Option.value (Hashtbl.find_opt cells cell) ~default:0)
+      | _ -> ())
+    samples;
+  Hashtbl.fold
+    (fun key cells acc ->
+      let cells =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) cells []
+        |> List.sort compare
+      in
+      { key; cells } :: acc)
+    tbl []
+  |> List.sort compare
+
+let of_metrics reg =
+  Metrics.fold reg
+    (fun acc name labels metric ->
+      match metric with
+      | Metrics.Counter c when name = conflicts_metric ->
+          (labels, Metrics.Counter.get c) :: acc
+      | _ -> acc)
+    []
+  |> List.rev |> of_samples
+
+let obj t = List.assoc_opt "obj" t.key
+let count t ~requested ~held =
+  Option.value (List.assoc_opt (requested, held) t.cells) ~default:0
+
+let total t = List.fold_left (fun acc (_, v) -> acc + v) 0 t.cells
+
+let axes t =
+  let dedup_sort l = List.sort_uniq compare l in
+  ( dedup_sort (List.map (fun ((r, _), _) -> r) t.cells),
+    dedup_sort (List.map (fun ((_, h), _) -> h) t.cells) )
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text-format parsing                                      *)
+
+exception Parse_error of string
+
+let unescape_label_value s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '\\' when i + 1 < n ->
+          (match s.[i + 1] with
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | '"' -> Buffer.add_char b '"'
+          | c ->
+              (* unknown escape: keep verbatim, like Prometheus does *)
+              Buffer.add_char b '\\';
+              Buffer.add_char b c);
+          go (i + 2)
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents b
+
+(* One sample line: name{k="v",...} value  (labels optional). *)
+let parse_sample_line lineno line =
+  let fail msg = raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg)) in
+  let n = String.length line in
+  let pos = ref 0 in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let ident () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected identifier";
+    String.sub line start (!pos - start)
+  in
+  let name = ident () in
+  let labels =
+    if !pos < n && line.[!pos] = '{' then begin
+      incr pos;
+      let acc = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos < n && line.[!pos] = '}' then incr pos
+        else begin
+          let k = ident () in
+          if !pos >= n || line.[!pos] <> '=' then fail "expected '='";
+          incr pos;
+          if !pos >= n || line.[!pos] <> '"' then fail "expected '\"'";
+          incr pos;
+          let b = Buffer.create 16 in
+          let rec value () =
+            if !pos >= n then fail "unterminated label value"
+            else
+              match line.[!pos] with
+              | '"' -> incr pos
+              | '\\' when !pos + 1 < n ->
+                  Buffer.add_char b '\\';
+                  Buffer.add_char b line.[!pos + 1];
+                  pos := !pos + 2;
+                  value ()
+              | c ->
+                  Buffer.add_char b c;
+                  incr pos;
+                  value ()
+          in
+          value ();
+          acc := (k, unescape_label_value (Buffer.contents b)) :: !acc;
+          skip_ws ();
+          if !pos < n && line.[!pos] = ',' then begin
+            incr pos;
+            loop ()
+          end
+          else if !pos < n && line.[!pos] = '}' then incr pos
+          else fail "expected ',' or '}'"
+        end
+      in
+      loop ();
+      List.rev !acc
+    end
+    else []
+  in
+  skip_ws ();
+  if !pos >= n then fail "missing sample value";
+  let value_str = String.sub line !pos (n - !pos) |> String.trim in
+  let value =
+    match float_of_string_opt value_str with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "bad sample value %S" value_str)
+  in
+  (name, List.sort compare labels, value)
+
+let parse_prometheus text =
+  let lines = String.split_on_char '\n' text in
+  try
+    Ok
+      (List.concat
+         (List.mapi
+            (fun i line ->
+              let line = String.trim line in
+              if line = "" || line.[0] = '#' then []
+              else [ parse_sample_line (i + 1) line ])
+            lines))
+  with Parse_error msg -> Error msg
+
+let of_prometheus text =
+  match parse_prometheus text with
+  | Error _ as e -> e
+  | Ok samples ->
+      Ok
+        (samples
+        |> List.filter_map (fun (name, labels, v) ->
+               if name = conflicts_metric then Some (labels, int_of_float v)
+               else None)
+        |> of_samples)
+
+(* ------------------------------------------------------------------ *)
+(* Comparison and rendering                                            *)
+
+let comparison ~by maps =
+  let tbl : (labels, (string * t) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun m ->
+      match List.assoc_opt by m.key with
+      | None -> ()
+      | Some v ->
+          let shared = List.filter (fun (k, _) -> k <> by) m.key in
+          let slot =
+            match Hashtbl.find_opt tbl shared with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add tbl shared r;
+                order := shared :: !order;
+                r
+          in
+          slot := (v, m) :: !slot)
+    maps;
+  List.rev !order
+  |> List.filter_map (fun shared ->
+         match !(Hashtbl.find tbl shared) with
+         | [] | [ _ ] -> None
+         | variants -> Some (shared, List.sort compare variants))
+  |> List.sort compare
+
+let pp_key ppf key =
+  Fmt.pf ppf "%a"
+    Fmt.(list ~sep:(any " ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+    key
+
+let pp ppf t =
+  let requested, held = axes t in
+  let w =
+    List.fold_left (fun acc s -> max acc (String.length s)) 9 (requested @ held)
+  in
+  Fmt.pf ppf "%a (total %d)@." pp_key t.key (total t);
+  Fmt.pf ppf "%*s |" w "req\\held";
+  List.iter (fun h -> Fmt.pf ppf " %*s" w h) held;
+  Fmt.pf ppf "@.";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%*s |" w r;
+      List.iter
+        (fun h ->
+          match count t ~requested:r ~held:h with
+          | 0 -> Fmt.pf ppf " %*s" w "."
+          | c -> Fmt.pf ppf " %*d" w c)
+        held;
+      Fmt.pf ppf "@.")
+    requested
+
+let pp_comparison ~by ppf maps =
+  let rows = comparison ~by maps in
+  if rows = [] then Fmt.pf ppf "no comparable %s groups@." by
+  else
+    List.iter
+      (fun (shared, variants) ->
+        Fmt.pf ppf "=== %a ===@." pp_key shared;
+        List.iter
+          (fun (v, m) ->
+            Fmt.pf ppf "--- %s=%s ---@." by v;
+            pp ppf m)
+          variants;
+        (* cells hot in one variant and absent in the other are the
+           conflicts the recovery method itself induces *)
+        match variants with
+        | (va, a) :: (vb, b) :: _ ->
+            let only_in name m other =
+              let extra =
+                List.filter (fun (cell, _) -> not (List.mem_assoc cell other.cells)) m.cells
+              in
+              if extra <> [] then begin
+                Fmt.pf ppf "only under %s=%s:" by name;
+                List.iter
+                  (fun ((r, h), c) -> Fmt.pf ppf " %s/%s:%d" r h c)
+                  extra;
+                Fmt.pf ppf "@."
+              end
+            in
+            only_in va a b;
+            only_in vb b a
+        | _ -> ())
+      rows

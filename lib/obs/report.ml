@@ -1,0 +1,307 @@
+open Tm_core
+
+type group = {
+  group_labels : (string * string) list;
+  events : Trace.event list;
+}
+
+type t = {
+  groups : group list;
+  heatmaps : Heatmap.t list;
+}
+
+let groups_of_jsonl s =
+  match Trace.parse_jsonl s with
+  | Error _ as e -> e
+  | Ok lines ->
+      let tbl : ((string * string) list, Trace.event list ref) Hashtbl.t =
+        Hashtbl.create 4
+      in
+      let order = ref [] in
+      List.iter
+        (fun (ev, extras) ->
+          let key = List.sort compare extras in
+          let slot =
+            match Hashtbl.find_opt tbl key with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add tbl key r;
+                order := key :: !order;
+                r
+          in
+          slot := ev :: !slot)
+        lines;
+      Ok
+        (List.rev !order
+        |> List.map (fun key ->
+               { group_labels = key; events = List.rev !(Hashtbl.find tbl key) }))
+
+let of_sources ?trace_jsonl ?metrics_text () =
+  let ( let* ) r f = Result.bind r f in
+  let* groups =
+    match trace_jsonl with
+    | None -> Ok []
+    | Some s -> (
+        match groups_of_jsonl s with
+        | Ok gs -> Ok gs
+        | Error e -> Error ("trace: " ^ e))
+  in
+  let* heatmaps =
+    match metrics_text with
+    | None -> Ok []
+    | Some s -> (
+        match Heatmap.of_prometheus s with
+        | Ok hs -> Ok hs
+        | Error e -> Error ("metrics: " ^ e))
+  in
+  Ok { groups; heatmaps }
+
+let is_empty t =
+  t.heatmaps = [] && List.for_all (fun g -> g.events = []) t.groups
+
+(* ------------------------------------------------------------------ *)
+(* Text                                                                *)
+
+let pp_group_labels ppf = function
+  | [] -> Fmt.pf ppf "single run"
+  | labels ->
+      Fmt.pf ppf "%a"
+        Fmt.(list ~sep:(any " ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+        labels
+
+let count_outcomes txns =
+  List.fold_left
+    (fun (c, a, u) (t : Timeline.txn) ->
+      match t.Timeline.outcome with
+      | Timeline.Committed -> (c + 1, a, u)
+      | Timeline.Aborted -> (c, a + 1, u)
+      | Timeline.Unfinished -> (c, a, u + 1))
+    (0, 0, 0) txns
+
+let top_wait_objects txns =
+  List.fold_left
+    (fun acc t ->
+      List.fold_left
+        (fun acc (obj, d) ->
+          match List.assoc_opt obj acc with
+          | Some prev -> (obj, prev + d) :: List.remove_assoc obj acc
+          | None -> (obj, d) :: acc)
+        acc (Timeline.wait_by_obj t))
+    [] txns
+  |> List.sort (fun (oa, a) (ob, b) -> compare (b, oa) (a, ob))
+
+let pp_text ppf t =
+  List.iter
+    (fun g ->
+      let txns = Timeline.of_events g.events in
+      let edges = Blocking.edges g.events in
+      let committed, aborted, unfinished = count_outcomes txns in
+      Fmt.pf ppf "== %a ==@." pp_group_labels g.group_labels;
+      Fmt.pf ppf "%d events, %d transactions (%d committed, %d aborted, %d unfinished)@.@."
+        (List.length g.events) (List.length txns) committed aborted unfinished;
+      Fmt.pf ppf "-- timelines --@.";
+      Timeline.pp ppf txns;
+      if txns <> [] && List.length txns <= 32 then begin
+        Fmt.pf ppf "@.";
+        Timeline.pp_bars ~width:60 ppf txns
+      end;
+      Fmt.pf ppf "@.-- blocking --@.";
+      if edges = [] then Fmt.pf ppf "no blocking observed@."
+      else Blocking.pp_blame ppf edges;
+      Fmt.pf ppf "@.-- where the ticks went --@.";
+      Blocking.pp_flame ppf txns;
+      Fmt.pf ppf "@.")
+    t.groups;
+  if t.heatmaps <> [] then begin
+    Fmt.pf ppf "== conflict heat maps ==@.";
+    List.iter
+      (fun h ->
+        Heatmap.pp ppf h;
+        Fmt.pf ppf "@.")
+      t.heatmaps;
+    let comparable =
+      List.filter (fun (h : Heatmap.t) -> List.mem_assoc "setup" h.Heatmap.key)
+        t.heatmaps
+    in
+    if List.length comparable >= 2 then begin
+      Fmt.pf ppf "== heat-map comparison (by setup) ==@.";
+      Heatmap.pp_comparison ~by:"setup" ppf t.heatmaps
+    end
+  end
+
+let to_text t = Fmt.str "%a" pp_text t
+
+(* ------------------------------------------------------------------ *)
+(* JSON summary                                                        *)
+
+let labels_json labels =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let to_json t =
+  let group_json g =
+    let txns = Timeline.of_events g.events in
+    let edges = Blocking.edges g.events in
+    let committed, aborted, unfinished = count_outcomes txns in
+    let phase_ticks =
+      Json.Obj
+        (List.map
+           (fun ph ->
+             ( Timeline.phase_name ph,
+               Json.Int
+                 (List.fold_left
+                    (fun acc t -> acc + Timeline.phase_total t ph)
+                    0 txns) ))
+           Timeline.all_phases)
+    in
+    Json.Obj
+      [
+        ("labels", labels_json g.group_labels);
+        ("events", Json.Int (List.length g.events));
+        ("transactions", Json.Int (List.length txns));
+        ("committed", Json.Int committed);
+        ("aborted", Json.Int aborted);
+        ("unfinished", Json.Int unfinished);
+        ("phase_ticks", phase_ticks);
+        ( "top_wait_objects",
+          Json.List
+            (top_wait_objects txns
+            |> List.map (fun (obj, d) ->
+                   Json.Obj [ ("obj", Json.Str obj); ("ticks", Json.Int d) ])) );
+        ( "blocking",
+          Json.Obj
+            [
+              ("edges", Json.Int (List.length edges));
+              ( "blocked_ticks",
+                Json.Int
+                  (List.fold_left (fun acc e -> acc + Blocking.weight e) 0 edges)
+              );
+            ] );
+      ]
+  in
+  let heatmap_json (h : Heatmap.t) =
+    Json.Obj
+      [
+        ("key", labels_json h.Heatmap.key);
+        ("total", Json.Int (Heatmap.total h));
+        ( "cells",
+          Json.List
+            (List.map
+               (fun ((r, hd), c) ->
+                 Json.Obj
+                   [
+                     ("requested", Json.Str r);
+                     ("held", Json.Str hd);
+                     ("count", Json.Int c);
+                   ])
+               h.Heatmap.cells) );
+      ]
+  in
+  Json.Obj
+    [
+      ("groups", Json.List (List.map group_json t.groups));
+      ("heatmaps", Json.List (List.map heatmap_json t.heatmaps));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event (Perfetto) exporter                              *)
+
+let to_perfetto t =
+  let events = ref [] in
+  let push ts j = events := (ts, j) :: !events in
+  let meta ~pid ?tid ~name value =
+    let base =
+      [
+        ("ph", Json.Str "M");
+        ("pid", Json.Int pid);
+        ("name", Json.Str name);
+        ("args", Json.Obj [ ("name", Json.Str value) ]);
+      ]
+    in
+    push 0
+      (Json.Obj
+         (match tid with
+         | Some tid -> ("tid", Json.Int tid) :: base
+         | None -> base))
+  in
+  List.iteri
+    (fun i g ->
+      let pid = i + 1 in
+      let process_name = Fmt.str "%a" pp_group_labels g.group_labels in
+      meta ~pid ~name:"process_name" process_name;
+      meta ~pid ~tid:0 ~name:"thread_name" "system";
+      let txns = Timeline.of_events g.events in
+      (* transaction tracks: one slice per phase segment *)
+      List.iter
+        (fun (txn : Timeline.txn) ->
+          let tid = Tid.to_int txn.Timeline.tid + 1 in
+          meta ~pid ~tid ~name:"thread_name"
+            (Fmt.str "txn %s" (Tid.to_string txn.Timeline.tid));
+          List.iter
+            (fun (s : Timeline.segment) ->
+              let args =
+                match s.Timeline.obj with
+                | Some obj -> [ ("obj", Json.Str obj) ]
+                | None -> []
+              in
+              push s.Timeline.start_ts
+                (Json.Obj
+                   [
+                     ("ph", Json.Str "X");
+                     ("name", Json.Str (Timeline.phase_name s.Timeline.phase));
+                     ("cat", Json.Str "phase");
+                     ("ts", Json.Int s.Timeline.start_ts);
+                     ("dur", Json.Int (s.Timeline.stop_ts - s.Timeline.start_ts));
+                     ("pid", Json.Int pid);
+                     ("tid", Json.Int tid);
+                     ("args", Json.Obj args);
+                   ]))
+            txn.Timeline.segments)
+        txns;
+      (* instants: outcomes on the transaction track, system events on
+         track 0 *)
+      List.iter
+        (fun (e : Trace.event) ->
+          let instant ~tid ~scope name args =
+            push e.Trace.ts
+              (Json.Obj
+                 [
+                   ("ph", Json.Str "i");
+                   ("name", Json.Str name);
+                   ("cat", Json.Str "event");
+                   ("s", Json.Str scope);
+                   ("ts", Json.Int e.Trace.ts);
+                   ("pid", Json.Int pid);
+                   ("tid", Json.Int tid);
+                   ("args", Json.Obj args);
+                 ])
+          in
+          match (e.Trace.tid, e.Trace.kind) with
+          | Some tid, Trace.Commit ->
+              instant ~tid:(Tid.to_int tid + 1) ~scope:"t" "commit" []
+          | Some tid, Trace.Abort ->
+              instant ~tid:(Tid.to_int tid + 1) ~scope:"t" "abort" []
+          | Some tid, Trace.Deadlock_victim { cycle } ->
+              instant ~tid:(Tid.to_int tid + 1) ~scope:"t" "deadlock_victim"
+                [
+                  ( "cycle",
+                    Json.List
+                      (List.map (fun t -> Json.Str (Tid.to_string t)) cycle) );
+                ]
+          | None, Trace.Checkpoint { ops } ->
+              instant ~tid:0 ~scope:"p" "checkpoint" [ ("ops", Json.Int ops) ]
+          | None, Trace.Crash_recover { replayed; losers } ->
+              instant ~tid:0 ~scope:"p" "crash_recover"
+                [ ("replayed", Json.Int replayed); ("losers", Json.Int losers) ]
+          | _ -> ())
+        g.events)
+    t.groups;
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map snd sorted));
+         ("displayTimeUnit", Json.Str "ms");
+       ])

@@ -1,0 +1,53 @@
+(** Report assembly: one trace (and optionally one metrics snapshot) in,
+    three renderings out.
+
+    - {!pp_text} — a human report: per-transaction timeline tables and
+      bars, blocking blame, a flame view of where the ticks went, and
+      conflict heat maps (with a UIP-vs-DU comparison whenever the
+      metrics snapshot carries a [setup] label);
+    - {!to_json} — the same aggregates as a machine-readable summary;
+    - {!to_perfetto} — Chrome trace-event JSON loadable in Perfetto /
+      [chrome://tracing]: each transaction is a track, each phase
+      segment a duration slice.
+
+    Traces whose JSONL lines carry extra string fields (the
+    [scenario]/[setup] labels the CLIs append when several runs share a
+    file) are split into {!group}s, one Perfetto process / report
+    section per group. *)
+
+type group = {
+  group_labels : (string * string) list;
+      (** the extra fields shared by this group's lines; [[]] for a
+          plain single-run dump *)
+  events : Trace.event list;
+}
+
+type t = {
+  groups : group list;
+  heatmaps : Heatmap.t list;
+}
+
+(** [groups_of_jsonl s] parses a {!Trace.to_jsonl} dump and splits it by
+    extra-field set, preserving first-appearance order. *)
+val groups_of_jsonl : string -> (group list, string) result
+
+(** Build a report from raw file contents.  Either source may be absent;
+    both absent (or both empty) yields an [is_empty] report, which the
+    CLI treats as failure. *)
+val of_sources :
+  ?trace_jsonl:string -> ?metrics_text:string -> unit -> (t, string) result
+
+val is_empty : t -> bool
+
+val pp_text : Format.formatter -> t -> unit
+val to_text : t -> string
+
+(** Aggregate summary: per group txn counts, outcomes, phase totals, top
+    wait objects; heat-map totals. *)
+val to_json : t -> Json.t
+
+(** Chrome trace-event JSON ([{"traceEvents":[...]}]).  Events are
+    sorted by timestamp; pids number the groups in first-appearance
+    order (with [process_name] metadata), tids are transaction ids
+    (track 0 is the system track: checkpoints, recovery). *)
+val to_perfetto : t -> string

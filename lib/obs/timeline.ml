@@ -1,0 +1,195 @@
+open Tm_core
+
+type phase =
+  | Run
+  | Lock_wait
+  | Stall
+  | Validate
+  | Flush_wait
+
+let phase_name = function
+  | Run -> "run"
+  | Lock_wait -> "lock_wait"
+  | Stall -> "stall"
+  | Validate -> "validate"
+  | Flush_wait -> "flush_wait"
+
+let all_phases = [ Run; Lock_wait; Stall; Validate; Flush_wait ]
+
+type segment = {
+  phase : phase;
+  obj : string option;
+  start_ts : int;
+  stop_ts : int;
+}
+
+type outcome =
+  | Committed
+  | Aborted
+  | Unfinished
+
+let outcome_name = function
+  | Committed -> "committed"
+  | Aborted -> "aborted"
+  | Unfinished -> "unfinished"
+
+type txn = {
+  tid : Tid.t;
+  begin_ts : int;
+  end_ts : int;
+  outcome : outcome;
+  segments : segment list;
+}
+
+(* Mutable per-transaction build state: the phase the transaction has
+   been in since [since], plus everything already closed. *)
+type building = {
+  b_tid : Tid.t;
+  b_begin : int;
+  mutable b_last : int;
+  mutable b_phase : phase;
+  mutable b_obj : string option;
+  mutable b_since : int;
+  mutable b_outcome : outcome;
+  mutable b_segments_rev : segment list;
+}
+
+let switch b ts phase obj =
+  if b.b_phase <> phase || b.b_obj <> obj then begin
+    if ts > b.b_since then
+      b.b_segments_rev <-
+        { phase = b.b_phase; obj = b.b_obj; start_ts = b.b_since; stop_ts = ts }
+        :: b.b_segments_rev;
+    b.b_phase <- phase;
+    b.b_obj <- obj;
+    b.b_since <- ts
+  end
+
+let of_events events =
+  let txns : (Tid.t, building) Hashtbl.t = Hashtbl.create 32 in
+  let order : building list ref = ref [] in
+  let get tid ts =
+    match Hashtbl.find_opt txns tid with
+    | Some b -> b
+    | None ->
+        let b =
+          {
+            b_tid = tid;
+            b_begin = ts;
+            b_last = ts;
+            b_phase = Run;
+            b_obj = None;
+            b_since = ts;
+            b_outcome = Unfinished;
+            b_segments_rev = [];
+          }
+        in
+        Hashtbl.add txns tid b;
+        order := b :: !order;
+        b
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.tid with
+      | None -> ()
+      | Some tid -> (
+          let b = get tid e.Trace.ts in
+          b.b_last <- e.Trace.ts;
+          match e.Trace.kind with
+          | Trace.Begin | Trace.Invoke _ | Trace.Wal_append _ | Trace.Wal_force
+          | Trace.Deadlock_victim _ | Trace.Lock_release _
+          | Trace.Checkpoint _ | Trace.Crash_recover _ ->
+              ()
+          | Trace.Executed _ | Trace.Woken _ -> switch b e.Trace.ts Run None
+          | Trace.Blocked { obj; _ } -> switch b e.Trace.ts Lock_wait (Some obj)
+          | Trace.No_response { obj; _ } -> switch b e.Trace.ts Stall (Some obj)
+          | Trace.Validating -> switch b e.Trace.ts Validate None
+          | Trace.Validated _ -> switch b e.Trace.ts Run None
+          | Trace.Wal_flush_wait _ -> switch b e.Trace.ts Flush_wait None
+          | Trace.Durable _ -> switch b e.Trace.ts Run None
+          | Trace.Commit ->
+              switch b e.Trace.ts Run None;
+              b.b_outcome <- Committed
+          | Trace.Abort ->
+              switch b e.Trace.ts Run None;
+              b.b_outcome <- Aborted))
+    events;
+  !order |> List.rev
+  |> List.map (fun b ->
+         (* close the open segment at the transaction's last event *)
+         switch b b.b_last
+           (match b.b_phase with Run -> Lock_wait | _ -> Run)
+           (Some "\000sentinel");
+         {
+           tid = b.b_tid;
+           begin_ts = b.b_begin;
+           end_ts = b.b_last;
+           outcome = b.b_outcome;
+           segments = List.rev b.b_segments_rev;
+         })
+  |> List.sort (fun a b -> compare (a.begin_ts, Tid.to_int a.tid) (b.begin_ts, Tid.to_int b.tid))
+
+let duration t = t.end_ts - t.begin_ts
+
+let phase_total t phase =
+  List.fold_left
+    (fun acc s -> if s.phase = phase then acc + (s.stop_ts - s.start_ts) else acc)
+    0 t.segments
+
+let wait_by_obj t =
+  List.fold_left
+    (fun acc s ->
+      match s.phase, s.obj with
+      | (Lock_wait | Stall), Some obj ->
+          let d = s.stop_ts - s.start_ts in
+          (match List.assoc_opt obj acc with
+          | Some prev -> (obj, prev + d) :: List.remove_assoc obj acc
+          | None -> (obj, d) :: acc)
+      | _ -> acc)
+    [] t.segments
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let consistent t =
+  duration t
+  = List.fold_left (fun acc s -> acc + (s.stop_ts - s.start_ts)) 0 t.segments
+
+let pp ppf txns =
+  Fmt.pf ppf "%-5s %-10s %6s %6s %6s %9s %6s %8s %10s@." "tid" "outcome" "span"
+    "run" "lockw" "stall" "valid" "flushw" "check";
+  List.iter
+    (fun t ->
+      Fmt.pf ppf "%-5s %-10s %6d %6d %6d %9d %6d %8d %10s@." (Tid.to_string t.tid)
+        (outcome_name t.outcome) (duration t) (phase_total t Run)
+        (phase_total t Lock_wait) (phase_total t Stall) (phase_total t Validate)
+        (phase_total t Flush_wait)
+        (if consistent t then "ok" else "BROKEN"))
+    txns
+
+let phase_char = function
+  | Run -> '='
+  | Lock_wait -> 'x'
+  | Stall -> '.'
+  | Validate -> 'v'
+  | Flush_wait -> '~'
+
+let pp_bars ~width ppf txns =
+  if width < 1 then invalid_arg "Timeline.pp_bars: width < 1";
+  match txns with
+  | [] -> ()
+  | _ ->
+      let clock_end =
+        List.fold_left (fun acc t -> max acc t.end_ts) 1 txns
+      in
+      let col ts = min (width - 1) (ts * width / max 1 clock_end) in
+      List.iter
+        (fun t ->
+          let bar = Bytes.make width ' ' in
+          List.iter
+            (fun s ->
+              for i = col s.start_ts to max (col s.start_ts) (col (s.stop_ts - 1)) do
+                Bytes.set bar i (phase_char s.phase)
+              done)
+            t.segments;
+          Fmt.pf ppf "%-5s |%s| %s@." (Tid.to_string t.tid)
+            (Bytes.to_string bar) (outcome_name t.outcome))
+        txns

@@ -1,0 +1,77 @@
+(** Per-transaction timelines: a recorded trace segmented into phases.
+
+    Every transaction's life [begin..last event] is partitioned into
+    contiguous {!segment}s, one per phase the transaction was in:
+
+    - {!Run} — executing operations (including commit bookkeeping);
+    - {!Lock_wait} — blocked behind a conflicting lock holder;
+    - {!Stall} — a partial operation with no legal response yet
+      (blocked on {e state}, not on a lock);
+    - {!Validate} — commit-time backward validation (optimistic
+      objects);
+    - {!Flush_wait} — parked on the group-commit durability watermark.
+
+    Durations are logical: the trace clock advances by one per emitted
+    event, so a phase's duration measures how much {e global engine
+    activity} happened while the transaction sat in it.  By construction
+    the segments of a transaction tile its span exactly —
+    [sum of durations = end_ts - begin_ts] — which {!pp} re-checks and
+    the analytics tests assert. *)
+
+open Tm_core
+
+type phase =
+  | Run
+  | Lock_wait
+  | Stall
+  | Validate
+  | Flush_wait
+
+val phase_name : phase -> string
+val all_phases : phase list
+
+type segment = {
+  phase : phase;
+  obj : string option;  (** the object waited at, for [Lock_wait]/[Stall] *)
+  start_ts : int;
+  stop_ts : int;  (** exclusive; [stop_ts - start_ts] is the duration *)
+}
+
+type outcome =
+  | Committed
+  | Aborted
+  | Unfinished  (** still running when the trace ended *)
+
+type txn = {
+  tid : Tid.t;
+  begin_ts : int;
+  end_ts : int;  (** timestamp of the transaction's last event *)
+  outcome : outcome;
+  segments : segment list;  (** contiguous, oldest first *)
+}
+
+val outcome_name : outcome -> string
+
+(** [of_events es] builds one timeline per transaction appearing in
+    [es], ordered by begin timestamp.  Events must be in emission order
+    (as {!Trace.events} and {!Trace.parse_jsonl} return them). *)
+val of_events : Trace.event list -> txn list
+
+val duration : txn -> int
+
+(** Total logical ticks the transaction spent in [phase]. *)
+val phase_total : txn -> phase -> int
+
+(** [Lock_wait] (and [Stall]) ticks broken down by object. *)
+val wait_by_obj : txn -> (string * int) list
+
+(** The tiling invariant: segment durations sum to {!duration}. *)
+val consistent : txn -> bool
+
+(** One line per transaction: outcome, span, per-phase totals. *)
+val pp : Format.formatter -> txn list -> unit
+
+(** [pp_bars ~width] renders each transaction as an aligned bar over the
+    global clock ([=] run, [x] lock wait, [.] stall, [v] validate,
+    [~] flush wait). *)
+val pp_bars : width:int -> Format.formatter -> txn list -> unit

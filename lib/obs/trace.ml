@@ -7,13 +7,16 @@ type kind =
   | Blocked of { obj : string; inv : Op.invocation; holders : Tid.t list }
   | No_response of { obj : string; inv : Op.invocation }
   | Woken of { obj : string; waited : int }
+  | Validating
   | Validated of { ok : bool }
   | Commit
   | Abort
   | Deadlock_victim of { cycle : Tid.t list }
+  | Lock_release of { obj : string }
   | Wal_append of { record : string }
   | Wal_force
   | Wal_flush_wait of { upto : int }
+  | Durable of { lsn : int }
   | Checkpoint of { ops : int }
   | Crash_recover of { replayed : int; losers : int }
 
@@ -26,20 +29,37 @@ type event = {
 type t = {
   mutable events_rev : event list;
   mutable clock : int;
+  (* The durable commit pipeline emits its flush-wait/ack spans outside
+     the engine monitor (stage 2 of the commit runs with no locks held),
+     so a threaded run appends concurrently; the recorder serialises its
+     own clock.  Single-threaded sims pay one uncontended lock per
+     event. *)
+  lock : Mutex.t;
 }
 
-let create () = { events_rev = []; clock = 0 }
+let create () = { events_rev = []; clock = 0; lock = Mutex.create () }
 
 let emit_opt t tid kind =
+  Mutex.lock t.lock;
   let ts = t.clock in
   t.clock <- ts + 1;
-  t.events_rev <- { ts; tid; kind } :: t.events_rev
+  t.events_rev <- { ts; tid; kind } :: t.events_rev;
+  Mutex.unlock t.lock
 
 let emit t ~tid kind = emit_opt t (Some tid) kind
 let emit_system t kind = emit_opt t None kind
 
-let events t = List.rev t.events_rev
+let events t =
+  Mutex.lock t.lock;
+  let es = t.events_rev in
+  Mutex.unlock t.lock;
+  List.rev es
+
 let length t = t.clock
+
+let of_events es =
+  let clock = List.fold_left (fun c e -> max c (e.ts + 1)) 0 es in
+  { events_rev = List.rev es; clock; lock = Mutex.create () }
 
 let kind_name = function
   | Begin -> "begin"
@@ -48,13 +68,16 @@ let kind_name = function
   | Blocked _ -> "blocked"
   | No_response _ -> "no_response"
   | Woken _ -> "woken"
+  | Validating -> "validating"
   | Validated _ -> "validated"
   | Commit -> "commit"
   | Abort -> "abort"
   | Deadlock_victim _ -> "deadlock_victim"
+  | Lock_release _ -> "lock_release"
   | Wal_append _ -> "wal_append"
   | Wal_force -> "wal_force"
   | Wal_flush_wait _ -> "wal_flush_wait"
+  | Durable _ -> "durable"
   | Checkpoint _ -> "checkpoint"
   | Crash_recover _ -> "crash_recover"
 
@@ -101,7 +124,7 @@ let json_of_tids tids =
   Fmt.str "[%s]" (String.concat "," (List.map (fun t -> string_of_int (Tid.to_int t)) tids))
 
 let kind_fields = function
-  | Begin | Commit | Abort | Wal_force -> []
+  | Begin | Commit | Abort | Wal_force | Validating -> []
   | Invoke { obj; inv } -> [ ("obj", json_str obj); ("op", json_of_inv inv) ]
   | Executed { op } ->
       [
@@ -116,8 +139,10 @@ let kind_fields = function
       [ ("obj", json_str obj); ("waited", string_of_int waited) ]
   | Validated { ok } -> [ ("ok", string_of_bool ok) ]
   | Deadlock_victim { cycle } -> [ ("cycle", json_of_tids cycle) ]
+  | Lock_release { obj } -> [ ("obj", json_str obj) ]
   | Wal_append { record } -> [ ("record", json_str record) ]
   | Wal_flush_wait { upto } -> [ ("upto", string_of_int upto) ]
+  | Durable { lsn } -> [ ("lsn", string_of_int lsn) ]
   | Checkpoint { ops } -> [ ("ops", string_of_int ops) ]
   | Crash_recover { replayed; losers } ->
       [ ("replayed", string_of_int replayed); ("losers", string_of_int losers) ]
@@ -137,6 +162,136 @@ let pp_jsonl ?extra ppf t =
   List.iter (fun e -> Fmt.pf ppf "%s@." (event_to_json ?extra e)) (events t)
 
 let to_jsonl ?extra t = Fmt.str "%a" (pp_jsonl ?extra) t
+
+(* ------------------------------------------------------------------ *)
+(* JSON-lines import: the exact inverse of the exporter above, so a
+   dumped trace can be re-analyzed offline (bin/obsreport.exe).          *)
+
+exception Bad_event of string
+
+let value_of_json j =
+  let rec go = function
+    | Json.Null -> Value.Unit
+    | Json.Bool b -> Value.Bool b
+    | Json.Int i -> Value.Int i
+    | Json.Str s -> Value.Str s
+    | Json.List l -> Value.List (List.map go l)
+    | Json.Float _ | Json.Obj _ -> raise (Bad_event "non-trace value")
+  in
+  go j
+
+let field name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> raise (Bad_event (Fmt.str "missing field %S" name))
+
+let str_field name j =
+  match Json.to_str (field name j) with
+  | Some s -> s
+  | None -> raise (Bad_event (Fmt.str "field %S: expected a string" name))
+
+let int_field name j =
+  match Json.to_int (field name j) with
+  | Some i -> i
+  | None -> raise (Bad_event (Fmt.str "field %S: expected an integer" name))
+
+let inv_of_json j =
+  let name = str_field "name" j in
+  let args =
+    match Json.to_list (field "args" j) with
+    | Some l -> List.map value_of_json l
+    | None -> raise (Bad_event "field \"args\": expected an array")
+  in
+  Op.invocation ~args name
+
+let tids_of_json name j =
+  match Json.to_list (field name j) with
+  | Some l ->
+      List.map
+        (fun v ->
+          match Json.to_int v with
+          | Some i -> Tid.of_int i
+          | None -> raise (Bad_event (Fmt.str "field %S: expected integers" name)))
+        l
+  | None -> raise (Bad_event (Fmt.str "field %S: expected an array" name))
+
+let op_of_json j =
+  { Op.obj = str_field "obj" j; inv = inv_of_json (field "op" j);
+    res = value_of_json (field "res" j) }
+
+let kind_of_json name j =
+  match name with
+  | "begin" -> Begin
+  | "invoke" -> Invoke { obj = str_field "obj" j; inv = inv_of_json (field "op" j) }
+  | "executed" -> Executed { op = op_of_json j }
+  | "blocked" ->
+      Blocked
+        { obj = str_field "obj" j; inv = inv_of_json (field "op" j);
+          holders = tids_of_json "holders" j }
+  | "no_response" ->
+      No_response { obj = str_field "obj" j; inv = inv_of_json (field "op" j) }
+  | "woken" -> Woken { obj = str_field "obj" j; waited = int_field "waited" j }
+  | "validating" -> Validating
+  | "validated" -> (
+      match field "ok" j with
+      | Json.Bool ok -> Validated { ok }
+      | _ -> raise (Bad_event "field \"ok\": expected a boolean"))
+  | "commit" -> Commit
+  | "abort" -> Abort
+  | "deadlock_victim" -> Deadlock_victim { cycle = tids_of_json "cycle" j }
+  | "lock_release" -> Lock_release { obj = str_field "obj" j }
+  | "wal_append" -> Wal_append { record = str_field "record" j }
+  | "wal_force" -> Wal_force
+  | "wal_flush_wait" -> Wal_flush_wait { upto = int_field "upto" j }
+  | "durable" -> Durable { lsn = int_field "lsn" j }
+  | "checkpoint" -> Checkpoint { ops = int_field "ops" j }
+  | "crash_recover" ->
+      Crash_recover { replayed = int_field "replayed" j; losers = int_field "losers" j }
+  | other -> raise (Bad_event (Fmt.str "unknown event kind %S" other))
+
+(* The fields each kind consumes, so whatever else rides on the line
+   (e.g. the scenario/setup labels [to_jsonl ~extra] appended) comes
+   back out as the event's extra fields. *)
+let known_fields = function
+  | "invoke" | "no_response" -> [ "obj"; "op" ]
+  | "executed" -> [ "obj"; "op"; "res" ]
+  | "blocked" -> [ "obj"; "op"; "holders" ]
+  | "woken" -> [ "obj"; "waited" ]
+  | "validated" -> [ "ok" ]
+  | "deadlock_victim" -> [ "cycle" ]
+  | "lock_release" -> [ "obj" ]
+  | "wal_append" -> [ "record" ]
+  | "wal_flush_wait" -> [ "upto" ]
+  | "durable" -> [ "lsn" ]
+  | "checkpoint" -> [ "ops" ]
+  | "crash_recover" -> [ "replayed"; "losers" ]
+  | _ -> []
+
+let event_of_json j =
+  let ts = int_field "ts" j in
+  let tid =
+    match field "tid" j with
+    | Json.Null -> None
+    | Json.Int i -> Some (Tid.of_int i)
+    | _ -> raise (Bad_event "field \"tid\": expected an integer or null")
+  in
+  let name = str_field "event" j in
+  let kind = kind_of_json name j in
+  let consumed = "ts" :: "tid" :: "event" :: known_fields name in
+  let extra =
+    List.filter_map
+      (fun (k, v) ->
+        if List.mem k consumed then None
+        else match v with Json.Str s -> Some (k, s) | _ -> None)
+      (Json.entries j)
+  in
+  ({ ts; tid; kind }, extra)
+
+let parse_jsonl s =
+  match Json.parse_lines s with
+  | Error e -> Error e
+  | Ok docs -> (
+      try Ok (List.map event_of_json docs) with Bad_event msg -> Error msg)
 
 (* ------------------------------------------------------------------ *)
 (* Replay: a recorded trace as a paper history.                        *)

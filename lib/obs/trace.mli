@@ -24,15 +24,20 @@ type kind =
       (** partial operation with no legal response yet *)
   | Woken of { obj : string; waited : int }
       (** first execution after a block; [waited] in logical ticks *)
+  | Validating  (** commit-time validation begins (optimistic objects) *)
   | Validated of { ok : bool }  (** optimistic commit-time validation *)
   | Commit
   | Abort
   | Deadlock_victim of { cycle : Tid.t list }
+  | Lock_release of { obj : string }
+      (** the transaction's holds at [obj] released (commit or abort) *)
   | Wal_append of { record : string }
   | Wal_force  (** the append that makes a commit durable *)
   | Wal_flush_wait of { upto : int }
       (** a committer parking on the group-commit watermark until
           [flushed_lsn >= upto] *)
+  | Durable of { lsn : int }
+      (** the watermark passed [lsn]: the commit is acknowledged durable *)
   | Checkpoint of { ops : int }
   | Crash_recover of { replayed : int; losers : int }
 
@@ -58,6 +63,11 @@ val events : t -> event list
 val length : t -> int
 val kind_name : kind -> string
 
+(** [of_events es] rebuilds a recorder holding exactly [es] (clock past
+    the largest timestamp) — the bridge from {!parse_jsonl} back to the
+    trace-consuming analyses ({!to_history}, {!Timeline}). *)
+val of_events : event list -> t
+
 (** {1 Exporters} *)
 
 (** One JSON object per line: [{"ts":..,"tid":..,"event":..,...}].
@@ -68,6 +78,15 @@ val pp_jsonl : ?extra:(string * string) list -> Format.formatter -> t -> unit
 val to_jsonl : ?extra:(string * string) list -> t -> string
 val event_to_json : ?extra:(string * string) list -> event -> string
 val pp_event : Format.formatter -> event -> unit
+
+(** {1 Importers} *)
+
+(** [parse_jsonl s] parses a {!to_jsonl} dump back into events, each with
+    the extra string fields its line carried (e.g. the [scenario]/[setup]
+    labels the CLI appends when several runs share one file).  The exact
+    inverse of the exporter on every kind. *)
+val parse_jsonl :
+  string -> ((event * (string * string) list) list, string) result
 
 (** {1 Replay} *)
 

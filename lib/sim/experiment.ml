@@ -252,9 +252,18 @@ let run ?record_trace scenario s cfg =
   let db = Database.create (scenario.build s) in
   run_db ?record_trace ~name:scenario.name ~label:(label s) db scenario.workload cfg
 
-let run_durable ?wal ?(checkpoint_every = 0) ?(group_commit = 1) scenario s cfg =
+let run_durable ?(record_trace = false) ?wal ?(checkpoint_every = 0)
+    ?(group_commit = 1) scenario s cfg =
   let wal = match wal with Some w -> w | None -> Tm_engine.Wal.create () in
   let dd = Tm_engine.Durable_database.create ~wal (scenario.build s) in
+  let trace =
+    if record_trace then begin
+      let tr = Trace.create () in
+      Database.set_trace (Tm_engine.Durable_database.database dd) tr;
+      Some tr
+    end
+    else None
+  in
   let stats =
     Scheduler.run_durable ~checkpoint_every ~group_commit dd scenario.workload cfg
   in
@@ -269,7 +278,7 @@ let run_durable ?wal ?(checkpoint_every = 0) ?(group_commit = 1) scenario s cfg 
       deadlock_victims = Metrics.counter_value reg "tm_deadlock_victims_total";
       retries = Metrics.counter_value reg "tm_txn_retries_total";
       metrics = reg;
-      trace = None;
+      trace;
     }
   in
   (row, wal)

@@ -112,10 +112,13 @@ val run : ?record_trace:bool -> scenario -> setup -> Scheduler.config -> row
     [n]th commit, i.e. while other transactions are typically in flight.
     [group_commit] (default 1) is {!Scheduler.run_durable}'s
     deterministic batching knob: the durability barrier runs after every
-    [n]th commit instead of every commit. *)
+    [n]th commit instead of every commit.  [record_trace] behaves as in
+    {!run}; durable runs additionally emit [wal_flush_wait]/[durable]
+    spans around the group-commit watermark. *)
 val run_durable :
-  ?wal:Tm_engine.Wal.t -> ?checkpoint_every:int -> ?group_commit:int ->
-  scenario -> setup -> Scheduler.config -> row * Tm_engine.Wal.t
+  ?record_trace:bool -> ?wal:Tm_engine.Wal.t -> ?checkpoint_every:int ->
+  ?group_commit:int -> scenario -> setup -> Scheduler.config ->
+  row * Tm_engine.Wal.t
 
 (** [run_custom] — for ablations with hand-built objects (custom conflict
     relations, mixed policies); [label] is the setup column text. *)

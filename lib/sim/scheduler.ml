@@ -218,8 +218,21 @@ let run_durable ?(checkpoint_every = 0) ?(group_commit = 1) dd workload cfg =
   let module DD = Tm_engine.Durable_database in
   if group_commit < 1 then invalid_arg "Scheduler.run_durable: group_commit < 1";
   let commits = ref 0 in
+  (* Committers parked on the durability watermark: committed in the log
+     but not yet acknowledged.  Mirrored in the trace as a
+     [wal_flush_wait .. durable] span per transaction so timelines show
+     the flush-wait phase group commit introduces. *)
+  let parked : (Tid.t * int) list ref = ref [] in
+  let db = DD.database dd in
+  let release_parked () =
+    List.iter
+      (fun (tid, lsn) ->
+        Tm_engine.Database.emit_trace db ~tid (Tm_obs.Trace.Durable { lsn }))
+      (List.rev !parked);
+    parked := []
+  in
   let stats =
-    run_ops (DD.database dd)
+    run_ops db
       {
         begin_txn = (fun () -> DD.begin_txn dd);
         invoke = (fun ~choose tid ~obj inv -> DD.invoke ~choose dd tid ~obj inv);
@@ -232,13 +245,20 @@ let run_durable ?(checkpoint_every = 0) ?(group_commit = 1) dd workload cfg =
         try_commit =
           (fun tid ->
             match DD.try_commit_nowait dd tid with
-            | Ok _lsn -> Ok ()
+            | Ok lsn ->
+                Tm_engine.Database.emit_trace db ~tid
+                  (Tm_obs.Trace.Wal_flush_wait { upto = lsn });
+                parked := (tid, lsn) :: !parked;
+                Ok ()
             | Error _ as e -> e);
         abort = (fun tid -> DD.abort dd tid);
         on_commit =
           (fun () ->
             incr commits;
-            if !commits mod group_commit = 0 then DD.flush dd;
+            if !commits mod group_commit = 0 then begin
+              DD.flush dd;
+              release_parked ()
+            end;
             if checkpoint_every > 0 && !commits mod checkpoint_every = 0 then
               DD.checkpoint dd);
       }
@@ -247,4 +267,5 @@ let run_durable ?(checkpoint_every = 0) ?(group_commit = 1) dd workload cfg =
   (* Close the final (possibly partial) batch: nothing the run appended
      is left unforced. *)
   DD.flush dd;
+  release_parked ();
   stats

@@ -1,0 +1,435 @@
+(* Trace analytics: JSON parsing, JSONL import round trip, timeline
+   phase segmentation (the tiling invariant), blocking edges, conflict
+   heat maps (including the Prometheus text round trip and UIP-vs-DU
+   comparison), and the report/Perfetto exporters. *)
+
+open Tm_core
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
+module Json = Tm_obs.Json
+module Timeline = Tm_obs.Timeline
+module Blocking = Tm_obs.Blocking
+module Heatmap = Tm_obs.Heatmap
+module Report = Tm_obs.Report
+module Recovery = Tm_engine.Recovery
+module Atomic_object = Tm_engine.Atomic_object
+module Experiment = Tm_sim.Experiment
+module Scheduler = Tm_sim.Scheduler
+
+let check_int = Helpers.check_int
+let check_bool = Helpers.check_bool
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Json: parse/print round trip.                                       *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Str "quote \" backslash \\ newline \n tab \t");
+        ("c", Json.List [ Json.Null; Json.Bool true; Json.Float 1.5 ]);
+        ("d", Json.Obj []);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> check_bool "round trip" true (v = v')
+  | Error e -> Alcotest.fail ("parse: " ^ e)
+
+let test_json_errors () =
+  List.iter
+    (fun s -> check_bool s true (Result.is_error (Json.parse s)))
+    [ "{"; "[1,]"; "\"unterminated"; "{\"a\" 1}"; "tru"; "" ]
+
+let test_json_ints_stay_ints () =
+  match Json.parse "{\"ts\":12345}" with
+  | Ok (Json.Obj [ ("ts", Json.Int 12345) ]) -> ()
+  | Ok j -> Alcotest.failf "unexpected %s" (Json.to_string j)
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Trace JSONL import: exact inverse of the exporter.                  *)
+
+let small_cfg seed =
+  Scheduler.config ~concurrency:4 ~total_txns:12 ~seed ~max_rounds:20_000 ()
+
+let uip = Experiment.setup Recovery.UIP Experiment.Semantic
+let du = Experiment.setup Recovery.DU Experiment.Semantic
+
+let recorded_trace () =
+  let row =
+    Experiment.run ~record_trace:true Experiment.bank_hotspot uip (small_cfg 3)
+  in
+  match row.Experiment.trace with
+  | Some tr -> tr
+  | None -> Alcotest.fail "no trace recorded"
+
+let test_jsonl_roundtrip () =
+  let tr = recorded_trace () in
+  let extra = [ ("scenario", "bank-hotspot"); ("setup", "UIP+NRBC") ] in
+  let dumped = Trace.to_jsonl ~extra tr in
+  match Trace.parse_jsonl dumped with
+  | Error e -> Alcotest.fail e
+  | Ok lines ->
+      let events = Trace.events tr in
+      check_int "all lines parsed" (List.length events) (List.length lines);
+      List.iter2
+        (fun (e : Trace.event) ((e' : Trace.event), extras) ->
+          check_bool "event equal" true (e = e');
+          check_bool "extras preserved" true (List.sort compare extras = List.sort compare extra))
+        events lines;
+      (* and re-exporting the parsed events is byte-identical *)
+      let rebuilt = Trace.of_events (List.map fst lines) in
+      Alcotest.(check string) "re-export" (Trace.to_jsonl ~extra tr)
+        (Trace.to_jsonl ~extra rebuilt)
+
+let test_jsonl_bad_line () =
+  check_bool "bad line rejected" true
+    (Result.is_error (Trace.parse_jsonl "{\"ts\":0,\"tid\":\"A\"}\nnot json\n"))
+
+(* ------------------------------------------------------------------ *)
+(* Timeline: the tiling invariant — phases sum to each span.           *)
+
+let timelines_of_row (row : Experiment.row) =
+  match row.Experiment.trace with
+  | Some tr -> Timeline.of_events (Trace.events tr)
+  | None -> Alcotest.fail "no trace recorded"
+
+let assert_tiling txns =
+  check_bool "some transactions" true (txns <> []);
+  List.iter
+    (fun (t : Timeline.txn) ->
+      check_bool "segments tile the span" true (Timeline.consistent t);
+      let by_phase =
+        List.fold_left
+          (fun acc ph -> acc + Timeline.phase_total t ph)
+          0 Timeline.all_phases
+      in
+      check_int "phase totals sum to duration" (Timeline.duration t) by_phase)
+    txns
+
+let test_timeline_tiling_locking () =
+  let row =
+    Experiment.run ~record_trace:true Experiment.bank_hotspot uip (small_cfg 7)
+  in
+  let txns = timelines_of_row row in
+  assert_tiling txns;
+  (* a contended hot spot must show lock waiting somewhere *)
+  check_bool "some lock wait observed" true
+    (List.exists (fun t -> Timeline.phase_total t Timeline.Lock_wait > 0) txns)
+
+let test_timeline_tiling_occ () =
+  let row =
+    Experiment.run ~record_trace:true Experiment.bank_hotspot
+      (Experiment.setup ~occ:true Recovery.DU Experiment.Semantic)
+      (small_cfg 7)
+  in
+  let txns = timelines_of_row row in
+  assert_tiling txns;
+  check_bool "validation phases recorded" true
+    (List.exists (fun t -> Timeline.phase_total t Timeline.Validate > 0) txns)
+
+let test_timeline_tiling_durable_group_commit () =
+  let row, _wal =
+    Experiment.run_durable ~record_trace:true ~group_commit:4
+      Experiment.bank_hotspot uip (small_cfg 7)
+  in
+  let txns = timelines_of_row row in
+  assert_tiling txns;
+  check_bool "flush-wait phases recorded" true
+    (List.exists (fun t -> Timeline.phase_total t Timeline.Flush_wait > 0) txns);
+  List.iter
+    (fun (t : Timeline.txn) ->
+      check_int
+        (Fmt.str "%s wait_by_obj matches phases" (Tid.to_string t.Timeline.tid))
+        (Timeline.phase_total t Timeline.Lock_wait
+        + Timeline.phase_total t Timeline.Stall)
+        (List.fold_left (fun acc (_, d) -> acc + d) 0 (Timeline.wait_by_obj t)))
+    txns
+
+(* Replay of a durable trace (wal_flush_wait / durable / group-commit
+   spans present): non-operation spans are ignored and the history
+   passes the dynamic-atomicity checker.  Transactions kept few so the
+   exponential check runs. *)
+let durable_replay_gen = QCheck2.Gen.(int_bound 10_000)
+
+let durable_replay_prop seed =
+  let cfg =
+    Scheduler.config ~concurrency:3 ~total_txns:4 ~seed ~max_rounds:5_000
+      ~max_retries:4 ()
+  in
+  let row, _wal =
+    Experiment.run_durable ~record_trace:true ~group_commit:3 ~checkpoint_every:2
+      Experiment.bank_hotspot du cfg
+  in
+  match row.Experiment.trace with
+  | None -> false
+  | Some tr ->
+      (* the trace really contains the PR4/PR5 span kinds under test *)
+      let kinds = List.map (fun e -> Trace.kind_name e.Trace.kind) (Trace.events tr) in
+      List.mem "wal_flush_wait" kinds
+      && List.mem "durable" kinds
+      && List.mem "lock_release" kinds
+      &&
+      let h = Trace.to_history tr in
+      let env =
+        Atomicity.env_of_list
+          (List.map Atomic_object.spec (Experiment.bank_hotspot.Experiment.build du))
+      in
+      History.is_well_formed h && Atomicity.is_online_dynamic_atomic env h
+
+(* ------------------------------------------------------------------ *)
+(* Blocking: edges and critical-path attribution.                      *)
+
+let test_blocking_edges () =
+  let row =
+    Experiment.run ~record_trace:true Experiment.bank_hotspot uip (small_cfg 7)
+  in
+  let events =
+    match row.Experiment.trace with
+    | Some tr -> Trace.events tr
+    | None -> Alcotest.fail "no trace"
+  in
+  let edges = Blocking.edges events in
+  check_bool "hot spot produces blocking edges" true (edges <> []);
+  List.iter
+    (fun (e : Blocking.edge) ->
+      check_bool "positive weight" true (Blocking.weight e > 0);
+      check_bool "no self-blocking" true (not (Tid.equal e.Blocking.blocked e.Blocking.holder)))
+    edges;
+  let by_obj = Blocking.by_object edges in
+  check_bool "all blocking at the hot object" true
+    (match by_obj with [ ("BA", w, n) ] -> w > 0 && n > 0 | _ -> false);
+  (* blame totals tie out to the edge list *)
+  let total_w = List.fold_left (fun a e -> a + Blocking.weight e) 0 edges in
+  let blame_w =
+    List.fold_left (fun a (_, w, _) -> a + w) 0 (Blocking.by_holder edges)
+  in
+  check_int "blame conserves weight" total_w blame_w
+
+let test_critical_paths () =
+  let row =
+    Experiment.run ~record_trace:true Experiment.bank_hotspot uip (small_cfg 7)
+  in
+  let txns = timelines_of_row row in
+  List.iter
+    (fun ((t : Timeline.txn), phases) ->
+      check_int "critical path sums to span" (Timeline.duration t)
+        (List.fold_left (fun a (_, d) -> a + d) 0 phases))
+    (Blocking.critical_paths txns);
+  (* flame rows: top-level phases also conserve the total ticks *)
+  let flame = Blocking.flame txns in
+  let total_spans =
+    List.fold_left (fun a (t : Timeline.txn) -> a + Timeline.duration t) 0 txns
+  in
+  let flame_top =
+    List.fold_left
+      (fun a (path, d) -> match path with [ _ ] -> a + d | _ -> a)
+      0 flame
+  in
+  check_int "flame conserves ticks" total_spans flame_top
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus label escaping: exporter and parser are inverses.        *)
+
+let test_prometheus_escaping_roundtrip () =
+  let nasty = "a\\b\"c\nd" in
+  let reg = Metrics.create () in
+  Metrics.Counter.incr ~by:5 (Metrics.counter reg ~labels:[ ("k", nasty) ] "tm_x");
+  let text = Metrics.to_prometheus reg in
+  (* the raw newline must not survive into the sample line *)
+  check_bool "newline escaped in the text format" true (contains text "\\n");
+  check_bool "quote escaped in the text format" true (contains text "\\\"");
+  match Heatmap.parse_prometheus text with
+  | Error e -> Alcotest.fail e
+  | Ok samples -> (
+      match List.find_opt (fun (n, _, _) -> n = "tm_x") samples with
+      | Some (_, labels, v) ->
+          Alcotest.(check (option string)) "label value round trips"
+            (Some nasty) (List.assoc_opt "k" labels);
+          check_int "value" 5 (int_of_float v)
+      | None -> Alcotest.fail "series lost")
+
+(* ------------------------------------------------------------------ *)
+(* Heat maps: engine wiring and the UIP-vs-DU comparison.              *)
+
+(* The bench's OBS-A aggregation: one scenario under both semantic
+   setups merged into a labelled registry. *)
+let merged_registry scenario =
+  let merged = Metrics.create () in
+  List.iter
+    (fun s ->
+      let r = Experiment.run scenario s (small_cfg 7) in
+      Metrics.merge
+        ~extra_labels:[ ("scenario", r.Experiment.scenario); ("setup", r.Experiment.setup) ]
+        merged r.Experiment.metrics)
+    [ uip; du ];
+  merged
+
+let heatmaps_for scenario = Heatmap.of_metrics (merged_registry scenario)
+
+let test_heatmap_comparison_two_adts () =
+  List.iter
+    (fun (scenario, obj) ->
+      let maps = heatmaps_for scenario in
+      check_bool "maps for both setups" true (List.length maps >= 2);
+      let rows = Heatmap.comparison ~by:"setup" maps in
+      check_bool "comparison non-empty" true (rows <> []);
+      List.iter
+        (fun (shared, variants) ->
+          Alcotest.(check (option string)) "paired on the object" (Some obj)
+            (List.assoc_opt "obj" shared);
+          check_int "both setups present" 2 (List.length variants);
+          List.iter
+            (fun (_, m) -> check_bool "matrix non-empty" true (Heatmap.total m > 0))
+            variants)
+        rows)
+    [ (Experiment.bank_hotspot, "BA"); (Experiment.queue_semiqueue, "SQ") ]
+
+let test_heatmap_prometheus_roundtrip () =
+  let merged = merged_registry Experiment.bank_hotspot in
+  let maps = Heatmap.of_metrics merged in
+  check_bool "live maps exist" true (maps <> []);
+  match Heatmap.of_prometheus (Metrics.to_prometheus merged) with
+  | Error e -> Alcotest.fail e
+  | Ok maps' -> check_bool "offline equals live" true (maps = maps')
+
+(* ------------------------------------------------------------------ *)
+(* Report and the Perfetto exporter.                                   *)
+
+let report_of_run () =
+  let rows =
+    List.map
+      (fun s ->
+        Experiment.run ~record_trace:true Experiment.bank_hotspot s (small_cfg 7))
+      [ uip; du ]
+  in
+  let trace_jsonl =
+    String.concat ""
+      (List.filter_map
+         (fun (r : Experiment.row) ->
+           Option.map
+             (Trace.to_jsonl ~extra:[ ("scenario", r.scenario); ("setup", r.setup) ])
+             r.Experiment.trace)
+         rows)
+  in
+  let merged = Metrics.create () in
+  List.iter
+    (fun (r : Experiment.row) ->
+      Metrics.merge
+        ~extra_labels:[ ("scenario", r.scenario); ("setup", r.setup) ]
+        merged r.Experiment.metrics)
+    rows;
+  match
+    Report.of_sources ~trace_jsonl ~metrics_text:(Metrics.to_prometheus merged) ()
+  with
+  | Ok rep -> rep
+  | Error e -> Alcotest.fail e
+
+let test_report_groups_and_text () =
+  let rep = report_of_run () in
+  check_bool "not empty" true (not (Report.is_empty rep));
+  check_int "one group per setup" 2 (List.length rep.Report.groups);
+  let text = Report.to_text rep in
+  List.iter
+    (fun needle -> check_bool needle true (contains text needle))
+    [ "setup=UIP+NRBC"; "setup=DU+NFC"; "-- timelines --"; "heat-map comparison" ];
+  check_bool "no broken timelines" true (not (contains text "BROKEN"))
+
+let test_perfetto_golden () =
+  let rep = report_of_run () in
+  let out = Report.to_perfetto rep in
+  (* determinism: exporting twice is byte-identical *)
+  Alcotest.(check string) "deterministic" out (Report.to_perfetto rep);
+  match Json.parse out with
+  | Error e -> Alcotest.fail ("invalid JSON: " ^ e)
+  | Ok j ->
+      let events =
+        match Json.member "traceEvents" j with
+        | Some (Json.List es) -> es
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      check_bool "has events" true (events <> []);
+      (* ts monotone over the whole stream *)
+      let ts_of e =
+        match Json.member "ts" e with Some (Json.Int t) -> Some t | _ -> None
+      in
+      let tss = List.filter_map ts_of events in
+      check_bool "ts monotone" true
+        (fst
+           (List.fold_left
+              (fun (ok, prev) t -> (ok && t >= prev, t))
+              (true, min_int) tss));
+      (* pid mapping: groups numbered in first-appearance order, with
+         process_name metadata naming each *)
+      let meta_names =
+        List.filter_map
+          (fun e ->
+            match (Json.member "ph" e, Json.member "name" e) with
+            | Some (Json.Str "M"), Some (Json.Str "process_name") -> (
+                match (Json.member "pid" e, Json.member "args" e) with
+                | Some (Json.Int pid), Some args -> (
+                    match Json.member "name" args with
+                    | Some (Json.Str n) -> Some (pid, n)
+                    | _ -> None)
+                | _ -> None)
+            | _ -> None)
+          events
+      in
+      check_bool "pid 1 is the first group (UIP ran first)" true
+        (match List.assoc_opt 1 meta_names with
+        | Some n -> contains n "UIP"
+        | None -> false);
+      check_int "two processes" 2
+        (List.length (List.sort_uniq compare (List.map fst meta_names)));
+      (* every slice carries pid/tid/dur and a known phase name *)
+      let phase_names = List.map Timeline.phase_name Timeline.all_phases in
+      List.iter
+        (fun e ->
+          match Json.member "ph" e with
+          | Some (Json.Str "X") ->
+              check_bool "slice has pid" true (Json.member "pid" e <> None);
+              check_bool "slice has tid" true (Json.member "tid" e <> None);
+              (match (Json.member "name" e, Json.member "dur" e) with
+              | Some (Json.Str n), Some (Json.Int d) ->
+                  check_bool ("phase name " ^ n) true (List.mem n phase_names);
+                  check_bool "positive dur" true (d > 0)
+              | _ -> Alcotest.fail "slice missing name/dur")
+          | _ -> ())
+        events
+
+let test_report_empty_sources () =
+  match Report.of_sources () with
+  | Ok rep -> check_bool "empty" true (Report.is_empty rep)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json errors" `Quick test_json_errors;
+    Alcotest.test_case "json ints stay ints" `Quick test_json_ints_stay_ints;
+    Alcotest.test_case "trace jsonl round trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "trace jsonl bad line" `Quick test_jsonl_bad_line;
+    Alcotest.test_case "timeline tiling (locking)" `Quick test_timeline_tiling_locking;
+    Alcotest.test_case "timeline tiling (occ validate)" `Quick test_timeline_tiling_occ;
+    Alcotest.test_case "timeline tiling (durable, group commit)" `Quick
+      test_timeline_tiling_durable_group_commit;
+    Helpers.qcheck ~count:25 "durable trace replay passes the checker"
+      durable_replay_gen durable_replay_prop;
+    Alcotest.test_case "blocking edges" `Quick test_blocking_edges;
+    Alcotest.test_case "critical paths sum to spans" `Quick test_critical_paths;
+    Alcotest.test_case "prometheus escaping round trip" `Quick
+      test_prometheus_escaping_roundtrip;
+    Alcotest.test_case "heat-map comparison (BA, SQ)" `Quick
+      test_heatmap_comparison_two_adts;
+    Alcotest.test_case "heat maps offline = live" `Quick
+      test_heatmap_prometheus_roundtrip;
+    Alcotest.test_case "report groups and text" `Quick test_report_groups_and_text;
+    Alcotest.test_case "perfetto exporter golden" `Quick test_perfetto_golden;
+    Alcotest.test_case "report of empty sources" `Quick test_report_empty_sources;
+  ]

@@ -26,4 +26,5 @@ let () =
       ("properties", Test_properties.suite);
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
+      ("analytics", Test_analytics.suite);
     ]

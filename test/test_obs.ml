@@ -166,10 +166,10 @@ let test_trace_spans () =
   Database.commit db t;
   let kinds = List.map (fun e -> Trace.kind_name e.Trace.kind) (Trace.events tr) in
   Alcotest.(check (list string)) "span sequence"
-    [ "begin"; "invoke"; "executed"; "commit" ]
+    [ "begin"; "invoke"; "executed"; "lock_release"; "commit" ]
     kinds;
   (* timestamps are the monotonic emission order *)
-  Alcotest.(check (list int)) "timestamps" [ 0; 1; 2; 3 ]
+  Alcotest.(check (list int)) "timestamps" [ 0; 1; 2; 3; 4 ]
     (List.map (fun e -> e.Trace.ts) (Trace.events tr));
   let json = Trace.to_jsonl ~extra:[ ("setup", "UIP+NRBC") ] tr in
   List.iter
