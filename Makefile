@@ -1,6 +1,7 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all check test bench crashtest faulttest stresstest report clean
+.PHONY: all check test bench baseline benchdiff crashtest faulttest \
+  stresstest report walsmoke metricsdoc metricsdoc-check clean
 
 all:
 	dune build @all
@@ -51,6 +52,35 @@ report:
 
 bench:
 	dune exec bench/main.exe
+
+# Machine-readable bench baseline: BENCH_<rev>.json with named series
+# (includes the MB-scale recovery benchmark).  Use `--quick` sizes so
+# the run stays interactive; drop it for publication numbers.
+baseline:
+	dune exec bench/main.exe -- --json --quick
+
+# Compare a fresh quick run against the checked-in baseline.  Noisy
+# machines need the generous tolerance; exit status reflects
+# regressions, so drop --report-only to gate on it.
+benchdiff:
+	dune exec bench/main.exe -- --json _report/bench.json --quick
+	dune exec bin/benchdiff.exe -- bench/BASELINE.json _report/bench.json \
+	  --tolerance 50 --report-only
+
+# WAL forensics smoke: persist a crashtest-driven log image, inspect it
+# (record histogram, checkpoint coverage, corruption diagnosis), then
+# --verify replays it under the restart profiler.
+walsmoke:
+	dune exec bin/crashtest.exe -- --keep-log _report/wal.img
+	dune exec bin/walinspect.exe -- _report/wal.img --verify
+
+# Regenerate the metrics catalog doc from the declarative inventory.
+metricsdoc:
+	dune exec bin/metricsdoc.exe -- -o docs/METRICS.md
+
+# Fail if docs/METRICS.md drifted from the inventory (CI runs this).
+metricsdoc-check:
+	dune exec bin/metricsdoc.exe | diff - docs/METRICS.md
 
 clean:
 	dune clean

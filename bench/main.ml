@@ -684,6 +684,141 @@ let group_commit_pipeline () =
     base_rate
     (if rate8 >= base_rate then "OK" else "FAIL")
 
+(* ------------------------------------------------------------------ *)
+(* REC + --json: restart throughput on MB-scale generated logs, and    *)
+(* the machine-readable baseline (Bench_baseline) CI diffs against.    *)
+
+module Bench_baseline = Tm_obs.Bench_baseline
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let series name value units higher_is_better =
+  { Bench_baseline.name; value; units; higher_is_better }
+
+let rate n t = float_of_int n /. Float.max t 1e-9
+
+(* A deposit-only log big enough that decode/replay rates are
+   meaningful: 3 records per transaction, one transaction in a hundred
+   left in flight so loser resolution is exercised too.  Quick mode
+   (CI) is ~10k transactions (~1 MB encoded); full is ~50k (~5 MB). *)
+let recovery_log ~txns =
+  let wal = Wal.create () in
+  for i = 0 to txns - 1 do
+    let t = Tid.of_int i in
+    Wal.append wal (Wal.Begin t);
+    Wal.append wal (Wal.Operation (t, BA.deposit 1));
+    if i mod 100 <> 99 then Wal.append wal (Wal.Commit t)
+  done;
+  let recs = Wal.records wal in
+  (recs, Wal.Codec.encode_all recs)
+
+let recovery_series ~quick =
+  let txns = if quick then 10_000 else 50_000 in
+  let recs, bytes = recovery_log ~txns in
+  let n_records = List.length recs in
+  let n_bytes = String.length bytes in
+  let mb = float_of_int n_bytes /. 1_048_576. in
+  let decoded, t_decode = timed (fun () -> Wal.Codec.decode_all bytes) in
+  (match decoded with
+  | Ok d -> assert (List.length d.Wal.Codec.records = n_records)
+  | Error _ -> failwith "bench: generated log failed to decode");
+  let _, t_replay = timed (fun () -> Wal.replay recs) in
+  let rebuild () =
+    [
+      Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+        ~recovery:Tm_engine.Recovery.UIP ();
+    ]
+  in
+  let (), t_restart =
+    timed (fun () ->
+        match Disk_wal.load (Storage.of_string bytes) with
+        | Error _ -> failwith "bench: generated log failed to load"
+        | Ok dw -> (
+            match
+              Tm_engine.Durable_database.recover ~wal:(Disk_wal.wal dw)
+                ~rebuild ()
+            with
+            | Ok _ -> ()
+            | Error _ -> failwith "bench: generated log failed to recover"))
+  in
+  [
+    series "recovery.log_bytes" (float_of_int n_bytes) "bytes" false;
+    series "recovery.decode.records_per_sec" (rate n_records t_decode)
+      "records/s" true;
+    series "recovery.decode.mb_per_sec" (mb /. Float.max t_decode 1e-9) "MB/s"
+      true;
+    series "recovery.serial_replay.records_per_sec" (rate n_records t_replay)
+      "records/s" true;
+    series "recovery.serial_replay.mb_per_sec" (mb /. Float.max t_replay 1e-9)
+      "MB/s" true;
+    series "recovery.restart.records_per_sec" (rate n_records t_restart)
+      "records/s" true;
+    series "recovery.restart.seconds" t_restart "s" false;
+  ]
+
+(* The deterministic and throughput series riding along: scheduler
+   rounds are exactly reproducible (fixed seed), the group-commit pair
+   restates the GC section's verdicts as comparable scalars. *)
+let baseline_series ~quick () =
+  let recovery = recovery_series ~quick in
+  let commits, forces, elapsed = gc_run ~concurrency:8 in
+  let rounds setup =
+    let row = Experiment.run Experiment.bank_hotspot setup cfg in
+    assert row.Experiment.consistent;
+    float_of_int row.Experiment.stats.Scheduler.rounds
+  in
+  recovery
+  @ [
+      series "wal.group_commit.commits_per_sec" (rate commits elapsed)
+        "commits/s" true;
+      series "wal.group_commit.forces_per_commit"
+        (float_of_int forces /. Float.max (float_of_int commits) 1.)
+        "forces/commit" false;
+      series "sim.bank_hotspot.uip_nrbc.rounds"
+        (rounds (Experiment.setup Tm_engine.Recovery.UIP Experiment.Semantic))
+        "rounds" false;
+      series "sim.bank_hotspot.du_nfc.rounds"
+        (rounds (Experiment.setup Tm_engine.Recovery.DU Experiment.Semantic))
+        "rounds" false;
+    ]
+
+let recovery_bench ~quick () =
+  section "REC — restart throughput on a generated MB-scale log";
+  List.iter
+    (fun (s : Bench_baseline.series) ->
+      Fmt.pr "%-44s %14.4g %s@." s.name s.value s.units)
+    (recovery_series ~quick)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "dev"
+  with _ -> "dev"
+
+let write_baseline ~file ~quick =
+  let rev = git_rev () in
+  let file =
+    match file with "auto" -> Fmt.str "BENCH_%s.json" rev | f -> f
+  in
+  let b =
+    Bench_baseline.make
+      ~context:[ ("quick", string_of_bool quick) ]
+      ~rev
+      (baseline_series ~quick ())
+  in
+  let oc = open_out file in
+  output_string oc (Bench_baseline.to_string b);
+  close_out oc;
+  Fmt.pr "wrote %s (%d series, rev %s)@." file
+    (List.length b.Bench_baseline.series)
+    rev
+
 let micro_benchmarks () =
   section "MICRO — engine operation cost (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -735,7 +870,7 @@ let micro_benchmarks () =
       | _ -> Fmt.pr "%-40s (no estimate)@." name)
     results
 
-let () =
+let run_full ~quick () =
   Fmt.pr "Reproduction harness: Weihl, \"The Impact of Recovery on Concurrency Control\" (1989)@.";
   figure_6_1 ();
   figure_6_2 ();
@@ -755,5 +890,38 @@ let () =
   ext_views ();
   obs_breakdown ();
   obs_analytics ();
+  recovery_bench ~quick ();
   group_commit_pipeline ();
   micro_benchmarks ()
+
+let main json quick =
+  match json with
+  | Some file -> write_baseline ~file ~quick
+  | None -> run_full ~quick ()
+
+open Cmdliner
+
+let json_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "auto") (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Skip the text harness and write the machine-readable bench \
+           baseline (tm-bench JSON) to $(docv); without a value the file \
+           is named BENCH_<rev>.json after the current git revision.  \
+           Compare two baselines with bin/benchdiff.exe.")
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:
+          "Shrink the generated recovery logs (~1 MB instead of ~5 MB) so \
+           the baseline is cheap enough for CI.")
+
+let cmd =
+  let doc = "reproduction harness and benchmarks for the Weihl '89 repo" in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const main $ json_arg $ quick_arg)
+
+let () = exit (Cmd.eval cmd)

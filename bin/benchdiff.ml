@@ -1,0 +1,67 @@
+(* benchdiff: compare two bench-baseline JSON files.
+
+   A series regresses when it moves against its declared direction by
+   more than the tolerance (relative, percent).  Exit status: 0 when no
+   series regresses (or --report-only), 1 on regressions or unreadable
+   inputs.  CI runs this report-only against the checked-in baseline so
+   perf drift is visible in logs without flaking the build. *)
+
+module Bench = Tm_obs.Bench_baseline
+
+let load label file =
+  match Bench.of_string (Cli_util.read_file file) with
+  | Ok b -> b
+  | Error e ->
+      Fmt.epr "benchdiff: %s %s: %s@." label file e;
+      exit 1
+
+let main base_file current_file tolerance report_only =
+  let baseline = load "baseline" base_file in
+  let current = load "current" current_file in
+  Fmt.pr "baseline %s (rev %s)  vs  current %s (rev %s), tolerance %.0f%%@.@."
+    base_file baseline.Bench.rev current_file current.Bench.rev tolerance;
+  let verdicts = Bench.diff ~tolerance_pct:tolerance ~baseline current in
+  Fmt.pr "%a" Bench.pp_diff verdicts;
+  match Bench.regressions verdicts with
+  | [] -> Fmt.pr "@.no regressions@."
+  | rs ->
+      Fmt.pr "@.%d regression%s@." (List.length rs)
+        (if List.length rs = 1 then "" else "s");
+      if not report_only then exit 1
+
+open Cmdliner
+
+let base_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BASELINE" ~doc:"Baseline bench JSON.")
+
+let current_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"CURRENT" ~doc:"Current bench JSON to judge.")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 25.0
+    & info [ "tolerance" ] ~docv:"PCT"
+        ~doc:"Relative tolerance in percent before a change counts as a \
+              regression.")
+
+let report_only_arg =
+  Arg.(
+    value & flag
+    & info [ "report-only" ]
+        ~doc:"Print the comparison but always exit 0 (CI visibility \
+              without flaking the build).")
+
+let cmd =
+  let doc = "diff two bench baseline JSON files with a tolerance" in
+  Cmd.v
+    (Cmd.info "benchdiff" ~doc)
+    Term.(
+      const main $ base_arg $ current_arg $ tolerance_arg $ report_only_arg)
+
+let () = exit (Cmd.eval cmd)

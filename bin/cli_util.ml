@@ -57,10 +57,25 @@ let jsonl_of_rows rows =
            r.Tm_sim.Experiment.trace)
        rows)
 
-let write_metrics_rows file rows =
-  with_out file (fun oc -> output_string oc (prom_of_rows rows));
+(* Dumps are self-describing: a one-line Artifact header (schema, the
+   producing binary, seed, run configuration) leads the file.  On the
+   Prometheus side it is a comment, on the JSONL side a {"meta":...}
+   line; both readers validate the family and skip it. *)
+
+let write_metrics_rows ?seed ?(config = []) file rows =
+  let meta =
+    Tm_obs.Artifact.make ~schema:Tm_obs.Artifact.metrics_schema ?seed ~config ()
+  in
+  with_out file (fun oc ->
+      output_string oc (Tm_obs.Artifact.prom_header meta);
+      output_string oc (prom_of_rows rows));
   Fmt.pr "wrote Prometheus snapshot to %s@." file
 
-let write_traces_rows file rows =
-  with_out file (fun oc -> output_string oc (jsonl_of_rows rows));
+let write_traces_rows ?seed ?(config = []) file rows =
+  let meta =
+    Tm_obs.Artifact.make ~schema:Tm_obs.Artifact.trace_schema ?seed ~config ()
+  in
+  with_out file (fun oc ->
+      output_string oc (Tm_obs.Artifact.header_line meta);
+      output_string oc (jsonl_of_rows rows));
   Fmt.pr "wrote trace (JSON lines) to %s@." file

@@ -48,6 +48,10 @@ let lines : string list ref = ref []
    dumps in the shared artifact formats. *)
 let rows : Experiment.row list ref = ref []
 
+(* The last driving run's encoded log image, for --keep-log: a real
+   crashtest-produced on-disk WAL that walinspect can be pointed at. *)
+let last_log : string option ref = ref None
+
 let say ~verbose fmt =
   Fmt.kstr
     (fun s ->
@@ -70,6 +74,7 @@ let record_mode ~verbose ~record_trace cfg checkpoint_every scenarios =
             Experiment.run_durable ~record_trace ~checkpoint_every scenario setup cfg
           in
           rows := row :: !rows;
+          last_log := Some (Wal.Codec.encode_all (Wal.records wal));
           let rebuild () = scenario.Experiment.build setup in
           let report = Crash.torture ~rebuild wal in
           total_cuts := !total_cuts + report.Crash.cuts;
@@ -114,6 +119,7 @@ let fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit sce
               ~checkpoint_every ~group_commit scenario setup cfg
           in
           rows := row :: !rows;
+          last_log := Some (Wal.Codec.encode_all (Wal.records wal));
 
           (* 2. Byte-granularity crash cuts over the encoded log. *)
           let report = Crash.torture_bytes ~rebuild wal in
@@ -198,7 +204,7 @@ let fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit sce
   !failures
 
 let main filter txns concurrency seed checkpoint_every fault group_commit report_file
-    trace_file metrics_file verbose =
+    trace_file metrics_file keep_log verbose =
   let scenarios =
     List.filter
       (fun (s : Experiment.scenario) ->
@@ -224,8 +230,23 @@ let main filter txns concurrency seed checkpoint_every fault group_commit report
           List.iter (fun l -> output_string oc (l ^ "\n")) (List.rev !lines));
       Fmt.pr "wrote report to %s@." file);
   let dump_rows = List.rev !rows in
-  Option.iter (fun f -> Cli_util.write_traces_rows f dump_rows) trace_file;
-  Option.iter (fun f -> Cli_util.write_metrics_rows f dump_rows) metrics_file;
+  let config =
+    [
+      ("txns", string_of_int txns);
+      ("concurrency", string_of_int concurrency);
+      ("checkpoint_every", string_of_int checkpoint_every);
+      ("fault", string_of_bool fault);
+      ("group_commit", string_of_int group_commit);
+    ]
+  in
+  Option.iter (fun f -> Cli_util.write_traces_rows ~seed ~config f dump_rows) trace_file;
+  Option.iter (fun f -> Cli_util.write_metrics_rows ~seed ~config f dump_rows) metrics_file;
+  (match keep_log, !last_log with
+  | Some file, Some bytes ->
+      Cli_util.with_out file (fun oc -> output_string oc bytes);
+      Fmt.pr "wrote on-disk WAL image (%d bytes) to %s@." (String.length bytes) file
+  | Some file, None -> Fmt.epr "--keep-log %s: no run produced a log@." file
+  | None, _ -> ());
   if failures > 0 then exit 1
 
 open Cmdliner
@@ -304,6 +325,15 @@ let metrics_arg =
           "Write a merged Prometheus text snapshot of the driving workload \
            runs to $(docv).")
 
+let keep_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "keep-log" ] ~docv:"FILE"
+        ~doc:
+          "Write the last driving run's encoded on-disk WAL image to $(docv) \
+           — a real log for walinspect to chew on.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every report, not just failures.")
 
@@ -314,6 +344,6 @@ let cmd =
     Term.(
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
       $ checkpoint_arg $ fault_arg $ group_commit_arg $ report_arg $ trace_arg
-      $ metrics_arg $ verbose_arg)
+      $ metrics_arg $ keep_log_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,29 @@
+(* metricsdoc: print (or write) the generated metrics catalog.
+
+   docs/METRICS.md is this program's output checked into the tree; CI
+   regenerates and diffs it, so the doc can only change together with
+   lib/obs/catalog.ml. *)
+
+let main out =
+  let md = Tm_obs.Catalog.to_markdown () in
+  match out with
+  | None -> print_string md
+  | Some file ->
+      Cli_util.with_out file (fun oc -> output_string oc md);
+      Fmt.pr "wrote %s (%d entries)@." file
+        (List.length Tm_obs.Catalog.all)
+
+open Cmdliner
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the catalog to $(docv) instead of stdout.")
+
+let cmd =
+  let doc = "generate docs/METRICS.md from the metrics catalog" in
+  Cmd.v (Cmd.info "metricsdoc" ~doc) Term.(const main $ out_arg)
+
+let () = exit (Cmd.eval cmd)

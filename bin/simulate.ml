@@ -33,8 +33,8 @@ let with_out = Cli_util.with_out
 
 let prom_of_rows = Cli_util.prom_of_rows
 let jsonl_of_rows = Cli_util.jsonl_of_rows
-let write_metrics file rows = Cli_util.write_metrics_rows file rows
-let write_traces file rows = Cli_util.write_traces_rows file rows
+let write_metrics = Cli_util.write_metrics_rows
+let write_traces = Cli_util.write_traces_rows
 
 (* --report/--perfetto: run the offline analytics (Tm_obs.Report) in
    process over the rows just produced — same pipeline obsreport runs on
@@ -170,12 +170,23 @@ let main name list_only recovery choice occ concurrency txns seed rounds group_c
         in
         Fmt.pr "%a@." Experiment.pp_table rows;
         Option.iter (fun n -> pp_group_commit_summary n rows) group_commit;
-        Option.iter (fun f -> write_metrics f rows) metrics_file;
+        let config =
+          [
+            ("scenario", name);
+            ("concurrency", string_of_int concurrency);
+            ("txns", string_of_int txns);
+          ]
+          @
+          match group_commit with
+          | Some n -> [ ("group_commit", string_of_int n) ]
+          | None -> []
+        in
+        Option.iter (fun f -> write_metrics ~seed ~config f rows) metrics_file;
         Option.iter (fun f -> write_report f rows) report_file;
         Option.iter (fun f -> write_perfetto f rows) perfetto_file;
         Option.iter
           (fun f ->
-            write_traces f rows;
+            write_traces ~seed ~config f rows;
             (* Specs don't depend on the setup, so any build serves as the
                checker environment. *)
             let specs =

@@ -136,9 +136,17 @@ let main threads txns seed force_delay verbose trace_file metrics_file =
      analyse a threaded run too.  Threaded timestamps still interleave
      deterministically per event (the recorder's clock is atomic under
      its mutex), though the interleaving itself is scheduling-dependent. *)
+  let config =
+    [ ("threads", string_of_int threads); ("txns", string_of_int txns) ]
+  in
+  let meta schema =
+    Tm_obs.Artifact.make ~schema ~seed ~config ()
+  in
   (match trace_file, trace with
   | Some file, Some tr ->
       Cli_util.with_out file (fun oc ->
+          output_string oc
+            (Tm_obs.Artifact.header_line (meta Tm_obs.Artifact.trace_schema));
           output_string oc
             (Tm_obs.Trace.to_jsonl
                ~extra:[ ("scenario", "stresstest"); ("setup", "UIP+NRBC") ]
@@ -147,7 +155,10 @@ let main threads txns seed force_delay verbose trace_file metrics_file =
   | _ -> ());
   Option.iter
     (fun file ->
-      Cli_util.with_out file (fun oc -> output_string oc (Metrics.to_prometheus reg));
+      Cli_util.with_out file (fun oc ->
+          output_string oc
+            (Tm_obs.Artifact.prom_header (meta Tm_obs.Artifact.metrics_schema));
+          output_string oc (Metrics.to_prometheus reg));
       Fmt.pr "wrote Prometheus snapshot to %s@." file)
     metrics_file;
   if !failures > 0 then exit 1;

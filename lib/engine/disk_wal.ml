@@ -81,10 +81,22 @@ let create ?retry storage =
     with_retry t (fun () -> Storage.write_at storage ~pos:0 "");
   t
 
-let load ?retry storage =
+let load ?retry ?profile storage =
   (* Reads are not retried on content grounds — a short or bit-flipped
      read is silent, and it is the decoder's job to catch it. *)
-  match Wal.Codec.decode_all (Storage.read_all storage) with
+  let module Profile = Tm_obs.Recovery_profile in
+  let bytes =
+    match profile with
+    | None -> Storage.read_all storage
+    | Some p ->
+        let bytes =
+          Profile.time p Profile.Storage_scan (fun () ->
+              Storage.read_all storage)
+        in
+        Profile.note_bytes_scanned p (String.length bytes);
+        bytes
+  in
+  match Wal.Codec.decode_all ?profile bytes with
   | Error _ as e -> e
   | Ok { Wal.Codec.records; clean_bytes; torn = _ } ->
       (* The mirror is rebuilt before the sink is installed, so the

@@ -35,8 +35,14 @@ val create : ?retry:retry -> Storage.t -> t
 (** [load ?retry storage] rebuilds the log from the backend's bytes.  A
     torn or corrupt tail is truncated (crash loss; recovery proceeds);
     interior corruption is returned as [Error] with its byte offset —
-    never skipped. *)
-val load : ?retry:retry -> Storage.t -> (t, Wal.Codec.corruption) result
+    never skipped.  With [profile], the storage read is charged to the
+    restart profiler's storage-scan phase and decoding to the
+    frame-decode / checksum-verify phases. *)
+val load :
+  ?retry:retry ->
+  ?profile:Tm_obs.Recovery_profile.t ->
+  Storage.t ->
+  (t, Wal.Codec.corruption) result
 
 (** The in-memory mirror.  Appends to it are persisted (with retry) as
     they happen; {!Wal.force} forces the backend. *)

@@ -111,9 +111,10 @@ let abort t tid =
   end;
   Database.abort t.db tid
 
-let recover ?trace ~wal ~rebuild () =
+let recover ?trace ?profile ~wal ~rebuild () =
+  let module Profile = Tm_obs.Recovery_profile in
   let recs = Wal.records wal in
-  let committed, losers = Wal.replay recs in
+  let committed, losers = Wal.replay ?profile recs in
   (* Post-crash transactions must allocate above every tid the log still
      mentions: a reused tid would merge a new transaction's records with
      a pre-crash loser's on the next replay. *)
@@ -129,7 +130,16 @@ let recover ?trace ~wal ~rebuild () =
             (fun (op : Op.t) -> String.equal op.obj (Atomic_object.name o))
             committed
         in
-        match Atomic_object.restore o mine with Ok () -> None | Error e -> Some e)
+        let restore () = Atomic_object.restore o mine in
+        let result =
+          match profile with
+          | None -> restore ()
+          | Some p ->
+              Profile.note_object_replay p ~obj:(Atomic_object.name o)
+                (List.length mine);
+              Profile.time p Profile.Object_replay restore
+        in
+        match result with Ok () -> None | Error e -> Some e)
       objs
   in
   match failed with
@@ -142,6 +152,18 @@ let recover ?trace ~wal ~rebuild () =
         (Metrics.counter reg "tm_recovery_replayed_ops_total");
       Metrics.Counter.incr ~by:(Tid.Set.cardinal losers)
         (Metrics.counter reg "tm_recovery_loser_txns_total");
+      (match profile with
+      | None -> ()
+      | Some p ->
+          (* The restart is complete: stamp the end-to-end wall, publish
+             the tm_recovery_* family into the recovered database's
+             registry, and emit one trace span per profiled phase. *)
+          Profile.finish p;
+          Profile.export p reg;
+          List.iter
+            (fun (phase, wall_us, items) ->
+              emit_system t.db (Trace.Recovery_phase { phase; wall_us; items }))
+            (Profile.spans p));
       emit_system t.db
         (Trace.Crash_recover
            { replayed = List.length committed; losers = Tid.Set.cardinal losers });

@@ -89,7 +89,17 @@ val checkpoint : t -> unit
     later replay.  Replay volume is counted as
     [tm_recovery_replayed_ops_total] / [tm_recovery_loser_txns_total] in
     the new database's registry; [trace], if given, is attached to it
-    and receives the [Crash_recover] span. *)
+    and receives the [Crash_recover] span.
+
+    With [profile], the restart profiler is threaded through the replay
+    (log scan, checkpoint seeding, loser resolution) and the per-object
+    restore loop; on success the profile is finished, exported as the
+    [tm_recovery_*] metric family into the new registry, and emitted as
+    one [Recovery_phase] trace span per phase.  Callers that loaded the
+    log from storage pass the {e same} profile to
+    {!Disk_wal.load} first, so the storage-scan / decode / CRC phases
+    land in the same profile. *)
 val recover :
-  ?trace:Tm_obs.Trace.t -> wal:Wal.t -> rebuild:(unit -> Atomic_object.t list) ->
+  ?trace:Tm_obs.Trace.t -> ?profile:Tm_obs.Recovery_profile.t -> wal:Wal.t ->
+  rebuild:(unit -> Atomic_object.t list) ->
   unit -> (t * Tid.Set.t, Recovery.error) result

@@ -1,5 +1,6 @@
 open Tm_core
 module Metrics = Tm_obs.Metrics
+module Profile = Tm_obs.Recovery_profile
 
 type checkpoint = {
   committed : Op.t list;
@@ -265,7 +266,7 @@ type scan = {
   mutable hwm : int;  (* first tid strictly above every tid in the log *)
 }
 
-let scan recs =
+let scan ?profile recs =
   let st =
     {
       committed_rev = [];
@@ -301,26 +302,51 @@ let scan recs =
           (* The snapshot stands for the whole prefix: committed operations
              and the logs of transactions that were in flight when it was
              taken.  Everything else about the prefix is forgotten. *)
-          st.committed_rev <- List.rev cp.committed;
-          Hashtbl.reset st.ops_of;
-          Hashtbl.reset st.seen;
-          Hashtbl.reset st.finished;
-          List.iter
-            (fun (tid, ops) ->
-              note tid;
-              Hashtbl.replace st.seen tid ();
-              if ops <> [] then Hashtbl.replace st.ops_of tid (List.rev ops))
-            cp.live;
-          st.hwm <- max st.hwm cp.next_tid)
+          let seed () =
+            st.committed_rev <- List.rev cp.committed;
+            Hashtbl.reset st.ops_of;
+            Hashtbl.reset st.seen;
+            Hashtbl.reset st.finished;
+            List.iter
+              (fun (tid, ops) ->
+                note tid;
+                Hashtbl.replace st.seen tid ();
+                if ops <> [] then Hashtbl.replace st.ops_of tid (List.rev ops))
+              cp.live;
+            st.hwm <- max st.hwm cp.next_tid
+          in
+          (match profile with
+          | None -> seed ()
+          | Some p ->
+              Profile.note_checkpoint_seed p ~ops:(List.length cp.committed);
+              Profile.time p Profile.Checkpoint_seed seed))
     recs;
   st
 
-let replay recs =
-  let st = scan recs in
-  let losers =
+let replay ?profile recs =
+  let st =
+    match profile with
+    | None -> scan recs
+    | Some p ->
+        Profile.note_records_scanned p (List.length recs);
+        Profile.time_excluding p Profile.Log_scan ~minus:Profile.Checkpoint_seed
+          (fun () -> scan ~profile:p recs)
+  in
+  let compute_losers () =
     Hashtbl.fold
       (fun tid () acc -> if Hashtbl.mem st.finished tid then acc else Tid.Set.add tid acc)
       st.seen Tid.Set.empty
+  in
+  let losers =
+    match profile with
+    | None -> compute_losers ()
+    | Some p ->
+        (* Redo-only log: "undoing" a loser is resolving that it never
+           took effect — nothing to roll back, so this phase is pure
+           set computation. *)
+        let losers = Profile.time p Profile.Loser_undo compute_losers in
+        Profile.note_losers p (Tid.Set.cardinal losers);
+        losers
   in
   (List.rev st.committed_rev, losers)
 
@@ -479,8 +505,10 @@ module Codec = struct
   let pp_corruption ppf c = Fmt.pf ppf "byte %d: %s" c.offset c.reason
 
   (* Decode the frame starting at [pos]; [Ok (record, next_pos)] or the
-     reason it is unreadable. *)
-  let decode_frame s pos =
+     reason it is unreadable.  With a profile, CRC verification is
+     charged to its own phase (the rest of the frame work is the
+     caller's to account). *)
+  let decode_frame ?profile s pos =
     let len = String.length s in
     try
       if len - pos < header_size then raise (Bad "truncated header");
@@ -492,7 +520,13 @@ module Codec = struct
         raise (Bad "truncated payload");
       let expected = String.get_int32_le s (pos + 7) in
       let payload = String.sub s (pos + header_size) payload_len in
-      if crc32 payload <> expected then raise (Bad "crc mismatch");
+      let actual =
+        match profile with
+        | None -> crc32 payload
+        | Some p ->
+            Profile.time p Profile.Checksum_verify (fun () -> crc32 payload)
+      in
+      if actual <> expected then raise (Bad "crc mismatch");
       let r = { src = payload; pos = 0; stop = payload_len } in
       let record = get_record r in
       if r.pos <> r.stop then raise (Bad "trailing bytes in payload");
@@ -521,13 +555,15 @@ module Codec = struct
         (** a trailing torn/corrupt frame that was dropped as crash loss *)
   }
 
-  let decode_all s =
+  let decode_all ?profile s =
     let len = String.length s in
     let rec go acc pos =
       if pos = len then Ok { records = List.rev acc; clean_bytes = pos; torn = None }
       else
-        match decode_frame s pos with
-        | Ok (r, next) -> go (r :: acc) next
+        match decode_frame ?profile s pos with
+        | Ok (r, next) ->
+            (match profile with None -> () | Some p -> Profile.note_frame p);
+            go (r :: acc) next
         | Error c ->
             (* Tail or interior?  A later intact frame proves bytes past
                the damage were durably written, so the damage cannot be
@@ -535,7 +571,17 @@ module Codec = struct
             if valid_frame_after s (pos + 1) then Error c
             else Ok { records = List.rev acc; clean_bytes = pos; torn = Some c }
     in
-    go [] 0
+    match profile with
+    | None -> go [] 0
+    | Some p ->
+        let result =
+          Profile.time_excluding p Profile.Frame_decode
+            ~minus:Profile.Checksum_verify (fun () -> go [] 0)
+        in
+        (match result with
+        | Ok { clean_bytes; _ } -> Profile.note_torn_bytes p (len - clean_bytes)
+        | Error _ -> ());
+        result
 end
 
 let fuzzy_checkpoint ?(next_tid = 0) recs =

@@ -158,8 +158,13 @@ val truncate_to_checkpoint : t -> int
     record).  Operations of a transaction are redone only if its commit
     record is present; a transaction live at the latest checkpoint that
     commits afterwards replays its snapshot operations followed by the
-    ones it logged after the checkpoint. *)
-val replay : record list -> Op.t list * Tid.Set.t
+    ones it logged after the checkpoint.
+
+    With [profile], the fold is charged to the restart profiler:
+    records scanned, checkpoint seeding (time and seeded ops), the scan
+    itself, and loser resolution. *)
+val replay :
+  ?profile:Tm_obs.Recovery_profile.t -> record list -> Op.t list * Tid.Set.t
 
 (** [max_tid records] is the highest transaction id mentioned anywhere in
     the log — by a record or by a checkpoint's [live]/[next_tid] snapshot
@@ -205,6 +210,22 @@ module Codec : sig
 
   val pp_corruption : Format.formatter -> corruption -> unit
 
+  (** [decode_frame s pos] decodes the single frame starting at byte
+      [pos]: [Ok (record, next_pos)] or the corruption that makes it
+      unreadable.  The forensic walker ({!Wal_inspect}) uses this to
+      attribute each record to its byte extent.  With [profile], CRC
+      verification is charged to the [Checksum_verify] phase. *)
+  val decode_frame :
+    ?profile:Tm_obs.Recovery_profile.t ->
+    string ->
+    int ->
+    (record * int, corruption) result
+
+  (** [valid_frame_after s pos] — is there an intact frame anywhere at or
+      after [pos]?  The resynchronisation scan behind the torn-tail /
+      interior-corruption distinction. *)
+  val valid_frame_after : string -> int -> bool
+
   type decoded = {
     records : record list;
     clean_bytes : int;  (** length of the intact prefix *)
@@ -213,6 +234,9 @@ module Codec : sig
   }
 
   (** [decode_all s] — [Ok] with the decoded records (and possibly a
-      truncated torn tail), or [Error] on interior corruption. *)
-  val decode_all : string -> (decoded, corruption) result
+      truncated torn tail), or [Error] on interior corruption.  With
+      [profile], frame decode and CRC verification are charged as
+      separate phases, and decoded frames / torn bytes are counted. *)
+  val decode_all :
+    ?profile:Tm_obs.Recovery_profile.t -> string -> (decoded, corruption) result
 end

@@ -1,0 +1,254 @@
+(* Forensic log inspection: everything that can be said about an
+   on-disk log's bytes WITHOUT replaying them.  The walker decodes frame
+   by frame ({!Wal.Codec.decode_frame}) so each record is attributed to
+   its byte extent, and classifies damage exactly as recovery would —
+   torn tail (dropped as crash loss) vs interior corruption (refused) —
+   using the same resynchronisation scan, so what walinspect prints is
+   what a restart will do. *)
+
+open Tm_core
+module Json = Tm_obs.Json
+
+type kind_stat = { count : int; bytes : int }
+
+type checkpoint_info = {
+  cp_lsn : int;  (* 1-based record position in the decoded log *)
+  cp_offset : int;  (* byte offset of its frame *)
+  cp_committed_ops : int;
+  cp_live : (Tid.t * int) list;  (* live txn -> ops carried in the snapshot *)
+  cp_next_tid : int;
+}
+
+type damage =
+  | Clean
+  | Torn_tail of Wal.Codec.corruption
+  | Interior of Wal.Codec.corruption
+
+type t = {
+  total_bytes : int;
+  clean_bytes : int;
+  records : int;
+  by_kind : (string * kind_stat) list;  (* fixed kind order, zeros included *)
+  lsn_range : (int * int) option;  (* 1-based positions, None when empty *)
+  tids_seen : int;
+  committed_txns : int;
+  aborted_txns : int;
+  max_tid : Tid.t option;
+  checkpoints : checkpoint_info list;
+  records_after_last_checkpoint : int;
+  damage : damage;
+}
+
+let kinds = [ "begin"; "operation"; "commit"; "abort"; "checkpoint" ]
+
+let inspect bytes =
+  let len = String.length bytes in
+  (* Walk the frames, keeping each record's offset and size. *)
+  let rec walk acc pos =
+    if pos >= len then (List.rev acc, pos, Clean)
+    else
+      match Wal.Codec.decode_frame bytes pos with
+      | Ok (r, next) -> walk ((r, pos, next - pos) :: acc) next
+      | Error c ->
+          if Wal.Codec.valid_frame_after bytes (pos + 1) then
+            (List.rev acc, pos, Interior c)
+          else (List.rev acc, pos, Torn_tail c)
+  in
+  let framed, clean_bytes, damage = walk [] 0 in
+  let stat = Hashtbl.create 8 in
+  List.iter
+    (fun (r, _, size) ->
+      let k = Wal.record_kind r in
+      let s =
+        Option.value (Hashtbl.find_opt stat k) ~default:{ count = 0; bytes = 0 }
+      in
+      Hashtbl.replace stat k { count = s.count + 1; bytes = s.bytes + size })
+    framed;
+  let by_kind =
+    List.map
+      (fun k ->
+        ( k,
+          Option.value (Hashtbl.find_opt stat k)
+            ~default:{ count = 0; bytes = 0 } ))
+      kinds
+  in
+  let seen = Hashtbl.create 16 in
+  let committed = Hashtbl.create 16 in
+  let aborted = Hashtbl.create 16 in
+  let note_tid tid = Hashtbl.replace seen tid () in
+  List.iter
+    (fun (r, _, _) ->
+      match r with
+      | Wal.Begin tid -> note_tid tid
+      | Wal.Operation (tid, _) -> note_tid tid
+      | Wal.Commit tid ->
+          note_tid tid;
+          Hashtbl.replace committed tid ()
+      | Wal.Abort tid ->
+          note_tid tid;
+          Hashtbl.replace aborted tid ()
+      | Wal.Checkpoint cp -> List.iter (fun (tid, _) -> note_tid tid) cp.Wal.live)
+    framed;
+  let checkpoints =
+    List.mapi (fun i (r, off, _) -> (i + 1, r, off)) framed
+    |> List.filter_map (fun (lsn, r, off) ->
+           match r with
+           | Wal.Checkpoint cp ->
+               Some
+                 {
+                   cp_lsn = lsn;
+                   cp_offset = off;
+                   cp_committed_ops = List.length cp.Wal.committed;
+                   cp_live =
+                     List.map
+                       (fun (tid, ops) -> (tid, List.length ops))
+                       cp.Wal.live;
+                   cp_next_tid = cp.Wal.next_tid;
+                 }
+           | _ -> None)
+  in
+  let records = List.length framed in
+  let records_after_last_checkpoint =
+    match List.rev checkpoints with
+    | [] -> records
+    | last :: _ -> records - last.cp_lsn
+  in
+  {
+    total_bytes = len;
+    clean_bytes;
+    records;
+    by_kind;
+    lsn_range = (if records = 0 then None else Some (1, records));
+    tids_seen = Hashtbl.length seen;
+    committed_txns = Hashtbl.length committed;
+    aborted_txns = Hashtbl.length aborted;
+    max_tid = Wal.max_tid (List.map (fun (r, _, _) -> r) framed);
+    checkpoints;
+    records_after_last_checkpoint;
+    damage;
+  }
+
+let damage_kind = function
+  | Clean -> "clean"
+  | Torn_tail _ -> "torn_tail"
+  | Interior _ -> "interior_corruption"
+
+let pp ppf t =
+  Fmt.pf ppf "log: %d bytes, %d intact, %d records@." t.total_bytes
+    t.clean_bytes t.records;
+  (match t.lsn_range with
+  | None -> Fmt.pf ppf "lsn range: (empty)@."
+  | Some (lo, hi) -> Fmt.pf ppf "lsn range: %d..%d@." lo hi);
+  Fmt.pf ppf "records by kind:@.";
+  List.iter
+    (fun (k, s) ->
+      if s.count > 0 then Fmt.pf ppf "  %-10s %8d  %10d bytes@." k s.count s.bytes)
+    t.by_kind;
+  Fmt.pf ppf "transactions: %d seen, %d committed, %d aborted%a@." t.tids_seen
+    t.committed_txns t.aborted_txns
+    (fun ppf -> function
+      | None -> ()
+      | Some m -> Fmt.pf ppf ", max tid %a" Tid.pp m)
+    t.max_tid;
+  (match t.checkpoints with
+  | [] -> Fmt.pf ppf "checkpoints: none@."
+  | cps ->
+      Fmt.pf ppf "checkpoints: %d@." (List.length cps);
+      List.iter
+        (fun cp ->
+          Fmt.pf ppf
+            "  lsn %d @@ byte %d: %d committed ops, next tid %d, live:%a@."
+            cp.cp_lsn cp.cp_offset cp.cp_committed_ops cp.cp_next_tid
+            (fun ppf -> function
+              | [] -> Fmt.pf ppf " (none)"
+              | live ->
+                  List.iter
+                    (fun (tid, n) -> Fmt.pf ppf " %a(%d ops)" Tid.pp tid n)
+                    live)
+            cp.cp_live)
+        cps);
+  Fmt.pf ppf "records after last checkpoint: %d@."
+    t.records_after_last_checkpoint;
+  match t.damage with
+  | Clean -> Fmt.pf ppf "damage: none (clean tail)@."
+  | Torn_tail c ->
+      Fmt.pf ppf
+        "damage: torn tail at %a — %d trailing bytes will be dropped as \
+         crash loss@."
+        Wal.Codec.pp_corruption c (t.total_bytes - t.clean_bytes)
+  | Interior c ->
+      Fmt.pf ppf
+        "damage: INTERIOR CORRUPTION at %a — intact frames follow the \
+         damage; recovery will refuse this log@."
+        Wal.Codec.pp_corruption c
+
+let to_json t =
+  let corruption_json (c : Wal.Codec.corruption) =
+    Json.Obj
+      [
+        ("offset", Json.Int c.Wal.Codec.offset);
+        ("reason", Json.Str c.Wal.Codec.reason);
+      ]
+  in
+  Json.Obj
+    [
+      ("total_bytes", Json.Int t.total_bytes);
+      ("clean_bytes", Json.Int t.clean_bytes);
+      ("records", Json.Int t.records);
+      ( "by_kind",
+        Json.Obj
+          (List.map
+             (fun (k, s) ->
+               ( k,
+                 Json.Obj
+                   [ ("count", Json.Int s.count); ("bytes", Json.Int s.bytes) ]
+               ))
+             t.by_kind) );
+      ( "lsn_range",
+        match t.lsn_range with
+        | None -> Json.Null
+        | Some (lo, hi) -> Json.List [ Json.Int lo; Json.Int hi ] );
+      ("tids_seen", Json.Int t.tids_seen);
+      ("committed_txns", Json.Int t.committed_txns);
+      ("aborted_txns", Json.Int t.aborted_txns);
+      ( "max_tid",
+        match t.max_tid with
+        | None -> Json.Null
+        | Some m -> Json.Int (Tid.to_int m) );
+      ( "checkpoints",
+        Json.List
+          (List.map
+             (fun cp ->
+               Json.Obj
+                 [
+                   ("lsn", Json.Int cp.cp_lsn);
+                   ("offset", Json.Int cp.cp_offset);
+                   ("committed_ops", Json.Int cp.cp_committed_ops);
+                   ( "live",
+                     Json.List
+                       (List.map
+                          (fun (tid, n) ->
+                            Json.Obj
+                              [
+                                ("tid", Json.Int (Tid.to_int tid));
+                                ("ops", Json.Int n);
+                              ])
+                          cp.cp_live) );
+                   ("next_tid", Json.Int cp.cp_next_tid);
+                 ])
+             t.checkpoints) );
+      ( "records_after_last_checkpoint",
+        Json.Int t.records_after_last_checkpoint );
+      ( "damage",
+        match t.damage with
+        | Clean -> Json.Obj [ ("kind", Json.Str "clean") ]
+        | Torn_tail c ->
+            Json.Obj
+              [ ("kind", Json.Str "torn_tail"); ("at", corruption_json c) ]
+        | Interior c ->
+            Json.Obj
+              [
+                ("kind", Json.Str "interior_corruption");
+                ("at", corruption_json c);
+              ] );
+    ]

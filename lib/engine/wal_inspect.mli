@@ -1,0 +1,71 @@
+(** Forensic inspection of an on-disk log's bytes — without replay.
+
+    The walker decodes frame by frame with {!Wal.Codec.decode_frame}, so
+    every record is attributed to a byte extent, and classifies damage
+    with the same resynchronisation scan recovery uses: a failing frame
+    with {e no} intact frame after it is a {!Torn_tail} (a restart drops
+    it as crash loss), a failing frame {e followed} by an intact one is
+    {!Interior} corruption (a restart refuses the log).  What this module
+    reports is therefore exactly what {!Disk_wal.load} will do, plus the
+    record-kind histogram, bytes by kind, LSN range, checkpoint coverage
+    and the live-transaction set at each checkpoint.
+
+    [bin/walinspect.exe] is the thin CLI over this module; keeping the
+    summary a library value lets tests assert reported corruption
+    offsets against the byte positions a fault injector actually
+    damaged. *)
+
+open Tm_core
+
+type kind_stat = { count : int; bytes : int  (** frame bytes incl. header *) }
+
+type checkpoint_info = {
+  cp_lsn : int;  (** 1-based record position in the decoded log *)
+  cp_offset : int;  (** byte offset of the checkpoint's frame *)
+  cp_committed_ops : int;
+  cp_live : (Tid.t * int) list;
+      (** transactions live at the checkpoint, with the number of
+          operations its snapshot carries for each *)
+  cp_next_tid : int;
+}
+
+type damage =
+  | Clean
+  | Torn_tail of Wal.Codec.corruption
+      (** trailing damage; a restart truncates it *)
+  | Interior of Wal.Codec.corruption
+      (** damage with intact frames after it; a restart refuses the log *)
+
+type t = {
+  total_bytes : int;
+  clean_bytes : int;  (** length of the intact prefix *)
+  records : int;
+  by_kind : (string * kind_stat) list;
+      (** every record kind in fixed order, zero entries included *)
+  lsn_range : (int * int) option;
+      (** 1-based record positions within this file ([None] when empty).
+          Compaction ({!Disk_wal.checkpoint_truncate}) rewrites the file
+          from its latest checkpoint, so positions restart at 1 after a
+          truncation — the range measures {e this} file, not the log's
+          lifetime LSNs. *)
+  tids_seen : int;  (** distinct transaction ids mentioned by any record *)
+  committed_txns : int;
+  aborted_txns : int;
+  max_tid : Tid.t option;
+  checkpoints : checkpoint_info list;
+  records_after_last_checkpoint : int;
+      (** the replay tail a restart must scan after seeding from the
+          latest checkpoint (= [records] when there is none) *)
+  damage : damage;
+}
+
+(** [inspect bytes] walks the raw log image (e.g.
+    [Storage.read_all storage] or a file's contents). *)
+val inspect : string -> t
+
+(** Short damage class: ["clean"], ["torn_tail"],
+    ["interior_corruption"]. *)
+val damage_kind : damage -> string
+
+val pp : Format.formatter -> t -> unit
+val to_json : t -> Tm_obs.Json.t

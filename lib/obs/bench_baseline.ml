@@ -1,0 +1,197 @@
+(* Machine-readable bench baselines: a named-series schema shared by
+   bench/main.exe --json (writer), bin/benchdiff.exe (comparator) and
+   CI.  One series is one scalar with a direction; the comparator diffs
+   two files with a relative tolerance, so perf claims in the repo are
+   checkable instead of anecdotal. *)
+
+type series = {
+  name : string;
+  value : float;
+  units : string;
+  higher_is_better : bool;
+}
+
+type t = {
+  rev : string;
+  context : (string * string) list;
+  series : series list;
+}
+
+let schema = Artifact.bench_schema
+
+let make ?(context = []) ~rev series = { rev; context; series }
+
+let find t name = List.find_opt (fun s -> s.name = name) t.series
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("rev", Json.Str t.rev);
+      ("context", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) t.context));
+      ( "series",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.Str s.name);
+                   ("value", Json.Float s.value);
+                   ("unit", Json.Str s.units);
+                   ("higher_is_better", Json.Bool s.higher_is_better);
+                 ])
+             t.series) );
+    ]
+
+let to_string t = Json.to_string (to_json t) ^ "\n"
+
+let number j =
+  match j with
+  | Json.Float f -> Some f
+  | Json.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let of_json j =
+  match Option.bind (Json.member "schema" j) Json.to_str with
+  | None -> Error "bench baseline: missing \"schema\""
+  | Some s when Artifact.family (Artifact.make ~schema:s ()) <> "tm-bench" ->
+      Error (Fmt.str "bench baseline: schema %S is not a tm-bench artifact" s)
+  | Some _ -> (
+      let rev =
+        Option.value
+          (Option.bind (Json.member "rev" j) Json.to_str)
+          ~default:"?"
+      in
+      let context =
+        match Json.member "context" j with
+        | Some c ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_str v))
+              (Json.entries c)
+        | None -> []
+      in
+      match Option.bind (Json.member "series" j) Json.to_list with
+      | None -> Error "bench baseline: missing \"series\" array"
+      | Some items -> (
+          let parse_series item =
+            match
+              ( Option.bind (Json.member "name" item) Json.to_str,
+                Option.bind (Json.member "value" item) number )
+            with
+            | Some name, Some value ->
+                Ok
+                  {
+                    name;
+                    value;
+                    units =
+                      Option.value
+                        (Option.bind (Json.member "unit" item) Json.to_str)
+                        ~default:"";
+                    higher_is_better =
+                      (match Json.member "higher_is_better" item with
+                      | Some (Json.Bool b) -> b
+                      | _ -> true);
+                  }
+            | _ -> Error "bench baseline: series needs \"name\" and \"value\""
+          in
+          let rec all acc = function
+            | [] -> Ok (List.rev acc)
+            | item :: rest -> (
+                match parse_series item with
+                | Ok s -> all (s :: acc) rest
+                | Error _ as e -> e)
+          in
+          match all [] items with
+          | Ok series -> Ok { rev; context; series }
+          | Error e -> Error e))
+
+let of_string s =
+  match Json.parse s with Error e -> Error e | Ok j -> of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Comparator                                                          *)
+
+type verdict = {
+  series_name : string;
+  base : float option;
+  current : float option;
+  delta_pct : float option;  (* signed, relative to base *)
+  regression : bool;
+  note : string;
+}
+
+let diff ?(tolerance_pct = 25.0) ~baseline current =
+  let of_base (b : series) =
+    match find current b.name with
+    | None ->
+        {
+          series_name = b.name;
+          base = Some b.value;
+          current = None;
+          delta_pct = None;
+          regression = true;
+          note = "missing in current run";
+        }
+    | Some c ->
+        if b.value = 0.0 then
+          {
+            series_name = b.name;
+            base = Some 0.0;
+            current = Some c.value;
+            delta_pct = None;
+            regression = false;
+            note = (if c.value = 0.0 then "unchanged (both 0)" else "baseline is 0");
+          }
+        else
+          let delta = (c.value -. b.value) /. Float.abs b.value *. 100.0 in
+          let bad =
+            if b.higher_is_better then delta < -.tolerance_pct
+            else delta > tolerance_pct
+          in
+          {
+            series_name = b.name;
+            base = Some b.value;
+            current = Some c.value;
+            delta_pct = Some delta;
+            regression = bad;
+            note =
+              (if bad then
+                 Fmt.str "REGRESSION: %+.1f%% (tolerance %.0f%%, %s is better)"
+                   delta tolerance_pct
+                   (if b.higher_is_better then "higher" else "lower")
+               else Fmt.str "%+.1f%% within %.0f%%" delta tolerance_pct);
+          }
+  in
+  let new_series =
+    List.filter_map
+      (fun (c : series) ->
+        if find baseline c.name = None then
+          Some
+            {
+              series_name = c.name;
+              base = None;
+              current = Some c.value;
+              delta_pct = None;
+              regression = false;
+              note = "new series (no baseline)";
+            }
+        else None)
+      current.series
+  in
+  List.map of_base baseline.series @ new_series
+
+let regressions verdicts = List.filter (fun v -> v.regression) verdicts
+
+let pp_verdict ppf v =
+  let num ppf = function
+    | None -> Fmt.pf ppf "%12s" "-"
+    | Some x -> Fmt.pf ppf "%12.4g" x
+  in
+  Fmt.pf ppf "%-40s %a %a  %s" v.series_name num v.base num v.current v.note
+
+let pp_diff ppf verdicts =
+  Fmt.pf ppf "%-40s %12s %12s@." "series" "baseline" "current";
+  List.iter (fun v -> Fmt.pf ppf "%a@." pp_verdict v) verdicts

@@ -1,0 +1,67 @@
+(** Machine-readable bench baselines.
+
+    [bench/main.exe --json] emits one of these files (named series of
+    throughput / latency / recovery-speed scalars, each with a unit and
+    a direction); [bin/benchdiff.exe] diffs two of them with a relative
+    tolerance.  The schema lives here — in the library, not the
+    executables — so the writer, the comparator and the tests share one
+    definition.
+
+    A series' [name] is dotted and stable across revisions
+    (e.g. ["recovery.serial_replay.records_per_sec"]); renaming one
+    breaks comparability and should be treated like renaming a metric. *)
+
+type series = {
+  name : string;
+  value : float;
+  units : string;  (** e.g. ["ops/s"], ["MB/s"], ["s"], ["bytes"] *)
+  higher_is_better : bool;
+}
+
+type t = {
+  rev : string;  (** producing revision (short git hash, or ["dev"]) *)
+  context : (string * string) list;  (** e.g. [("quick", "true")] *)
+  series : series list;
+}
+
+(** The artifact schema tag embedded in the JSON ({!Artifact.bench_schema}). *)
+val schema : string
+
+val make : ?context:(string * string) list -> rev:string -> series list -> t
+val find : t -> string -> series option
+
+(** {1 JSON} *)
+
+val to_json : t -> Json.t
+
+(** Newline-terminated single-document JSON. *)
+val to_string : t -> string
+
+(** Rejects non-[tm-bench] artifacts loudly. *)
+val of_json : Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+
+(** {1 Comparator} *)
+
+type verdict = {
+  series_name : string;
+  base : float option;
+  current : float option;
+  delta_pct : float option;  (** signed, relative to baseline *)
+  regression : bool;
+  note : string;
+}
+
+(** [diff ~tolerance_pct ~baseline current] — one verdict per baseline
+    series (a series missing from [current] is a regression) plus an
+    informational verdict per series new in [current].  A change is a
+    regression when it moves against the series' direction by more than
+    [tolerance_pct] percent (default 25).  A zero baseline never
+    regresses (no meaningful relative delta). *)
+val diff : ?tolerance_pct:float -> baseline:t -> t -> verdict list
+
+val regressions : verdict list -> verdict list
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_diff : Format.formatter -> verdict list -> unit

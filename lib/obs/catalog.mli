@@ -1,0 +1,34 @@
+(** The metrics catalog: one declarative entry per metric family the
+    codebase can register, with its kind, label keys and meaning.
+
+    The catalog is the source of truth for [docs/METRICS.md] (generated
+    by [bin/metricsdoc.exe]) and is checked against live registries by
+    the test suite, so a metric added to the code without a catalog
+    entry fails tests rather than silently shipping undocumented. *)
+
+type kind = Counter | Gauge | Histogram
+
+type entry = {
+  name : string;
+  kind : kind;
+  labels : string list;  (** label keys the registration site attaches *)
+  help : string;
+  section : string;  (** grouping heading for the generated doc *)
+}
+
+val kind_name : kind -> string
+
+(** Every entry, in document order (grouped by section). *)
+val all : entry list
+
+val find : string -> entry option
+
+(** [check reg] — every series registered in [reg] must be catalogued
+    with a matching kind, and must carry at least the catalogued label
+    keys (extra keys are allowed: {!Metrics.merge} adds distinguishing
+    labels like [setup]).  Returns the list of violations, one message
+    per offending series. *)
+val check : Metrics.t -> (unit, string list) result
+
+(** The generated [docs/METRICS.md] body, byte-for-byte. *)
+val to_markdown : unit -> string

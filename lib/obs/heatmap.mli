@@ -22,9 +22,18 @@ type t = {
       (** [(requested, held) -> count], deterministically sorted *)
 }
 
+(** The counter family the matrices are folded from
+    ([tm_lock_conflicts_total]). *)
+val conflicts_metric : string
+
 (** One matrix per distinct label set (minus [requested]/[held]) of the
     [tm_lock_conflicts_total] family; sorted by key. *)
 val of_metrics : Metrics.t -> t list
+
+(** [of_samples samples] folds pre-extracted [(labels, count)] conflict
+    samples into matrices — for callers that already parsed a snapshot
+    with {!parse_prometheus} and select the family themselves. *)
+val of_samples : (labels * int) list -> t list
 
 val obj : t -> string option
 val count : t -> requested:string -> held:string -> int

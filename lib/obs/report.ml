@@ -5,9 +5,20 @@ type group = {
   events : Trace.event list;
 }
 
+(* The restart profiler's export, reconstructed from the tm_recovery_*
+   samples of a Prometheus dump (summed across any extra labels a merged
+   snapshot carries). *)
+type recovery = {
+  phase_seconds : (string * float) list;  (* profiler phase order *)
+  wall_seconds : float option;
+  counts : (string * int) list;  (* label-less tm_recovery_*_total *)
+  per_object : (string * int) list;  (* obj -> replayed ops *)
+}
+
 type t = {
   groups : group list;
   heatmaps : Heatmap.t list;
+  recovery : recovery option;
 }
 
 let groups_of_jsonl s =
@@ -37,6 +48,58 @@ let groups_of_jsonl s =
         |> List.map (fun key ->
                { group_labels = key; events = List.rev !(Hashtbl.find tbl key) }))
 
+(* Known phase order for display (unknown phases, e.g. from a newer
+   producer, are appended in sample order). *)
+let phase_order = List.map Recovery_profile.phase_name Recovery_profile.all_phases
+
+let recovery_of_samples samples =
+  let tm_recovery = "tm_recovery_" in
+  let is_recovery name =
+    String.length name >= String.length tm_recovery
+    && String.sub name 0 (String.length tm_recovery) = tm_recovery
+  in
+  let samples = List.filter (fun (n, _, _) -> is_recovery n) samples in
+  if samples = [] then None
+  else begin
+    let add assoc k v =
+      match List.assoc_opt k !assoc with
+      | Some prev -> assoc := (k, prev +. v) :: List.remove_assoc k !assoc
+      | None -> assoc := !assoc @ [ (k, v) ]
+    in
+    let phases = ref [] and counts = ref [] and objs = ref [] in
+    let wall = ref None in
+    List.iter
+      (fun (name, labels, v) ->
+        match name with
+        | "tm_recovery_phase_seconds" -> (
+            match List.assoc_opt "phase" labels with
+            | Some ph -> add phases ph v
+            | None -> ())
+        | "tm_recovery_wall_seconds" ->
+            wall := Some (Option.value !wall ~default:0.0 +. v)
+        | "tm_recovery_object_replayed_ops_total" -> (
+            match List.assoc_opt "obj" labels with
+            | Some obj -> add objs obj v
+            | None -> ())
+        | "tm_recovery_phase_calls_total" -> ()
+        | _ -> add counts name v)
+      samples;
+    let ordered =
+      List.filter_map
+        (fun ph ->
+          Option.map (fun v -> (ph, v)) (List.assoc_opt ph !phases))
+        phase_order
+      @ List.filter (fun (ph, _) -> not (List.mem ph phase_order)) !phases
+    in
+    Some
+      {
+        phase_seconds = ordered;
+        wall_seconds = !wall;
+        counts = List.map (fun (k, v) -> (k, int_of_float v)) !counts;
+        per_object = List.map (fun (k, v) -> (k, int_of_float v)) !objs;
+      }
+  end
+
 let of_sources ?trace_jsonl ?metrics_text () =
   let ( let* ) r f = Result.bind r f in
   let* groups =
@@ -47,18 +110,41 @@ let of_sources ?trace_jsonl ?metrics_text () =
         | Ok gs -> Ok gs
         | Error e -> Error ("trace: " ^ e))
   in
-  let* heatmaps =
+  let* samples =
     match metrics_text with
     | None -> Ok []
-    | Some s -> (
-        match Heatmap.of_prometheus s with
-        | Ok hs -> Ok hs
+    | Some s ->
+        (* Validate the self-describing header, when present: a metrics
+           dump must be a metrics-family artifact. *)
+        let* _meta =
+          match
+            Result.bind (Artifact.of_prom s) (function
+              | None -> Ok None
+              | Some m ->
+                  Result.map Option.some
+                    (Artifact.check_schema ~expect:Artifact.metrics_schema m))
+          with
+          | Ok m -> Ok m
+          | Error e -> Error ("metrics: " ^ e)
+        in
+        (match Heatmap.parse_prometheus s with
+        | Ok samples -> Ok samples
         | Error e -> Error ("metrics: " ^ e))
   in
-  Ok { groups; heatmaps }
+  let heatmaps =
+    samples
+    |> List.filter_map (fun (name, labels, v) ->
+           if name = Heatmap.conflicts_metric then
+             Some (labels, int_of_float v)
+           else None)
+    |> Heatmap.of_samples
+  in
+  Ok { groups; heatmaps; recovery = recovery_of_samples samples }
 
 let is_empty t =
-  t.heatmaps = [] && List.for_all (fun g -> g.events = []) t.groups
+  t.heatmaps = []
+  && t.recovery = None
+  && List.for_all (fun g -> g.events = []) t.groups
 
 (* ------------------------------------------------------------------ *)
 (* Text                                                                *)
@@ -128,7 +214,29 @@ let pp_text ppf t =
       Fmt.pf ppf "== heat-map comparison (by setup) ==@.";
       Heatmap.pp_comparison ~by:"setup" ppf t.heatmaps
     end
-  end
+  end;
+  match t.recovery with
+  | None -> ()
+  | Some r ->
+      Fmt.pf ppf "== recovery profile ==@.";
+      (match r.wall_seconds with
+      | Some w -> Fmt.pf ppf "end-to-end: %.3f ms@." (w *. 1e3)
+      | None -> ());
+      let total =
+        List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.phase_seconds
+      in
+      List.iter
+        (fun (ph, s) ->
+          let pct = if total > 0.0 then 100.0 *. s /. total else 0.0 in
+          Fmt.pf ppf "  %-16s %10.3f ms %5.1f%%@." ph (s *. 1e3) pct)
+        r.phase_seconds;
+      List.iter (fun (k, v) -> Fmt.pf ppf "  %-40s %10d@." k v) r.counts;
+      match r.per_object with
+      | [] -> ()
+      | objs ->
+          Fmt.pf ppf "  replayed ops by object:%a@."
+            Fmt.(list ~sep:nop (fun ppf (o, n) -> Fmt.pf ppf " %s=%d" o n))
+            objs
 
 let to_text t = Fmt.str "%a" pp_text t
 
@@ -197,11 +305,29 @@ let to_json t =
                h.Heatmap.cells) );
       ]
   in
+  let recovery_json r =
+    Json.Obj
+      [
+        ( "wall_seconds",
+          match r.wall_seconds with Some w -> Json.Float w | None -> Json.Null
+        );
+        ( "phase_seconds",
+          Json.Obj (List.map (fun (ph, s) -> (ph, Json.Float s)) r.phase_seconds)
+        );
+        ("counts", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counts));
+        ( "per_object",
+          Json.Obj (List.map (fun (o, n) -> (o, Json.Int n)) r.per_object) );
+      ]
+  in
   Json.Obj
-    [
-      ("groups", Json.List (List.map group_json t.groups));
-      ("heatmaps", Json.List (List.map heatmap_json t.heatmaps));
-    ]
+    ([
+       ("groups", Json.List (List.map group_json t.groups));
+       ("heatmaps", Json.List (List.map heatmap_json t.heatmaps));
+     ]
+    @
+    match t.recovery with
+    | None -> []
+    | Some r -> [ ("recovery", recovery_json r) ])
 
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event (Perfetto) exporter                              *)

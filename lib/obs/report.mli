@@ -22,9 +22,25 @@ type group = {
   events : Trace.event list;
 }
 
+(** The restart profiler's export, reconstructed from the
+    [tm_recovery_*] samples of a metrics snapshot (values summed across
+    any extra labels a merged snapshot carries). *)
+type recovery = {
+  phase_seconds : (string * float) list;
+      (** per-phase wall seconds, in profiler phase order *)
+  wall_seconds : float option;  (** [tm_recovery_wall_seconds] *)
+  counts : (string * int) list;
+      (** the label-less [tm_recovery_*_total] volume counters, keyed by
+          full metric name *)
+  per_object : (string * int) list;  (** object -> replayed operations *)
+}
+
 type t = {
   groups : group list;
   heatmaps : Heatmap.t list;
+  recovery : recovery option;
+      (** present when the metrics snapshot carries [tm_recovery_*]
+          samples *)
 }
 
 (** [groups_of_jsonl s] parses a {!Trace.to_jsonl} dump and splits it by
@@ -33,7 +49,9 @@ val groups_of_jsonl : string -> (group list, string) result
 
 (** Build a report from raw file contents.  Either source may be absent;
     both absent (or both empty) yields an [is_empty] report, which the
-    CLI treats as failure. *)
+    CLI treats as failure.  Self-describing {!Artifact} headers are
+    validated when present: a metrics dump must carry a metrics-family
+    header (the trace side is validated by {!Trace.parse_jsonl}). *)
 val of_sources :
   ?trace_jsonl:string -> ?metrics_text:string -> unit -> (t, string) result
 

@@ -98,7 +98,7 @@ let of_events events =
           match e.Trace.kind with
           | Trace.Begin | Trace.Invoke _ | Trace.Wal_append _ | Trace.Wal_force
           | Trace.Deadlock_victim _ | Trace.Lock_release _
-          | Trace.Checkpoint _ | Trace.Crash_recover _ ->
+          | Trace.Checkpoint _ | Trace.Crash_recover _ | Trace.Recovery_phase _ ->
               ()
           | Trace.Executed _ | Trace.Woken _ -> switch b e.Trace.ts Run None
           | Trace.Blocked { obj; _ } -> switch b e.Trace.ts Lock_wait (Some obj)

@@ -19,6 +19,7 @@ type kind =
   | Durable of { lsn : int }
   | Checkpoint of { ops : int }
   | Crash_recover of { replayed : int; losers : int }
+  | Recovery_phase of { phase : string; wall_us : int; items : int }
 
 type event = {
   ts : int;
@@ -80,6 +81,7 @@ let kind_name = function
   | Durable _ -> "durable"
   | Checkpoint _ -> "checkpoint"
   | Crash_recover _ -> "crash_recover"
+  | Recovery_phase _ -> "recovery_phase"
 
 (* ------------------------------------------------------------------ *)
 (* JSON-lines export (hand-rolled; the repo deliberately has no JSON
@@ -146,6 +148,12 @@ let kind_fields = function
   | Checkpoint { ops } -> [ ("ops", string_of_int ops) ]
   | Crash_recover { replayed; losers } ->
       [ ("replayed", string_of_int replayed); ("losers", string_of_int losers) ]
+  | Recovery_phase { phase; wall_us; items } ->
+      [
+        ("phase", json_str phase);
+        ("wall_us", string_of_int wall_us);
+        ("items", string_of_int items);
+      ]
 
 let event_to_json ?(extra = []) e =
   json_obj
@@ -247,6 +255,10 @@ let kind_of_json name j =
   | "checkpoint" -> Checkpoint { ops = int_field "ops" j }
   | "crash_recover" ->
       Crash_recover { replayed = int_field "replayed" j; losers = int_field "losers" j }
+  | "recovery_phase" ->
+      Recovery_phase
+        { phase = str_field "phase" j; wall_us = int_field "wall_us" j;
+          items = int_field "items" j }
   | other -> raise (Bad_event (Fmt.str "unknown event kind %S" other))
 
 (* The fields each kind consumes, so whatever else rides on the line
@@ -265,6 +277,7 @@ let known_fields = function
   | "durable" -> [ "lsn" ]
   | "checkpoint" -> [ "ops" ]
   | "crash_recover" -> [ "replayed"; "losers" ]
+  | "recovery_phase" -> [ "phase"; "wall_us"; "items" ]
   | _ -> []
 
 let event_of_json j =
@@ -291,7 +304,24 @@ let parse_jsonl s =
   match Json.parse_lines s with
   | Error e -> Error e
   | Ok docs -> (
-      try Ok (List.map event_of_json docs) with Bad_event msg -> Error msg)
+      (* A leading artifact header is validated (wrong-family headers —
+         e.g. a metrics dump — fail here rather than as a bogus event)
+         and then skipped; headerless dumps parse as before. *)
+      let docs =
+        match docs with
+        | first :: rest when Artifact.is_header first -> (
+            match
+              Result.bind (Artifact.of_json first)
+                (Artifact.check_schema ~expect:Artifact.trace_schema)
+            with
+            | Ok _ -> Ok rest
+            | Error e -> Error e)
+        | docs -> Ok docs
+      in
+      match docs with
+      | Error e -> Error e
+      | Ok docs -> (
+          try Ok (List.map event_of_json docs) with Bad_event msg -> Error msg))
 
 (* ------------------------------------------------------------------ *)
 (* Replay: a recorded trace as a paper history.                        *)

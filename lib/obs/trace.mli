@@ -40,6 +40,9 @@ type kind =
       (** the watermark passed [lsn]: the commit is acknowledged durable *)
   | Checkpoint of { ops : int }
   | Crash_recover of { replayed : int; losers : int }
+  | Recovery_phase of { phase : string; wall_us : int; items : int }
+      (** one restart-profiler phase ({!Recovery_profile.phase_name}):
+          wall time in microseconds and the phase's item count *)
 
 type event = {
   ts : int;  (** monotonic logical timestamp, unique per recorder *)
@@ -84,7 +87,9 @@ val pp_event : Format.formatter -> event -> unit
 (** [parse_jsonl s] parses a {!to_jsonl} dump back into events, each with
     the extra string fields its line carried (e.g. the [scenario]/[setup]
     labels the CLI appends when several runs share one file).  The exact
-    inverse of the exporter on every kind. *)
+    inverse of the exporter on every kind.  A leading {!Artifact} header
+    line is validated (it must be a trace-family artifact) and
+    skipped. *)
 val parse_jsonl :
   string -> ((event * (string * string) list) list, string) result
 

@@ -27,4 +27,5 @@ let () =
       ("sim", Test_sim.suite);
       ("obs", Test_obs.suite);
       ("analytics", Test_analytics.suite);
+      ("walinspect", Test_walinspect.suite);
     ]

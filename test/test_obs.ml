@@ -51,6 +51,55 @@ let test_histogram_empty_and_bad_buckets () =
     "Metrics.histogram: bucket bounds must be strictly increasing") (fun () ->
       ignore (Metrics.histogram reg ~buckets:[| 2.; 2. |] "h2"))
 
+(* Quantile estimator edges: single sample, extreme q, all-equal
+   samples, and monotonicity in q. *)
+
+let test_quantile_single_sample () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 10.; 20. |] "h" in
+  Metrics.Histogram.observe h 5.;
+  let q v =
+    match Metrics.Histogram.quantile h v with
+    | Some x -> x
+    | None -> Alcotest.failf "quantile %g: None on non-empty histogram" v
+  in
+  check_float "q0 is the bucket's lower edge" 0. (q 0.);
+  check_float "q1 is the bucket's upper edge" 10. (q 1.);
+  Helpers.check_bool "q0.5 within the sample's bucket" true
+    (q 0.5 > 0. && q 0.5 <= 10.)
+
+let test_quantile_all_equal () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[| 5.; 10.; 20. |] "h" in
+  for _ = 1 to 50 do
+    Metrics.Histogram.observe h 7.
+  done;
+  (* every estimate interpolates inside the one occupied bucket *)
+  List.iter
+    (fun qv ->
+      match Metrics.Histogram.quantile h qv with
+      | Some x ->
+          Helpers.check_bool (Fmt.str "q%g inside (5,10]" qv) true
+            (x > 5. && x <= 10.)
+      | None -> Alcotest.failf "q%g: None" qv)
+    [ 0.01; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_quantile_monotone_in_q () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:Metrics.default_buckets "h" in
+  List.iter
+    (fun v -> Metrics.Histogram.observe h v)
+    [ 0.5; 3.; 3.; 17.; 40.; 120.; 800.; 4000.; 9000. ];
+  let last = ref neg_infinity in
+  List.iter
+    (fun qv ->
+      match Metrics.Histogram.quantile h qv with
+      | Some x ->
+          Helpers.check_bool (Fmt.str "q%g >= previous" qv) true (x >= !last);
+          last := x
+      | None -> Alcotest.failf "q%g: None" qv)
+    [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
 (* ------------------------------------------------------------------ *)
 (* Registry semantics: idempotent handles, labels, merging.            *)
 
@@ -208,6 +257,237 @@ let test_scheduler_row_counters () =
     (Metrics.counter_value row.Experiment.metrics "tm_sched_rounds_total")
 
 (* ------------------------------------------------------------------ *)
+(* Self-describing artifact headers: round trip, family validation.    *)
+
+module Artifact = Tm_obs.Artifact
+
+let sample_trace () =
+  let db = make_db () in
+  let tr = Trace.create () in
+  Database.set_trace db tr;
+  let t = Database.begin_txn db in
+  ignore (Database.invoke db t ~obj:"BA" (deposit_inv 5));
+  Database.commit db t;
+  tr
+
+let test_artifact_roundtrip () =
+  let meta =
+    Artifact.make ~schema:Artifact.trace_schema ~binary:"test.exe" ~seed:42
+      ~config:[ ("txns", "7") ] ()
+  in
+  (* JSONL side *)
+  (match Artifact.of_jsonl (Artifact.header_line meta ^ "{\"ts\":0}\n") with
+  | Ok (Some m) ->
+      Alcotest.(check string) "schema" Artifact.trace_schema m.Artifact.schema;
+      Alcotest.(check string) "binary" "test.exe" m.Artifact.binary;
+      Alcotest.(check (option int)) "seed" (Some 42) m.Artifact.seed;
+      Alcotest.(check (list (pair string string))) "config"
+        [ ("txns", "7") ] m.Artifact.config
+  | Ok None -> Alcotest.fail "header not found"
+  | Error e -> Alcotest.failf "of_jsonl: %s" e);
+  (* Prometheus side *)
+  let prom = Artifact.prom_header meta ^ "# TYPE tm_c counter\ntm_c 1\n" in
+  match Artifact.of_prom prom with
+  | Ok (Some m) -> Alcotest.(check (option int)) "prom seed" (Some 42) m.Artifact.seed
+  | Ok None -> Alcotest.fail "prom header not found"
+  | Error e -> Alcotest.failf "of_prom: %s" e
+
+let test_trace_parse_skips_and_validates_header () =
+  let tr = sample_trace () in
+  let dump = Trace.to_jsonl tr in
+  let n = Trace.length tr in
+  let meta = Artifact.make ~schema:Artifact.trace_schema ~seed:1 () in
+  (* headered dump parses to the same events as a headerless one *)
+  (match Trace.parse_jsonl (Artifact.header_line meta ^ dump) with
+  | Ok events -> Helpers.check_int "header skipped" n (List.length events)
+  | Error e -> Alcotest.failf "headered parse: %s" e);
+  (* an unknown version within the trace family is tolerated *)
+  (match
+     Trace.parse_jsonl
+       (Artifact.header_line (Artifact.make ~schema:"tm-trace/99" ()) ^ dump)
+   with
+  | Ok events -> Helpers.check_int "newer version tolerated" n (List.length events)
+  | Error e -> Alcotest.failf "versioned parse: %s" e);
+  (* a metrics-family header on a trace dump fails loudly *)
+  match
+    Trace.parse_jsonl
+      (Artifact.header_line (Artifact.make ~schema:Artifact.metrics_schema ()) ^ dump)
+  with
+  | Ok _ -> Alcotest.fail "metrics header accepted by trace parser"
+  | Error e -> Helpers.check_bool "error names the family" true (contains e "tm-metrics")
+
+let test_report_validates_metrics_header () =
+  let reg = Metrics.create () in
+  Metrics.Counter.incr (Metrics.counter reg "tm_txn_begins_total");
+  let body = Metrics.to_prometheus reg in
+  let good =
+    Artifact.prom_header (Artifact.make ~schema:Artifact.metrics_schema ()) ^ body
+  in
+  (match Tm_obs.Report.of_sources ~metrics_text:good () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "headered metrics rejected: %s" e);
+  let bad =
+    Artifact.prom_header (Artifact.make ~schema:Artifact.trace_schema ()) ^ body
+  in
+  match Tm_obs.Report.of_sources ~metrics_text:bad () with
+  | Ok _ -> Alcotest.fail "trace header accepted on metrics dump"
+  | Error e -> Helpers.check_bool "error names the family" true (contains e "tm-trace")
+
+(* ------------------------------------------------------------------ *)
+(* The metrics catalog: live registries must match it.                 *)
+
+module Catalog = Tm_obs.Catalog
+
+let test_catalog_covers_live_registries () =
+  (* a scheduler run exercises txn / lock / object / scheduler families *)
+  let cfg = Scheduler.config ~concurrency:8 ~total_txns:80 ~seed:3 () in
+  let row =
+    Experiment.run Experiment.bank_hotspot
+      (Experiment.setup Recovery.UIP Experiment.Semantic)
+      cfg
+  in
+  (match Catalog.check row.Experiment.metrics with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "scheduler registry:@.%s" (String.concat "\n" ps));
+  (* a durable run + profiled restart exercises wal / storage / recovery
+     / profiler families *)
+  let store = Tm_engine.Storage.memory () in
+  let dw = Tm_engine.Disk_wal.create store in
+  let wal = Tm_engine.Disk_wal.wal dw in
+  let rebuild () =
+    [
+      Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+        ~recovery:Recovery.UIP ();
+    ]
+  in
+  let module DD = Tm_engine.Durable_database in
+  let db = DD.create ~wal (rebuild ()) in
+  let a = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA" (deposit_inv 5));
+  Helpers.check_bool "commit" true (DD.try_commit db a = Ok ());
+  DD.checkpoint db;
+  (match Catalog.check (Database.metrics (DD.database db)) with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "durable registry:@.%s" (String.concat "\n" ps));
+  let profile = Tm_obs.Recovery_profile.create () in
+  match
+    Tm_engine.Disk_wal.load ~profile (Tm_engine.Storage.of_string
+      (Tm_engine.Storage.read_all store))
+  with
+  | Error _ -> Alcotest.fail "load failed"
+  | Ok loaded -> (
+      match
+        DD.recover ~profile ~wal:(Tm_engine.Disk_wal.wal loaded) ~rebuild ()
+      with
+      | Error _ -> Alcotest.fail "recover failed"
+      | Ok (db', _) -> (
+          match Catalog.check (Database.metrics (DD.database db')) with
+          | Ok () -> ()
+          | Error ps ->
+              Alcotest.failf "recovered registry:@.%s" (String.concat "\n" ps)))
+
+let test_catalog_rejects_strays () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "tm_not_in_catalog_total");
+  (* catalogued name registered with the wrong kind *)
+  ignore (Metrics.gauge reg "tm_txn_begins_total");
+  (* catalogued name missing its declared label key *)
+  ignore (Metrics.counter reg ~labels:[ ("other", "x") ] "tm_lock_conflicts_total");
+  match Catalog.check reg with
+  | Ok () -> Alcotest.fail "stray metrics accepted"
+  | Error ps ->
+      (* one for the unknown name, one for the kind clash, one per
+         missing label key of tm_lock_conflicts_total *)
+      Helpers.check_int "five violations" 5 (List.length ps);
+      Helpers.check_bool "unknown name reported" true
+        (List.exists (fun p -> contains p "tm_not_in_catalog_total") ps);
+      Helpers.check_bool "kind mismatch reported" true
+        (List.exists (fun p -> contains p "tm_txn_begins_total") ps);
+      Helpers.check_bool "label mismatch reported" true
+        (List.exists (fun p -> contains p "tm_lock_conflicts_total") ps)
+
+let test_catalog_markdown_mentions_everything () =
+  let md = Catalog.to_markdown () in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      Helpers.check_bool e.Catalog.name true (contains md e.Catalog.name))
+    Catalog.all
+
+(* ------------------------------------------------------------------ *)
+(* Bench baselines: JSON round trip and the comparator.                *)
+
+module Bench = Tm_obs.Bench_baseline
+
+let mk_series name value higher =
+  { Bench.name; value; units = "x/s"; higher_is_better = higher }
+
+let test_bench_roundtrip () =
+  let b =
+    Bench.make ~context:[ ("quick", "true") ] ~rev:"abc1234"
+      [ mk_series "a.rate" 100. true; mk_series "a.secs" 0.5 false ]
+  in
+  match Bench.of_string (Bench.to_string b) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok b' ->
+      Alcotest.(check string) "rev" "abc1234" b'.Bench.rev;
+      Alcotest.(check (list (pair string string))) "context"
+        [ ("quick", "true") ] b'.Bench.context;
+      Helpers.check_int "series" 2 (List.length b'.Bench.series);
+      (match Bench.find b' "a.secs" with
+      | Some s ->
+          check_float "value" 0.5 s.Bench.value;
+          Helpers.check_bool "direction" false s.Bench.higher_is_better
+      | None -> Alcotest.fail "a.secs lost");
+      (* non-bench artifacts are rejected loudly *)
+      match Bench.of_string "{\"schema\":\"tm-trace/1\",\"series\":[]}" with
+      | Ok _ -> Alcotest.fail "trace schema accepted as bench"
+      | Error e -> Helpers.check_bool "names the schema" true (contains e "tm-trace")
+
+let test_bench_diff_verdicts () =
+  let baseline =
+    Bench.make ~rev:"base"
+      [
+        mk_series "up.ok" 100. true;
+        mk_series "up.bad" 100. true;
+        mk_series "down.bad" 1.0 false;
+        mk_series "zero" 0. true;
+        mk_series "gone" 5. true;
+      ]
+  in
+  let current =
+    Bench.make ~rev:"cur"
+      [
+        mk_series "up.ok" 80. true;
+        (* -20%: inside tolerance *)
+        mk_series "up.bad" 60. true;
+        (* -40%: regression *)
+        mk_series "down.bad" 1.4 false;
+        (* +40% where lower is better: regression *)
+        mk_series "zero" 3. true;
+        (* zero baseline: never a regression *)
+        mk_series "fresh" 1. true;
+        (* new series: informational *)
+      ]
+  in
+  let verdicts = Bench.diff ~tolerance_pct:25. ~baseline current in
+  let verdict name =
+    match List.find_opt (fun v -> v.Bench.series_name = name) verdicts with
+    | Some v -> v
+    | None -> Alcotest.failf "no verdict for %s" name
+  in
+  Helpers.check_bool "within tolerance" false (verdict "up.ok").Bench.regression;
+  Helpers.check_bool "drop beyond tolerance" true (verdict "up.bad").Bench.regression;
+  Helpers.check_bool "rise against direction" true (verdict "down.bad").Bench.regression;
+  Helpers.check_bool "zero baseline tolerated" false (verdict "zero").Bench.regression;
+  Helpers.check_bool "missing series regresses" true (verdict "gone").Bench.regression;
+  Helpers.check_bool "new series informational" false (verdict "fresh").Bench.regression;
+  Helpers.check_int "regression count" 3 (List.length (Bench.regressions verdicts));
+  (* an improvement beyond tolerance is not a regression *)
+  let improved = Bench.make ~rev:"cur" [ mk_series "up.ok" 300. true ] in
+  let v = Bench.diff ~baseline:(Bench.make ~rev:"b" [ mk_series "up.ok" 100. true ]) improved in
+  Helpers.check_bool "improvement ok" false (List.hd v).Bench.regression
+
+(* ------------------------------------------------------------------ *)
 (* Round trip: recorded trace -> history -> dynamic-atomicity checker. *)
 
 let roundtrip_setups =
@@ -249,6 +529,21 @@ let suite =
     Alcotest.test_case "histogram overflow clamp" `Quick test_histogram_overflow_clamp;
     Alcotest.test_case "histogram empty / bad buckets" `Quick
       test_histogram_empty_and_bad_buckets;
+    Alcotest.test_case "quantile: single sample" `Quick test_quantile_single_sample;
+    Alcotest.test_case "quantile: all-equal samples" `Quick test_quantile_all_equal;
+    Alcotest.test_case "quantile: monotone in q" `Quick test_quantile_monotone_in_q;
+    Alcotest.test_case "artifact header round trip" `Quick test_artifact_roundtrip;
+    Alcotest.test_case "trace parser skips/validates header" `Quick
+      test_trace_parse_skips_and_validates_header;
+    Alcotest.test_case "report validates metrics header" `Quick
+      test_report_validates_metrics_header;
+    Alcotest.test_case "catalog covers live registries" `Quick
+      test_catalog_covers_live_registries;
+    Alcotest.test_case "catalog rejects strays" `Quick test_catalog_rejects_strays;
+    Alcotest.test_case "catalog markdown complete" `Quick
+      test_catalog_markdown_mentions_everything;
+    Alcotest.test_case "bench baseline round trip" `Quick test_bench_roundtrip;
+    Alcotest.test_case "bench diff verdicts" `Quick test_bench_diff_verdicts;
     Alcotest.test_case "labeled counters" `Quick test_counter_idempotent_and_labels;
     Alcotest.test_case "type clash" `Quick test_type_clash;
     Alcotest.test_case "merge" `Quick test_merge;

@@ -1,0 +1,388 @@
+(* The restart observability surface: Wal_inspect forensics (reported
+   corruption offsets must equal the byte positions the injector
+   actually damaged), the restart profiler (deterministic-clock timing,
+   phase tiling, metric export, end-to-end threading through
+   Disk_wal.load + Durable_database.recover), and the report side of
+   the tm_recovery_* family. *)
+
+open Tm_core
+module Wal = Tm_engine.Wal
+module Wal_inspect = Tm_engine.Wal_inspect
+module Storage = Tm_engine.Storage
+module Disk_wal = Tm_engine.Disk_wal
+module DD = Tm_engine.Durable_database
+module Atomic_object = Tm_engine.Atomic_object
+module Recovery = Tm_engine.Recovery
+module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
+module Profile = Tm_obs.Recovery_profile
+module BA = Tm_adt.Bank_account
+
+let deposit_inv i = Op.invocation ~args:[ Value.int i ] "deposit"
+
+let rebuild () =
+  [
+    Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
+      ~recovery:Recovery.UIP ();
+  ]
+
+(* A representative log: two commits, a mid-run fuzzy checkpoint, and
+   one transaction left in flight (a loser). *)
+let sample_records () =
+  let wal = Wal.create () in
+  let db = DD.create ~wal (rebuild ()) in
+  let a = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA" (deposit_inv 5));
+  Helpers.check_bool "a commits" true (DD.try_commit db a = Ok ());
+  let b = DD.begin_txn db in
+  ignore (DD.invoke db b ~obj:"BA" (deposit_inv 2));
+  DD.checkpoint db;
+  Helpers.check_bool "b commits" true (DD.try_commit db b = Ok ());
+  let c = DD.begin_txn db in
+  ignore (DD.invoke db c ~obj:"BA" (deposit_inv 1));
+  (* crash with c in flight *)
+  (Wal.records wal, b)
+
+(* Byte offset of each record's frame, from the codec itself — the
+   ground truth the inspector's reports are checked against. *)
+let frame_offsets recs =
+  let off = ref 0 in
+  List.map
+    (fun r ->
+      let here = !off in
+      off := !off + String.length (Wal.Codec.encode r);
+      here)
+    recs
+
+let flip_byte s i =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+  Bytes.to_string b
+
+let kind_count s kind =
+  match List.assoc_opt kind s.Wal_inspect.by_kind with
+  | Some st -> st.Wal_inspect.count
+  | None -> Alcotest.failf "kind %s missing from by_kind" kind
+
+(* ------------------------------------------------------------------ *)
+(* Forensics on a clean image.                                         *)
+
+let test_inspect_clean () =
+  let recs, b = sample_records () in
+  let bytes = Wal.Codec.encode_all recs in
+  let s = Wal_inspect.inspect bytes in
+  Helpers.check_int "records" (List.length recs) s.Wal_inspect.records;
+  Helpers.check_int "total = clean" s.Wal_inspect.total_bytes
+    s.Wal_inspect.clean_bytes;
+  Helpers.check_int "total bytes" (String.length bytes)
+    s.Wal_inspect.total_bytes;
+  Alcotest.(check string) "clean" "clean" (Wal_inspect.damage_kind s.Wal_inspect.damage);
+  Helpers.check_int "begins" 3 (kind_count s "begin");
+  Helpers.check_int "operations" 3 (kind_count s "operation");
+  Helpers.check_int "commits" 2 (kind_count s "commit");
+  Helpers.check_int "aborts" 0 (kind_count s "abort");
+  Helpers.check_int "checkpoints" 1 (kind_count s "checkpoint");
+  (* frame byte extents tile the whole file *)
+  let by_kind_bytes =
+    List.fold_left
+      (fun acc (_, st) -> acc + st.Wal_inspect.bytes)
+      0 s.Wal_inspect.by_kind
+  in
+  Helpers.check_int "kind bytes tile the file" (String.length bytes) by_kind_bytes;
+  Alcotest.(check (option (pair int int))) "lsn range"
+    (Some (1, List.length recs))
+    s.Wal_inspect.lsn_range;
+  Helpers.check_int "committed txns" 2 s.Wal_inspect.committed_txns;
+  Helpers.check_int "tids seen" 3 s.Wal_inspect.tids_seen;
+  (match s.Wal_inspect.checkpoints with
+  | [ cp ] ->
+      (* the checkpoint carries a's committed deposit and b live with
+         one logged operation *)
+      Helpers.check_int "cp committed ops" 1 cp.Wal_inspect.cp_committed_ops;
+      (match cp.Wal_inspect.cp_live with
+      | [ (tid, ops) ] ->
+          Helpers.check_bool "b live at checkpoint" true (Tid.equal tid b);
+          Helpers.check_int "b's snapshot ops" 1 ops
+      | live -> Alcotest.failf "expected 1 live txn, got %d" (List.length live));
+      let offsets = frame_offsets recs in
+      let cp_index = cp.Wal_inspect.cp_lsn - 1 in
+      Helpers.check_int "checkpoint offset matches codec ground truth"
+        (List.nth offsets cp_index) cp.Wal_inspect.cp_offset
+  | cps -> Alcotest.failf "expected 1 checkpoint, got %d" (List.length cps));
+  Helpers.check_int "replay tail after checkpoint"
+    (List.length recs - (match s.Wal_inspect.checkpoints with
+                         | [ cp ] -> cp.Wal_inspect.cp_lsn
+                         | _ -> 0))
+    s.Wal_inspect.records_after_last_checkpoint
+
+(* ------------------------------------------------------------------ *)
+(* Injected damage: the reported offset must be the damaged frame's
+   start, and the verdict must match what Disk_wal.load does.           *)
+
+let test_interior_flip_offset () =
+  let recs, _ = sample_records () in
+  let bytes = Wal.Codec.encode_all recs in
+  let offsets = frame_offsets recs in
+  (* flip a payload byte of an interior frame (index 2 of 9) *)
+  let victim = 2 in
+  let frame_start = List.nth offsets victim in
+  let corrupted = flip_byte bytes (frame_start + Wal.Codec.header_size + 1) in
+  let s = Wal_inspect.inspect corrupted in
+  (match s.Wal_inspect.damage with
+  | Wal_inspect.Interior c ->
+      Helpers.check_int "reported offset = damaged frame start" frame_start
+        c.Wal.Codec.offset
+  | d -> Alcotest.failf "expected interior corruption, got %s" (Wal_inspect.damage_kind d));
+  Helpers.check_int "clean prefix ends at the damage" frame_start
+    s.Wal_inspect.clean_bytes;
+  Helpers.check_int "records before the damage" victim s.Wal_inspect.records;
+  (* recovery agrees: load refuses with the same offset *)
+  match Disk_wal.load (Storage.of_string corrupted) with
+  | Error c -> Helpers.check_int "load refuses at same offset" frame_start c.Wal.Codec.offset
+  | Ok _ -> Alcotest.fail "load accepted interior corruption"
+
+let test_tail_flip_is_torn () =
+  let recs, _ = sample_records () in
+  let bytes = Wal.Codec.encode_all recs in
+  let offsets = frame_offsets recs in
+  let last = List.length recs - 1 in
+  let frame_start = List.nth offsets last in
+  let corrupted = flip_byte bytes (frame_start + Wal.Codec.header_size + 1) in
+  let s = Wal_inspect.inspect corrupted in
+  (match s.Wal_inspect.damage with
+  | Wal_inspect.Torn_tail c ->
+      Helpers.check_int "torn tail at last frame" frame_start c.Wal.Codec.offset
+  | d -> Alcotest.failf "expected torn tail, got %s" (Wal_inspect.damage_kind d));
+  Helpers.check_int "all but the last record" last s.Wal_inspect.records;
+  (* recovery agrees: load truncates and proceeds *)
+  match Disk_wal.load (Storage.of_string corrupted) with
+  | Ok dw ->
+      Helpers.check_int "load dropped exactly the torn record" last
+        (List.length (Wal.records (Disk_wal.wal dw)))
+  | Error c -> Alcotest.failf "load refused a torn tail: %a" Wal.Codec.pp_corruption c
+
+(* Every frame, both damage shapes: a byte flip inside frame k is
+   interior corruption at offset(k) when intact frames follow, torn
+   tail at offset(k) when k is last; a cut inside frame k is always a
+   torn tail at offset(k) with exactly k records readable. *)
+let test_damage_sweep () =
+  let recs, _ = sample_records () in
+  let bytes = Wal.Codec.encode_all recs in
+  let offsets = frame_offsets recs in
+  let n = List.length recs in
+  List.iteri
+    (fun k frame_start ->
+      let flipped = flip_byte bytes (frame_start + Wal.Codec.header_size) in
+      let s = Wal_inspect.inspect flipped in
+      let expect = if k = n - 1 then "torn_tail" else "interior_corruption" in
+      Alcotest.(check string)
+        (Fmt.str "flip in frame %d" k)
+        expect
+        (Wal_inspect.damage_kind s.Wal_inspect.damage);
+      (match s.Wal_inspect.damage with
+      | Wal_inspect.Interior c | Wal_inspect.Torn_tail c ->
+          Helpers.check_int
+            (Fmt.str "flip in frame %d reported at its start" k)
+            frame_start c.Wal.Codec.offset
+      | Wal_inspect.Clean -> Alcotest.fail "damage not detected");
+      (* cut mid-frame: a crash that lost the tail from inside frame k *)
+      let cut = String.sub bytes 0 (frame_start + 3) in
+      let s = Wal_inspect.inspect cut in
+      Alcotest.(check string)
+        (Fmt.str "cut in frame %d" k)
+        "torn_tail"
+        (Wal_inspect.damage_kind s.Wal_inspect.damage);
+      Helpers.check_int (Fmt.str "cut in frame %d keeps %d records" k k) k
+        s.Wal_inspect.records;
+      match s.Wal_inspect.damage with
+      | Wal_inspect.Torn_tail c ->
+          Helpers.check_int
+            (Fmt.str "cut in frame %d reported at its start" k)
+            frame_start c.Wal.Codec.offset
+      | _ -> Alcotest.fail "cut not reported as torn tail")
+    offsets
+
+(* ------------------------------------------------------------------ *)
+(* The restart profiler, under a deterministic clock.                  *)
+
+let fake_clock () =
+  let now = ref 0. in
+  ((fun () -> !now), fun d -> now := !now +. d)
+
+let test_profile_phases_tile () =
+  let clock, tick = fake_clock () in
+  let p = Profile.create ~clock () in
+  Profile.time p Profile.Storage_scan (fun () -> tick 2.);
+  (* an outer scan containing an inner seeding phase: the outer phase is
+     charged net of the inner one *)
+  Profile.time_excluding p Profile.Log_scan ~minus:Profile.Checkpoint_seed
+    (fun () ->
+      tick 1.;
+      Profile.time p Profile.Checkpoint_seed (fun () -> tick 3.);
+      tick 0.5);
+  let check_wall name expect ph =
+    Alcotest.(check (float 1e-9)) name expect (Profile.phase_wall p ph)
+  in
+  check_wall "storage scan" 2.0 Profile.Storage_scan;
+  check_wall "checkpoint seed" 3.0 Profile.Checkpoint_seed;
+  check_wall "log scan excludes nested seeding" 1.5 Profile.Log_scan;
+  Helpers.check_int "storage scan calls" 1 (Profile.phase_calls p Profile.Storage_scan);
+  Helpers.check_int "log scan calls" 1 (Profile.phase_calls p Profile.Log_scan);
+  Profile.finish p;
+  Alcotest.(check (float 1e-9)) "end-to-end wall" 6.5 (Profile.total_wall p)
+
+let test_profile_export_and_spans () =
+  let clock, tick = fake_clock () in
+  let p = Profile.create ~clock () in
+  Profile.time p Profile.Object_replay (fun () -> tick 0.25);
+  Profile.note_bytes_scanned p 1000;
+  Profile.note_torn_bytes p 7;
+  Profile.note_frame p;
+  Profile.note_frame p;
+  Profile.note_records_scanned p 2;
+  Profile.note_checkpoint_seed p ~ops:5;
+  Profile.note_object_replay p ~obj:"BA" 3;
+  Profile.note_object_replay p ~obj:"ACC" 1;
+  Profile.note_losers p 2;
+  Profile.finish p;
+  Alcotest.(check (list (pair string int)))
+    "per-object replay, sorted"
+    [ ("ACC", 1); ("BA", 3) ]
+    (Profile.per_object p);
+  let reg = Metrics.create () in
+  Profile.export p reg;
+  Helpers.check_int "bytes counter" 1000
+    (Metrics.counter_value reg "tm_recovery_bytes_scanned_total");
+  Helpers.check_int "torn counter" 7
+    (Metrics.counter_value reg "tm_recovery_torn_bytes_total");
+  Helpers.check_int "frames counter" 2
+    (Metrics.counter_value reg "tm_recovery_frames_decoded_total");
+  Helpers.check_int "seed ops counter" 5
+    (Metrics.counter_value reg "tm_recovery_checkpoint_seed_ops_total");
+  Helpers.check_int "per-object counter" 3
+    (Metrics.counter_value reg
+       ~labels:[ ("obj", "BA") ]
+       "tm_recovery_object_replayed_ops_total");
+  Alcotest.(check (option (float 1e-9))) "phase gauge"
+    (Some 0.25)
+    (Metrics.gauge_value reg
+       ~labels:[ ("phase", "object_replay") ]
+       "tm_recovery_phase_seconds");
+  (* spans omit phases that neither ran nor counted anything *)
+  let minimal = Profile.create ~clock () in
+  Profile.note_object_replay minimal ~obj:"BA" 4;
+  Alcotest.(check (list string)) "spans omit idle phases"
+    [ "object_replay" ]
+    (List.map (fun (n, _, _) -> n) (Profile.spans minimal));
+  match List.find_opt (fun (n, _, _) -> n = "object_replay") (Profile.spans p) with
+  | Some (_, wall_us, items) ->
+      Helpers.check_int "replay span wall (us)" 250_000 wall_us;
+      Helpers.check_int "replay span items" 4 items
+  | None -> Alcotest.fail "object_replay span missing"
+
+(* End to end: load + recover under one profile; counts must equal what
+   the log actually contains, the registry must carry the export, and
+   the trace must carry one recovery_phase span per reported phase. *)
+let test_recover_with_profile () =
+  let store = Storage.memory () in
+  let dw = Disk_wal.create store in
+  let wal = Disk_wal.wal dw in
+  let db = DD.create ~wal (rebuild ()) in
+  let a = DD.begin_txn db in
+  ignore (DD.invoke db a ~obj:"BA" (deposit_inv 5));
+  Helpers.check_bool "a commits" true (DD.try_commit db a = Ok ());
+  let b = DD.begin_txn db in
+  ignore (DD.invoke db b ~obj:"BA" (deposit_inv 2));
+  (* crash with b in flight *)
+  let image = Storage.read_all store in
+  let profile = Profile.create () in
+  let trace = Trace.create () in
+  let loaded =
+    match Disk_wal.load ~profile (Storage.of_string image) with
+    | Ok dw -> dw
+    | Error c -> Alcotest.failf "load: %a" Wal.Codec.pp_corruption c
+  in
+  let db', losers =
+    match
+      DD.recover ~trace ~profile ~wal:(Disk_wal.wal loaded) ~rebuild ()
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "recover failed"
+  in
+  Helpers.check_bool "b lost" true (Tid.Set.mem b losers);
+  let n_records = List.length (Wal.records (Disk_wal.wal loaded)) in
+  Helpers.check_int "bytes scanned = image size" (String.length image)
+    (Profile.bytes_scanned profile);
+  Helpers.check_int "frames decoded = records" n_records
+    (Profile.frames_decoded profile);
+  Helpers.check_int "records scanned = records" n_records
+    (Profile.records_scanned profile);
+  Helpers.check_int "replayed ops" 1 (Profile.replayed_ops profile);
+  Alcotest.(check (list (pair string int))) "per-object"
+    [ ("BA", 1) ]
+    (Profile.per_object profile);
+  Helpers.check_int "losers" 1 (Profile.loser_txns profile);
+  (* export landed in the recovered database's registry *)
+  let reg = Tm_engine.Database.metrics (DD.database db') in
+  Helpers.check_int "registry: bytes scanned" (String.length image)
+    (Metrics.counter_value reg "tm_recovery_bytes_scanned_total");
+  Helpers.check_int "registry: replayed (pre-existing family)" 1
+    (Metrics.counter_value reg "tm_recovery_replayed_ops_total");
+  (* one recovery_phase trace span per profile span *)
+  let phase_events =
+    List.filter_map
+      (fun e ->
+        match e.Trace.kind with
+        | Trace.Recovery_phase { phase; _ } -> Some phase
+        | _ -> None)
+      (Trace.events trace)
+  in
+  Alcotest.(check (list string)) "trace spans mirror profile spans"
+    (List.map (fun (n, _, _) -> n) (Profile.spans profile))
+    phase_events
+
+(* The report side: tm_recovery_* samples in a metrics dump surface as
+   the report's recovery section. *)
+let test_report_recovery_section () =
+  let clock, tick = fake_clock () in
+  let p = Profile.create ~clock () in
+  Profile.time p Profile.Log_scan (fun () -> tick 0.5);
+  Profile.note_bytes_scanned p 4096;
+  Profile.note_object_replay p ~obj:"BA" 6;
+  Profile.finish p;
+  let reg = Metrics.create () in
+  Profile.export p reg;
+  let metrics_text = Metrics.to_prometheus reg in
+  match Tm_obs.Report.of_sources ~metrics_text () with
+  | Error e -> Alcotest.failf "report: %s" e
+  | Ok rep -> (
+      match rep.Tm_obs.Report.recovery with
+      | None -> Alcotest.fail "recovery section missing"
+      | Some r ->
+          Alcotest.(check (option (float 1e-9))) "wall" (Some 0.5)
+            r.Tm_obs.Report.wall_seconds;
+          Alcotest.(check (float 1e-9)) "log_scan seconds" 0.5
+            (List.assoc "log_scan" r.Tm_obs.Report.phase_seconds);
+          Helpers.check_int "bytes count" 4096
+            (List.assoc "tm_recovery_bytes_scanned_total" r.Tm_obs.Report.counts);
+          Alcotest.(check (list (pair string int))) "per object"
+            [ ("BA", 6) ]
+            r.Tm_obs.Report.per_object)
+
+let suite =
+  [
+    Alcotest.test_case "inspect a clean image" `Quick test_inspect_clean;
+    Alcotest.test_case "interior flip: offset and refusal" `Quick
+      test_interior_flip_offset;
+    Alcotest.test_case "tail flip: torn, truncated, loaded" `Quick
+      test_tail_flip_is_torn;
+    Alcotest.test_case "damage sweep over every frame" `Quick test_damage_sweep;
+    Alcotest.test_case "profiler: phases tile (fake clock)" `Quick
+      test_profile_phases_tile;
+    Alcotest.test_case "profiler: export and spans" `Quick
+      test_profile_export_and_spans;
+    Alcotest.test_case "recover under a profile, end to end" `Quick
+      test_recover_with_profile;
+    Alcotest.test_case "report surfaces the recovery section" `Quick
+      test_report_recovery_section;
+  ]
