@@ -16,16 +16,19 @@ test:
 
 # Crash-injection torture: recover at every WAL append point across the
 # scenario matrix and fail on any recovery-invariant violation.
+# Recovery runs through the partitioned replay path (4 worker domains),
+# which must be observationally identical to serial replay.
 crashtest:
-	dune exec bin/crashtest.exe
+	dune exec bin/crashtest.exe -- --replay-workers 4
 
 # Storage-fault torture with a fixed seed: byte-granularity crash cuts,
 # bit-flip corruption sweeps, batch-prefix cuts inside group-commit
-# batches, and a fault-injected storage run that must match the
-# fault-free one (torn writes / transient errors absorbed by the WAL
-# retry loop).
+# batches, crash cuts inside a checkpoint-truncation journal (must roll
+# back or redo atomically), and a fault-injected storage run that must
+# match the fault-free one (torn writes / transient errors absorbed by
+# the WAL retry loop).  Also through the 4-worker parallel replay path.
 faulttest:
-	dune exec bin/crashtest.exe -- --fault --seed 11 --group-commit 4
+	dune exec bin/crashtest.exe -- --fault --seed 11 --group-commit 4 --replay-workers 4
 
 # Threaded group-commit stress with a pinned seed: OS threads against
 # the durable engine over slow storage; fails if any transaction is

@@ -701,19 +701,27 @@ let series name value units higher_is_better =
 let rate n t = float_of_int n /. Float.max t 1e-9
 
 (* A deposit-only log big enough that decode/replay rates are
-   meaningful: 3 records per transaction, one transaction in a hundred
-   left in flight so loser resolution is exercised too.  Quick mode
-   (CI) is ~10k transactions (~1 MB encoded); full is ~50k (~5 MB). *)
+   meaningful: 3 records per transaction spread round-robin over
+   [recovery_objects] accounts (so partitioned replay has partitions to
+   fill), one transaction in a hundred left in flight so loser
+   resolution is exercised too.  Quick mode (CI) is ~10k transactions
+   (~1 MB encoded); full is ~50k (~5 MB). *)
+let recovery_objects = 16
+
 let recovery_log ~txns =
   let wal = Wal.create () in
   for i = 0 to txns - 1 do
     let t = Tid.of_int i in
     Wal.append wal (Wal.Begin t);
-    Wal.append wal (Wal.Operation (t, BA.deposit 1));
+    let obj = Fmt.str "BA%d" (i mod recovery_objects) in
+    Wal.append wal
+      (Wal.Operation (t, Op.make ~obj ~args:[ Value.int 1 ] "deposit" Value.ok));
     if i mod 100 <> 99 then Wal.append wal (Wal.Commit t)
   done;
   let recs = Wal.records wal in
   (recs, Wal.Codec.encode_all recs)
+
+let recovery_worker_counts = [ 1; 2; 4; 8 ]
 
 let recovery_series ~quick =
   let txns = if quick then 10_000 else 50_000 in
@@ -727,23 +735,31 @@ let recovery_series ~quick =
   | Error _ -> failwith "bench: generated log failed to decode");
   let _, t_replay = timed (fun () -> Wal.replay recs) in
   let rebuild () =
-    [
-      Atomic_object.create ~spec:BA.spec ~conflict:BA.nrbc_conflict
-        ~recovery:Tm_engine.Recovery.UIP ();
-    ]
+    List.init recovery_objects (fun i ->
+        Atomic_object.create
+          ~spec:(Spec.rename BA.spec (Fmt.str "BA%d" i))
+          ~conflict:BA.nrbc_conflict ~recovery:Tm_engine.Recovery.UIP ())
   in
-  let (), t_restart =
-    timed (fun () ->
-        match Disk_wal.load (Storage.of_string bytes) with
-        | Error _ -> failwith "bench: generated log failed to load"
-        | Ok dw -> (
-            match
-              Tm_engine.Durable_database.recover ~wal:(Disk_wal.wal dw)
-                ~rebuild ()
-            with
-            | Ok _ -> ()
-            | Error _ -> failwith "bench: generated log failed to recover"))
+  (* End-to-end restart (storage read + decode + plan + replay) at each
+     worker count; workers = 1 is the serial baseline the parallel rates
+     are judged against. *)
+  let restart workers =
+    let (), t =
+      timed (fun () ->
+          match Disk_wal.load ~workers (Storage.of_string bytes) with
+          | Error _ -> failwith "bench: generated log failed to load"
+          | Ok dw -> (
+              match
+                Tm_engine.Durable_database.recover ~workers
+                  ~wal:(Disk_wal.wal dw) ~rebuild ()
+              with
+              | Ok _ -> ()
+              | Error _ -> failwith "bench: generated log failed to recover"))
+    in
+    t
   in
+  let restarts = List.map (fun w -> (w, restart w)) recovery_worker_counts in
+  let t_restart = List.assoc 1 restarts in
   [
     series "recovery.log_bytes" (float_of_int n_bytes) "bytes" false;
     series "recovery.decode.records_per_sec" (rate n_records t_decode)
@@ -758,6 +774,17 @@ let recovery_series ~quick =
       "records/s" true;
     series "recovery.restart.seconds" t_restart "s" false;
   ]
+  @ List.concat_map
+      (fun (w, t) ->
+        if w = 1 then []
+        else
+          [
+            series
+              (Fmt.str "recovery.restart.w%d.records_per_sec" w)
+              (rate n_records t) "records/s" true;
+            series (Fmt.str "recovery.restart.w%d.seconds" w) t "s" false;
+          ])
+      restarts
 
 (* The deterministic and throughput series riding along: scheduler
    rounds are exactly reproducible (fixed seed), the group-commit pair

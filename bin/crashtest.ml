@@ -62,7 +62,7 @@ let say ~verbose fmt =
 (* ------------------------------------------------------------------ *)
 (* Default mode: record-granularity torture.                           *)
 
-let record_mode ~verbose ~record_trace cfg checkpoint_every scenarios =
+let record_mode ~verbose ~record_trace ~workers cfg checkpoint_every scenarios =
   let failures = ref 0 in
   let total_cuts = ref 0 in
   let total_checked = ref 0 in
@@ -76,7 +76,7 @@ let record_mode ~verbose ~record_trace cfg checkpoint_every scenarios =
           rows := row :: !rows;
           last_log := Some (Wal.Codec.encode_all (Wal.records wal));
           let rebuild () = scenario.Experiment.build setup in
-          let report = Crash.torture ~rebuild wal in
+          let report = Crash.torture ~workers ~rebuild wal in
           total_cuts := !total_cuts + report.Crash.cuts;
           total_checked := !total_checked + report.Crash.atomicity_checked;
           if not (Crash.ok report) then incr failures;
@@ -95,9 +95,11 @@ let record_mode ~verbose ~record_trace cfg checkpoint_every scenarios =
 (* --fault mode: byte-granularity cuts, corruption sweeps, and a
    fault-injected storage run checked against the fault-free one.       *)
 
-let fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit scenarios =
+let fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
+    group_commit scenarios =
   let failures = ref 0 in
   let total_cuts = ref 0 in
+  let total_trunc_cuts = ref 0 in
   let total_batch_cuts = ref 0 in
   let total_flips = ref 0 in
   let total_retries = ref 0 in
@@ -122,11 +124,20 @@ let fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit sce
           last_log := Some (Wal.Codec.encode_all (Wal.records wal));
 
           (* 2. Byte-granularity crash cuts over the encoded log. *)
-          let report = Crash.torture_bytes ~rebuild wal in
+          let report = Crash.torture_bytes ~workers ~rebuild wal in
           total_cuts := !total_cuts + report.Crash.cuts;
           if not (Crash.ok report) then incr failures;
           say ~verbose:(verbose || not (Crash.ok report)) "%s bytes:  %a" combo
             Crash.pp_report report;
+
+          (* 2a. Truncation torture: crash at every byte offset of the
+             crash-atomic log compaction (journal + install) and demand
+             the recovered state never changes. *)
+          let trunc = Crash.torture_truncation ~workers ~rebuild wal in
+          total_trunc_cuts := !total_trunc_cuts + trunc.Crash.cuts;
+          if not (Crash.ok trunc) then incr failures;
+          say ~verbose:(verbose || not (Crash.ok trunc)) "%s trunc:  %a" combo
+            Crash.pp_report trunc;
 
           (* 2b. Batch-prefix torture: cuts inside a group-commit batch
              must recover a prefix of the batch's commit order and never
@@ -195,16 +206,20 @@ let fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit sce
     say ~verbose:true "crashtest --fault: NO transient faults were injected/retried"
   end;
   say ~verbose:true
-    "crashtest --fault: %d combinations, %d byte cuts (+%d batch-prefix cuts, \
-     group commit %d), %d bit flips, %d faults injected, %d retries absorbed, \
-     %d failures"
+    "crashtest --fault: %d combinations, %d byte cuts (+%d truncation cuts, +%d \
+     batch-prefix cuts, group commit %d), %d bit flips, %d faults injected, %d \
+     retries absorbed, %d failures"
     (List.length scenarios * List.length setups)
-    !total_cuts !total_batch_cuts group_commit !total_flips !total_faults
-    !total_retries !failures;
+    !total_cuts !total_trunc_cuts !total_batch_cuts group_commit !total_flips
+    !total_faults !total_retries !failures;
   !failures
 
-let main filter txns concurrency seed checkpoint_every fault group_commit report_file
-    trace_file metrics_file keep_log verbose =
+let main filter txns concurrency seed checkpoint_every fault group_commit workers
+    report_file trace_file metrics_file keep_log verbose =
+  if workers < 1 then begin
+    Fmt.epr "--replay-workers must be >= 1@.";
+    exit 1
+  end;
   let scenarios =
     List.filter
       (fun (s : Experiment.scenario) ->
@@ -219,9 +234,9 @@ let main filter txns concurrency seed checkpoint_every fault group_commit report
   let record_trace = trace_file <> None in
   let failures =
     if fault then
-      fault_mode ~verbose ~record_trace cfg checkpoint_every seed group_commit
-        scenarios
-    else record_mode ~verbose ~record_trace cfg checkpoint_every scenarios
+      fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
+        group_commit scenarios
+    else record_mode ~verbose ~record_trace ~workers cfg checkpoint_every scenarios
   in
   (match report_file with
   | None -> ()
@@ -237,6 +252,7 @@ let main filter txns concurrency seed checkpoint_every fault group_commit report
       ("checkpoint_every", string_of_int checkpoint_every);
       ("fault", string_of_bool fault);
       ("group_commit", string_of_int group_commit);
+      ("replay_workers", string_of_int workers);
     ]
   in
   Option.iter (fun f -> Cli_util.write_traces_rows ~seed ~config f dump_rows) trace_file;
@@ -299,6 +315,17 @@ let group_commit_arg =
            (recovery must admit exactly a prefix of the batch's commit order, \
            and never lose a commit acknowledged at a flush frontier).")
 
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replay-workers" ] ~docv:"N"
+        ~doc:
+          "Run every recovery of the torture matrix through the partitioned \
+           parallel replay path with $(docv) worker domains (1: serial \
+           semantics on the calling domain).  The recovered state must be \
+           identical at any worker count — this flag exists so CI can prove \
+           it.")
+
 let report_arg =
   Arg.(
     value
@@ -343,7 +370,7 @@ let cmd =
     (Cmd.info "crashtest" ~doc)
     Term.(
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
-      $ checkpoint_arg $ fault_arg $ group_commit_arg $ report_arg $ trace_arg
-      $ metrics_arg $ keep_log_arg $ verbose_arg)
+      $ checkpoint_arg $ fault_arg $ group_commit_arg $ workers_arg $ report_arg
+      $ trace_arg $ metrics_arg $ keep_log_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

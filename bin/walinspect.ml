@@ -21,44 +21,50 @@ module Disk_wal = Tm_engine.Disk_wal
 module Profile = Tm_obs.Recovery_profile
 module Json = Tm_obs.Json
 
-let verify_profile bytes json =
+let verify_profile bytes json workers =
   let profile = Profile.create () in
   let storage = Storage.of_string bytes in
-  match Disk_wal.load ~profile storage with
+  match Disk_wal.load ~profile ~workers storage with
   | Error c ->
       Fmt.pr "verify: load refused: %a@." Wal.Codec.pp_corruption c;
       `Corrupt
   | Ok dw ->
-      let committed, losers =
-        Wal.replay ~profile (Wal.records (Disk_wal.wal dw))
-      in
+      (* The partitioned replay plan is what a real restart would build:
+         at --workers 1 its committed-op count and loser set are those of
+         the historical serial replay, bit for bit. *)
+      let plan = Wal.plan ~profile ~workers (Wal.records (Disk_wal.wal dw)) in
+      let losers = Wal.plan_losers plan in
       Profile.finish profile;
       if json then
         Fmt.pr "%s@."
           (Json.to_string
              (Json.Obj
                 [
-                  ("committed_ops", Json.Int (List.length committed));
+                  ("committed_ops", Json.Int plan.Wal.plan_ops);
                   ( "loser_txns",
                     Json.Int (Tm_core.Tid.Set.cardinal losers) );
                   ("profile", Profile.to_json profile);
                 ]))
       else begin
         Fmt.pr "verify: replay ok — %d committed ops, %d loser txns@."
-          (List.length committed)
+          plan.Wal.plan_ops
           (Tm_core.Tid.Set.cardinal losers);
         Fmt.pr "%a" Profile.pp profile
       end;
       `Ok
 
-let main file json verify =
+let main file json verify workers =
+  if workers < 1 then begin
+    Fmt.epr "--workers must be >= 1@.";
+    exit 1
+  end;
   let bytes = Cli_util.read_file file in
   let summary = Wal_inspect.inspect bytes in
   if json && not verify then
     Fmt.pr "%s@." (Json.to_string (Wal_inspect.to_json summary))
   else if not verify then Fmt.pr "%a" Wal_inspect.pp summary;
   let verify_status =
-    if verify then verify_profile bytes json else `Skipped
+    if verify then verify_profile bytes json workers else `Skipped
   in
   match (summary.Wal_inspect.damage, verify_status) with
   | Wal_inspect.Interior _, _ | _, `Corrupt -> exit 2
@@ -81,13 +87,22 @@ let verify_arg =
     & info [ "verify" ]
         ~doc:
           "Additionally load the log through the real recovery path \
-           (Disk_wal.load + Wal.replay) under the restart profiler and \
-           print the per-phase profile.")
+           (Disk_wal.load + the partitioned replay plan) under the restart \
+           profiler and print the per-phase profile.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "With --verify, decode and plan the replay with $(docv) worker \
+           domains (1: serial).  The committed-op count and loser set are \
+           identical at any worker count.")
 
 let cmd =
   let doc = "forensics for an on-disk WAL image (no replay required)" in
   Cmd.v
     (Cmd.info "walinspect" ~doc)
-    Term.(const main $ file_arg $ json_arg $ verify_arg)
+    Term.(const main $ file_arg $ json_arg $ verify_arg $ workers_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -80,7 +80,7 @@ let history_of_records recs =
   List.iter
     (fun r ->
       match r with
-      | Wal.Begin _ | Wal.Checkpoint _ -> ()
+      | Wal.Begin _ | Wal.Checkpoint _ | Wal.Truncate_intent _ -> ()
       | Wal.Operation (tid, op) -> exec tid op
       | Wal.Commit tid -> complete History.commit_at tid
       | Wal.Abort tid -> complete History.abort_at tid)
@@ -117,11 +117,11 @@ let committed_by_object db =
 (* One crash point: recover [log] (a private copy — the idempotence leg
    mutates it) and check all invariants.  [prev_committed] threads the
    prefix-stability state between successive cuts of one torture run. *)
-let check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed ~rebuild
-    ~cut log =
+let check_cut ?workers ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed
+    ~rebuild ~cut log =
   let recs = Wal.records log in
   let bad invariant detail = Some { cut; invariant; detail } in
-  match Durable_database.recover ~wal:log ~rebuild () with
+  match Durable_database.recover ?workers ~wal:log ~rebuild () with
   | exception exn ->
       [
         {
@@ -186,7 +186,7 @@ let check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed ~rebui
         let idempotence =
           Durable_database.checkpoint db;
           ignore (Wal.truncate_to_checkpoint log);
-          match Durable_database.recover ~wal:log ~rebuild () with
+          match Durable_database.recover ?workers ~wal:log ~rebuild () with
           | exception exn ->
               Option.to_list
                 (bad "idempotence"
@@ -219,13 +219,14 @@ let check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed ~rebui
         in
         legality @ atomicity @ stability @ idempotence
 
-let torture ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
+let torture ?(max_atomicity_txns = default_max_atomicity_txns) ?workers ~rebuild
+    wal =
   let env = Atomicity.env_of_list (List.map Atomic_object.spec (rebuild ())) in
   let atomicity_checked = ref 0 in
   let prev_committed = ref [] in
   let check cut =
-    check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed ~rebuild
-      ~cut (Wal.prefix wal cut)
+    check_cut ?workers ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed
+      ~rebuild ~cut (Wal.prefix wal cut)
   in
   let cuts = Wal.length wal + 1 in
   let violations = List.concat_map check (List.init cuts Fun.id) in
@@ -234,7 +235,8 @@ let torture ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
 (* ------------------------------------------------------------------ *)
 (* Byte-granularity torture and corruption sweeps over the encoded log. *)
 
-let torture_bytes ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wal =
+let torture_bytes ?(max_atomicity_txns = default_max_atomicity_txns) ?workers
+    ~rebuild wal =
   let env = Atomicity.env_of_list (List.map Atomic_object.spec (rebuild ())) in
   let atomicity_checked = ref 0 in
   let prev_committed = ref [] in
@@ -264,8 +266,8 @@ let torture_bytes ?(max_atomicity_txns = default_max_atomicity_txns) ~rebuild wa
         if n = !prev_count then []
         else begin
           prev_count := n;
-          check_cut ~env ~max_atomicity_txns ~atomicity_checked ~prev_committed
-            ~rebuild ~cut
+          check_cut ?workers ~env ~max_atomicity_txns ~atomicity_checked
+            ~prev_committed ~rebuild ~cut
             (Wal.of_records decoded.Wal.Codec.records)
         end
   in
@@ -472,8 +474,125 @@ let corruption_sweep wal =
     sweep_violations;
   }
 
-let run ?max_atomicity_txns ~rebuild ~drive () =
+(* ------------------------------------------------------------------ *)
+(* Truncation torture: crash cuts inside a crash-atomic log compaction. *)
+
+(* [Disk_wal.checkpoint_truncate] promises that no byte offset of its
+   journal + install sequence can make reload misclassify the log or
+   change the recovered state.  Sweep that promise exhaustively: build
+   every intermediate backend image the protocol can leave behind —
+   {ol
+   {- {b journal phase}: the old log followed by the first [k] bytes of
+      the intent + compacted-image journal, for every [k];}
+   {- {b install phase}: the first [k] bytes of the new image spliced
+      over the full journaled file, for every [k] (the memory backend's
+      [write_at] is atomic, so the torn states of the file backend's
+      write-then-shrink are constructed explicitly);}
+   {- {b done}: the installed image alone.}}
+   — reload each through {!Disk_wal.load} (which must never refuse:
+   every such state is a legal crash point, violations are reported as
+   ["truncate-atomicity"]) and demand that recovery reproduces exactly
+   the pre-compaction committed state (per object) and loser set. *)
+let torture_truncation ?workers ~rebuild wal =
+  let recs = Wal.records wal in
+  let old_bytes = Wal.Codec.encode_all recs in
+  let mirror = Wal.of_records recs in
+  let dropped = Wal.truncate_to_checkpoint mirror in
+  if dropped = 0 then { cuts = 0; atomicity_checked = 0; violations = [] }
+  else begin
+    let image = Wal.Codec.encode_all (Wal.records mirror) in
+    let new_len = String.length image in
+    let intent =
+      Wal.Codec.encode
+        (Wal.Truncate_intent { old_len = String.length old_bytes; new_len })
+    in
+    let journal = intent ^ image in
+    (* Expected outcome: whatever the uncompacted log replays to. *)
+    let exp_committed, exp_losers = Wal.replay recs in
+    let expected_for name =
+      List.filter (fun (op : Op.t) -> String.equal op.Op.obj name) exp_committed
+    in
+    let states =
+      (* Journal phase: old log + k bytes of the journal. *)
+      List.init
+        (String.length journal + 1)
+        (fun k -> ("journal", k, old_bytes ^ String.sub journal 0 k))
+      (* Install phase: k bytes of the image over the journaled file.
+         (k = new_len is the shrink itself still pending: image bytes
+         followed by the stale remainder of the journaled file.) *)
+      @ (let full = old_bytes ^ journal in
+         let flen = String.length full in
+         List.init (new_len + 1) (fun k ->
+             ( "install",
+               k,
+               String.sub image 0 k ^ String.sub full k (flen - k) )))
+      @ [ ("done", 0, image) ]
+    in
+    let check i (phase, k, state) =
+      let cut = i in
+      let bad invariant detail = { cut; invariant; detail } in
+      let where = Fmt.str "%s phase, byte %d" phase k in
+      match Disk_wal.load ?workers (Storage.of_string state) with
+      | exception exn ->
+          [
+            bad "truncate-atomicity"
+              (Fmt.str "%s: reload raised %s" where (Printexc.to_string exn));
+          ]
+      | Error c ->
+          [
+            bad "truncate-atomicity"
+              (Fmt.str "%s: reload refused a legal crash state: %a" where
+                 Wal.Codec.pp_corruption c);
+          ]
+      | Ok dw -> (
+          match
+            Durable_database.recover ?workers ~wal:(Disk_wal.wal dw) ~rebuild ()
+          with
+          | exception exn ->
+              [
+                bad "truncate-atomicity"
+                  (Fmt.str "%s: recovery raised %s" where
+                     (Printexc.to_string exn));
+              ]
+          | Error e ->
+              [
+                bad "truncate-atomicity"
+                  (Fmt.str "%s: recovery failed: %a" where Recovery.pp_error e);
+              ]
+          | Ok (db, losers) ->
+              let state_bad =
+                List.filter_map
+                  (fun (name, ops) ->
+                    let want = expected_for name in
+                    if List.equal Op.equal ops want then None
+                    else
+                      Some
+                        (bad "truncate-atomicity"
+                           (Fmt.str
+                              "%s: %s recovered [%a], expected [%a]" where name
+                              pp_ops ops pp_ops want)))
+                  (committed_by_object db)
+              in
+              let loser_bad =
+                if Tid.Set.equal losers exp_losers then []
+                else
+                  [
+                    bad "truncate-atomicity"
+                      (Fmt.str "%s: losers {%a}, expected {%a}" where
+                         Fmt.(list ~sep:comma Tid.pp)
+                         (Tid.Set.elements losers)
+                         Fmt.(list ~sep:comma Tid.pp)
+                         (Tid.Set.elements exp_losers));
+                  ]
+              in
+              state_bad @ loser_bad)
+    in
+    let violations = List.concat (List.mapi check states) in
+    { cuts = List.length states; atomicity_checked = 0; violations }
+  end
+
+let run ?max_atomicity_txns ?workers ~rebuild ~drive () =
   let wal = Wal.create () in
   let db = Durable_database.create ~wal (rebuild ()) in
   drive db;
-  torture ?max_atomicity_txns ~rebuild wal
+  torture ?max_atomicity_txns ?workers ~rebuild wal

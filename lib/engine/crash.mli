@@ -56,14 +56,18 @@ val pp_report : Format.formatter -> report -> unit
     tests. *)
 val history_of_records : Wal.record list -> History.t
 
-(** [torture ?max_atomicity_txns ~rebuild wal] crashes at every append
-    point of [wal] (which must already contain a driven workload) and
-    checks the three invariants; [rebuild] supplies fresh objects exactly
-    as for {!Durable_database.recover}.  [max_atomicity_txns] (default 8)
-    gates the exponential atomicity check.  [wal] itself is never
-    mutated — each cut works on a {!Wal.prefix} copy. *)
+(** [torture ?max_atomicity_txns ?workers ~rebuild wal] crashes at every
+    append point of [wal] (which must already contain a driven workload)
+    and checks the three invariants; [rebuild] supplies fresh objects
+    exactly as for {!Durable_database.recover}.  [max_atomicity_txns]
+    (default 8) gates the exponential atomicity check.  [workers] is
+    forwarded to every {!Durable_database.recover} call, so the whole
+    matrix can be run through the partitioned parallel replay path.
+    [wal] itself is never mutated — each cut works on a {!Wal.prefix}
+    copy. *)
 val torture :
-  ?max_atomicity_txns:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
+  ?max_atomicity_txns:int -> ?workers:int ->
+  rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
 
 (** [torture_bytes ~rebuild wal] is {!torture} at byte granularity: the
     log is serialised with {!Wal.Codec.encode_all} and the crash is
@@ -74,9 +78,26 @@ val torture :
     prefix is reported as a ["torn-tail"] violation), and the surviving
     records then pass the full invariant battery.  Cuts that decode to
     the same record list as the previous cut are skipped — the recovered
-    state cannot differ.  [cuts] in the report counts byte offsets. *)
+    state cannot differ.  [cuts] in the report counts byte offsets.
+    [workers] is forwarded to recovery as in {!torture}. *)
 val torture_bytes :
-  ?max_atomicity_txns:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
+  ?max_atomicity_txns:int -> ?workers:int ->
+  rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
+
+(** [torture_truncation ?workers ~rebuild wal] sweeps the crash-atomic
+    log compaction of {!Disk_wal.checkpoint_truncate}: it replays the
+    compaction [wal] would perform (journal = [Truncate_intent] frame +
+    compacted image appended after the old log; install = image
+    rewritten from offset 0) and reconstructs {e every} intermediate
+    backend state — each byte prefix of the journal write, each byte
+    prefix of the install write over the journaled file, and the final
+    image.  Every state is reloaded through {!Disk_wal.load} and
+    recovered; a reload refusal, or any difference from the
+    pre-compaction committed state / loser set, is a
+    ["truncate-atomicity"] violation.  A log whose truncation would drop
+    nothing (no checkpoint) reports zero cuts.  [wal] is not mutated. *)
+val torture_truncation :
+  ?workers:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
 
 (** {1 Batch-prefix torture (group commit)} *)
 
@@ -137,6 +158,7 @@ val corruption_sweep : Wal.t -> sweep_report
     resulting log. *)
 val run :
   ?max_atomicity_txns:int ->
+  ?workers:int ->
   rebuild:(unit -> Atomic_object.t list) ->
   drive:(Durable_database.t -> unit) ->
   unit -> report

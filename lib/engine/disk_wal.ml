@@ -76,12 +76,120 @@ let make ?(retry = default_retry) storage wal ~end_off =
 let create ?retry storage =
   let t = make ?retry storage (Wal.create ()) ~end_off:0 in
   (* A fresh log owns the backend from byte 0; stale contents (a
-     previous incarnation's log) would otherwise replay after ours. *)
-  if Storage.size storage > 0 then
+     previous incarnation's log) would otherwise replay after ours.
+     The truncation is forced immediately: without the barrier a crash
+     before this log's first commit flush could resurrect the stale
+     log on reload. *)
+  if Storage.size storage > 0 then begin
     with_retry t (fun () -> Storage.write_at storage ~pos:0 "");
+    with_retry t (fun () -> Storage.force storage)
+  end;
   t
 
-let load ?retry ?profile storage =
+(* ------------------------------------------------------------------ *)
+(* Crash-atomic log compaction.
+
+   [checkpoint_truncate] must replace the whole backend image with a
+   shorter one, but {!Storage.write_at} is not atomic: the file backend
+   writes the data and only then shrinks the file, and a crash between
+   the two leaves intact stale frames beyond the new log — which reload
+   would either misclassify as interior corruption or, frame-aligned,
+   silently replay as pre-checkpoint records.
+
+   The fix is a journal + redo protocol, every step of which is a plain
+   forced write:
+
+   {ol
+   {- {b journal}: append a [Truncate_intent { old_len; new_len }]
+      frame followed by the complete compacted image {e after} the live
+      log (at [old_len]), and force.  The old log is untouched; a crash
+      anywhere up to here leaves at worst a torn journal after an
+      intact log, and reload rolls the compaction back (it never
+      committed).}
+   {- {b install}: write the image at position 0 — [write_at]'s
+      trailing truncation removes the journal in the same call — and
+      force.  The journal survives (before its own intent frame byte
+      for byte, after it geometrically) until the shrink lands, so a
+      crash anywhere inside the install finds the intent and {e redoes}
+      the install from the journaled image.}}
+
+   The intent frame is self-locating: it must sit exactly at
+   [old_len] and the file must end exactly [new_len] bytes after it,
+   which a torn journal write can never satisfy.  *)
+
+type journal_state =
+  | No_journal
+  | Complete of { image : string }
+  | Damaged of Wal.Codec.corruption
+
+(* Locate a complete compaction journal in [bytes].  The scan anchors on
+   the frame magic and pays for a decode only on an exact candidate:
+   intent-sized payload, intent tag, and the self-locating geometry
+   above.  At most one journal can exist (the install erases it and the
+   image never contains an intent). *)
+let find_journal bytes =
+  let total = String.length bytes in
+  let header = Wal.Codec.header_size in
+  (* tag byte + two 8-byte lengths *)
+  let intent_payload = 17 in
+  let intent_frame = header + intent_payload in
+  let plausible p =
+    p + intent_frame <= total
+    && bytes.[p + 1] = Wal.Codec.magic1
+    && Int32.to_int (String.get_int32_le bytes (p + 3)) = intent_payload
+    && bytes.[p + header] = '\005'
+  in
+  let rec scan pos =
+    if pos + intent_frame > total then No_journal
+    else
+      match String.index_from_opt bytes pos Wal.Codec.magic0 with
+      | None -> No_journal
+      | Some p when not (plausible p) -> scan (p + 1)
+      | Some p -> (
+          match Wal.Codec.decode_frame bytes p with
+          | Ok (Wal.Truncate_intent { old_len; new_len }, next)
+            when p = old_len && next + new_len = total -> (
+              (* The journal committed; its image must verify in full
+                 before we are allowed to destroy the old log. *)
+              let image = String.sub bytes next new_len in
+              match Wal.Codec.decode_all image with
+              | Ok { Wal.Codec.torn = None; clean_bytes; _ }
+                when clean_bytes = new_len ->
+                  Complete { image }
+              | Ok _ ->
+                  Damaged
+                    {
+                      Wal.Codec.offset = next;
+                      reason = "truncation journal image is torn";
+                    }
+              | Error c ->
+                  Damaged
+                    {
+                      Wal.Codec.offset = next + c.Wal.Codec.offset;
+                      reason =
+                        "truncation journal image unreadable: "
+                        ^ c.Wal.Codec.reason;
+                    })
+          | Ok _ | Error _ -> scan (p + 1))
+  in
+  scan 0
+
+(* A retry loop for recovery-path writes, before any [t] exists. *)
+let retry_loop retry f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception Storage.Transient last ->
+        if attempt >= retry.max_attempts then
+          raise (Storage_unavailable { attempts = attempt; last })
+        else begin
+          retry.backoff attempt;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+let load ?(retry = default_retry) ?profile ?workers storage =
   (* Reads are not retried on content grounds — a short or bit-flipped
      read is silent, and it is the decoder's job to catch it. *)
   let module Profile = Tm_obs.Recovery_profile in
@@ -96,25 +204,78 @@ let load ?retry ?profile storage =
         Profile.note_bytes_scanned p (String.length bytes);
         bytes
   in
-  match Wal.Codec.decode_all ?profile bytes with
+  (* Resolve an interrupted compaction first: a half-installed image
+     makes the raw bytes look arbitrarily damaged, so the journal — not
+     the plain decode — is the authority on what the log is. *)
+  let resolved =
+    match find_journal bytes with
+    | Damaged c -> Error c
+    | Complete { image } ->
+        (* Redo the install (idempotent: re-running after any crash
+           inside it converges to the same image).  Charged to the
+           storage-scan phase: it is restart I/O, not decoding. *)
+        let install () =
+          retry_loop retry (fun () -> Storage.write_at storage ~pos:0 image);
+          retry_loop retry (fun () -> Storage.force storage)
+        in
+        (match profile with
+        | None -> install ()
+        | Some p -> Profile.time p Profile.Storage_scan install);
+        Ok image
+    | No_journal -> Ok bytes
+  in
+  match resolved with
   | Error _ as e -> e
-  | Ok { Wal.Codec.records; clean_bytes; torn = _ } ->
-      (* The mirror is rebuilt before the sink is installed, so the
-         replayed records are not re-persisted; a torn tail is dropped
-         logically — [end_off] points at the intact prefix, and the next
-         append overwrites the debris. *)
-      let wal = Wal.of_records records in
-      Ok (make ?retry storage wal ~end_off:clean_bytes)
+  | Ok bytes -> (
+      match Wal.Codec.decode_all ?profile ?workers bytes with
+      | Error _ as e -> e
+      | Ok { Wal.Codec.records; clean_bytes; torn = _ } ->
+          (* An intent surviving in the decoded stream means the journal
+             write itself was cut short (a complete journal was resolved
+             above): the compaction never committed, so the log is
+             exactly the records before the intent — roll it back by
+             ignoring the rest.  [end_off] points at the intent's byte
+             offset (records re-encode to identical bytes), and the next
+             append overwrites the debris. *)
+          let records, clean_bytes =
+            let rec split kept = function
+              | [] -> (records, clean_bytes)
+              | Wal.Truncate_intent _ :: _ ->
+                  let kept = List.rev kept in
+                  (kept, String.length (Wal.Codec.encode_all kept))
+              | r :: rest -> split (r :: kept) rest
+            in
+            split [] records
+          in
+          (* The mirror is rebuilt before the sink is installed, so the
+             replayed records are not re-persisted; a torn tail is
+             dropped logically — [end_off] points at the intact prefix,
+             and the next append overwrites the debris. *)
+          let wal = Wal.of_records records in
+          Ok (make ~retry storage wal ~end_off:clean_bytes))
 
 let checkpoint_truncate t =
   let dropped = Wal.truncate_to_checkpoint t.wal in
   if dropped > 0 then begin
-    let bytes = Wal.Codec.encode_all (Wal.records t.wal) in
-    with_retry t (fun () -> Storage.write_at t.storage ~pos:0 bytes);
+    let image = Wal.Codec.encode_all (Wal.records t.wal) in
+    let old_len = t.end_off in
+    let intent =
+      Wal.Codec.encode
+        (Wal.Truncate_intent { old_len; new_len = String.length image })
+    in
+    (* 1. Journal: intent + full image after the live log, forced.  The
+       old log is still intact, so a crash up to here rolls back. *)
+    with_retry t (fun () ->
+        Storage.write_at t.storage ~pos:old_len (intent ^ image));
+    with_retry t (fun () -> Storage.force t.storage);
+    (* 2. Install: the image replaces the log from byte 0; [write_at]'s
+       trailing truncation erases the journal in the same call.  A crash
+       inside this step finds the journal and redoes the install. *)
+    with_retry t (fun () -> Storage.write_at t.storage ~pos:0 image);
     with_retry t (fun () -> Storage.force t.storage);
     (* The rewrite forced the whole log through the side door, so the
        pipeline's watermark can advance without another barrier. *)
     Wal.mark_all_flushed t.wal;
-    t.end_off <- String.length bytes
+    t.end_off <- String.length image
   end;
   dropped

@@ -29,7 +29,9 @@ exception Storage_unavailable of { attempts : int; last : string }
 type t
 
 (** [create ?retry storage] starts a fresh, empty log on [storage]
-    (discarding any previous contents). *)
+    (discarding any previous contents; the truncation is forced, so a
+    crash before this log's first commit flush cannot resurrect a stale
+    previous-incarnation log). *)
 val create : ?retry:retry -> Storage.t -> t
 
 (** [load ?retry storage] rebuilds the log from the backend's bytes.  A
@@ -37,10 +39,21 @@ val create : ?retry:retry -> Storage.t -> t
     interior corruption is returned as [Error] with its byte offset —
     never skipped.  With [profile], the storage read is charged to the
     restart profiler's storage-scan phase and decoding to the
-    frame-decode / checksum-verify phases. *)
+    frame-decode / checksum-verify phases.  [workers] (default 1) is
+    forwarded to {!Wal.Codec.decode_all}: a fully intact image large
+    enough to amortise the spawns is decoded by that many domains, with
+    automatic fallback to the serial decoder on any damage.
+
+    An interrupted {!checkpoint_truncate} is resolved before decoding:
+    a {e complete} compaction journal (intent frame + verified image) is
+    redone — the install is idempotent — while an incomplete one is
+    rolled back, reloading exactly the pre-compaction log.  A journal
+    whose intent committed but whose image no longer verifies is
+    refused as corruption (never silently dropped). *)
 val load :
   ?retry:retry ->
   ?profile:Tm_obs.Recovery_profile.t ->
+  ?workers:int ->
   Storage.t ->
   (t, Wal.Codec.corruption) result
 
@@ -51,9 +64,16 @@ val wal : t -> Wal.t
 val storage : t -> Storage.t
 
 (** [checkpoint_truncate t] = {!Wal.truncate_to_checkpoint} on the
-    mirror plus a compaction of the backend: the retained records are
-    re-encoded, written from offset 0 and forced.  Returns the number of
-    records dropped. *)
+    mirror plus a {e crash-atomic} compaction of the backend, in two
+    forced steps: (1) {b journal} — a [Truncate_intent] frame and the
+    complete compacted image are appended after the live log; (2)
+    {b install} — the image is rewritten from offset 0, its trailing
+    truncation erasing the journal.  A crash during (1) rolls back on
+    reload (the old log is untouched); a crash during (2) finds the
+    journal and redoes the install.  At no byte offset of the sequence
+    can reload misclassify the log or replay pre-checkpoint records —
+    swept exhaustively by {!Crash.torture_truncation}.  Returns the
+    number of records dropped. *)
 val checkpoint_truncate : t -> int
 
 (** Bytes appended to the backend so far (also counted as

@@ -105,6 +105,23 @@ let slow ?(write_delay = 0.) ?(force_delay = 0.001) inner =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Observation hooks (tests asserting write/force ordering).           *)
+
+let probe ?(on_write = fun ~pos:_ _ -> ()) ?(on_force = fun () -> ()) inner =
+  {
+    inner with
+    name = inner.name ^ "+probe";
+    write_at =
+      (fun ~pos data ->
+        on_write ~pos (String.length data);
+        inner.write_at ~pos data);
+    force =
+      (fun () ->
+        on_force ();
+        inner.force ());
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Fault injection.                                                    *)
 
 type fault_config = {

@@ -63,6 +63,16 @@ val file : string -> t
     forms in benchmarks and threaded tests over {!memory}. *)
 val slow : ?write_delay:float -> ?force_delay:float -> t -> t
 
+(** {1 Observation hooks} *)
+
+(** [probe ?on_write ?on_force inner] — a transparent wrapper that calls
+    [on_write ~pos len] before each {!write_at} and [on_force] before
+    each {!force}, then delegates.  For tests that assert the {e order}
+    of writes and barriers (e.g. that {!Disk_wal.create} forces the
+    truncation of a stale log before anything else relies on it). *)
+val probe :
+  ?on_write:(pos:int -> int -> unit) -> ?on_force:(unit -> unit) -> t -> t
+
 (** {1 Fault injection} *)
 
 (** Per-call fault probabilities, all in [0,1].  Write-side faults are

@@ -14,6 +14,7 @@ type record =
   | Commit of Tid.t
   | Abort of Tid.t
   | Checkpoint of checkpoint
+  | Truncate_intent of { old_len : int; new_len : int }
 
 let pp_record ppf = function
   | Begin tid -> Fmt.pf ppf "BEGIN %a" Tid.pp tid
@@ -23,6 +24,8 @@ let pp_record ppf = function
   | Checkpoint cp ->
       Fmt.pf ppf "CHECKPOINT (%d ops, %d live txns, next tid %d)"
         (List.length cp.committed) (List.length cp.live) cp.next_tid
+  | Truncate_intent { old_len; new_len } ->
+      Fmt.pf ppf "TRUNCATE-INTENT (%d -> %d bytes)" old_len new_len
 
 let equal_checkpoint a b =
   List.equal Op.equal a.committed b.committed
@@ -36,7 +39,12 @@ let equal_record a b =
   | Begin x, Begin y | Commit x, Commit y | Abort x, Abort y -> Tid.equal x y
   | Operation (x, p), Operation (y, q) -> Tid.equal x y && Op.equal p q
   | Checkpoint x, Checkpoint y -> equal_checkpoint x y
-  | (Begin _ | Operation _ | Commit _ | Abort _ | Checkpoint _), _ -> false
+  | Truncate_intent x, Truncate_intent y ->
+      x.old_len = y.old_len && x.new_len = y.new_len
+  | ( ( Begin _ | Operation _ | Commit _ | Abort _ | Checkpoint _
+      | Truncate_intent _ ),
+      _ ) ->
+      false
 
 (* A sink mirrors the in-memory log onto stable storage ({!Disk_wal}):
    appends are persisted as they happen, [force] is the durability
@@ -187,6 +195,7 @@ let record_kind = function
   | Commit _ -> "commit"
   | Abort _ -> "abort"
   | Checkpoint _ -> "checkpoint"
+  | Truncate_intent _ -> "truncate_intent"
 
 let append t r =
   t.records_rev <- r :: t.records_rev;
@@ -210,7 +219,7 @@ let append t r =
           Metrics.Histogram.observe_int
             (Metrics.histogram reg "tm_wal_checkpoint_ops")
             (List.length cp.committed)
-      | Begin _ | Operation _ | Commit _ | Abort _ -> ())
+      | Begin _ | Operation _ | Commit _ | Abort _ | Truncate_intent _ -> ())
 
 let records t = List.rev t.records_rev
 let length t = t.count
@@ -298,6 +307,11 @@ let scan ?profile recs =
           note tid;
           Hashtbl.remove st.ops_of tid;
           Hashtbl.replace st.finished tid ()
+      | Truncate_intent _ ->
+          (* A compaction journal marker; {!Disk_wal.load} resolves it
+             before the log reaches replay, but a decoded stray is
+             harmless — it carries no transaction state. *)
+          ()
       | Checkpoint cp ->
           (* The snapshot stands for the whole prefix: committed operations
              and the logs of transactions that were in flight when it was
@@ -353,6 +367,166 @@ let replay ?profile recs =
 let max_tid recs =
   let st = scan recs in
   if st.hwm = 0 then None else Some (Tid.of_int (st.hwm - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned replay plan.                                            *)
+
+type partition = {
+  part_index : int;
+  part_objects : (string * Op.t list) list;
+  part_ops : int;
+  part_losers : Tid.Set.t;
+}
+
+type plan = {
+  partitions : partition array;
+  plan_ops : int;
+  plan_records : int;
+  plan_from : int;
+  plan_to : int;
+  plan_next_tid : int;
+}
+
+let partition_of_object ~workers name = Hashtbl.hash name mod workers
+let partition_of_tid ~workers tid = Tid.to_int tid land max_int mod workers
+
+let plan ?profile ~workers recs =
+  if workers < 1 then invalid_arg "Wal.plan: workers must be >= 1";
+  (* One bucketing pass: the same fold as [scan], but committed
+     operations land directly in per-object buckets (commit order,
+     newest first) instead of one global list — killing the
+     per-object filter recovery used to run over the whole committed
+     list — and the seen/finished tables are sharded by
+     [partition_of_tid] so each partition owns its slice of the loser
+     set.  [plan_from]/[plan_to] bound the records the plan covers:
+     replay semantically starts at the latest checkpoint (its snapshot
+     stands for everything before it) and ends at the last record. *)
+  let by_obj : (string, Op.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  let ops_of : (Tid.t, Op.t list) Hashtbl.t = Hashtbl.create 16 in
+  let seen = Array.init workers (fun _ -> Hashtbl.create 16) in
+  let finished = Array.init workers (fun _ -> Hashtbl.create 16) in
+  let hwm = ref 0 in
+  let total_ops = ref 0 in
+  let from = ref 1 in
+  let n_records = List.length recs in
+  let shard tid = partition_of_tid ~workers tid in
+  let note tid = hwm := max !hwm (Tid.to_int tid + 1) in
+  let bucket (op : Op.t) =
+    incr total_ops;
+    match Hashtbl.find_opt by_obj op.Op.obj with
+    | Some r -> r := op :: !r
+    | None -> Hashtbl.add by_obj op.Op.obj (ref [ op ])
+  in
+  let step pos r =
+    match r with
+    | Begin tid ->
+        note tid;
+        Hashtbl.replace seen.(shard tid) tid ()
+    | Operation (tid, op) ->
+        note tid;
+        Hashtbl.replace seen.(shard tid) tid ();
+        Hashtbl.replace ops_of tid
+          (op :: Option.value (Hashtbl.find_opt ops_of tid) ~default:[])
+    | Commit tid ->
+        note tid;
+        List.iter bucket
+          (List.rev (Option.value (Hashtbl.find_opt ops_of tid) ~default:[]));
+        Hashtbl.remove ops_of tid;
+        Hashtbl.replace finished.(shard tid) tid ()
+    | Abort tid ->
+        note tid;
+        Hashtbl.remove ops_of tid;
+        Hashtbl.replace finished.(shard tid) tid ()
+    | Truncate_intent _ -> ()
+    | Checkpoint cp ->
+        let seed () =
+          from := pos;
+          Hashtbl.reset by_obj;
+          total_ops := 0;
+          List.iter bucket cp.committed;
+          Hashtbl.reset ops_of;
+          Array.iter Hashtbl.reset seen;
+          Array.iter Hashtbl.reset finished;
+          List.iter
+            (fun (tid, ops) ->
+              note tid;
+              Hashtbl.replace seen.(shard tid) tid ();
+              if ops <> [] then Hashtbl.replace ops_of tid (List.rev ops))
+            cp.live;
+          hwm := max !hwm cp.next_tid
+        in
+        (match profile with
+        | None -> seed ()
+        | Some p ->
+            Profile.note_checkpoint_seed p ~ops:(List.length cp.committed);
+            Profile.time p Profile.Checkpoint_seed seed)
+  in
+  let build_objects () =
+    (* Finalise the buckets into partitions.  Hashtbl iteration order is
+       unspecified, so each partition's object list is sorted by name:
+       the plan is a pure function of the records. *)
+    let objs = Array.make workers [] in
+    let ops = Array.make workers 0 in
+    Hashtbl.iter
+      (fun name ops_rev ->
+        let p = partition_of_object ~workers name in
+        objs.(p) <- (name, List.rev !ops_rev) :: objs.(p);
+        ops.(p) <- ops.(p) + List.length !ops_rev)
+      by_obj;
+    Array.iteri
+      (fun p l ->
+        objs.(p) <- List.sort (fun (a, _) (b, _) -> compare a b) l)
+      objs;
+    (objs, ops)
+  in
+  let fold () =
+    List.iteri (fun i r -> step (i + 1) r) recs;
+    build_objects ()
+  in
+  let objs, ops =
+    match profile with
+    | None -> fold ()
+    | Some p ->
+        Profile.note_records_scanned p n_records;
+        Profile.time_excluding p Profile.Log_scan ~minus:Profile.Checkpoint_seed
+          fold
+  in
+  let compute_losers () =
+    Array.init workers (fun p ->
+        Hashtbl.fold
+          (fun tid () acc ->
+            if Hashtbl.mem finished.(p) tid then acc else Tid.Set.add tid acc)
+          seen.(p) Tid.Set.empty)
+  in
+  let losers =
+    match profile with
+    | None -> compute_losers ()
+    | Some p ->
+        let losers = Profile.time p Profile.Loser_undo compute_losers in
+        Profile.note_losers p
+          (Array.fold_left (fun n s -> n + Tid.Set.cardinal s) 0 losers);
+        losers
+  in
+  {
+    partitions =
+      Array.init workers (fun p ->
+          {
+            part_index = p;
+            part_objects = objs.(p);
+            part_ops = ops.(p);
+            part_losers = losers.(p);
+          });
+    plan_ops = !total_ops;
+    plan_records = n_records;
+    plan_from = !from;
+    plan_to = n_records;
+    plan_next_tid = !hwm;
+  }
+
+let plan_losers plan =
+  Array.fold_left
+    (fun acc part -> Tid.Set.union acc part.part_losers)
+    Tid.Set.empty plan.partitions
 
 (* ------------------------------------------------------------------ *)
 (* Binary framing for the on-disk log.                                 *)
@@ -425,6 +599,10 @@ module Codec = struct
         put_list put_op b cp.committed;
         put_list (fun b (tid, ops) -> put_tid b tid; put_list put_op b ops) b cp.live;
         put_int b cp.next_tid
+    | Truncate_intent { old_len; new_len } ->
+        Buffer.add_char b '\005';
+        put_int b old_len;
+        put_int b new_len
 
   let encode r =
     let payload = Buffer.create 64 in
@@ -495,6 +673,12 @@ module Codec = struct
         let live = get_list (fun r -> let tid = get_tid r in (tid, get_list get_op r)) r in
         let next_tid = get_int r in
         Checkpoint { committed; live; next_tid }
+    | 5 ->
+        let old_len = get_int r in
+        let new_len = get_int r in
+        if old_len < 0 || new_len < 0 then
+          raise (Bad "negative truncate-intent length");
+        Truncate_intent { old_len; new_len }
     | n -> raise (Bad (Fmt.str "bad record tag %d" n))
 
   type corruption = {
@@ -536,17 +720,44 @@ module Codec = struct
   (* Is there an intact frame anywhere at or after [pos]?  Used to
      classify a decode failure: damage followed by provably-written data
      is interior corruption; damage extending to the end of the log is a
-     torn tail. *)
-  let valid_frame_after s pos =
+     torn tail.
+
+     The resync cursor anchors on the magic bytes ([String.index_from]
+     skips damage at memchr speed) and rejects implausible headers
+     before paying for a CRC, so a heavily damaged log costs one cheap
+     header check per 0xd7 byte rather than a full decode per byte
+     offset.  [budget] caps the payload bytes spent on CRC probes of
+     plausible-looking candidates (adversarially structured damage can
+     synthesise many): an exhausted budget returns [true] — the
+     conservative verdict, interior corruption — so a refusal can never
+     degrade into silently dropping records as a torn tail. *)
+  let default_probe_budget = 1 lsl 24
+
+  let valid_frame_after ?(budget = default_probe_budget) s pos =
     let len = String.length s in
-    let rec scan pos =
-      if len - pos < header_size then false
-      else if s.[pos] = magic0 && s.[pos + 1] = magic1
-              && (match decode_frame s pos with Ok _ -> true | Error _ -> false)
-      then true
-      else scan (pos + 1)
+    let budget = ref budget in
+    let rec resync pos =
+      if pos + header_size > len then false
+      else
+        match String.index_from_opt s pos magic0 with
+        | None -> false
+        | Some p ->
+            if p + header_size > len then false
+            else if s.[p + 1] <> magic1 || Char.code s.[p + 2] <> version then
+              resync (p + 1)
+            else
+              let payload_len = Int32.to_int (String.get_int32_le s (p + 3)) in
+              if payload_len < 0 || payload_len > len - p - header_size then
+                resync (p + 1)
+              else if !budget <= 0 then true
+              else begin
+                budget := !budget - header_size - payload_len;
+                match decode_frame s p with
+                | Ok _ -> true
+                | Error _ -> resync (p + 1)
+              end
     in
-    scan pos
+    resync pos
 
   type decoded = {
     records : record list;
@@ -555,7 +766,8 @@ module Codec = struct
         (** a trailing torn/corrupt frame that was dropped as crash loss *)
   }
 
-  let decode_all ?profile s =
+  (* The serial decode loop (also the fallback for the parallel path). *)
+  let decode_serial ?profile s =
     let len = String.length s in
     let rec go acc pos =
       if pos = len then Ok { records = List.rev acc; clean_bytes = pos; torn = None }
@@ -571,12 +783,95 @@ module Codec = struct
             if valid_frame_after s (pos + 1) then Error c
             else Ok { records = List.rev acc; clean_bytes = pos; torn = Some c }
     in
+    go [] 0
+
+  (* A cheap header-only walk: the byte offset of every frame, provided
+     the walk covers the image exactly (no gap, no trailing bytes) with
+     plausible headers throughout.  No CRC is paid; any anomaly returns
+     [None] and the caller falls back to the serial decoder, which is
+     the sole authority on torn tails and interior corruption. *)
+  let frame_extents s =
+    let len = String.length s in
+    let rec go acc pos =
+      if pos = len then Some (List.rev acc)
+      else if len - pos < header_size then None
+      else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then None
+      else if Char.code s.[pos + 2] <> version then None
+      else
+        let payload_len = Int32.to_int (String.get_int32_le s (pos + 3)) in
+        if payload_len < 0 || payload_len > len - pos - header_size then None
+        else go (pos :: acc) (pos + header_size + payload_len)
+    in
+    go [] 0
+
+  (* Below this many frames the domain spawn/join overhead dwarfs the
+     CRC work; the threshold is fixed so a given image always takes the
+     same path. *)
+  let parallel_decode_min_frames = 256
+
+  let decode_parallel ~workers s =
+    match frame_extents s with
+    | None -> None
+    | Some extents ->
+        let n = List.length extents in
+        if n < parallel_decode_min_frames then None
+        else begin
+          let offsets = Array.of_list extents in
+          let nw = min workers n in
+          let chunk = (n + nw - 1) / nw in
+          let results = Array.make n None in
+          let run w () =
+            (* Each worker owns a disjoint slice of [results]. *)
+            let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+            for i = lo to hi - 1 do
+              match decode_frame s offsets.(i) with
+              | Ok (r, _) -> results.(i) <- Some r
+              | Error _ -> ()
+            done
+          in
+          let domains =
+            Array.init nw (fun w -> Domain.spawn (run w))
+          in
+          Array.iter Domain.join domains;
+          if Array.for_all Option.is_some results then
+            Some
+              {
+                records =
+                  Array.to_list (Array.map Option.get results);
+                clean_bytes = String.length s;
+                torn = None;
+              }
+          else None
+        end
+
+  let decode_all ?profile ?(workers = 1) s =
+    let len = String.length s in
+    let decode () =
+      if workers <= 1 then decode_serial ?profile s
+      else
+        (* The parallel path only accepts a fully intact image (every
+           frame verified by some worker); anything less — a torn tail,
+           a corrupt frame, an implausible header — falls back to the
+           serial decoder so the torn/interior verdicts are produced by
+           exactly the same code as the serial path. *)
+        match decode_parallel ~workers s with
+        | Some decoded ->
+            (match profile with
+            | None -> ()
+            | Some p -> Profile.note_frames p (List.length decoded.records));
+            Ok decoded
+        | None -> decode_serial ?profile s
+    in
     match profile with
-    | None -> go [] 0
+    | None -> decode ()
     | Some p ->
+        (* In the parallel case the CRC work happens inside worker
+           domains (the profile is not shared across domains), so the
+           whole barrier is charged to [Frame_decode] and
+           [Checksum_verify] stays at zero — the phases still tile. *)
         let result =
           Profile.time_excluding p Profile.Frame_decode
-            ~minus:Profile.Checksum_verify (fun () -> go [] 0)
+            ~minus:Profile.Checksum_verify decode
         in
         (match result with
         | Ok { clean_bytes; _ } -> Profile.note_torn_bytes p (len - clean_bytes)

@@ -39,7 +39,8 @@ type t = {
   damage : damage;
 }
 
-let kinds = [ "begin"; "operation"; "commit"; "abort"; "checkpoint" ]
+let kinds =
+  [ "begin"; "operation"; "commit"; "abort"; "checkpoint"; "truncate_intent" ]
 
 let inspect bytes =
   let len = String.length bytes in
@@ -87,7 +88,8 @@ let inspect bytes =
       | Wal.Abort tid ->
           note_tid tid;
           Hashtbl.replace aborted tid ()
-      | Wal.Checkpoint cp -> List.iter (fun (tid, _) -> note_tid tid) cp.Wal.live)
+      | Wal.Checkpoint cp -> List.iter (fun (tid, _) -> note_tid tid) cp.Wal.live
+      | Wal.Truncate_intent _ -> ())
     framed;
   let checkpoints =
     List.mapi (fun i (r, off, _) -> (i + 1, r, off)) framed

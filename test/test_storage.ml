@@ -94,6 +94,90 @@ let sample_records =
     Wal.Operation (Tid.b, BA.withdraw_ok 2);
   ]
 
+let test_codec_truncate_intent_roundtrip () =
+  let r = Wal.Truncate_intent { old_len = 12345; new_len = 678 } in
+  Helpers.check_bool "record kind" true
+    (String.equal (Wal.record_kind r) "truncate_intent");
+  let bytes = Codec.encode_all (sample_records @ [ r ]) in
+  match Codec.decode_all bytes with
+  | Error c -> Alcotest.failf "decode failed: %a" Codec.pp_corruption c
+  | Ok d ->
+      Helpers.check_bool "round trips" true
+        (List.equal Wal.equal_record (sample_records @ [ r ]) d.Codec.records)
+
+(* The resynchronisation probe behind torn-vs-interior verdicts: an
+   intact frame after the damage means interior, no such frame means
+   torn tail — and an adversarial log dense with false frame anchors
+   must exhaust the probe budget into the conservative (interior,
+   refuse) verdict rather than scanning quadratically. *)
+let test_valid_frame_after () =
+  let frame = Codec.encode (Wal.Begin Tid.a) in
+  let garbage = String.make 40 Codec.magic0 in
+  Helpers.check_bool "intact frame after damage" true
+    (Codec.valid_frame_after (garbage ^ frame) 1);
+  Helpers.check_bool "pure torn tail has no frame after" false
+    (Codec.valid_frame_after garbage 1);
+  (* An adversarial tail dense with plausible-but-bad frames: every copy
+     anchors a full decode probe (header checks pass, CRC fails).  With
+     budget, the scan pays for each probe and still answers torn; a
+     one-probe budget must give up into the conservative interior
+     verdict — never a cheap torn-drop. *)
+  let bad_crc =
+    let b = Bytes.of_string frame in
+    Bytes.set b (Codec.header_size - 1)
+      (Char.chr (Char.code (Bytes.get b (Codec.header_size - 1)) lxor 1));
+    Bytes.to_string b
+  in
+  let adversarial = String.concat "" (List.init 5 (fun _ -> bad_crc)) in
+  Helpers.check_bool "all probes fail = torn" false
+    (Codec.valid_frame_after adversarial 0);
+  Helpers.check_bool "budget exhaustion is conservative (interior)" true
+    (Codec.valid_frame_after ~budget:1 adversarial 0)
+
+(* Parallel frame decode is an internal optimisation: for any image the
+   result must be identical to the serial decoder — including torn and
+   damaged images, where it falls back to serial for the verdict. *)
+let test_parallel_decode_equivalence () =
+  let recs =
+    List.concat
+      (List.init 150 (fun i ->
+           let t = Tid.of_int (i mod 10) in
+           [ Wal.Begin t; Wal.Operation (t, BA.deposit 1); Wal.Commit t ]))
+  in
+  let bytes = Codec.encode_all recs in
+  let serial = Codec.decode_all bytes in
+  List.iter
+    (fun w ->
+      match (serial, Codec.decode_all ~workers:w bytes) with
+      | Ok a, Ok b ->
+          Helpers.check_bool
+            (Fmt.str "clean image, %d workers" w)
+            true
+            (List.equal Wal.equal_record a.Codec.records b.Codec.records
+            && a.Codec.clean_bytes = b.Codec.clean_bytes
+            && a.Codec.torn = b.Codec.torn)
+      | _ -> Alcotest.fail "clean image failed to decode")
+    [ 1; 2; 4; 8 ];
+  (* torn tail: parallel extents cannot cover the image; serial fallback
+     must report the identical truncation *)
+  let torn = String.sub bytes 0 (String.length bytes - 5) in
+  (match (Codec.decode_all torn, Codec.decode_all ~workers:4 torn) with
+  | Ok a, Ok b ->
+      Helpers.check_bool "torn image identical via fallback" true
+        (List.equal Wal.equal_record a.Codec.records b.Codec.records
+        && a.Codec.clean_bytes = b.Codec.clean_bytes)
+  | _ -> Alcotest.fail "torn image failed to decode");
+  (* interior damage: same refusal, same offset *)
+  let b = Bytes.of_string bytes in
+  Bytes.set b Codec.header_size
+    (Char.chr (Char.code (Bytes.get b Codec.header_size) lxor 0x10));
+  let damaged = Bytes.to_string b in
+  match (Codec.decode_all damaged, Codec.decode_all ~workers:4 damaged) with
+  | Error a, Error b ->
+      Helpers.check_int "same interior offset via fallback" a.Codec.offset
+        b.Codec.offset
+  | _ -> Alcotest.fail "interior damage not refused"
+
 let test_codec_frame_shape () =
   Helpers.check_int "format version" 1 Codec.version;
   let frame = Codec.encode (Wal.Begin Tid.a) in
@@ -265,6 +349,128 @@ let test_disk_wal_checkpoint_truncate () =
       Alcotest.check Helpers.ops "replay preserved" c1 c2;
       Helpers.check_bool "losers preserved" true (Tid.Set.equal l1 l2)
 
+(* --- crash-atomic compaction: the journal + redo protocol --- *)
+
+(* A disk log with a checkpoint, plus the three byte images the
+   compaction protocol moves between: the old log, the journal
+   (intent + compacted image) appended after it, and the image alone. *)
+let compaction_fixture () =
+  let storage = Storage.memory () in
+  let dw = Disk_wal.create storage in
+  let wal = Disk_wal.wal dw in
+  List.iter (Wal.append wal)
+    [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 1); Wal.Commit Tid.a ];
+  Wal.append wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.records wal)));
+  Wal.append wal (Wal.Commit Tid.b);
+  let old_bytes = Storage.read_all storage in
+  let mirror = Wal.of_records (Wal.records wal) in
+  ignore (Wal.truncate_to_checkpoint mirror);
+  let image = Codec.encode_all (Wal.records mirror) in
+  let intent =
+    Codec.encode
+      (Wal.Truncate_intent
+         { old_len = String.length old_bytes; new_len = String.length image })
+  in
+  (Wal.records wal, Wal.records mirror, old_bytes, intent, image)
+
+(* Crash after the journal write was cut short: the compaction never
+   committed, so reload rolls it back to exactly the old log — and the
+   debris is overwritten by the next append. *)
+let test_truncate_journal_rollback () =
+  let old_records, _, old_bytes, intent, image = compaction_fixture () in
+  List.iter
+    (fun cut ->
+      let state = old_bytes ^ String.sub (intent ^ image) 0 cut in
+      match Disk_wal.load (Storage.of_string state) with
+      | Error c ->
+          Alcotest.failf "cut %d refused: %a" cut Codec.pp_corruption c
+      | Ok dw ->
+          Helpers.check_bool
+            (Fmt.str "cut %d rolls back to the old log" cut)
+            true
+            (List.equal Wal.equal_record old_records
+               (Wal.records (Disk_wal.wal dw))))
+    [ 1; String.length intent; String.length intent + 3 ]
+
+(* Crash inside the install: the complete journal is found and the
+   install is redone — reload sees exactly the compacted log, and the
+   backend afterwards holds exactly the image (journal erased). *)
+let test_truncate_journal_redo () =
+  let _, new_records, old_bytes, intent, image = compaction_fixture () in
+  let full = old_bytes ^ intent ^ image in
+  List.iter
+    (fun k ->
+      let state =
+        String.sub image 0 k
+        ^ String.sub full k (String.length full - k)
+      in
+      let storage = Storage.of_string state in
+      match Disk_wal.load storage with
+      | Error c -> Alcotest.failf "install byte %d refused: %a" k Codec.pp_corruption c
+      | Ok dw ->
+          Helpers.check_bool
+            (Fmt.str "install byte %d redoes to the compacted log" k)
+            true
+            (List.equal Wal.equal_record new_records
+               (Wal.records (Disk_wal.wal dw)));
+          Alcotest.(check string)
+            (Fmt.str "install byte %d leaves exactly the image" k)
+            image (Storage.read_all storage))
+    [ 0; 1; String.length image / 2 ]
+
+(* A committed journal whose image no longer verifies must be refused as
+   corruption — redoing the install from damaged bytes would destroy
+   the old log with nothing sound to replace it. *)
+let test_truncate_journal_damaged_image_refused () =
+  let _, _, old_bytes, intent, image = compaction_fixture () in
+  let b = Bytes.of_string (old_bytes ^ intent ^ image) in
+  (* flip a bit inside the journaled image's first payload *)
+  let off = String.length old_bytes + String.length intent + Codec.header_size in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x20));
+  match Disk_wal.load (Storage.of_string (Bytes.to_string b)) with
+  | Ok _ -> Alcotest.fail "damaged journal image loaded silently"
+  | Error c ->
+      Helpers.check_bool "refusal points into the journal image" true
+        (c.Codec.offset >= String.length old_bytes + String.length intent)
+
+(* Regression: a fresh log must force the truncation of a stale
+   previous-incarnation log before returning — otherwise a crash before
+   the first commit flush resurrects the stale log.  Observed through
+   the probe wrapper: the force lands after the truncating write. *)
+let test_create_forces_stale_truncation () =
+  let events = ref [] in
+  let probed =
+    Storage.probe
+      ~on_write:(fun ~pos len -> events := `Write (pos, len) :: !events)
+      ~on_force:(fun () -> events := `Force :: !events)
+      (Storage.of_string "stale garbage from a previous log")
+  in
+  ignore (Disk_wal.create probed);
+  (match List.rev !events with
+  | `Write (0, 0) :: `Force :: _ -> ()
+  | _ -> Alcotest.fail "create must truncate at 0 then force");
+  (* and on a real file: same ordering through the Unix backend *)
+  let path = Filename.temp_file "tm_create_force" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let f = Storage.file path in
+      Storage.write_at f ~pos:0 "stale";
+      Storage.force f;
+      let fevents = ref [] in
+      let fprobed =
+        Storage.probe
+          ~on_write:(fun ~pos len -> fevents := `Write (pos, len) :: !fevents)
+          ~on_force:(fun () -> fevents := `Force :: !fevents)
+          f
+      in
+      ignore (Disk_wal.create fprobed);
+      Helpers.check_int "file emptied" 0 (Storage.size f);
+      (match List.rev !fevents with
+      | `Write (0, 0) :: `Force :: _ -> ()
+      | _ -> Alcotest.fail "create must truncate the file at 0 then force");
+      Storage.close f)
+
 (* Seeded write-side faults: the retry loop absorbs every torn write and
    transient error, the persisted log equals the fault-free run, and the
    absorbed faults are visible in [retries] and the metrics registry. *)
@@ -325,6 +531,12 @@ let suite =
     Alcotest.test_case "codec torn tail" `Quick test_codec_torn_tail;
     Alcotest.test_case "codec interior corruption" `Quick
       test_codec_interior_corruption;
+    Alcotest.test_case "codec truncate-intent round trip" `Quick
+      test_codec_truncate_intent_roundtrip;
+    Alcotest.test_case "valid_frame_after: verdicts and probe budget" `Quick
+      test_valid_frame_after;
+    Alcotest.test_case "parallel decode = serial decode" `Quick
+      test_parallel_decode_equivalence;
     Alcotest.test_case "memory semantics" `Quick test_memory_semantics;
     Alcotest.test_case "file backend" `Quick test_file_backend;
     Alcotest.test_case "faulty torn write" `Quick test_faulty_torn_write;
@@ -337,6 +549,14 @@ let suite =
       test_disk_wal_interior_corruption_refused;
     Alcotest.test_case "checkpoint truncate compacts backend" `Quick
       test_disk_wal_checkpoint_truncate;
+    Alcotest.test_case "truncation journal: rollback" `Quick
+      test_truncate_journal_rollback;
+    Alcotest.test_case "truncation journal: redo" `Quick
+      test_truncate_journal_redo;
+    Alcotest.test_case "truncation journal: damaged image refused" `Quick
+      test_truncate_journal_damaged_image_refused;
+    Alcotest.test_case "create forces stale-log truncation" `Quick
+      test_create_forces_stale_truncation;
     Alcotest.test_case "retry absorbs injected faults" `Quick
       test_disk_wal_retry_absorbs_faults;
     Alcotest.test_case "storage unavailable after budget" `Quick
