@@ -1,7 +1,8 @@
 # Convenience targets; `make check` is what CI runs.
 
 .PHONY: all check test bench baseline benchdiff crashtest faulttest \
-  stresstest report walsmoke metricsdoc metricsdoc-check clean
+  stresstest report walsmoke metricsdoc metricsdoc-check golden \
+  walformatdoc walformatdoc-check clean
 
 all:
 	dune build @all
@@ -62,13 +63,22 @@ bench:
 baseline:
 	dune exec bench/main.exe -- --json --quick
 
-# Compare a fresh quick run against the checked-in baseline.  Noisy
-# machines need the generous tolerance; exit status reflects
-# regressions, so drop --report-only to gate on it.
+# Compare a fresh quick run against the checked-in baseline and GATE on
+# the serial restart and commit-rate series: a >25% move against a gated
+# series' direction fails the build.  Everything else — including the
+# multi-worker restart walls, which swing ~30% between identical runs at
+# quick sizes — is printed as advisory only.  If a regression is
+# intentional, rerun with the documented escape hatch and refresh the
+# baseline in the same change:
+#   make benchdiff BENCHDIFF_FLAGS=--allow-regression
+#   make baseline   # then copy the BENCH_<rev>.json over bench/BASELINE.json
+BENCHDIFF_FLAGS ?=
 benchdiff:
 	dune exec bench/main.exe -- --json _report/bench.json --quick
 	dune exec bin/benchdiff.exe -- bench/BASELINE.json _report/bench.json \
-	  --tolerance 50 --report-only
+	  --tolerance 25 --gate recovery.restart.records_per_sec \
+	  --gate recovery.restart.seconds \
+	  --gate wal.group_commit.commits_per_sec $(BENCHDIFF_FLAGS)
 
 # WAL forensics smoke: persist a crashtest-driven log image, inspect it
 # (record histogram, checkpoint coverage, corruption diagnosis), then
@@ -84,6 +94,20 @@ metricsdoc:
 # Fail if docs/METRICS.md drifted from the inventory (CI runs this).
 metricsdoc-check:
 	dune exec bin/metricsdoc.exe | diff - docs/METRICS.md
+
+# Regenerate the golden WAL frames (test/golden/) after an intentional
+# on-disk format change; the test suite fails on any byte drift until
+# these are refreshed and committed.
+golden:
+	dune exec bin/walformatdoc.exe -- --golden test/golden
+
+# Regenerate the on-disk format spec from the codec itself.
+walformatdoc:
+	dune exec bin/walformatdoc.exe -- -o docs/WAL_FORMAT.md
+
+# Fail if docs/WAL_FORMAT.md drifted from the codec (CI runs this).
+walformatdoc-check:
+	dune exec bin/walformatdoc.exe | diff - docs/WAL_FORMAT.md
 
 clean:
 	dune clean

@@ -2,9 +2,15 @@
 
    A series regresses when it moves against its declared direction by
    more than the tolerance (relative, percent).  Exit status: 0 when no
-   series regresses (or --report-only), 1 on regressions or unreadable
-   inputs.  CI runs this report-only against the checked-in baseline so
-   perf drift is visible in logs without flaking the build. *)
+   gating series regresses (or --report-only / --allow-regression), 1 on
+   regressions or unreadable inputs.  By default every series gates;
+   --gate PREFIX (repeatable) narrows the gate to matching series — the
+   full comparison is still printed, non-gating regressions are noted
+   but do not fail the run.  CI gates on the recovery/restart and
+   commit-rate series against the checked-in baseline; the Makefile's
+   BENCHDIFF_FLAGS=--allow-regression is the documented escape hatch
+   when a regression is intentional (update bench/BASELINE.json in the
+   same change). *)
 
 module Bench = Tm_obs.Bench_baseline
 
@@ -15,19 +21,35 @@ let load label file =
       Fmt.epr "benchdiff: %s %s: %s@." label file e;
       exit 1
 
-let main base_file current_file tolerance report_only =
+let main base_file current_file tolerance gates report_only allow_regression =
   let baseline = load "baseline" base_file in
   let current = load "current" current_file in
   Fmt.pr "baseline %s (rev %s)  vs  current %s (rev %s), tolerance %.0f%%@.@."
     base_file baseline.Bench.rev current_file current.Bench.rev tolerance;
   let verdicts = Bench.diff ~tolerance_pct:tolerance ~baseline current in
   Fmt.pr "%a" Bench.pp_diff verdicts;
+  let gating (v : Bench.verdict) =
+    gates = []
+    || List.exists
+         (fun p -> String.starts_with ~prefix:p v.Bench.series_name)
+         gates
+  in
   match Bench.regressions verdicts with
   | [] -> Fmt.pr "@.no regressions@."
   | rs ->
-      Fmt.pr "@.%d regression%s@." (List.length rs)
-        (if List.length rs = 1 then "" else "s");
-      if not report_only then exit 1
+      let gated, advisory = List.partition gating rs in
+      if advisory <> [] then
+        Fmt.pr "@.%d regression%s outside the gate (advisory only)@."
+          (List.length advisory)
+          (if List.length advisory = 1 then "" else "s");
+      (match gated with
+      | [] -> Fmt.pr "@.no gating regressions@."
+      | gs ->
+          Fmt.pr "@.%d gating regression%s@." (List.length gs)
+            (if List.length gs = 1 then "" else "s");
+          if allow_regression then
+            Fmt.pr "--allow-regression: not failing the run@."
+          else if not report_only then exit 1)
 
 open Cmdliner
 
@@ -50,6 +72,16 @@ let tolerance_arg =
         ~doc:"Relative tolerance in percent before a change counts as a \
               regression.")
 
+let gate_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "gate" ] ~docv:"PREFIX"
+        ~doc:
+          "Only regressions in series whose name starts with $(docv) fail \
+           the run (repeatable).  Other regressions are still printed, as \
+           advisory.  With no --gate, every series gates.")
+
 let report_only_arg =
   Arg.(
     value & flag
@@ -57,11 +89,21 @@ let report_only_arg =
         ~doc:"Print the comparison but always exit 0 (CI visibility \
               without flaking the build).")
 
+let allow_regression_arg =
+  Arg.(
+    value & flag
+    & info [ "allow-regression" ]
+        ~doc:
+          "Print gating regressions but exit 0 — the documented escape \
+           hatch for an intentional perf trade-off.  Pair it with a \
+           bench/BASELINE.json update in the same change.")
+
 let cmd =
   let doc = "diff two bench baseline JSON files with a tolerance" in
   Cmd.v
     (Cmd.info "benchdiff" ~doc)
     Term.(
-      const main $ base_arg $ current_arg $ tolerance_arg $ report_only_arg)
+      const main $ base_arg $ current_arg $ tolerance_arg $ gate_arg
+      $ report_only_arg $ allow_regression_arg)
 
 let () = exit (Cmd.eval cmd)

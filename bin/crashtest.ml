@@ -48,9 +48,11 @@ let lines : string list ref = ref []
    dumps in the shared artifact formats. *)
 let rows : Experiment.row list ref = ref []
 
-(* The last driving run's encoded log image, for --keep-log: a real
-   crashtest-produced on-disk WAL that walinspect can be pointed at. *)
-let last_log : string option ref = ref None
+(* The last driving run's records, for --keep-log: encoded on exit (in
+   the format version --keep-log-version selects) into a real
+   crashtest-produced on-disk WAL that walinspect can be pointed at —
+   and that, encoded as v1, becomes a checked-in migration fixture. *)
+let last_log : Wal.record list option ref = ref None
 
 let say ~verbose fmt =
   Fmt.kstr
@@ -74,7 +76,7 @@ let record_mode ~verbose ~record_trace ~workers cfg checkpoint_every scenarios =
             Experiment.run_durable ~record_trace ~checkpoint_every scenario setup cfg
           in
           rows := row :: !rows;
-          last_log := Some (Wal.Codec.encode_all (Wal.records wal));
+          last_log := Some (Wal.records wal);
           let rebuild () = scenario.Experiment.build setup in
           let report = Crash.torture ~workers ~rebuild wal in
           total_cuts := !total_cuts + report.Crash.cuts;
@@ -100,6 +102,7 @@ let fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
   let failures = ref 0 in
   let total_cuts = ref 0 in
   let total_trunc_cuts = ref 0 in
+  let total_upgrade_cuts = ref 0 in
   let total_batch_cuts = ref 0 in
   let total_flips = ref 0 in
   let total_retries = ref 0 in
@@ -121,7 +124,7 @@ let fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
               ~checkpoint_every ~group_commit scenario setup cfg
           in
           rows := row :: !rows;
-          last_log := Some (Wal.Codec.encode_all (Wal.records wal));
+          last_log := Some (Wal.records wal);
 
           (* 2. Byte-granularity crash cuts over the encoded log. *)
           let report = Crash.torture_bytes ~workers ~rebuild wal in
@@ -138,6 +141,17 @@ let fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
           if not (Crash.ok trunc) then incr failures;
           say ~verbose:(verbose || not (Crash.ok trunc)) "%s trunc:  %a" combo
             Crash.pp_report trunc;
+
+          (* 2a'. Upgrade torture: the same compaction crash sweep, but
+             starting from the log encoded in the previous on-disk format
+             (v1) and rewriting it in the current one — every cut must
+             leave a readable mixed-version log that recovers to the same
+             state, with zero acknowledged commits lost. *)
+          let upg = Crash.torture_upgrade ~workers ~rebuild wal in
+          total_upgrade_cuts := !total_upgrade_cuts + upg.Crash.cuts;
+          if not (Crash.ok upg) then incr failures;
+          say ~verbose:(verbose || not (Crash.ok upg)) "%s upgrade: %a" combo
+            Crash.pp_report upg;
 
           (* 2b. Batch-prefix torture: cuts inside a group-commit batch
              must recover a prefix of the batch's commit order and never
@@ -207,17 +221,23 @@ let fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
   end;
   say ~verbose:true
     "crashtest --fault: %d combinations, %d byte cuts (+%d truncation cuts, +%d \
-     batch-prefix cuts, group commit %d), %d bit flips, %d faults injected, %d \
-     retries absorbed, %d failures"
+     upgrade cuts, +%d batch-prefix cuts, group commit %d), %d bit flips, %d \
+     faults injected, %d retries absorbed, %d failures"
     (List.length scenarios * List.length setups)
-    !total_cuts !total_trunc_cuts !total_batch_cuts group_commit !total_flips
-    !total_faults !total_retries !failures;
+    !total_cuts !total_trunc_cuts !total_upgrade_cuts !total_batch_cuts
+    group_commit !total_flips !total_faults !total_retries !failures;
   !failures
 
 let main filter txns concurrency seed checkpoint_every fault group_commit workers
-    report_file trace_file metrics_file keep_log verbose =
+    report_file trace_file metrics_file keep_log keep_log_version verbose =
   if workers < 1 then begin
     Fmt.epr "--replay-workers must be >= 1@.";
+    exit 1
+  end;
+  if not (Wal.Codec.is_supported keep_log_version) then begin
+    Fmt.epr "--keep-log-version %d: supported versions are %a@." keep_log_version
+      Fmt.(list ~sep:sp int)
+      Wal.Codec.supported_versions;
     exit 1
   end;
   let scenarios =
@@ -258,9 +278,11 @@ let main filter txns concurrency seed checkpoint_every fault group_commit worker
   Option.iter (fun f -> Cli_util.write_traces_rows ~seed ~config f dump_rows) trace_file;
   Option.iter (fun f -> Cli_util.write_metrics_rows ~seed ~config f dump_rows) metrics_file;
   (match keep_log, !last_log with
-  | Some file, Some bytes ->
+  | Some file, Some recs ->
+      let bytes = Wal.Codec.encode_all ~version:keep_log_version recs in
       Cli_util.with_out file (fun oc -> output_string oc bytes);
-      Fmt.pr "wrote on-disk WAL image (%d bytes) to %s@." (String.length bytes) file
+      Fmt.pr "wrote on-disk WAL image (%d bytes, format v%d) to %s@."
+        (String.length bytes) keep_log_version file
   | Some file, None -> Fmt.epr "--keep-log %s: no run produced a log@." file
   | None, _ -> ());
   if failures > 0 then exit 1
@@ -361,6 +383,17 @@ let keep_log_arg =
           "Write the last driving run's encoded on-disk WAL image to $(docv) \
            — a real log for walinspect to chew on.")
 
+let keep_log_version_arg =
+  Arg.(
+    value
+    & opt int Tm_engine.Wal.Codec.write_version
+    & info [ "keep-log-version" ] ~docv:"V"
+        ~doc:
+          "Encode the --keep-log image in WAL format version $(docv) \
+           (default: the current write version).  Harvesting with the \
+           previous version produces the checked-in migration fixtures \
+           under test/golden/logs/.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every report, not just failures.")
 
@@ -371,6 +404,7 @@ let cmd =
     Term.(
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
       $ checkpoint_arg $ fault_arg $ group_commit_arg $ workers_arg $ report_arg
-      $ trace_arg $ metrics_arg $ keep_log_arg $ verbose_arg)
+      $ trace_arg $ metrics_arg $ keep_log_arg $ keep_log_version_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,59 @@
+(* walformatdoc: print (or write) the generated WAL format spec, and
+   regenerate the golden frame files.
+
+   docs/WAL_FORMAT.md is this program's output checked into the tree; CI
+   regenerates and diffs it, so the doc can only change together with
+   lib/engine/wal_format.ml / the codec.  --golden DIR rewrites the
+   golden frame files (test/golden/ in the source tree) after an
+   intentional format change — the test suite fails on any byte drift
+   until they are regenerated. *)
+
+module Wal_format = Tm_engine.Wal_format
+
+let write_golden dir =
+  let n = ref 0 in
+  List.iter
+    (fun version ->
+      List.iter
+        (fun (file, bytes) ->
+          Cli_util.with_out (Filename.concat dir file) (fun oc ->
+              output_string oc bytes);
+          incr n)
+        (Wal_format.golden_frames ~version))
+    Wal_format.versions;
+  Fmt.pr "wrote %d golden frames to %s@." !n dir
+
+let main out golden =
+  (match golden with None -> () | Some dir -> write_golden dir);
+  let md = Wal_format.to_markdown () in
+  match (out, golden) with
+  | None, None -> print_string md
+  | None, Some _ -> ()
+  | Some file, _ ->
+      Cli_util.with_out file (fun oc -> output_string oc md);
+      Fmt.pr "wrote %s@." file
+
+open Cmdliner
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE"
+        ~doc:"Write the format spec to $(docv) instead of stdout.")
+
+let golden_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "golden" ] ~docv:"DIR"
+        ~doc:
+          "Rewrite the golden frame files (one per record kind and format \
+           version) into $(docv) — point it at test/golden after an \
+           intentional format change.")
+
+let cmd =
+  let doc = "generate docs/WAL_FORMAT.md and the codec golden frames" in
+  Cmd.v (Cmd.info "walformatdoc" ~doc) Term.(const main $ out_arg $ golden_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -53,7 +53,7 @@ let verify_profile bytes json workers =
       end;
       `Ok
 
-let main file json verify workers =
+let main file json verify workers digest =
   if workers < 1 then begin
     Fmt.epr "--workers must be >= 1@.";
     exit 1
@@ -63,6 +63,16 @@ let main file json verify workers =
   if json && not verify then
     Fmt.pr "%s@." (Json.to_string (Wal_inspect.to_json summary))
   else if not verify then Fmt.pr "%a" Wal_inspect.pp summary;
+  (* The digest pins the recovered state these bytes replay to; the
+     harvest workflow records it next to checked-in v1 logs so future
+     binaries are held to it. *)
+  if digest then begin
+    match Wal_inspect.replay_digest bytes with
+    | Ok d -> Fmt.pr "replay-digest %s@." d
+    | Error c ->
+        Fmt.epr "replay digest unavailable: %a@." Wal.Codec.pp_corruption c;
+        exit 2
+  end;
   let verify_status =
     if verify then verify_profile bytes json workers else `Skipped
   in
@@ -99,10 +109,21 @@ let workers_arg =
            domains (1: serial).  The committed-op count and loser set are \
            identical at any worker count.")
 
+let digest_arg =
+  Arg.(
+    value & flag
+    & info [ "digest" ]
+        ~doc:
+          "Print the replay digest — a stable hash of the recovered state \
+           (committed operations + loser set) these bytes replay to.  The \
+           harvest workflow records it next to checked-in old-format logs, \
+           pinning their recovery outcome across format versions.")
+
 let cmd =
   let doc = "forensics for an on-disk WAL image (no replay required)" in
   Cmd.v
     (Cmd.info "walinspect" ~doc)
-    Term.(const main $ file_arg $ json_arg $ verify_arg $ workers_arg)
+    Term.(
+      const main $ file_arg $ json_arg $ verify_arg $ workers_arg $ digest_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -493,103 +493,126 @@ let corruption_sweep wal =
    every such state is a legal crash point, violations are reported as
    ["truncate-atomicity"]) and demand that recovery reproduces exactly
    the pre-compaction committed state (per object) and loser set. *)
+(* The shared journal+install byte sweep behind [torture_truncation] and
+   [torture_upgrade]: given the pre-rewrite on-disk bytes and the
+   compacted image that is to replace them, construct every intermediate
+   backend state the protocol can leave behind, reload each through
+   {!Disk_wal.load} and demand recovery reproduces exactly what [recs]
+   (the pre-rewrite log) replays to. *)
+let sweep_rewrite ?workers ~invariant ~rebuild ~recs ~old_bytes ~image () =
+  let new_len = String.length image in
+  let intent =
+    Wal.Codec.encode
+      (Wal.Truncate_intent { old_len = String.length old_bytes; new_len })
+  in
+  let journal = intent ^ image in
+  (* Expected outcome: whatever the pre-rewrite log replays to. *)
+  let exp_committed, exp_losers = Wal.replay recs in
+  let expected_for name =
+    List.filter (fun (op : Op.t) -> String.equal op.Op.obj name) exp_committed
+  in
+  let states =
+    (* Journal phase: old log + k bytes of the journal. *)
+    List.init
+      (String.length journal + 1)
+      (fun k -> ("journal", k, old_bytes ^ String.sub journal 0 k))
+    (* Install phase: k bytes of the image over the journaled file.
+       (k = new_len is the shrink itself still pending: image bytes
+       followed by the stale remainder of the journaled file.) *)
+    @ (let full = old_bytes ^ journal in
+       let flen = String.length full in
+       List.init (new_len + 1) (fun k ->
+           ( "install",
+             k,
+             String.sub image 0 k ^ String.sub full k (flen - k) )))
+    @ [ ("done", 0, image) ]
+  in
+  let check i (phase, k, state) =
+    let cut = i in
+    let bad detail = { cut; invariant; detail } in
+    let where = Fmt.str "%s phase, byte %d" phase k in
+    match Disk_wal.load ?workers (Storage.of_string state) with
+    | exception exn ->
+        [ bad (Fmt.str "%s: reload raised %s" where (Printexc.to_string exn)) ]
+    | Error c ->
+        [
+          bad
+            (Fmt.str "%s: reload refused a legal crash state: %a" where
+               Wal.Codec.pp_corruption c);
+        ]
+    | Ok dw -> (
+        match
+          Durable_database.recover ?workers ~wal:(Disk_wal.wal dw) ~rebuild ()
+        with
+        | exception exn ->
+            [
+              bad
+                (Fmt.str "%s: recovery raised %s" where
+                   (Printexc.to_string exn));
+            ]
+        | Error e ->
+            [ bad (Fmt.str "%s: recovery failed: %a" where Recovery.pp_error e) ]
+        | Ok (db, losers) ->
+            let state_bad =
+              List.filter_map
+                (fun (name, ops) ->
+                  let want = expected_for name in
+                  if List.equal Op.equal ops want then None
+                  else
+                    Some
+                      (bad
+                         (Fmt.str "%s: %s recovered [%a], expected [%a]" where
+                            name pp_ops ops pp_ops want)))
+                (committed_by_object db)
+            in
+            let loser_bad =
+              if Tid.Set.equal losers exp_losers then []
+              else
+                [
+                  bad
+                    (Fmt.str "%s: losers {%a}, expected {%a}" where
+                       Fmt.(list ~sep:comma Tid.pp)
+                       (Tid.Set.elements losers)
+                       Fmt.(list ~sep:comma Tid.pp)
+                       (Tid.Set.elements exp_losers));
+                ]
+            in
+            state_bad @ loser_bad)
+  in
+  let violations = List.concat (List.mapi check states) in
+  { cuts = List.length states; atomicity_checked = 0; violations }
+
 let torture_truncation ?workers ~rebuild wal =
   let recs = Wal.records wal in
-  let old_bytes = Wal.Codec.encode_all recs in
   let mirror = Wal.of_records recs in
   let dropped = Wal.truncate_to_checkpoint mirror in
   if dropped = 0 then { cuts = 0; atomicity_checked = 0; violations = [] }
-  else begin
-    let image = Wal.Codec.encode_all (Wal.records mirror) in
-    let new_len = String.length image in
-    let intent =
-      Wal.Codec.encode
-        (Wal.Truncate_intent { old_len = String.length old_bytes; new_len })
-    in
-    let journal = intent ^ image in
-    (* Expected outcome: whatever the uncompacted log replays to. *)
-    let exp_committed, exp_losers = Wal.replay recs in
-    let expected_for name =
-      List.filter (fun (op : Op.t) -> String.equal op.Op.obj name) exp_committed
-    in
-    let states =
-      (* Journal phase: old log + k bytes of the journal. *)
-      List.init
-        (String.length journal + 1)
-        (fun k -> ("journal", k, old_bytes ^ String.sub journal 0 k))
-      (* Install phase: k bytes of the image over the journaled file.
-         (k = new_len is the shrink itself still pending: image bytes
-         followed by the stale remainder of the journaled file.) *)
-      @ (let full = old_bytes ^ journal in
-         let flen = String.length full in
-         List.init (new_len + 1) (fun k ->
-             ( "install",
-               k,
-               String.sub image 0 k ^ String.sub full k (flen - k) )))
-      @ [ ("done", 0, image) ]
-    in
-    let check i (phase, k, state) =
-      let cut = i in
-      let bad invariant detail = { cut; invariant; detail } in
-      let where = Fmt.str "%s phase, byte %d" phase k in
-      match Disk_wal.load ?workers (Storage.of_string state) with
-      | exception exn ->
-          [
-            bad "truncate-atomicity"
-              (Fmt.str "%s: reload raised %s" where (Printexc.to_string exn));
-          ]
-      | Error c ->
-          [
-            bad "truncate-atomicity"
-              (Fmt.str "%s: reload refused a legal crash state: %a" where
-                 Wal.Codec.pp_corruption c);
-          ]
-      | Ok dw -> (
-          match
-            Durable_database.recover ?workers ~wal:(Disk_wal.wal dw) ~rebuild ()
-          with
-          | exception exn ->
-              [
-                bad "truncate-atomicity"
-                  (Fmt.str "%s: recovery raised %s" where
-                     (Printexc.to_string exn));
-              ]
-          | Error e ->
-              [
-                bad "truncate-atomicity"
-                  (Fmt.str "%s: recovery failed: %a" where Recovery.pp_error e);
-              ]
-          | Ok (db, losers) ->
-              let state_bad =
-                List.filter_map
-                  (fun (name, ops) ->
-                    let want = expected_for name in
-                    if List.equal Op.equal ops want then None
-                    else
-                      Some
-                        (bad "truncate-atomicity"
-                           (Fmt.str
-                              "%s: %s recovered [%a], expected [%a]" where name
-                              pp_ops ops pp_ops want)))
-                  (committed_by_object db)
-              in
-              let loser_bad =
-                if Tid.Set.equal losers exp_losers then []
-                else
-                  [
-                    bad "truncate-atomicity"
-                      (Fmt.str "%s: losers {%a}, expected {%a}" where
-                         Fmt.(list ~sep:comma Tid.pp)
-                         (Tid.Set.elements losers)
-                         Fmt.(list ~sep:comma Tid.pp)
-                         (Tid.Set.elements exp_losers));
-                  ]
-              in
-              state_bad @ loser_bad)
-    in
-    let violations = List.concat (List.mapi check states) in
-    { cuts = List.length states; atomicity_checked = 0; violations }
-  end
+  else
+    sweep_rewrite ?workers ~invariant:"truncate-atomicity" ~rebuild ~recs
+      ~old_bytes:(Wal.Codec.encode_all recs)
+      ~image:(Wal.Codec.encode_all (Wal.records mirror))
+      ()
+
+(* Upgrade torture: the incremental v1→v2 migration is "checkpoint +
+   truncate under the new binary" — the old log sits on disk as pure v1
+   frames, and [Disk_wal.checkpoint_truncate] journals and installs a
+   pure-v2 image over it.  Sweep every byte state of that rewrite,
+   exactly as [torture_truncation] does, but with the pre-rewrite bytes
+   encoded as v1: a crash at any offset leaves either the readable v1
+   log (with torn v2 journal debris the loader rolls back over), a
+   committed journal to redo, or the installed v2 image — and recovery
+   must always reproduce the pre-upgrade committed state and loser set,
+   so no acknowledged commit is ever lost to the format migration.
+   Unlike truncation, the sweep runs even when nothing would be dropped
+   (the rewrite is then a pure v1→v2 re-encode of the same records). *)
+let torture_upgrade ?workers ~rebuild wal =
+  let recs = Wal.records wal in
+  let mirror = Wal.of_records recs in
+  ignore (Wal.truncate_to_checkpoint mirror);
+  sweep_rewrite ?workers ~invariant:"upgrade-atomicity" ~rebuild ~recs
+    ~old_bytes:(Wal.Codec.encode_all ~version:Wal.Codec.v1 recs)
+    ~image:(Wal.Codec.encode_all (Wal.records mirror))
+    ()
 
 let run ?max_atomicity_txns ?workers ~rebuild ~drive () =
   let wal = Wal.create () in

@@ -99,6 +99,22 @@ val torture_bytes :
 val torture_truncation :
   ?workers:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
 
+(** [torture_upgrade ?workers ~rebuild wal] sweeps the incremental
+    v1→v2 format migration: the log's records are laid down as pure
+    {e v1} frames (what a pre-versioning binary left on disk), the
+    compacted replacement image is encoded as v2 (what
+    {!Disk_wal.checkpoint_truncate} writes today), and {e every} byte
+    state of the journal + install rewrite is reloaded and recovered —
+    crash mid-journal leaves the readable v1 log (torn v2 debris rolled
+    back), crash mid-install redoes from the journaled image, and every
+    state must recover the exact pre-upgrade committed state and loser
+    set (zero acknowledged-commit loss across the migration; violations
+    are ["upgrade-atomicity"]).  Unlike {!torture_truncation} the sweep
+    runs even when no records would be dropped: the rewrite is then a
+    pure v1→v2 re-encode.  [wal] is not mutated. *)
+val torture_upgrade :
+  ?workers:int -> rebuild:(unit -> Atomic_object.t list) -> Wal.t -> report
+
 (** {1 Batch-prefix torture (group commit)} *)
 
 type batch_report = {

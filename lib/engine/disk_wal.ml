@@ -129,18 +129,24 @@ type journal_state =
    image never contains an intent). *)
 let find_journal bytes =
   let total = String.length bytes in
-  let header = Wal.Codec.header_size in
   (* tag byte + two 8-byte lengths *)
   let intent_payload = 17 in
-  let intent_frame = header + intent_payload in
+  (* The smallest frame an intent can occupy (v1 header); an intent
+     written by any supported version is at least this long. *)
+  let min_intent_frame = Wal.Codec.min_header_size + intent_payload in
+  (* An intent frame of either version: the header parses, the payload
+     is intent-sized and the tag byte is the intent's.  [read_header]
+     is the version dispatch, so a journal written by a v1 binary is
+     found by a v2 one and vice versa. *)
   let plausible p =
-    p + intent_frame <= total
-    && bytes.[p + 1] = Wal.Codec.magic1
-    && Int32.to_int (String.get_int32_le bytes (p + 3)) = intent_payload
-    && bytes.[p + header] = '\005'
+    match Wal.Codec.read_header bytes p with
+    | Error _ -> false
+    | Ok h ->
+        h.Wal.Codec.h_payload_len = intent_payload
+        && bytes.[p + h.Wal.Codec.h_size] = '\005'
   in
   let rec scan pos =
-    if pos + intent_frame > total then No_journal
+    if pos + min_intent_frame > total then No_journal
     else
       match String.index_from_opt bytes pos Wal.Codec.magic0 with
       | None -> No_journal
@@ -160,12 +166,14 @@ let find_journal bytes =
                   Damaged
                     {
                       Wal.Codec.offset = next;
+                      version = None;
                       reason = "truncation journal image is torn";
                     }
               | Error c ->
                   Damaged
                     {
                       Wal.Codec.offset = next + c.Wal.Codec.offset;
+                      version = c.Wal.Codec.version;
                       reason =
                         "truncation journal image unreadable: "
                         ^ c.Wal.Codec.reason;
@@ -234,18 +242,29 @@ let load ?(retry = default_retry) ?profile ?workers storage =
              write itself was cut short (a complete journal was resolved
              above): the compaction never committed, so the log is
              exactly the records before the intent — roll it back by
-             ignoring the rest.  [end_off] points at the intent's byte
-             offset (records re-encode to identical bytes), and the next
-             append overwrites the debris. *)
-          let records, clean_bytes =
-            let rec split kept = function
-              | [] -> (records, clean_bytes)
-              | Wal.Truncate_intent _ :: _ ->
-                  let kept = List.rev kept in
-                  (kept, String.length (Wal.Codec.encode_all kept))
-              | r :: rest -> split (r :: kept) rest
+             ignoring the rest.  [end_off] must point at the intent's
+             byte offset, which is recovered by walking the actual
+             on-disk frame headers — never by re-encoding the kept
+             records, whose byte length differs from the disk's once
+             the log mixes frame versions (v1 frames persisted by an
+             older binary, v2 appends after them). *)
+          let offset_of_frame n =
+            let rec go pos i =
+              if i = n then pos
+              else
+                match Wal.Codec.read_header bytes pos with
+                | Ok h -> go (pos + h.Wal.Codec.h_size + h.Wal.Codec.h_payload_len) (i + 1)
+                | Error _ -> pos (* unreachable: these frames just decoded *)
             in
-            split [] records
+            go 0 0
+          in
+          let records, clean_bytes =
+            let rec split n kept = function
+              | [] -> (records, clean_bytes)
+              | Wal.Truncate_intent _ :: _ -> (List.rev kept, offset_of_frame n)
+              | r :: rest -> split (n + 1) (r :: kept) rest
+            in
+            split 0 [] records
           in
           (* The mirror is rebuilt before the sink is installed, so the
              replayed records are not re-persisted; a torn tail is

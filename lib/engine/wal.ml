@@ -102,6 +102,14 @@ let make_log records_rev count =
 let create () = make_log [] 0
 let of_records recs = make_log (List.rev recs) (List.length recs)
 
+(* On-disk format versions.  The byte-level contract lives in {!Codec}
+   (and docs/WAL_FORMAT.md); the constants sit up here so the metrics
+   attachment below can export the written version without a forward
+   reference into the codec. *)
+let format_v1 = 1
+let format_v2 = 2
+let write_format_version = format_v2
+
 let set_sink t sink =
   t.sink <- Some sink;
   (* Everything already present predates the sink (e.g. records decoded
@@ -113,6 +121,9 @@ let set_sink t sink =
 
 let attach_metrics t reg =
   t.metrics <- Some reg;
+  Metrics.Gauge.set
+    (Metrics.gauge reg "tm_wal_format_version")
+    (float_of_int write_format_version);
   match t.sink with None -> () | Some s -> s.sink_attach reg
 
 let last_lsn t = t.appended
@@ -532,16 +543,38 @@ let plan_losers plan =
 (* Binary framing for the on-disk log.                                 *)
 
 module Codec = struct
-  let version = 1
+  let v1 = format_v1
+  let v2 = format_v2
+  let write_version = write_format_version
+  let supported_versions = [ v1; v2 ]
+  let is_supported v = List.mem v supported_versions
 
-  (* Frame: 2-byte magic, 1-byte version, 4-byte LE payload length,
-     4-byte LE CRC32 of the payload, payload (tag byte + body).  The
-     magic gives the decoder a resynchronization anchor: after a corrupt
-     frame it can scan for the next intact one to tell interior
+  (* The frame header is versioned; the payload encoding (record tag +
+     body) is byte-identical across versions, so version negotiation is
+     purely a header concern and old payload bytes replay bit-for-bit.
+
+       v1: magic0 magic1 0x01 | payload_len LE32 | crc32 LE32 | payload
+       v2: magic0 magic1 0x02 | shard LE16 | payload_len LE32 | crc32 LE32 | payload
+
+     v2 adds a 16-bit shard id (written as 0 until the sharded engine
+     lands; any value is accepted on decode) and, with the version byte,
+     reserves room for record-kind growth: new record tags arrive only
+     under v2 frames, so a v1-only binary can never misparse them — it
+     reports a typed foreign-version corruption with the exact offset.
+     The magic gives the decoder a resynchronization anchor: after a
+     corrupt frame it can scan for the next intact one to tell interior
      corruption from a torn tail. *)
   let magic0 = '\xd7'
   let magic1 = 'W'
-  let header_size = 11
+
+  let header_size = function
+    | 1 -> 11
+    | 2 -> 13
+    | v -> invalid_arg (Fmt.str "Wal.Codec.header_size: unsupported version %d" v)
+
+  (* The smallest supported header — how many bytes a scanner needs
+     before it can even read the version byte and dispatch. *)
+  let min_header_size = 11
 
   (* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320). *)
   let crc_table =
@@ -604,20 +637,28 @@ module Codec = struct
         put_int b old_len;
         put_int b new_len
 
-  let encode r =
+  let encode ?(version = write_version) ?(shard = 0) r =
+    if not (is_supported version) then
+      invalid_arg (Fmt.str "Wal.Codec.encode: unsupported version %d" version);
+    if version = v1 && shard <> 0 then
+      invalid_arg "Wal.Codec.encode: v1 frames carry no shard id";
+    if shard < 0 || shard > 0xFFFF then
+      invalid_arg (Fmt.str "Wal.Codec.encode: shard %d out of range" shard);
     let payload = Buffer.create 64 in
     put_record payload r;
     let payload = Buffer.contents payload in
-    let b = Buffer.create (header_size + String.length payload) in
+    let b = Buffer.create (header_size version + String.length payload) in
     Buffer.add_char b magic0;
     Buffer.add_char b magic1;
     Buffer.add_char b (Char.chr version);
+    if version = v2 then Buffer.add_uint16_le b shard;
     Buffer.add_int32_le b (Int32.of_int (String.length payload));
     Buffer.add_int32_le b (crc32 payload);
     Buffer.add_string b payload;
     Buffer.contents b
 
-  let encode_all recs = String.concat "" (List.map encode recs)
+  let encode_all ?version recs =
+    String.concat "" (List.map (fun r -> encode ?version r) recs)
 
   (* --- payload reader --- *)
 
@@ -683,39 +724,75 @@ module Codec = struct
 
   type corruption = {
     offset : int;
+    version : int option;
     reason : string;
   }
 
-  let pp_corruption ppf c = Fmt.pf ppf "byte %d: %s" c.offset c.reason
+  let pp_corruption ppf c =
+    match c.version with
+    | None -> Fmt.pf ppf "byte %d: %s" c.offset c.reason
+    | Some v -> Fmt.pf ppf "byte %d (v%d frame): %s" c.offset v c.reason
+
+  type header = {
+    h_version : int;
+    h_shard : int;  (* 0 for v1 frames *)
+    h_payload_len : int;
+    h_size : int;  (* header bytes before the payload *)
+  }
+
+  (* Parse and validate one frame header at [pos] — the single
+     version-negotiation point every reader (decode, resync scan,
+     parallel extent walk, journal search, forensics) dispatches
+     through.  No CRC is paid.  The corruption carries the frame's
+     version byte whenever it was readable — including a foreign
+     version, so a reader can report exactly which format it refused
+     and where. *)
+  let read_header s pos =
+    let len = String.length s in
+    let bad ?version reason = Error { offset = pos; version; reason } in
+    if len - pos < 3 then bad "truncated header"
+    else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then bad "bad magic"
+    else
+      let v = Char.code s.[pos + 2] in
+      if not (is_supported v) then
+        bad ~version:v (Fmt.str "unsupported format version %d" v)
+      else
+        let h_size = header_size v in
+        if len - pos < h_size then bad ~version:v "truncated header"
+        else
+          let h_shard =
+            if v = v1 then 0 else String.get_uint16_le s (pos + 3)
+          in
+          let len_off = if v = v1 then pos + 3 else pos + 5 in
+          let payload_len = Int32.to_int (String.get_int32_le s len_off) in
+          if payload_len < 0 || payload_len > len - pos - h_size then
+            bad ~version:v "truncated payload"
+          else Ok { h_version = v; h_shard; h_payload_len = payload_len; h_size }
 
   (* Decode the frame starting at [pos]; [Ok (record, next_pos)] or the
      reason it is unreadable.  With a profile, CRC verification is
      charged to its own phase (the rest of the frame work is the
      caller's to account). *)
   let decode_frame ?profile s pos =
-    let len = String.length s in
-    try
-      if len - pos < header_size then raise (Bad "truncated header");
-      if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then raise (Bad "bad magic");
-      let v = Char.code s.[pos + 2] in
-      if v <> version then raise (Bad (Fmt.str "unsupported format version %d" v));
-      let payload_len = Int32.to_int (String.get_int32_le s (pos + 3)) in
-      if payload_len < 0 || payload_len > len - pos - header_size then
-        raise (Bad "truncated payload");
-      let expected = String.get_int32_le s (pos + 7) in
-      let payload = String.sub s (pos + header_size) payload_len in
-      let actual =
-        match profile with
-        | None -> crc32 payload
-        | Some p ->
-            Profile.time p Profile.Checksum_verify (fun () -> crc32 payload)
-      in
-      if actual <> expected then raise (Bad "crc mismatch");
-      let r = { src = payload; pos = 0; stop = payload_len } in
-      let record = get_record r in
-      if r.pos <> r.stop then raise (Bad "trailing bytes in payload");
-      Ok (record, pos + header_size + payload_len)
-    with Bad reason -> Error { offset = pos; reason }
+    match read_header s pos with
+    | Error c -> Error c
+    | Ok h -> (
+        try
+          let expected = String.get_int32_le s (pos + h.h_size - 4) in
+          let payload = String.sub s (pos + h.h_size) h.h_payload_len in
+          let actual =
+            match profile with
+            | None -> crc32 payload
+            | Some p ->
+                Profile.time p Profile.Checksum_verify (fun () -> crc32 payload)
+          in
+          if actual <> expected then raise (Bad "crc mismatch");
+          let r = { src = payload; pos = 0; stop = h.h_payload_len } in
+          let record = get_record r in
+          if r.pos <> r.stop then raise (Bad "trailing bytes in payload");
+          Ok (record, pos + h.h_size + h.h_payload_len)
+        with Bad reason ->
+          Error { offset = pos; version = Some h.h_version; reason })
 
   (* Is there an intact frame anywhere at or after [pos]?  Used to
      classify a decode failure: damage followed by provably-written data
@@ -737,25 +814,23 @@ module Codec = struct
     let len = String.length s in
     let budget = ref budget in
     let rec resync pos =
-      if pos + header_size > len then false
+      if pos + min_header_size > len then false
       else
         match String.index_from_opt s pos magic0 with
         | None -> false
         | Some p ->
-            if p + header_size > len then false
-            else if s.[p + 1] <> magic1 || Char.code s.[p + 2] <> version then
-              resync (p + 1)
-            else
-              let payload_len = Int32.to_int (String.get_int32_le s (p + 3)) in
-              if payload_len < 0 || payload_len > len - p - header_size then
-                resync (p + 1)
-              else if !budget <= 0 then true
-              else begin
-                budget := !budget - header_size - payload_len;
-                match decode_frame s p with
-                | Ok _ -> true
-                | Error _ -> resync (p + 1)
-              end
+            if p + min_header_size > len then false
+            else (
+              match read_header s p with
+              | Error _ -> resync (p + 1)
+              | Ok h ->
+                  if !budget <= 0 then true
+                  else begin
+                    budget := !budget - h.h_size - h.h_payload_len;
+                    match decode_frame s p with
+                    | Ok _ -> true
+                    | Error _ -> resync (p + 1)
+                  end)
     in
     resync pos
 
@@ -794,13 +869,10 @@ module Codec = struct
     let len = String.length s in
     let rec go acc pos =
       if pos = len then Some (List.rev acc)
-      else if len - pos < header_size then None
-      else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then None
-      else if Char.code s.[pos + 2] <> version then None
       else
-        let payload_len = Int32.to_int (String.get_int32_le s (pos + 3)) in
-        if payload_len < 0 || payload_len > len - pos - header_size then None
-        else go (pos :: acc) (pos + header_size + payload_len)
+        match read_header s pos with
+        | Error _ -> None
+        | Ok h -> go (pos :: acc) (pos + h.h_size + h.h_payload_len)
     in
     go [] 0
 

@@ -254,21 +254,52 @@ val plan_losers : plan -> Tid.Set.t
     (default 0 — callers without an allocator rely on the log scan). *)
 val fuzzy_checkpoint : ?next_tid:int -> record list -> checkpoint
 
-(** Binary record framing for the on-disk log.
+(** Binary record framing for the on-disk log — a {e versioned},
+    forward-compatible contract (docs/WAL_FORMAT.md is the generated
+    spec).
 
-    Each record is one frame: a 2-byte magic, a 1-byte format version, a
-    4-byte little-endian payload length, a 4-byte CRC32 of the payload,
-    then the payload (record tag + body).  {!Codec.decode_all} never
-    guesses: a frame that fails its CRC (or any other check) with {e no}
-    intact frame after it is a {e torn tail} — dropped and reported in
-    [torn], recovery proceeds treating it as crash loss — while a failing
-    frame {e followed} by an intact one proves bytes beyond the damage
-    were durably written, so it is {e interior corruption} and decoding
-    returns an error with the byte offset rather than silently skipping
-    records. *)
+    Each record is one frame.  Two frame formats are readable:
+
+    - {b v1}: 2-byte magic, version byte [0x01], 4-byte little-endian
+      payload length, 4-byte CRC32 of the payload, payload;
+    - {b v2}: 2-byte magic, version byte [0x02], 2-byte little-endian
+      shard id, then length/CRC/payload as in v1.
+
+    The payload encoding (record tag + body) is identical across
+    versions, so version negotiation is purely per-frame header
+    dispatch: a decoded v1 log replays bit-for-bit to the same state it
+    always did.  New frames are written as {!write_version} (v2), so a
+    log loaded from an old binary grows as a readable mixed-version log
+    until {!Disk_wal.checkpoint_truncate} rewrites it pure-v2.
+
+    {!Codec.decode_all} never guesses: a frame that fails its CRC (or
+    any other check) with {e no} intact frame after it is a {e torn
+    tail} — dropped and reported in [torn], recovery proceeds treating
+    it as crash loss — while a failing frame {e followed} by an intact
+    one proves bytes beyond the damage were durably written, so it is
+    {e interior corruption} and decoding returns an error carrying the
+    byte offset and (when readable) the frame's version rather than
+    silently skipping records. *)
 module Codec : sig
-  val version : int
-  val header_size : int
+  val v1 : int
+  val v2 : int
+
+  (** The version every new frame is encoded with (currently {!v2}). *)
+  val write_version : int
+
+  (** Versions this binary decodes ([[v1; v2]], ascending). *)
+  val supported_versions : int list
+
+  val is_supported : int -> bool
+
+  (** [header_size v] — frame-header bytes (before the payload) of a
+      version-[v] frame: 11 for v1, 13 for v2.  Raises
+      [Invalid_argument] on an unsupported version. *)
+  val header_size : int -> int
+
+  (** The smallest supported header — what a scanner needs before it can
+      read the version byte and dispatch. *)
+  val min_header_size : int
 
   (** The two frame-magic bytes, exposed for forensic scanners
       ({!Wal_inspect}, {!Disk_wal}'s compaction-journal search) that
@@ -280,17 +311,42 @@ module Codec : sig
   (** CRC-32 (IEEE), exposed for tests. *)
   val crc32 : string -> int32
 
-  (** [encode r] is the full frame (header + payload) for [r]. *)
-  val encode : record -> string
+  (** [encode r] is the full frame (header + payload) for [r], encoded
+      as [version] (default {!write_version}).  [shard] (default 0, v2
+      only) is the frame's shard id; encoding v1 demands [shard = 0].
+      Encoding as {!v1} exists for the migration tests and the v1-log
+      harvest — production writes are always {!write_version}. *)
+  val encode : ?version:int -> ?shard:int -> record -> string
 
-  val encode_all : record list -> string
+  val encode_all : ?version:int -> record list -> string
 
   type corruption = {
     offset : int;  (** byte offset of the unreadable frame *)
+    version : int option;
+        (** the frame's version byte when it was readable — including a
+            foreign (unsupported) version, so a reader can say exactly
+            which format it refused; [None] when the damage precedes
+            the version byte (bad magic, truncated header) *)
     reason : string;
   }
 
   val pp_corruption : Format.formatter -> corruption -> unit
+
+  (** A parsed, validated frame header — the per-frame version
+      negotiation point every reader dispatches through. *)
+  type header = {
+    h_version : int;
+    h_shard : int;  (** 0 for v1 frames *)
+    h_payload_len : int;
+    h_size : int;  (** header bytes before the payload *)
+  }
+
+  (** [read_header s pos] parses and validates the frame header at
+      [pos] (magic, supported version, plausible payload length — no
+      CRC).  Exposed for scanners that walk frames by extent
+      ({!Wal_inspect}'s histograms, {!Disk_wal}'s journal search and
+      mixed-version offset walk). *)
+  val read_header : string -> int -> (header, corruption) result
 
   (** [decode_frame s pos] decodes the single frame starting at byte
       [pos]: [Ok (record, next_pos)] or the corruption that makes it

@@ -1,0 +1,29 @@
+(** The WAL wire-format contract: fixture records covering every record
+    kind, the golden frame set derived from them, and the generated
+    docs/WAL_FORMAT.md spec.
+
+    The fixtures are {e frozen}: [test/golden/] pins their exact frame
+    bytes per format version, and the test suite fails on any byte
+    drift, so a codec change that alters the wire format is loud.
+    [bin/walformatdoc.exe] renders {!to_markdown} (drift-checked in CI)
+    and rewrites the golden files ([make golden]). *)
+
+(** Supported format versions, ascending (= {!Wal.Codec.supported_versions}). *)
+val versions : int list
+
+(** One named fixture per record kind (plus a rich-value operation);
+    deterministic and frozen. *)
+val fixtures : (string * Wal.record) list
+
+(** [golden_file ~version name] — the golden file name for a fixture,
+    e.g. ["v2_checkpoint.bin"]. *)
+val golden_file : version:int -> string -> string
+
+(** [golden_frames ~version] — (file name, exact frame bytes) for every
+    fixture at [version]. *)
+val golden_frames : version:int -> (string * string) list
+
+(** The generated docs/WAL_FORMAT.md: frame layouts, record and value
+    tags, version-negotiation rules, and the golden-frame table (sizes
+    and CRCs double as a drift tripwire for the document). *)
+val to_markdown : unit -> string

@@ -29,6 +29,8 @@ type t = {
   clean_bytes : int;
   records : int;
   by_kind : (string * kind_stat) list;  (* fixed kind order, zeros included *)
+  by_version : (int * int) list;  (* frame-format version -> frame count *)
+  foreign_version : (int * int) option;  (* first foreign frame: offset, version *)
   lsn_range : (int * int) option;  (* 1-based positions, None when empty *)
   tids_seen : int;
   committed_txns : int;
@@ -56,6 +58,33 @@ let inspect bytes =
           else (List.rev acc, pos, Torn_tail c)
   in
   let framed, clean_bytes, damage = walk [] 0 in
+  (* Per-frame format-version histogram: each decoded frame's header is
+     re-read (cheap, no CRC) so mixed-version logs — v1 frames persisted
+     by an older binary with v2 appends after them — are visible. *)
+  let by_version =
+    let tbl = Hashtbl.create 4 in
+    List.iter
+      (fun (_, pos, _) ->
+        match Wal.Codec.read_header bytes pos with
+        | Ok h ->
+            Hashtbl.replace tbl h.Wal.Codec.h_version
+              (1 + Option.value (Hashtbl.find_opt tbl h.Wal.Codec.h_version) ~default:0)
+        | Error _ -> ())
+      framed;
+    List.sort compare (Hashtbl.fold (fun v n acc -> (v, n) :: acc) tbl [])
+  in
+  (* A frame whose header is intact up to a version byte this binary
+     does not support: report exactly where and what, instead of a bare
+     decode failure. *)
+  let foreign_version =
+    match damage with
+    | Clean -> None
+    | Torn_tail c | Interior c -> (
+        match c.Wal.Codec.version with
+        | Some v when not (Wal.Codec.is_supported v) ->
+            Some (c.Wal.Codec.offset, v)
+        | _ -> None)
+  in
   let stat = Hashtbl.create 8 in
   List.iter
     (fun (r, _, size) ->
@@ -120,6 +149,8 @@ let inspect bytes =
     clean_bytes;
     records;
     by_kind;
+    by_version;
+    foreign_version;
     lsn_range = (if records = 0 then None else Some (1, records));
     tids_seen = Hashtbl.length seen;
     committed_txns = Hashtbl.length committed;
@@ -146,6 +177,21 @@ let pp ppf t =
     (fun (k, s) ->
       if s.count > 0 then Fmt.pf ppf "  %-10s %8d  %10d bytes@." k s.count s.bytes)
     t.by_kind;
+  (match t.by_version with
+  | [] -> ()
+  | vs ->
+      Fmt.pf ppf "frame versions:%a  (writes are v%d)@."
+        (fun ppf -> List.iter (fun (v, n) -> Fmt.pf ppf " v%d x %d" v n))
+        vs Wal.Codec.write_version);
+  (match t.foreign_version with
+  | None -> ()
+  | Some (off, v) ->
+      Fmt.pf ppf
+        "first foreign-version frame: byte %d carries format version %d \
+         (this binary reads%a)@."
+        off v
+        (fun ppf -> List.iter (Fmt.pf ppf " v%d"))
+        Wal.Codec.supported_versions);
   Fmt.pf ppf "transactions: %d seen, %d committed, %d aborted%a@." t.tids_seen
     t.committed_txns t.aborted_txns
     (fun ppf -> function
@@ -184,13 +230,29 @@ let pp ppf t =
          damage; recovery will refuse this log@."
         Wal.Codec.pp_corruption c
 
+let replay_digest bytes =
+  match Wal.Codec.decode_all bytes with
+  | Error c -> Error c
+  | Ok { Wal.Codec.records; _ } ->
+      let committed, losers = Wal.replay records in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun op -> Buffer.add_string buf (Fmt.str "%a\n" Op.pp op))
+        committed;
+      Buffer.add_string buf
+        (Fmt.str "losers:%a\n"
+           Fmt.(list ~sep:comma Tid.pp)
+           (Tid.Set.elements losers));
+      Ok (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
 let to_json t =
   let corruption_json (c : Wal.Codec.corruption) =
     Json.Obj
-      [
-        ("offset", Json.Int c.Wal.Codec.offset);
-        ("reason", Json.Str c.Wal.Codec.reason);
-      ]
+      ([ ("offset", Json.Int c.Wal.Codec.offset) ]
+      @ (match c.Wal.Codec.version with
+        | None -> []
+        | Some v -> [ ("version", Json.Int v) ])
+      @ [ ("reason", Json.Str c.Wal.Codec.reason) ])
   in
   Json.Obj
     [
@@ -206,6 +268,16 @@ let to_json t =
                    [ ("count", Json.Int s.count); ("bytes", Json.Int s.bytes) ]
                ))
              t.by_kind) );
+      ( "by_version",
+        Json.Obj
+          (List.map
+             (fun (v, n) -> (string_of_int v, Json.Int n))
+             t.by_version) );
+      ( "foreign_version",
+        match t.foreign_version with
+        | None -> Json.Null
+        | Some (off, v) ->
+            Json.Obj [ ("offset", Json.Int off); ("version", Json.Int v) ] );
       ( "lsn_range",
         match t.lsn_range with
         | None -> Json.Null

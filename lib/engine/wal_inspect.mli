@@ -42,6 +42,15 @@ type t = {
   records : int;
   by_kind : (string * kind_stat) list;
       (** every record kind in fixed order, zero entries included *)
+  by_version : (int * int) list;
+      (** per-frame format-version histogram (version, frame count),
+          ascending — a mixed-version log (v1 frames from an older
+          binary, v2 appends after them) shows both *)
+  foreign_version : (int * int) option;
+      (** the first frame whose header is intact up to a format version
+          this binary does not support: its exact byte offset and the
+          version byte found there ([None] when the damage, if any, is
+          not a foreign version) *)
   lsn_range : (int * int) option;
       (** 1-based record positions within this file ([None] when empty).
           Compaction ({!Disk_wal.checkpoint_truncate}) rewrites the file
@@ -66,6 +75,15 @@ val inspect : string -> t
 (** Short damage class: ["clean"], ["torn_tail"],
     ["interior_corruption"]. *)
 val damage_kind : damage -> string
+
+(** [replay_digest bytes] — a stable digest of the recovered state the
+    log replays to: the committed operations in commit order plus the
+    loser set, rendered canonically and MD5-hashed.  The harvested v1
+    logs under [test/golden/logs/] are pinned by this digest — every
+    future binary must replay those bytes to the digest recorded at
+    harvest time.  [Error] on interior corruption (a torn tail digests
+    its intact prefix, exactly as recovery would). *)
+val replay_digest : string -> (string, Wal.Codec.corruption) result
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Tm_obs.Json.t

@@ -81,6 +81,9 @@ let all =
       "Transactions riding each group-commit flush.";
     e wal "tm_wal_bytes_total" Counter []
       "Encoded frame bytes written to storage.";
+    e wal "tm_wal_format_version" Gauge []
+      "On-disk WAL format version this binary writes (reads accept all \
+       supported versions; see docs/WAL_FORMAT.md).";
     e storage "tm_storage_retries_total" Counter []
       "Storage writes retried after a transient fault.";
     e storage "tm_storage_faults_total" Counter [ "backend"; "kind" ]

@@ -70,5 +70,23 @@ let legal_seq_gen spec max_len =
   in
   int_bound max_len >>= fun len -> extend [] len
 
+(* One seed per process, honoring QCHECK_SEED so a failure is replayable:
+   the failing test prints the seed, and rerunning under
+   QCHECK_SEED=<seed> dune runtest reproduces the exact draw sequence. *)
+let qcheck_seed =
+  lazy
+    (match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some seed -> seed
+        | None -> Fmt.failwith "QCHECK_SEED=%S is not an integer" s)
+    | None -> Random.State.bits (Random.State.make_self_init ()) land 0x3FFFFFFF)
+
 let qcheck ?(count = 200) name gen prop =
-  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+  Alcotest.test_case name `Quick (fun () ->
+      let seed = Lazy.force qcheck_seed in
+      let rand = Random.State.make [| seed |] in
+      try QCheck2.Test.check_exn ~rand (QCheck2.Test.make ~count ~name gen prop)
+      with e ->
+        Fmt.epr "[qcheck] %s failed — reproduce with QCHECK_SEED=%d@." name seed;
+        raise e)

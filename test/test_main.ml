@@ -21,6 +21,7 @@ let () =
       ("escrow", Test_escrow.suite);
       ("wal", Test_wal.suite);
       ("storage", Test_storage.suite);
+      ("golden", Test_golden.suite);
       ("crash", Test_crash.suite);
       ("registry", Test_registry.suite);
       ("properties", Test_properties.suite);

@@ -54,6 +54,35 @@ let prop_roundtrip =
           && d.Codec.clean_bytes = String.length bytes
           && List.equal Wal.equal_record rs d.Codec.records)
 
+(* Same round trip at every supported format version: the payload
+   encoding is shared, only the frame header differs. *)
+let prop_versioned_roundtrip =
+  Helpers.qcheck "decode (encode ~version rs) = rs for each version"
+    QCheck2.Gen.(pair (oneofl Codec.supported_versions) records_gen)
+    (fun (version, rs) ->
+      let bytes = Codec.encode_all ~version rs in
+      match Codec.decode_all bytes with
+      | Error _ -> false
+      | Ok d ->
+          d.Codec.torn = None && List.equal Wal.equal_record rs d.Codec.records)
+
+(* And with the version chosen per frame: any v1/v2 interleaving decodes
+   to the same records — version negotiation is per frame, not per log. *)
+let prop_mixed_version_roundtrip =
+  Helpers.qcheck "per-frame version mix round trips"
+    QCheck2.Gen.(pair records_gen (list_size (int_range 1 8) (oneofl Codec.supported_versions)))
+    (fun (rs, versions) ->
+      let n = List.length versions in
+      let bytes =
+        String.concat ""
+          (List.mapi
+             (fun i r -> Codec.encode ~version:(List.nth versions (i mod n)) r)
+             rs)
+      in
+      match Codec.decode_all bytes with
+      | Error _ -> false
+      | Ok d -> List.equal Wal.equal_record rs d.Codec.records)
+
 (* Cutting the encoding anywhere must decode to a record prefix with at
    most a torn tail — never an interior-corruption verdict, never extra
    or different records. *)
@@ -123,9 +152,9 @@ let test_valid_frame_after () =
      one-probe budget must give up into the conservative interior
      verdict — never a cheap torn-drop. *)
   let bad_crc =
+    let hdr = Codec.header_size Codec.write_version in
     let b = Bytes.of_string frame in
-    Bytes.set b (Codec.header_size - 1)
-      (Char.chr (Char.code (Bytes.get b (Codec.header_size - 1)) lxor 1));
+    Bytes.set b (hdr - 1) (Char.chr (Char.code (Bytes.get b (hdr - 1)) lxor 1));
     Bytes.to_string b
   in
   let adversarial = String.concat "" (List.init 5 (fun _ -> bad_crc)) in
@@ -169,8 +198,8 @@ let test_parallel_decode_equivalence () =
   | _ -> Alcotest.fail "torn image failed to decode");
   (* interior damage: same refusal, same offset *)
   let b = Bytes.of_string bytes in
-  Bytes.set b Codec.header_size
-    (Char.chr (Char.code (Bytes.get b Codec.header_size) lxor 0x10));
+  let hdr = Codec.header_size Codec.write_version in
+  Bytes.set b hdr (Char.chr (Char.code (Bytes.get b hdr) lxor 0x10));
   let damaged = Bytes.to_string b in
   match (Codec.decode_all damaged, Codec.decode_all ~workers:4 damaged) with
   | Error a, Error b ->
@@ -179,13 +208,23 @@ let test_parallel_decode_equivalence () =
   | _ -> Alcotest.fail "interior damage not refused"
 
 let test_codec_frame_shape () =
-  Helpers.check_int "format version" 1 Codec.version;
+  Helpers.check_int "write format version" 2 Codec.write_version;
+  Alcotest.(check (list int))
+    "supported versions" [ 1; 2 ] Codec.supported_versions;
   let frame = Codec.encode (Wal.Begin Tid.a) in
   Helpers.check_bool "frame longer than header" true
-    (String.length frame > Codec.header_size);
+    (String.length frame > Codec.header_size Codec.write_version);
   Helpers.check_bool "magic byte 0" true (frame.[0] = '\xd7');
   Helpers.check_bool "magic byte 1" true (frame.[1] = 'W');
-  Helpers.check_int "version byte" Codec.version (Char.code frame.[2])
+  Helpers.check_int "version byte" Codec.write_version (Char.code frame.[2]);
+  (* v2 carries a little-endian shard id (written as 0 for now) between
+     the version byte and the payload length *)
+  Helpers.check_int "shard id" 0
+    (Char.code frame.[3] lor (Char.code frame.[4] lsl 8));
+  let v1 = Codec.encode ~version:Codec.v1 (Wal.Begin Tid.a) in
+  Helpers.check_int "v1 version byte" 1 (Char.code v1.[2]);
+  Helpers.check_int "v2 header is 2 bytes wider" 2
+    (String.length frame - String.length v1)
 
 let test_codec_torn_tail () =
   let bytes = Codec.encode_all sample_records in
@@ -201,13 +240,164 @@ let test_codec_torn_tail () =
 let test_codec_interior_corruption () =
   let bytes = Codec.encode_all sample_records in
   (* Flip a payload byte of the FIRST frame: later intact frames prove
-     the damage is interior, so decode must refuse with the offset. *)
+     the damage is interior, so decode must refuse with the offset — and
+     the verdict names the frame's format version. *)
   let b = Bytes.of_string bytes in
-  let i = Codec.header_size in
+  let i = Codec.header_size Codec.write_version in
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
   match Codec.decode_all (Bytes.to_string b) with
   | Ok _ -> Alcotest.fail "interior corruption decoded silently"
-  | Error c -> Helpers.check_int "corruption offset" 0 c.Codec.offset
+  | Error c ->
+      Helpers.check_int "corruption offset" 0 c.Codec.offset;
+      Alcotest.(check (option int))
+        "corruption carries frame version" (Some Codec.write_version) c.Codec.version
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s
+    && (String.equal (String.sub s i n) sub || go (i + 1))
+  in
+  n = 0 || go 0
+
+(* Satellite: interior-corruption verdicts must carry both the byte
+   offset and the damaged frame's format version, for v1 and v2 frames
+   alike — the negative-space counterpart of the golden files. *)
+let test_corruption_offset_and_version () =
+  List.iter
+    (fun version ->
+      (* good v-frame, then a corrupted v-frame, then a good one: the
+         middle frame's CRC fails, the trailing intact frame forces the
+         interior verdict. *)
+      let f r = Codec.encode ~version r in
+      let first = f (Wal.Begin Tid.a) in
+      let victim = f (Wal.Operation (Tid.a, BA.deposit 5)) in
+      let b = Bytes.of_string victim in
+      let i = Codec.header_size version in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x08));
+      let bytes = first ^ Bytes.to_string b ^ f (Wal.Commit Tid.a) in
+      match Codec.decode_all bytes with
+      | Ok _ -> Alcotest.failf "v%d interior corruption decoded silently" version
+      | Error c ->
+          Helpers.check_int
+            (Fmt.str "v%d corruption offset" version)
+            (String.length first) c.Codec.offset;
+          Alcotest.(check (option int))
+            (Fmt.str "v%d corruption version" version)
+            (Some version) c.Codec.version;
+          (* the rendered verdict names the version too *)
+          Helpers.check_bool
+            (Fmt.str "v%d verdict mentions the version" version)
+            true
+            (contains_sub
+               (Fmt.str "%a" Codec.pp_corruption c)
+               (Fmt.str "(v%d frame)" version)))
+    Codec.supported_versions
+
+(* A frame whose version byte names a future format is a foreign-version
+   frame: with intact frames after it, refused with its offset and the
+   unsupported version number; at the very tail, contained as a torn
+   tail (indistinguishable from crash debris) — never misread as the
+   current layout. *)
+let test_foreign_version_refused () =
+  let foreign =
+    let b = Bytes.of_string (Codec.encode (Wal.Begin Tid.a)) in
+    Bytes.set b 2 '\x09';
+    Bytes.to_string b
+  in
+  let first = Codec.encode (Wal.Commit Tid.b) in
+  (match Codec.decode_all (first ^ foreign ^ Codec.encode (Wal.Abort Tid.b)) with
+  | Ok _ -> Alcotest.fail "interior foreign-version frame decoded silently"
+  | Error c ->
+      Helpers.check_int "foreign frame offset" (String.length first)
+        c.Codec.offset;
+      Alcotest.(check (option int)) "foreign version reported" (Some 9)
+        c.Codec.version);
+  match Codec.decode_all (first ^ foreign) with
+  | Error c ->
+      Alcotest.failf "foreign tail should be contained as torn: %a"
+        Codec.pp_corruption c
+  | Ok d ->
+      Helpers.check_int "intact prefix kept" 1 (List.length d.Codec.records);
+      (match d.Codec.torn with
+      | Some c ->
+          Alcotest.(check (option int)) "torn verdict names the version"
+            (Some 9) c.Codec.version
+      | None -> Alcotest.fail "foreign tail not reported as torn")
+
+(* Version-negotiation round trips: pure v1, pure v2, and interleaved
+   frames all decode to the same records — payload encoding is shared,
+   only the frame header differs. *)
+let test_mixed_version_roundtrip () =
+  let v1 = Codec.encode_all ~version:Codec.v1 sample_records in
+  let v2 = Codec.encode_all ~version:Codec.v2 sample_records in
+  Helpers.check_bool "v1 and v2 images differ" true (not (String.equal v1 v2));
+  List.iter
+    (fun (label, bytes) ->
+      match Codec.decode_all bytes with
+      | Error c -> Alcotest.failf "%s refused: %a" label Codec.pp_corruption c
+      | Ok d ->
+          Helpers.check_bool (label ^ " round trips") true
+            (List.equal Wal.equal_record sample_records d.Codec.records
+            && d.Codec.torn = None))
+    [ ("pure v1", v1); ("pure v2", v2) ];
+  let mixed =
+    String.concat ""
+      (List.mapi
+         (fun i r ->
+           Codec.encode ~version:(if i mod 2 = 0 then Codec.v1 else Codec.v2) r)
+         sample_records)
+  in
+  match Codec.decode_all mixed with
+  | Error c -> Alcotest.failf "mixed-version log refused: %a" Codec.pp_corruption c
+  | Ok d ->
+      Helpers.check_bool "mixed-version log round trips" true
+        (List.equal Wal.equal_record sample_records d.Codec.records)
+
+(* A v1 log loaded by the current binary: replays bit-for-bit, appends
+   land in v2 (a mixed log), and checkpoint_truncate rewrites pure v2 —
+   the incremental upgrade path. *)
+let test_disk_wal_v1_upgrade () =
+  let v1_bytes = Codec.encode_all ~version:Codec.v1 sample_records in
+  let storage = Storage.of_string v1_bytes in
+  match Disk_wal.load storage with
+  | Error c -> Alcotest.failf "v1 log refused: %a" Codec.pp_corruption c
+  | Ok dw ->
+      let wal = Disk_wal.wal dw in
+      Helpers.check_bool "v1 records replay bit-for-bit" true
+        (List.equal Wal.equal_record sample_records (Wal.records wal));
+      Wal.append wal (Wal.Commit Tid.b);
+      Wal.append wal (Wal.Checkpoint (Wal.fuzzy_checkpoint (Wal.records wal)));
+      Wal.force wal;
+      (* the log is now mixed: the v1 prefix untouched, v2 appended *)
+      let mixed = Storage.read_all storage in
+      Helpers.check_bool "v1 prefix untouched" true
+        (String.length mixed > String.length v1_bytes
+        && String.equal v1_bytes (String.sub mixed 0 (String.length v1_bytes)));
+      Helpers.check_int "appends use the write version" Codec.write_version
+        (Char.code mixed.[String.length v1_bytes + 2]);
+      (match Disk_wal.load storage with
+      | Error c -> Alcotest.failf "mixed log refused: %a" Codec.pp_corruption c
+      | Ok dw2 ->
+          Helpers.check_bool "mixed log reloads" true
+            (List.equal Wal.equal_record (Wal.records wal)
+               (Wal.records (Disk_wal.wal dw2))));
+      ignore (Disk_wal.checkpoint_truncate dw);
+      let compacted = Storage.read_all storage in
+      (* every surviving frame was rewritten in the write version *)
+      let rec check pos =
+        if pos < String.length compacted then
+          match Codec.read_header compacted pos with
+          | Error c ->
+              Alcotest.failf "compacted log unreadable at %d: %a" pos
+                Codec.pp_corruption c
+          | Ok h ->
+              Helpers.check_int
+                (Fmt.str "frame at %d is write-version" pos)
+                Codec.write_version h.Codec.h_version;
+              check (pos + h.Codec.h_size + h.Codec.h_payload_len)
+      in
+      check 0
 
 (* ------------------------------------------------------------------ *)
 (* Storage backends.                                                   *)
@@ -323,8 +513,8 @@ let test_disk_wal_interior_corruption_refused () =
   append_sample (Disk_wal.wal dw);
   let bytes = Storage.read_all storage in
   let b = Bytes.of_string bytes in
-  Bytes.set b Codec.header_size
-    (Char.chr (Char.code (Bytes.get b Codec.header_size) lxor 1));
+  let hdr = Codec.header_size Codec.write_version in
+  Bytes.set b hdr (Char.chr (Char.code (Bytes.get b hdr) lxor 1));
   match Disk_wal.load (Storage.of_string (Bytes.to_string b)) with
   | Ok _ -> Alcotest.fail "interior corruption loaded silently"
   | Error c -> Helpers.check_int "offset of corrupt frame" 0 c.Codec.offset
@@ -425,7 +615,10 @@ let test_truncate_journal_damaged_image_refused () =
   let _, _, old_bytes, intent, image = compaction_fixture () in
   let b = Bytes.of_string (old_bytes ^ intent ^ image) in
   (* flip a bit inside the journaled image's first payload *)
-  let off = String.length old_bytes + String.length intent + Codec.header_size in
+  let off =
+    String.length old_bytes + String.length intent
+    + Codec.header_size Codec.write_version
+  in
   Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x20));
   match Disk_wal.load (Storage.of_string (Bytes.to_string b)) with
   | Ok _ -> Alcotest.fail "damaged journal image loaded silently"
@@ -525,12 +718,22 @@ let test_disk_wal_gives_up () =
 let suite =
   [
     prop_roundtrip;
+    prop_versioned_roundtrip;
+    prop_mixed_version_roundtrip;
     prop_truncation;
     prop_bit_flip;
     Alcotest.test_case "codec frame shape" `Quick test_codec_frame_shape;
     Alcotest.test_case "codec torn tail" `Quick test_codec_torn_tail;
     Alcotest.test_case "codec interior corruption" `Quick
       test_codec_interior_corruption;
+    Alcotest.test_case "corruption carries offset + frame version (v1, v2)"
+      `Quick test_corruption_offset_and_version;
+    Alcotest.test_case "foreign-version frame refused with offset" `Quick
+      test_foreign_version_refused;
+    Alcotest.test_case "v1/v2/mixed-version round trips" `Quick
+      test_mixed_version_roundtrip;
+    Alcotest.test_case "v1 log upgrade: load, mixed appends, v2 rewrite" `Quick
+      test_disk_wal_v1_upgrade;
     Alcotest.test_case "codec truncate-intent round trip" `Quick
       test_codec_truncate_intent_roundtrip;
     Alcotest.test_case "valid_frame_after: verdicts and probe budget" `Quick
