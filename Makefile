@@ -1,7 +1,7 @@
 # Convenience targets; `make check` is what CI runs.
 
 .PHONY: all check test bench baseline benchdiff crashtest faulttest \
-  stresstest report walsmoke metricsdoc metricsdoc-check golden \
+  shardtest stresstest report walsmoke metricsdoc metricsdoc-check golden \
   walformatdoc walformatdoc-check clean
 
 all:
@@ -30,6 +30,16 @@ crashtest:
 # the WAL retry loop).  Also through the 4-worker parallel replay path.
 faulttest:
 	dune exec bin/crashtest.exe -- --fault --seed 11 --group-commit 4 --replay-workers 4
+
+# Cross-shard 2PC torture: drive a 4-shard engine (30% and 100%
+# cross-shard mixes), then crash it at every forced-frontier state and
+# at every byte offset of every shard's log — no shard may ever install
+# a cross-shard transaction another shard aborted, and no commit
+# acknowledged after the forced decision may be lost.  Runs clean and
+# with injected storage faults.
+shardtest:
+	dune exec bin/crashtest.exe -- --shards 4 --replay-workers 2
+	dune exec bin/crashtest.exe -- --shards 4 --fault --seed 11 -n 10 --replay-workers 2
 
 # Threaded group-commit stress with a pinned seed: OS threads against
 # the durable engine over slow storage; fails if any transaction is
@@ -78,7 +88,9 @@ benchdiff:
 	dune exec bin/benchdiff.exe -- bench/BASELINE.json _report/bench.json \
 	  --tolerance 25 --gate recovery.restart.records_per_sec \
 	  --gate recovery.restart.seconds \
-	  --gate wal.group_commit.commits_per_sec $(BENCHDIFF_FLAGS)
+	  --gate wal.group_commit.commits_per_sec \
+	  --gate sharded.commit_rate.s1.disjoint \
+	  --gate sharded.commit_rate.s4.disjoint $(BENCHDIFF_FLAGS)
 
 # WAL forensics smoke: persist a crashtest-driven log image, inspect it
 # (record histogram, checkpoint coverage, corruption diagnosis), then

@@ -684,6 +684,95 @@ let group_commit_pipeline () =
     base_rate
     (if rate8 >= base_rate then "OK" else "FAIL")
 
+(* Sharded engine: thread-per-shard commit throughput.  Each shard's
+   WAL sits on storage with the same slow durability barrier as the GC
+   section, so the barrier dominates; disjoint-key transactions take the
+   single-shard fast path and the per-shard barriers overlap across
+   threads — throughput should scale with the shard count.  The cross10
+   mix reruns with every 10th transaction spanning two shards, paying
+   the 2PC toll (two forced prepares + a forced decision). *)
+module SD = Tm_engine.Sharded_database
+
+let sharded_txns_per_thread = 120
+
+(* One object routed to each shard: probe names until every shard has
+   one, so the bench never hard-codes the router's hash. *)
+let sharded_names n =
+  let found = Array.make n None in
+  let remaining = ref n in
+  let i = ref 0 in
+  while !remaining > 0 do
+    let name = Fmt.str "BA%d" !i in
+    let s = Tm_engine.Wal.partition_of_object ~workers:n name in
+    if found.(s) = None then begin
+      found.(s) <- Some name;
+      decr remaining
+    end;
+    incr i
+  done;
+  Array.map Option.get found
+
+let sharded_run ~shards ~cross_pct =
+  let wals =
+    Array.init shards (fun i ->
+        Disk_wal.wal
+          (Disk_wal.create ~shard:i
+             (Storage.slow ~force_delay:gc_force_delay (Storage.memory ()))))
+  in
+  let names = sharded_names shards in
+  let objs =
+    Array.to_list
+      (Array.map
+         (fun name ->
+           Atomic_object.create ~spec:(Spec.rename BA.spec name)
+             ~conflict:BA.nrbc_conflict ~recovery:Tm_engine.Recovery.UIP ())
+         names)
+  in
+  let db = SD.create ~wals objs in
+  let worker s =
+    for k = 1 to sharded_txns_per_thread do
+      let t = SD.begin_txn db in
+      ignore (SD.invoke db t ~obj:names.(s) gc_deposit);
+      if cross_pct > 0 && shards > 1 && k mod (100 / cross_pct) = 0 then
+        ignore (SD.invoke db t ~obj:names.((s + 1) mod shards) gc_deposit);
+      ignore (SD.try_commit db t)
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  let handles = List.init shards (fun s -> Thread.create worker s) in
+  List.iter Thread.join handles;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (SD.committed_count db, elapsed)
+
+let sharded_pipeline () =
+  section "SHARD — sharded engine: commit rate vs shard count";
+  Fmt.pr
+    "Per-shard disk WAL over storage with a %.1f ms durability barrier; \
+     one driving thread and %d txns per shard@."
+    (gc_force_delay *. 1000.)
+    sharded_txns_per_thread;
+  Fmt.pr "%7s %9s %9s %12s@." "shards" "mix" "commits" "commits/s";
+  let row ~shards ~cross_pct mix =
+    let commits, elapsed = sharded_run ~shards ~cross_pct in
+    let r = if elapsed <= 0. then 0. else float_of_int commits /. elapsed in
+    Fmt.pr "%7d %9s %9d %12.0f@." shards mix commits r;
+    r
+  in
+  let rates =
+    List.map
+      (fun shards ->
+        let d = row ~shards ~cross_pct:0 "disjoint" in
+        let _ = row ~shards ~cross_pct:10 "cross10" in
+        (shards, d))
+      [ 1; 2; 4; 8 ]
+  in
+  let r1 = List.assoc 1 rates and r4 = List.assoc 4 rates in
+  Fmt.pr
+    "verdict: disjoint-key throughput at 4 shards %.0f vs 1 shard %.0f \
+     (target >= 2x) %s@."
+    r4 r1
+    (if r4 >= 2. *. r1 then "OK" else "FAIL")
+
 (* ------------------------------------------------------------------ *)
 (* REC + --json: restart throughput on MB-scale generated logs, and    *)
 (* the machine-readable baseline (Bench_baseline) CI diffs against.    *)
@@ -786,6 +875,20 @@ let recovery_series ~quick =
           ])
       restarts
 
+(* The sharded commit-rate matrix as comparable scalars: shard counts
+   1/2/4/8, disjoint keys (fast path) and 10% cross-shard (2PC). *)
+let sharded_series () =
+  List.concat_map
+    (fun shards ->
+      List.map
+        (fun (mix, cross_pct) ->
+          let commits, elapsed = sharded_run ~shards ~cross_pct in
+          series
+            (Fmt.str "sharded.commit_rate.s%d.%s" shards mix)
+            (rate commits elapsed) "commits/s" true)
+        [ ("disjoint", 0); ("cross10", 10) ])
+    [ 1; 2; 4; 8 ]
+
 (* The deterministic and throughput series riding along: scheduler
    rounds are exactly reproducible (fixed seed), the group-commit pair
    restates the GC section's verdicts as comparable scalars. *)
@@ -798,6 +901,7 @@ let baseline_series ~quick () =
     float_of_int row.Experiment.stats.Scheduler.rounds
   in
   recovery
+  @ sharded_series ()
   @ [
       series "wal.group_commit.commits_per_sec" (rate commits elapsed)
         "commits/s" true;
@@ -919,6 +1023,7 @@ let run_full ~quick () =
   obs_analytics ();
   recovery_bench ~quick ();
   group_commit_pipeline ();
+  sharded_pipeline ();
   micro_benchmarks ()
 
 let main json quick =

@@ -22,9 +22,13 @@ module Scheduler = Tm_sim.Scheduler
 module Crash = Tm_engine.Crash
 module Recovery = Tm_engine.Recovery
 module Wal = Tm_engine.Wal
+module Wal_inspect = Tm_engine.Wal_inspect
 module Storage = Tm_engine.Storage
 module Disk_wal = Tm_engine.Disk_wal
+module Atomic_object = Tm_engine.Atomic_object
+module Sharded_database = Tm_engine.Sharded_database
 module Metrics = Tm_obs.Metrics
+open Tm_core
 
 (* Workloads stay tiny so most cuts fall under the exponential
    dynamic-atomicity checker's transaction gate; the log still contains
@@ -228,8 +232,188 @@ let fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
     group_commit !total_flips !total_faults !total_retries !failures;
   !failures
 
+(* ------------------------------------------------------------------ *)
+(* --shards mode: multi-WAL torture of the sharded engine's 2PC.       *)
+
+(* Two bank accounts per shard, mixed recovery methods (UIP objects
+   validate the undo path, DU objects the deferred-update path) — the
+   router spreads them by name hash, so "two per shard" is statistical,
+   but every shard ends up owning some. *)
+let sharded_rebuild ~shards () =
+  let funded = Tm_adt.Bank_account.spec_with_initial 100_000 in
+  List.init (2 * shards) (fun i ->
+      let spec = Spec.rename funded (Fmt.str "BA%d" i) in
+      if i mod 2 = 0 then
+        Atomic_object.create ~spec ~conflict:Tm_adt.Bank_account.nrbc_conflict
+          ~recovery:Recovery.UIP ()
+      else
+        Atomic_object.create ~spec ~conflict:Tm_adt.Bank_account.nfc_conflict
+          ~recovery:Recovery.DU ())
+
+(* A deterministic sequential workload: deposits/withdrawals on one
+   account, escalating to a second account on a different home shard
+   [cross_pct]% of the time (the 2PC path), an explicit abort every
+   fifth transaction, and a global checkpoint attempt every
+   [checkpoint_every] commits. *)
+let drive_sharded ~txns ~cross_pct ~checkpoint_every ~seed db =
+  let rng = Random.State.make [| seed; 0x5ad |] in
+  let names =
+    Array.of_list (List.map Atomic_object.name (Sharded_database.objects db))
+  in
+  let pick () = names.(Random.State.int rng (Array.length names)) in
+  let commits = ref 0 in
+  for i = 0 to txns - 1 do
+    let tid = Sharded_database.begin_txn db in
+    let touch o amount =
+      let inv =
+        if Random.State.int rng 4 = 0 then
+          Op.invocation ~args:[ Value.int amount ] "withdraw"
+        else Op.invocation ~args:[ Value.int amount ] "deposit"
+      in
+      ignore (Sharded_database.invoke db tid ~obj:o inv)
+    in
+    let o1 = pick () in
+    let amount = 1 + (i mod 7) in
+    touch o1 amount;
+    let cross =
+      Sharded_database.shard_count db > 1 && Random.State.int rng 100 < cross_pct
+    in
+    if cross then begin
+      let s1 = Sharded_database.shard_of_object db o1 in
+      let rec other tries =
+        let o = pick () in
+        if Sharded_database.shard_of_object db o <> s1 || tries > 8 * Array.length names
+        then o
+        else other (tries + 1)
+      in
+      touch (other 0) (amount + 1)
+    end;
+    if i mod 5 = 4 then Sharded_database.abort db tid
+    else
+      match Sharded_database.try_commit db tid with
+      | Ok () ->
+          incr commits;
+          if checkpoint_every > 0 && !commits mod checkpoint_every = 0 then
+            ignore (Sharded_database.checkpoint db)
+      | Error _ -> ()
+  done
+
+let sharded_committed db =
+  List.map
+    (fun o -> (Atomic_object.name o, Atomic_object.committed_ops o))
+    (Sharded_database.objects db)
+
+let sharded_mode ~verbose ~workers ~shards ~txns ~seed ~checkpoint_every ~fault () =
+  let failures = ref 0 in
+  let rebuild = sharded_rebuild ~shards in
+  (* Torture at two workload mixes: mostly-local (the fast path with
+     occasional 2PC) and all-cross (every commit is a 2PC). *)
+  List.iter
+    (fun cross_pct ->
+      let drive =
+        drive_sharded ~txns ~cross_pct ~checkpoint_every ~seed
+      in
+      let report = Crash.torture_sharded ~workers ~shards ~rebuild ~drive () in
+      if not (Crash.sharded_ok report) then incr failures;
+      say ~verbose:(verbose || not (Crash.sharded_ok report))
+        "sharded x%d cross=%d%%: %a" shards cross_pct Crash.pp_sharded_report
+        report)
+    [ 30; 100 ];
+  (* Disk-backed leg: the same workload onto per-shard Disk_wals (every
+     frame stamped with its shard id), reloaded and recovered. *)
+  let run_disk ~wrap =
+    let inners = Array.init shards (fun _ -> Storage.memory ()) in
+    let dws =
+      Array.init shards (fun i -> Disk_wal.create ~shard:i (wrap inners.(i)))
+    in
+    let wals = Array.map Disk_wal.wal dws in
+    let db = Sharded_database.create ~wals (rebuild ()) in
+    drive_sharded ~txns ~cross_pct:50 ~checkpoint_every ~seed db;
+    Sharded_database.flush db;
+    (inners, wals, db)
+  in
+  let clean_stores, clean_wals, clean_db = run_disk ~wrap:Fun.id in
+  (* Every persisted frame carries its shard's id. *)
+  Array.iteri
+    (fun i store ->
+      let s = Wal_inspect.inspect (Storage.read_all store) in
+      match s.Wal_inspect.by_shard with
+      | [ (id, _) ] when id = i -> ()
+      | got ->
+          incr failures;
+          say ~verbose:true "sharded x%d: shard %d frames stamped %a, want [(%d,_)]"
+            shards i
+            Fmt.(list ~sep:comma (pair ~sep:(any ":") int int))
+            got i)
+    clean_stores;
+  (* Reload + recover from the persisted bytes: identical state. *)
+  (match
+     Array.map
+       (fun st ->
+         match Disk_wal.load st with
+         | Ok dw -> Disk_wal.wal dw
+         | Error c -> Fmt.failwith "reload: %a" Wal.Codec.pp_corruption c)
+       clean_stores
+   with
+  | exception Failure msg ->
+      incr failures;
+      say ~verbose:true "sharded x%d: persisted log CORRUPT: %s" shards msg
+  | reloaded -> (
+      match Sharded_database.recover ~workers ~wals:reloaded ~rebuild () with
+      | Error e ->
+          incr failures;
+          say ~verbose:true "sharded x%d: recovery from disk failed: %a" shards
+            Recovery.pp_error e
+      | Ok (rdb, _) ->
+          let same =
+            List.for_all2
+              (fun (n1, o1) (n2, o2) ->
+                String.equal n1 n2 && List.equal Op.equal o1 o2)
+              (sharded_committed clean_db) (sharded_committed rdb)
+          in
+          if not same then begin
+            incr failures;
+            say ~verbose:true
+              "sharded x%d: state recovered from disk DIVERGED from the live \
+               engine"
+              shards
+          end));
+  (* Fault leg: the identical workload over storage dealing seeded torn
+     writes and transient errors must persist the identical per-shard
+     logs. *)
+  if fault then begin
+    let faulties = ref [] in
+    let _, fwals, _ =
+      run_disk ~wrap:(fun inner ->
+          let f = Storage.faulty ~seed Storage.write_faults inner in
+          faulties := f :: !faulties;
+          f)
+    in
+    let injected =
+      List.fold_left (fun n f -> n + Storage.fault_count f) 0 !faulties
+    in
+    let identical =
+      Array.for_all2
+        (fun cw fw -> List.equal Wal.equal_record (Wal.records cw) (Wal.records fw))
+        clean_wals fwals
+    in
+    if not identical then begin
+      incr failures;
+      say ~verbose:true "sharded x%d faults: DIVERGED from fault-free run" shards
+    end;
+    if injected = 0 then begin
+      incr failures;
+      say ~verbose:true "sharded x%d faults: NO faults were injected" shards
+    end;
+    say ~verbose:(verbose && identical)
+      "sharded x%d faults: %d injected across %d shard stores, logs identical"
+      shards injected shards
+  end;
+  say ~verbose:true "crashtest --shards %d: %d failures" shards !failures;
+  !failures
+
 let main filter txns concurrency seed checkpoint_every fault group_commit workers
-    report_file trace_file metrics_file keep_log keep_log_version verbose =
+    report_file trace_file metrics_file keep_log keep_log_version verbose shards =
   if workers < 1 then begin
     Fmt.epr "--replay-workers must be >= 1@.";
     exit 1
@@ -253,7 +437,9 @@ let main filter txns concurrency seed checkpoint_every fault group_commit worker
   let cfg = Scheduler.config ~concurrency ~total_txns:txns ~seed () in
   let record_trace = trace_file <> None in
   let failures =
-    if fault then
+    if shards > 0 then
+      sharded_mode ~verbose ~workers ~shards ~txns ~seed ~checkpoint_every ~fault ()
+    else if fault then
       fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
         group_commit scenarios
     else record_mode ~verbose ~record_trace ~workers cfg checkpoint_every scenarios
@@ -397,6 +583,19 @@ let keep_log_version_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every report, not just failures.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Torture the sharded engine's cross-shard two-phase commit over \
+           $(docv) shard WALs instead of the single-log scenarios: \
+           byte-granularity cuts of any shard's log, forced-frontier crash \
+           states spanning all of them, and a disk-backed leg checking \
+           shard-stamped frames reload and recover identically.  With \
+           $(b,--fault), the workload additionally runs over per-shard \
+           storage with seeded faults and must persist identical logs.")
+
 let cmd =
   let doc = "crash at every WAL append point and check recovery invariants" in
   Cmd.v
@@ -405,6 +604,6 @@ let cmd =
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
       $ checkpoint_arg $ fault_arg $ group_commit_arg $ workers_arg $ report_arg
       $ trace_arg $ metrics_arg $ keep_log_arg $ keep_log_version_arg
-      $ verbose_arg)
+      $ verbose_arg $ shards_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -53,13 +53,25 @@ let verify_profile bytes json workers =
       end;
       `Ok
 
-let main file json verify workers digest =
+let main file json verify workers digest shard =
   if workers < 1 then begin
     Fmt.epr "--workers must be >= 1@.";
     exit 1
   end;
   let bytes = Cli_util.read_file file in
-  let summary = Wal_inspect.inspect bytes in
+  (* --shard narrows every view (summary, digest, verify) to the frames
+     stamped with that shard id — forensic slicing of a mixed-shard
+     dump.  The damage verdict below still comes from the full bytes:
+     filtering must never hide corruption. *)
+  let full_summary = Wal_inspect.inspect bytes in
+  let bytes =
+    match shard with
+    | None -> bytes
+    | Some s -> Wal_inspect.select_shard bytes s
+  in
+  let summary =
+    match shard with None -> full_summary | Some _ -> Wal_inspect.inspect bytes
+  in
   if json && not verify then
     Fmt.pr "%s@." (Json.to_string (Wal_inspect.to_json summary))
   else if not verify then Fmt.pr "%a" Wal_inspect.pp summary;
@@ -76,7 +88,7 @@ let main file json verify workers digest =
   let verify_status =
     if verify then verify_profile bytes json workers else `Skipped
   in
-  match (summary.Wal_inspect.damage, verify_status) with
+  match (full_summary.Wal_inspect.damage, verify_status) with
   | Wal_inspect.Interior _, _ | _, `Corrupt -> exit 2
   | _ -> ()
 
@@ -119,11 +131,24 @@ let digest_arg =
            harvest workflow records it next to checked-in old-format logs, \
            pinning their recovery outcome across format versions.")
 
+let shard_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard" ] ~docv:"N"
+        ~doc:
+          "Restrict the summary (and --digest / --verify) to frames stamped \
+           with shard id $(docv) — forensic slicing of a dump that mixes \
+           several shards' frames.  v1 frames carry no shard id and count \
+           as shard 0.  The damage verdict and exit status always reflect \
+           the full, unfiltered bytes.")
+
 let cmd =
   let doc = "forensics for an on-disk WAL image (no replay required)" in
   Cmd.v
     (Cmd.info "walinspect" ~doc)
     Term.(
-      const main $ file_arg $ json_arg $ verify_arg $ workers_arg $ digest_arg)
+      const main $ file_arg $ json_arg $ verify_arg $ workers_arg $ digest_arg
+      $ shard_arg)
 
 let () = exit (Cmd.eval cmd)

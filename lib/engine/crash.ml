@@ -80,7 +80,14 @@ let history_of_records recs =
   List.iter
     (fun r ->
       match r with
-      | Wal.Begin _ | Wal.Checkpoint _ | Wal.Truncate_intent _ -> ()
+      | Wal.Begin _ | Wal.Checkpoint _ | Wal.Truncate_intent _
+      | Wal.Prepare _ | Wal.Decision _ ->
+          (* Prepare/Decision are 2PC coordination records: they change
+             no object state and carry no operations, so the replayed
+             history sees through them (the transaction's outcome is its
+             local Commit/Abort record, appended by the protocol or by
+             recovery's in-doubt resolution). *)
+          ()
       | Wal.Operation (tid, op) -> exec tid op
       | Wal.Commit tid -> complete History.commit_at tid
       | Wal.Abort tid -> complete History.abort_at tid)
@@ -613,6 +620,389 @@ let torture_upgrade ?workers ~rebuild wal =
     ~old_bytes:(Wal.Codec.encode_all ~version:Wal.Codec.v1 recs)
     ~image:(Wal.Codec.encode_all (Wal.records mirror))
     ()
+
+(* ------------------------------------------------------------------ *)
+(* Sharded torture: crash states across the WALs of a sharded engine.  *)
+
+type sharded_report = {
+  shard_count : int;
+  byte_cuts : int;
+  forced_states : int;
+  cross_txns : int;
+  cross_checked : int;
+  sharded_violations : violation list;
+}
+
+let sharded_ok r = r.sharded_violations = []
+
+let pp_sharded_report ppf r =
+  if sharded_ok r then
+    Fmt.pf ppf
+      "%d shards: %d byte cuts + %d forced-frontier states, %d cross-shard \
+       txns (%d evidence checks), 0 violations"
+      r.shard_count r.byte_cuts r.forced_states r.cross_txns r.cross_checked
+  else
+    Fmt.pf ppf "%d shards: %d byte cuts + %d forced-frontier states, %d VIOLATIONS@,%a"
+      r.shard_count r.byte_cuts r.forced_states
+      (List.length r.sharded_violations)
+      (Fmt.list ~sep:Fmt.cut pp_violation)
+      r.sharded_violations
+
+let ops_of_tid tid recs =
+  List.filter_map
+    (function
+      | Wal.Operation (t, op) when Tid.equal t tid -> Some op | _ -> None)
+    recs
+
+let sharded_committed db =
+  List.map
+    (fun o -> (Atomic_object.name o, Atomic_object.committed_ops o))
+    (Sharded_database.objects db)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let torture_sharded ?workers ~shards:n ~rebuild ~drive () =
+  if n < 1 then invalid_arg "Crash.torture_sharded: shards < 1";
+  (* Drive the workload over recording in-memory WALs.  Every append and
+     every completed force is stamped with one global clock under a
+     single lock, so both the true cross-shard append order and each
+     shard's durability frontier over time are known exactly — the two
+     ingredients every legal crash state is made of. *)
+  let glock = Mutex.create () in
+  let clock = ref 0 in
+  let append_log = Array.init n (fun _ -> ref []) in
+  let force_log = Array.init n (fun _ -> ref []) in
+  let appended = Array.make n 0 in
+  let wals =
+    Array.init n (fun i ->
+        let w = Wal.create () in
+        Wal.set_sink w
+          {
+            Wal.sink_append =
+              (fun r ->
+                Mutex.lock glock;
+                incr clock;
+                appended.(i) <- appended.(i) + 1;
+                append_log.(i) := (!clock, r) :: !(append_log.(i));
+                Mutex.unlock glock);
+            sink_force =
+              (fun () ->
+                Mutex.lock glock;
+                incr clock;
+                force_log.(i) := (!clock, appended.(i)) :: !(force_log.(i));
+                Mutex.unlock glock);
+            sink_attach = (fun _ -> ());
+          };
+        w)
+  in
+  let db0 = Sharded_database.create ~wals (rebuild ()) in
+  drive db0;
+  let indexed = Array.map (fun r -> List.rev !r) append_log in
+  let full = Array.map (List.map snd) indexed in
+  let forces = Array.map (fun r -> List.rev !r) force_log in
+  let prepared_tids =
+    Array.fold_left
+      (fun acc recs ->
+        List.fold_left
+          (fun acc -> function Wal.Prepare t -> Tid.Set.add t acc | _ -> acc)
+          acc recs)
+      Tid.Set.empty full
+  in
+  let cross_checked = ref 0 in
+  let cut_no = ref 0 in
+  (* One crash state: [cut_recs.(p)] is what shard [p]'s log holds after
+     the crash.  The invariant battery is evidence-driven: whether the
+     state carries commit evidence for a cross-shard transaction decides
+     what recovery must do with it — no reference to what the full run
+     "intended", only to what the logs prove. *)
+  let check ~where cut_recs =
+    incr cut_no;
+    let cut = !cut_no in
+    let bad invariant detail =
+      { cut; invariant; detail = Fmt.str "%s: %s" where detail }
+    in
+    let analysis = Two_phase.analyze cut_recs in
+    let evidence = analysis.Two_phase.commit_evidence in
+    (* (i) Evidence implies complete survival: every participant's
+       operations and Prepare are forced before the coordinator's
+       Decision is even appended, so no legal crash state can hold
+       commit evidence while missing any committed operation. *)
+    let survival =
+      Tid.Set.fold
+        (fun tid acc ->
+          if not (Tid.Set.mem tid evidence) then acc
+          else begin
+            incr cross_checked;
+            let probs = ref [] in
+            Array.iteri
+              (fun p recs ->
+                let got = ops_of_tid tid recs in
+                let want = ops_of_tid tid full.(p) in
+                if not (List.equal Op.equal got want) then
+                  probs :=
+                    bad "global-atomicity"
+                      (Fmt.str
+                         "txn %a has commit evidence but shard %d retains \
+                          %d/%d of its operations"
+                         Tid.pp tid p (List.length got) (List.length want))
+                    :: !probs)
+              cut_recs;
+            !probs @ acc
+          end)
+        prepared_tids []
+    in
+    let rwals = Array.map Wal.of_records cut_recs in
+    match Sharded_database.recover ?workers ~wals:rwals ~rebuild () with
+    | exception exn ->
+        survival
+        @ [
+            bad "replay-legality"
+              (Fmt.str "recovery raised %s" (Printexc.to_string exn));
+          ]
+    | Error e ->
+        survival
+        @ [
+            bad "replay-legality"
+              (Fmt.str "recovery failed: %a" Recovery.pp_error e);
+          ]
+    | Ok (db, losers) ->
+        let post = Array.map Wal.records rwals in
+        (* (ii) Global atomicity of outcomes: with evidence, every shard
+           whose Prepare survived must end with the transaction
+           committed; without evidence (presumed abort) no shard
+           anywhere may commit it.  "No shard installs a cross-shard
+           transaction another shard aborted" is this check. *)
+        let shard_ids = List.init n Fun.id in
+        let outcome_bad =
+          Tid.Set.fold
+            (fun tid acc ->
+              let committed_on p =
+                List.exists
+                  (function Wal.Commit t -> Tid.equal t tid | _ -> false)
+                  post.(p)
+              in
+              let prepared_on p =
+                List.exists
+                  (function Wal.Prepare t -> Tid.equal t tid | _ -> false)
+                  cut_recs.(p)
+              in
+              (if Tid.Set.mem tid evidence then
+                 List.filter_map
+                   (fun p ->
+                     if prepared_on p && not (committed_on p) then
+                       Some
+                         (bad "global-atomicity"
+                            (Fmt.str
+                               "txn %a has commit evidence but participant \
+                                shard %d did not install it"
+                               Tid.pp tid p))
+                     else None)
+                   shard_ids
+               else
+                 List.filter_map
+                   (fun p ->
+                     if committed_on p then
+                       Some
+                         (bad "global-atomicity"
+                            (Fmt.str
+                               "txn %a has no commit evidence (presumed \
+                                abort) but shard %d installed it"
+                               Tid.pp tid p))
+                     else None)
+                   shard_ids)
+              @ acc)
+            prepared_tids []
+        in
+        (* (iii) Per-object legality, and recovered state == replay of
+           the resolved logs (ties the outcome records recovery appended
+           to the state it actually installed). *)
+        let legality =
+          List.filter_map
+            (fun o ->
+              let ops = Atomic_object.committed_ops o in
+              if Spec.legal (Atomic_object.spec o) ops then None
+              else
+                Some
+                  (bad "replay-legality"
+                     (Fmt.str "%s replays illegally: [%a]"
+                        (Atomic_object.name o) pp_ops ops)))
+            (Sharded_database.objects db)
+        in
+        let consistency =
+          List.concat_map
+            (fun p ->
+              let committed, _ = Wal.replay post.(p) in
+              let sh = (Sharded_database.shards db).(p) in
+              List.filter_map
+                (fun o ->
+                  let name = Atomic_object.name o in
+                  let want =
+                    List.filter
+                      (fun (op : Op.t) -> String.equal op.Op.obj name)
+                      committed
+                  in
+                  let got = Atomic_object.committed_ops o in
+                  if List.equal Op.equal got want then None
+                  else
+                    Some
+                      (bad "replay-consistency"
+                         (Fmt.str
+                            "shard %d %s recovered [%a] but its resolved \
+                             log replays [%a]"
+                            p name pp_ops got pp_ops want)))
+                (Database.objects (Shard.database sh)))
+            shard_ids
+        in
+        (* (iv) A second crash-recover over the resolved logs reproduces
+           the same state, losers, and appends nothing new: recovery
+           completed the protocol, it did not merely patch state. *)
+        let idempotence =
+          let rwals2 = Array.map Wal.of_records post in
+          match Sharded_database.recover ?workers ~wals:rwals2 ~rebuild () with
+          | exception exn ->
+              [
+                bad "idempotence"
+                  (Fmt.str "second recovery raised %s" (Printexc.to_string exn));
+              ]
+          | Error e ->
+              [
+                bad "idempotence"
+                  (Fmt.str "second recovery failed: %a" Recovery.pp_error e);
+              ]
+          | Ok (db2, losers2) ->
+              let diffs =
+                List.filter_map
+                  (fun ((name, ops1), (_, ops2)) ->
+                    if List.equal Op.equal ops1 ops2 then None
+                    else
+                      Some
+                        (bad "idempotence"
+                           (Fmt.str
+                              "%s: [%a] after first recovery, [%a] after \
+                               second"
+                              name pp_ops ops1 pp_ops ops2)))
+                  (List.combine (sharded_committed db) (sharded_committed db2))
+              in
+              let stability =
+                if
+                  Array.for_all2
+                    (List.equal Wal.equal_record)
+                    (Array.map Wal.records rwals2)
+                    post
+                then []
+                else
+                  [
+                    bad "idempotence"
+                      "second recovery appended further resolution records";
+                  ]
+              in
+              let loser_bad =
+                if Tid.Set.equal losers losers2 then []
+                else
+                  [
+                    bad "idempotence"
+                      (Fmt.str "losers {%a} became {%a}"
+                         Fmt.(list ~sep:comma Tid.pp)
+                         (Tid.Set.elements losers)
+                         Fmt.(list ~sep:comma Tid.pp)
+                         (Tid.Set.elements losers2));
+                  ]
+              in
+              diffs @ stability @ loser_bad
+        in
+        survival @ outcome_bad @ legality @ consistency @ idempotence
+  in
+  let violations = ref [] in
+  (* Leg A — forced-frontier states: at every global clock tick, every
+     shard retains exactly what its last completed force covered (all
+     unforced appends lost everywhere at once — the adversarial power
+     cut).  This sweeps the protocol's force ordering itself: a decision
+     forced before its participants' prepares, or a completion trusted
+     before the decision, shows up here as surviving evidence with
+     missing operations. *)
+  let forced_states = ref 0 in
+  let seen = Hashtbl.create 64 in
+  for tau = 0 to !clock + 1 do
+    let counts =
+      Array.init n (fun i ->
+          List.fold_left
+            (fun acc (t, k) -> if t < tau then max acc k else acc)
+            0 forces.(i))
+    in
+    let key = Array.to_list counts in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      incr forced_states;
+      let cut_recs = Array.mapi (fun i k -> take k full.(i)) counts in
+      violations :=
+        !violations
+        @ check
+            ~where:
+              (Fmt.str "forced frontier at tick %d [%a]" tau
+                 Fmt.(array ~sep:comma int)
+                 counts)
+            cut_recs
+    end
+  done;
+  (* Leg B — byte-granularity cuts: for every shard and every byte
+     offset of its encoded log, the shard crashes with exactly that byte
+     prefix (torn frame dropped by the codec — a misclassification is a
+     violation as in {!torture_bytes}); the other shards retain their
+     maximal consistent prefixes — every record appended before the
+     first record this shard lost. *)
+  let byte_cuts = ref 0 in
+  for s = 0 to n - 1 do
+    let bytes =
+      String.concat "" (List.map (Wal.Codec.encode ~shard:s) full.(s))
+    in
+    let times = Array.of_list (List.map fst indexed.(s)) in
+    let prev_count = ref (-1) in
+    for cutb = 0 to String.length bytes do
+      incr byte_cuts;
+      match Wal.Codec.decode_all (String.sub bytes 0 cutb) with
+      | Error c ->
+          violations :=
+            !violations
+            @ [
+                {
+                  cut = cutb;
+                  invariant = "torn-tail";
+                  detail =
+                    Fmt.str
+                      "shard %d: prefix cut at byte %d misclassified as \
+                       interior corruption: %a"
+                      s cutb Wal.Codec.pp_corruption c;
+                };
+              ]
+      | Ok d ->
+          let k = List.length d.Wal.Codec.records in
+          if k <> !prev_count then begin
+            prev_count := k;
+            let tau = if k = Array.length times then max_int else times.(k) in
+            let cut_recs =
+              Array.mapi
+                (fun p ixs ->
+                  if p = s then d.Wal.Codec.records
+                  else
+                    List.filter_map
+                      (fun (t, r) -> if t < tau then Some r else None)
+                      ixs)
+                indexed
+            in
+            violations :=
+              !violations
+              @ check ~where:(Fmt.str "shard %d cut at byte %d" s cutb) cut_recs
+          end
+    done
+  done;
+  {
+    shard_count = n;
+    byte_cuts = !byte_cuts;
+    forced_states = !forced_states;
+    cross_txns = Tid.Set.cardinal prepared_tids;
+    cross_checked = !cross_checked;
+    sharded_violations = !violations;
+  }
 
 let run ?max_atomicity_txns ?workers ~rebuild ~drive () =
   let wal = Wal.create () in

@@ -168,6 +168,60 @@ val pp_sweep_report : Format.formatter -> sweep_report -> unit
     mutated. *)
 val corruption_sweep : Wal.t -> sweep_report
 
+(** {1 Sharded torture (cross-shard 2PC)} *)
+
+type sharded_report = {
+  shard_count : int;
+  byte_cuts : int;  (** byte offsets swept, summed over all shard logs *)
+  forced_states : int;  (** distinct forced-frontier crash states checked *)
+  cross_txns : int;  (** transactions that entered 2PC in the driven run *)
+  cross_checked : int;
+      (** (state, transaction) pairs on which the evidence-implies-survival
+          check ran *)
+  sharded_violations : violation list;
+}
+
+(** [sharded_ok r] — no invariant was violated at any crash state. *)
+val sharded_ok : sharded_report -> bool
+
+val pp_sharded_report : Format.formatter -> sharded_report -> unit
+
+(** [torture_sharded ~shards:n ~rebuild ~drive ()] drives a workload
+    through a fresh {!Sharded_database} over [n] recording WALs, then
+    checks crash states spanning {e all} the shard logs:
+
+    - {b forced frontiers} — at every global clock tick, every shard
+      retains exactly what its last durability barrier covered (all
+      unforced appends lost at once).  This sweeps the 2PC force
+      ordering itself — participants' operations and [Prepare]s must be
+      durable before the coordinator's [Decision] exists, the
+      [Decision] durable before any completion is trusted;
+    - {b byte cuts} — for every shard and every byte offset of its
+      encoded log (frames stamped with the shard's id), the shard keeps
+      that byte prefix (a misclassified torn tail is a ["torn-tail"]
+      violation) while the others keep their maximal consistent
+      prefixes: everything appended before the first record the cut
+      shard lost.
+
+    Each state passes an evidence-driven battery: a transaction with
+    surviving commit evidence ([Decision{commit}] anywhere, or a
+    phase-2 [Commit] of a prepared transaction) must retain {e all} its
+    operations and end committed on every participant whose [Prepare]
+    survived; one without evidence must end committed {e nowhere}
+    (presumed abort) — so no shard ever installs a cross-shard
+    transaction another shard aborted, and no acknowledged cross-shard
+    commit is ever lost (acknowledgement happens only after the forced
+    [Decision]).  Each recovered state must also be legal per object
+    specification, equal to a direct replay of its resolved logs, and
+    stable under a second recovery (which must append nothing).
+    [workers] is forwarded to every per-shard recovery. *)
+val torture_sharded :
+  ?workers:int ->
+  shards:int ->
+  rebuild:(unit -> Atomic_object.t list) ->
+  drive:(Sharded_database.t -> unit) ->
+  unit -> sharded_report
+
 (** [run ~rebuild ~drive ()] builds a fresh durable database over
     [rebuild ()], lets [drive] run a workload against it (including any
     mid-run {!Durable_database.checkpoint} calls), then tortures the

@@ -86,6 +86,21 @@ let begin_txn t =
   emit_trace t ~tid Trace.Begin;
   tid
 
+let adopt_txn t tid =
+  (* Register an externally allocated transaction id as running here —
+     the sharded engine allocates tids globally and lets each shard's
+     database adopt the transaction on first touch.  The local allocator
+     is bumped above the adopted id so a locally begun transaction can
+     never collide with a global one. *)
+  let n = Tid.to_int tid in
+  if n < 0 then invalid_arg "Database.adopt_txn: negative tid";
+  if Hashtbl.mem t.status tid then
+    invalid_arg (Fmt.str "Database.adopt_txn: %a already known" Tid.pp tid);
+  t.next_tid <- max t.next_tid (n + 1);
+  Hashtbl.replace t.status tid Running;
+  Metrics.Counter.incr t.c_begins;
+  emit_trace t ~tid Trace.Begin
+
 let check_running t tid =
   match Hashtbl.find_opt t.status tid with
   | Some Running -> ()

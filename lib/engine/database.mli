@@ -50,6 +50,13 @@ val emit_trace : t -> tid:Tid.t -> Tm_obs.Trace.kind -> unit
 (** [begin_txn t] allocates a fresh transaction id. *)
 val begin_txn : t -> Tid.t
 
+(** [adopt_txn t tid] registers an externally allocated transaction id
+    as running here and bumps the local allocator above it — how each
+    shard's database joins a transaction whose id was issued by
+    {!Sharded_database}'s global allocator.  Raises [Invalid_argument]
+    if [tid] is negative or already known to this database. *)
+val adopt_txn : t -> Tid.t -> unit
+
 (** [invoke t tid ~obj inv] — attempt an operation; records the waits-for
     edges on [Blocked].  Raises [Invalid_argument] for an unknown object
     or a transaction that already finished. *)

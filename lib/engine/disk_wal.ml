@@ -13,6 +13,7 @@ type t = {
   storage : Storage.t;
   wal : Wal.t;
   retry : retry;
+  shard : int;  (* stamped into every v2 frame this log appends *)
   mutable end_off : int;  (* logical end: bytes of intact, persisted log *)
   mutable bytes_written : int;
   mutable retries : int;
@@ -21,6 +22,7 @@ type t = {
 
 let wal t = t.wal
 let storage t = t.storage
+let shard t = t.shard
 let bytes_written t = t.bytes_written
 let retries t = t.retries
 
@@ -49,7 +51,7 @@ let with_retry t f =
   go 1
 
 let persist t record =
-  let frame = Wal.Codec.encode record in
+  let frame = Wal.Codec.encode ~shard:t.shard record in
   with_retry t (fun () -> Storage.write_at t.storage ~pos:t.end_off frame);
   t.end_off <- t.end_off + String.length frame;
   t.bytes_written <- t.bytes_written + String.length frame;
@@ -66,15 +68,26 @@ let install_sink t =
           Storage.attach_metrics t.storage reg);
     }
 
-let make ?(retry = default_retry) storage wal ~end_off =
+let make ?(retry = default_retry) ?(shard = 0) storage wal ~end_off =
+  if shard < 0 || shard > 0xFFFF then
+    invalid_arg (Fmt.str "Disk_wal: shard %d out of range" shard);
   let t =
-    { storage; wal; retry; end_off; bytes_written = 0; retries = 0; metrics = None }
+    {
+      storage;
+      wal;
+      retry;
+      shard;
+      end_off;
+      bytes_written = 0;
+      retries = 0;
+      metrics = None;
+    }
   in
   install_sink t;
   t
 
-let create ?retry storage =
-  let t = make ?retry storage (Wal.create ()) ~end_off:0 in
+let create ?retry ?shard storage =
+  let t = make ?retry ?shard storage (Wal.create ()) ~end_off:0 in
   (* A fresh log owns the backend from byte 0; stale contents (a
      previous incarnation's log) would otherwise replay after ours.
      The truncation is forced immediately: without the barrier a crash
@@ -197,7 +210,7 @@ let retry_loop retry f =
   in
   go 1
 
-let load ?(retry = default_retry) ?profile ?workers storage =
+let load ?(retry = default_retry) ?shard ?profile ?workers storage =
   (* Reads are not retried on content grounds — a short or bit-flipped
      read is silent, and it is the decoder's job to catch it. *)
   let module Profile = Tm_obs.Recovery_profile in
@@ -271,15 +284,15 @@ let load ?(retry = default_retry) ?profile ?workers storage =
              dropped logically — [end_off] points at the intact prefix,
              and the next append overwrites the debris. *)
           let wal = Wal.of_records records in
-          Ok (make ~retry storage wal ~end_off:clean_bytes))
+          Ok (make ~retry ?shard storage wal ~end_off:clean_bytes))
 
 let checkpoint_truncate t =
   let dropped = Wal.truncate_to_checkpoint t.wal in
   if dropped > 0 then begin
-    let image = Wal.Codec.encode_all (Wal.records t.wal) in
+    let image = Wal.Codec.encode_all ~shard:t.shard (Wal.records t.wal) in
     let old_len = t.end_off in
     let intent =
-      Wal.Codec.encode
+      Wal.Codec.encode ~shard:t.shard
         (Wal.Truncate_intent { old_len; new_len = String.length image })
     in
     (* 1. Journal: intent + full image after the live log, forced.  The

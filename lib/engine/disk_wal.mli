@@ -28,11 +28,15 @@ exception Storage_unavailable of { attempts : int; last : string }
 
 type t
 
-(** [create ?retry storage] starts a fresh, empty log on [storage]
-    (discarding any previous contents; the truncation is forced, so a
-    crash before this log's first commit flush cannot resurrect a stale
-    previous-incarnation log). *)
-val create : ?retry:retry -> Storage.t -> t
+(** [create ?retry ?shard storage] starts a fresh, empty log on
+    [storage] (discarding any previous contents; the truncation is
+    forced, so a crash before this log's first commit flush cannot
+    resurrect a stale previous-incarnation log).  [shard] (default 0)
+    is stamped into the v2 header of every frame this log writes —
+    {!Sharded_database} gives each shard's log its own id, so a frame
+    found on the wrong backend is attributable.  Raises
+    [Invalid_argument] outside [0, 0xFFFF]. *)
+val create : ?retry:retry -> ?shard:int -> Storage.t -> t
 
 (** [load ?retry storage] rebuilds the log from the backend's bytes.  A
     torn or corrupt tail is truncated (crash loss; recovery proceeds);
@@ -49,9 +53,14 @@ val create : ?retry:retry -> Storage.t -> t
     redone — the install is idempotent — while an incomplete one is
     rolled back, reloading exactly the pre-compaction log.  A journal
     whose intent committed but whose image no longer verifies is
-    refused as corruption (never silently dropped). *)
+    refused as corruption (never silently dropped).
+
+    [shard] (default 0) is the id stamped on {e subsequent} appends;
+    the decoded frames keep whatever shard their headers carry (decode
+    accepts any id — the shard is forensic, not a filter). *)
 val load :
   ?retry:retry ->
+  ?shard:int ->
   ?profile:Tm_obs.Recovery_profile.t ->
   ?workers:int ->
   Storage.t ->
@@ -62,6 +71,9 @@ val load :
 val wal : t -> Wal.t
 
 val storage : t -> Storage.t
+
+(** The shard id this log stamps on appended frames (0 unless given). *)
+val shard : t -> int
 
 (** [checkpoint_truncate t] = {!Wal.truncate_to_checkpoint} on the
     mirror plus a {e crash-atomic} compaction of the backend, in two

@@ -48,6 +48,25 @@ let checkpoint t =
   Wal.append t.wal (Wal.Checkpoint cp);
   emit_system t.db (Trace.Checkpoint { ops = List.length cp.Wal.committed })
 
+(* Validate at every object (a no-op for locking objects): the shared
+   first step of both the one-shot commit and the 2PC prepare. *)
+let validate_all t tid =
+  List.find_map
+    (fun o ->
+      match Atomic_object.validate o tid with
+      | Ok () -> None
+      | Error (mine, theirs) -> Some (Atomic_object.name o, mine, theirs))
+    (Database.objects t.db)
+
+(* Only transactions that logged a Begin have anything to undo in the
+   log; an Abort for an unlogged transaction would be noise (and
+   inflate tm_wal_appends_total{kind="abort"}). *)
+let log_abort_if_begun t tid =
+  if Hashtbl.mem t.begun tid then begin
+    log t tid (Wal.Abort tid);
+    Hashtbl.remove t.begun tid
+  end
+
 let try_commit_nowait t tid =
   (* Stage 1 of the commit pipeline: validate first (nothing logged on
      failure), append the single commit record — fixing the
@@ -59,23 +78,9 @@ let try_commit_nowait t tid =
      any transaction that reads the applied state commits {e later} in
      the log, so a crash that loses this commit record also loses every
      dependent one (the log's prefix property). *)
-  let failed =
-    List.find_map
-      (fun o ->
-        match Atomic_object.validate o tid with
-        | Ok () -> None
-        | Error (mine, theirs) -> Some (Atomic_object.name o, mine, theirs))
-      (Database.objects t.db)
-  in
-  match failed with
+  match validate_all t tid with
   | Some _ as e ->
-      (* Only transactions that logged a Begin have anything to undo in
-         the log; an Abort for an unlogged transaction would be noise
-         (and inflate tm_wal_appends_total{kind="abort"}). *)
-      if Hashtbl.mem t.begun tid then begin
-        log t tid (Wal.Abort tid);
-        Hashtbl.remove t.begun tid
-      end;
+      log_abort_if_begun t tid;
       Database.abort t.db tid;
       (match e with Some x -> Error x | None -> assert false)
   | None ->
@@ -84,6 +89,48 @@ let try_commit_nowait t tid =
       Hashtbl.remove t.begun tid;
       Database.commit t.db tid;
       Ok lsn
+
+(* --- 2PC participant half: prepare / finish, split out of the
+   one-shot path above for {!Sharded_database}. *)
+
+let prepare t tid =
+  (* Phase 1 on a participant shard: validate exactly as a local commit
+     would, then log the Prepare — the promise that every operation of
+     the transaction on this shard precedes it in the log, so a
+     recovered shard holding the Prepare can install the transaction in
+     full once the global decision is known.  The caller must force the
+     returned LSN before voting yes.  Nothing is applied yet: the
+     transaction stays live (locks held, optimistic intentions parked)
+     until {!finish_prepared}. *)
+  match validate_all t tid with
+  | Some _ as e ->
+      log_abort_if_begun t tid;
+      Database.abort t.db tid;
+      (match e with Some x -> Error x | None -> assert false)
+  | None ->
+      log t tid (Wal.Prepare tid);
+      Ok (Wal.last_lsn t.wal)
+
+let finish_prepared t tid ~commit =
+  (* Phase 2: the global decision is in — log the local outcome record
+     and apply it.  The append is {e lazy} durability: if a crash loses
+     it, the shard recovers the transaction as in-doubt (its Prepare
+     survives, forced) and {!Sharded_database.recover} re-resolves it
+     from the surviving decision evidence, appending the same outcome
+     again — this function and recovery are idempotent completions of
+     the same protocol. *)
+  if commit then begin
+    log t tid (Wal.Commit tid);
+    let lsn = Wal.last_lsn t.wal in
+    Hashtbl.remove t.begun tid;
+    Database.commit t.db tid;
+    lsn
+  end
+  else begin
+    log_abort_if_begun t tid;
+    Database.abort t.db tid;
+    Wal.last_lsn t.wal
+  end
 
 let wait_durable t tid lsn =
   (* Stage 2: park on the flushed-LSN watermark (the group-commit

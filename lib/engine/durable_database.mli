@@ -59,6 +59,33 @@ val wait_durable : t -> Tid.t -> int -> unit
     drivers). *)
 val try_commit : t -> Tid.t -> (unit, string * Op.t * Op.t) result
 
+(** {2 Two-phase-commit participant half}
+
+    {!Sharded_database} commits a cross-shard transaction by running
+    this split on every participant shard: {!prepare} is the phase-1
+    vote (validate + log a [Prepare] record whose LSN the caller must
+    force before answering yes), {!finish_prepared} is the phase-2
+    completion once the coordinator's decision is known.  Between the
+    two the transaction stays live — locks held, optimistic intentions
+    parked — exactly as between {!invoke} and {!try_commit_nowait}. *)
+
+(** Phase 1: validate at every object and log a [Prepare] record.
+    [Ok lsn] is the prepare record's LSN — the caller must
+    [Wal.force_upto] it before voting yes (a yes vote is a durable
+    promise).  On validation failure the transaction is aborted locally
+    (its [Abort] logged if it logged a [Begin]) and the conflicting
+    object/operation pair returned — a no vote. *)
+val prepare : t -> Tid.t -> (int, string * Op.t * Op.t) result
+
+(** Phase 2: log the local outcome record ([Commit] or [Abort]) and
+    apply it; returns the outcome record's LSN.  The append is not
+    forced here — if a crash loses it, the shard's forced [Prepare]
+    survives and {!Sharded_database.recover} re-resolves the in-doubt
+    transaction from the coordinator's decision evidence, appending the
+    same outcome again (recovery and this function are idempotent
+    completions of the same protocol). *)
+val finish_prepared : t -> Tid.t -> commit:bool -> int
+
 (** [flush t] forces everything appended so far (a deterministic batch
     boundary for {!Tm_sim.Scheduler.run_durable}'s [~group_commit]
     knob); emits a system [Wal_force] span. *)

@@ -1,0 +1,33 @@
+(** One shard of a {!Sharded_database}: a complete single-shard durable
+    engine — its own {!Durable_database} (lock tables, atomic objects),
+    its own {!Wal} (and therefore its own group-commit flusher), and the
+    mutex that serialises engine calls into it.  A shard knows nothing
+    about the others; all cross-shard coordination lives in
+    {!Sharded_database}. *)
+
+type t
+
+(** [create ~index ~wal objs] wraps a fresh {!Durable_database} over
+    [objs] and [wal].  [index] is the shard's position in the router's
+    table — it is also the shard id {!Disk_wal} stamps into v2 frames
+    when [wal] is disk-backed. *)
+val create : ?first_tid:int -> index:int -> wal:Wal.t -> Atomic_object.t list -> t
+
+(** [of_db ~index ~wal db] wraps an already-built engine — how
+    {!Sharded_database.recover} assembles shards from per-shard
+    {!Durable_database.recover} results. *)
+val of_db : index:int -> wal:Wal.t -> Durable_database.t -> t
+
+val index : t -> int
+val wal : t -> Wal.t
+val db : t -> Durable_database.t
+
+(** The shard's underlying {!Database} (transaction table, objects,
+    metrics registry). *)
+val database : t -> Database.t
+
+val metrics : t -> Tm_obs.Metrics.t
+
+(** [with_lock t f] runs [f] holding the shard's engine mutex.  The
+    durability wait ({!Wal.force_upto}) must happen {e outside} it. *)
+val with_lock : t -> (unit -> 'a) -> 'a

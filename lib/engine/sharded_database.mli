@@ -1,0 +1,145 @@
+(** A durable engine partitioned into independent shards with
+    cross-shard two-phase commit.
+
+    Each shard is a complete single-shard engine ({!Shard}): its own
+    lock tables and atomic objects, its own WAL (stamped with the
+    shard's id in every v2 frame when disk-backed — see {!Disk_wal}),
+    and its own group-commit flusher.  A router hashes object name to
+    home shard ({!Wal.partition_of_object}, the same stable hash the
+    parallel-recovery partitioner uses), so a transaction that touches
+    one shard commits through the existing fast path —
+    {!Durable_database.try_commit_nowait} under that shard's mutex, the
+    durability wait outside it — with {e zero} cross-shard
+    synchronisation beyond a brief global-table touch.
+
+    {2 Cross-shard commit: presumed-abort 2PC}
+
+    A transaction that touched several shards commits in three steps,
+    journaled entirely through the participants' own WALs (no separate
+    coordinator log):
+
+    + {b Prepare} — every participant, in ascending shard order,
+      validates and logs a [Prepare] record
+      ({!Durable_database.prepare}); each prepare LSN is forced before
+      the protocol proceeds.  A forced [Prepare] is the shard's durable
+      yes vote: all the transaction's operations on that shard precede
+      it in the log, so the shard can install the transaction after a
+      crash once the decision is known.  Any validation failure aborts
+      the transaction everywhere — already-prepared shards via
+      {!Durable_database.finish_prepared}[ ~commit:false], the rest via
+      plain abort — and {e no} decision record is written (presumed
+      abort makes the no-vote free).
+    + {b Decide} — the coordinator (the lowest participant shard index)
+      appends [Decision { commit = true }] to {e its own} WAL and
+      forces it.  That single forced append is the global commit point:
+      the transaction is committed iff it survives.
+    + {b Complete} — each participant logs its local [Commit] and
+      applies ({!Durable_database.finish_prepared}[ ~commit:true]),
+      {e without} forcing: if a crash loses a completion record, the
+      shard recovers the transaction as in-doubt and re-resolves it
+      from the surviving decision evidence.
+
+    {2 Recovery}
+
+    {!recover} first runs {!Two_phase.analyze} over all shard logs,
+    appends a real [Commit]/[Abort] per in-doubt transaction to its
+    shard's log (commit iff decision evidence survives anywhere;
+    otherwise presumed abort) and forces it — completing the
+    interrupted protocol {e in the log}, so the subsequent per-shard
+    {!Durable_database.recover} (with its parallel partitioned replay)
+    needs no 2PC awareness at all, and a second crash during recovery
+    re-resolves to the same outcomes.
+
+    {2 Caveats}
+
+    Deadlock detection remains per shard: waits-for cycles threading
+    through two shards are not detected (callers avoid them by touching
+    shards in a consistent order, or time out).  {!checkpoint} refuses
+    to run while any cross-shard commit is in flight — a fuzzy
+    checkpoint would otherwise erase a participant's in-doubt status
+    from its log. *)
+
+open Tm_core
+
+type t
+
+(** [create ?first_tid ~wals objs] — one shard per element of [wals]
+    (their order fixes shard ids); [objs] are partitioned among shards
+    by the router.  [first_tid] seeds the {e global} transaction-id
+    allocator.  Raises [Invalid_argument] if [wals] is empty or has
+    more than 65536 elements (shard ids must fit a v2 frame header). *)
+val create : ?first_tid:int -> wals:Wal.t array -> Atomic_object.t list -> t
+
+val shard_count : t -> int
+
+(** The home shard of an object name:
+    [Wal.partition_of_object ~workers:(shard_count t) name]. *)
+val shard_of_object : t -> string -> int
+
+(** The shards themselves, indexed by shard id — for tests, torture
+    harnesses and forensics; engine calls should go through [t]. *)
+val shards : t -> Shard.t array
+
+val find_object : t -> string -> Atomic_object.t
+
+(** All objects across all shards (shard order, then each shard's
+    object order). *)
+val objects : t -> Atomic_object.t list
+
+(** [begin_txn t] allocates a globally unique transaction id.  Each
+    shard's database adopts the transaction on first touch
+    ({!Database.adopt_txn}). *)
+val begin_txn : t -> Tid.t
+
+(** [invoke t tid ~obj inv] routes to [obj]'s home shard. *)
+val invoke :
+  ?choose:(Value.t list -> Value.t) -> t -> Tid.t -> obj:string -> Op.invocation ->
+  Atomic_object.outcome
+
+(** [try_commit t tid] — single-shard transactions take the fast path
+    (stage-1 commit under the shard mutex, group-commit durability wait
+    outside it); multi-shard transactions run the full 2PC described
+    above.  Transactions that executed nothing anywhere commit
+    trivially.  On validation failure the transaction is aborted on
+    every shard and the conflicting object/operation pair returned. *)
+val try_commit : t -> Tid.t -> (unit, string * Op.t * Op.t) result
+
+val abort : t -> Tid.t -> unit
+
+(** Force every shard's WAL. *)
+val flush : t -> unit
+
+(** [checkpoint t] appends a fuzzy checkpoint to {e every} shard —
+    after forcing {e all} shard WALs, so no shard's checkpoint can
+    outlive unflushed completion records its evidence may be needed
+    for — and returns [true].  Returns [false] without touching any
+    log when a cross-shard commit is in flight (a prepared-undecided
+    transaction must keep its [Prepare] visible to recovery; callers
+    simply retry later). *)
+val checkpoint : t -> bool
+
+(** Globally committed transaction count (each cross-shard transaction
+    counted once, not once per participant). *)
+val committed_count : t -> int
+
+(** A fresh registry merging the engine-level 2PC metrics
+    ([tm_2pc_prepares_total], [tm_2pc_aborts_total{phase}],
+    [tm_shard_cross_txn_total], [tm_shard_flushed_lsn{shard}]) with
+    every shard's registry, each shard's series tagged with an added
+    [shard] label. *)
+val metrics : t -> Tm_obs.Metrics.t
+
+(** [recover ?workers ~wals ~rebuild ()] — crash recovery across all
+    shards: resolve in-doubt transactions (see above), then run
+    {!Durable_database.recover} per shard with [workers] replay
+    partitions each, [rebuild]'s objects routed to shards exactly as
+    {!create} routes them.  The global allocator restarts above every
+    shard's tid high-water mark.  Returns the engine and the union of
+    the shards' loser sets (a transaction resolved by presumed abort is
+    {e finished}, not a loser — recovery completed its protocol), or
+    the first shard's replay error in shard order. *)
+val recover :
+  ?workers:int ->
+  wals:Wal.t array ->
+  rebuild:(unit -> Atomic_object.t list) ->
+  unit -> (t * Tid.Set.t, Recovery.error) result

@@ -1,0 +1,69 @@
+open Tm_core
+
+type analysis = {
+  in_doubt : Tid.t list array;
+  commit_evidence : Tid.Set.t;
+  abort_evidence : Tid.Set.t;
+}
+
+let analyze logs =
+  let n = Array.length logs in
+  let in_doubt = Array.make n [] in
+  let commit_ev = ref Tid.Set.empty in
+  let abort_ev = ref Tid.Set.empty in
+  for s = 0 to n - 1 do
+    (* [pending]: prepared on this shard, no local outcome record yet.
+       [ever]: prepared on this shard at any point — a later [Commit] /
+       [Abort] of such a transaction is a surviving phase-2 record and
+       therefore global evidence (participants only log the outcome the
+       coordinator decided).  A [Commit] of a {e never-prepared}
+       transaction is just a local single-shard commit and says nothing
+       about any other shard. *)
+    let pending = Hashtbl.create 8 in
+    let ever = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        match r with
+        | Wal.Prepare tid ->
+            Hashtbl.replace pending tid ();
+            Hashtbl.replace ever tid ()
+        | Wal.Commit tid ->
+            if Hashtbl.mem ever tid then commit_ev := Tid.Set.add tid !commit_ev;
+            Hashtbl.remove pending tid
+        | Wal.Abort tid ->
+            if Hashtbl.mem ever tid then abort_ev := Tid.Set.add tid !abort_ev;
+            Hashtbl.remove pending tid
+        | Wal.Decision { tid; commit } ->
+            if commit then commit_ev := Tid.Set.add tid !commit_ev
+            else abort_ev := Tid.Set.add tid !abort_ev
+        | Wal.Begin _ | Wal.Operation _ | Wal.Truncate_intent _ -> ()
+        | Wal.Checkpoint _ ->
+            (* Checkpoints never intersect 2PC: {!Sharded_database.checkpoint}
+               refuses to run while any cross-shard transaction is between
+               prepare and completion, so no [Prepare] can be live here. *)
+            ())
+      logs.(s);
+    (* In-doubt set in deterministic first-[Prepare] order, so the
+       resolution records recovery appends land in a reproducible order. *)
+    let listed = Hashtbl.create 8 in
+    in_doubt.(s) <-
+      List.filter_map
+        (function
+          | Wal.Prepare tid
+            when Hashtbl.mem pending tid && not (Hashtbl.mem listed tid) ->
+              Hashtbl.add listed tid ();
+              Some tid
+          | _ -> None)
+        logs.(s)
+  done;
+  { in_doubt; commit_evidence = !commit_ev; abort_evidence = !abort_ev }
+
+type resolution = { tid : Tid.t; commit : bool }
+
+let resolutions a ~shard =
+  List.map
+    (fun tid -> { tid; commit = Tid.Set.mem tid a.commit_evidence })
+    a.in_doubt.(shard)
+
+let pp_resolution ppf { tid; commit } =
+  Fmt.pf ppf "%a->%s" Tid.pp tid (if commit then "commit" else "abort")

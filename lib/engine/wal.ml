@@ -15,6 +15,8 @@ type record =
   | Abort of Tid.t
   | Checkpoint of checkpoint
   | Truncate_intent of { old_len : int; new_len : int }
+  | Prepare of Tid.t
+  | Decision of { tid : Tid.t; commit : bool }
 
 let pp_record ppf = function
   | Begin tid -> Fmt.pf ppf "BEGIN %a" Tid.pp tid
@@ -26,6 +28,9 @@ let pp_record ppf = function
         (List.length cp.committed) (List.length cp.live) cp.next_tid
   | Truncate_intent { old_len; new_len } ->
       Fmt.pf ppf "TRUNCATE-INTENT (%d -> %d bytes)" old_len new_len
+  | Prepare tid -> Fmt.pf ppf "PREPARE %a" Tid.pp tid
+  | Decision { tid; commit } ->
+      Fmt.pf ppf "DECISION %a %s" Tid.pp tid (if commit then "COMMIT" else "ABORT")
 
 let equal_checkpoint a b =
   List.equal Op.equal a.committed b.committed
@@ -36,13 +41,16 @@ let equal_checkpoint a b =
 
 let equal_record a b =
   match a, b with
-  | Begin x, Begin y | Commit x, Commit y | Abort x, Abort y -> Tid.equal x y
+  | Begin x, Begin y | Commit x, Commit y | Abort x, Abort y | Prepare x, Prepare y
+    ->
+      Tid.equal x y
   | Operation (x, p), Operation (y, q) -> Tid.equal x y && Op.equal p q
   | Checkpoint x, Checkpoint y -> equal_checkpoint x y
   | Truncate_intent x, Truncate_intent y ->
       x.old_len = y.old_len && x.new_len = y.new_len
+  | Decision x, Decision y -> Tid.equal x.tid y.tid && x.commit = y.commit
   | ( ( Begin _ | Operation _ | Commit _ | Abort _ | Checkpoint _
-      | Truncate_intent _ ),
+      | Truncate_intent _ | Prepare _ | Decision _ ),
       _ ) ->
       false
 
@@ -207,6 +215,8 @@ let record_kind = function
   | Abort _ -> "abort"
   | Checkpoint _ -> "checkpoint"
   | Truncate_intent _ -> "truncate_intent"
+  | Prepare _ -> "prepare"
+  | Decision _ -> "decision"
 
 let append t r =
   t.records_rev <- r :: t.records_rev;
@@ -230,7 +240,9 @@ let append t r =
           Metrics.Histogram.observe_int
             (Metrics.histogram reg "tm_wal_checkpoint_ops")
             (List.length cp.committed)
-      | Begin _ | Operation _ | Commit _ | Abort _ | Truncate_intent _ -> ())
+      | Begin _ | Operation _ | Commit _ | Abort _ | Truncate_intent _
+      | Prepare _ | Decision _ ->
+          ())
 
 let records t = List.rev t.records_rev
 let length t = t.count
@@ -323,6 +335,25 @@ let scan ?profile recs =
              before the log reaches replay, but a decoded stray is
              harmless — it carries no transaction state. *)
           ()
+      | Prepare tid ->
+          (* A prepared transaction voted yes in a cross-shard commit but
+             this shard's log alone cannot tell the outcome.  Plain
+             replay treats it exactly like any other unfinished
+             transaction — presumed abort — so a participant whose
+             coordinator never decided loses nothing it was entitled to
+             keep.  {!Sharded_database.recover} resolves in-doubt
+             transactions against the other shards' logs {e before}
+             replay by appending the real outcome record. *)
+          note tid;
+          Hashtbl.replace st.seen tid ()
+      | Decision { tid; commit = _ } ->
+          (* The coordinator's 2PC outcome record.  It is pure
+             coordination state: it must NOT mark the transaction as
+             locally begun — on the coordinator's own shard the
+             transaction also logs its local Prepare/Commit records, and
+             a shard that only coordinated (no local ops) must not grow
+             a phantom loser. *)
+          note tid
       | Checkpoint cp ->
           (* The snapshot stands for the whole prefix: committed operations
              and the logs of transactions that were in flight when it was
@@ -449,6 +480,12 @@ let plan ?profile ~workers recs =
         Hashtbl.remove ops_of tid;
         Hashtbl.replace finished.(shard tid) tid ()
     | Truncate_intent _ -> ()
+    | Prepare tid ->
+        (* Same presumed-abort reading as [scan]: prepared-but-undecided
+           is a loser until a resolution record says otherwise. *)
+        note tid;
+        Hashtbl.replace seen.(shard tid) tid ()
+    | Decision { tid; commit = _ } -> note tid
     | Checkpoint cp ->
         let seed () =
           from := pos;
@@ -636,10 +673,28 @@ module Codec = struct
         Buffer.add_char b '\005';
         put_int b old_len;
         put_int b new_len
+    | Prepare tid -> Buffer.add_char b '\006'; put_tid b tid
+    | Decision { tid; commit } ->
+        Buffer.add_char b '\007';
+        put_tid b tid;
+        Buffer.add_char b (if commit then '\001' else '\000')
+
+  (* Record kinds that postdate the v1 header: they may only travel
+     under v2 frames, so a v1-only binary refuses them as a typed
+     foreign-version corruption instead of misparsing the payload. *)
+  let v2_only_record = function
+    | Prepare _ | Decision _ -> true
+    | Begin _ | Operation _ | Commit _ | Abort _ | Checkpoint _
+    | Truncate_intent _ ->
+        false
 
   let encode ?(version = write_version) ?(shard = 0) r =
     if not (is_supported version) then
       invalid_arg (Fmt.str "Wal.Codec.encode: unsupported version %d" version);
+    if version = v1 && v2_only_record r then
+      invalid_arg
+        (Fmt.str "Wal.Codec.encode: %s records require v2 frames"
+           (record_kind r));
     if version = v1 && shard <> 0 then
       invalid_arg "Wal.Codec.encode: v1 frames carry no shard id";
     if shard < 0 || shard > 0xFFFF then
@@ -657,8 +712,8 @@ module Codec = struct
     Buffer.add_string b payload;
     Buffer.contents b
 
-  let encode_all ?version recs =
-    String.concat "" (List.map (fun r -> encode ?version r) recs)
+  let encode_all ?version ?shard recs =
+    String.concat "" (List.map (fun r -> encode ?version ?shard r) recs)
 
   (* --- payload reader --- *)
 
@@ -720,6 +775,13 @@ module Codec = struct
         if old_len < 0 || new_len < 0 then
           raise (Bad "negative truncate-intent length");
         Truncate_intent { old_len; new_len }
+    | 6 -> Prepare (get_tid r)
+    | 7 ->
+        let tid = get_tid r in
+        (match get_byte r with
+        | 0 -> Decision { tid; commit = false }
+        | 1 -> Decision { tid; commit = true }
+        | n -> raise (Bad (Fmt.str "bad decision flag %d" n)))
     | n -> raise (Bad (Fmt.str "bad record tag %d" n))
 
   type corruption = {

@@ -47,6 +47,24 @@ type record =
           resolves it (redo or roll back the compaction) before the log
           reaches replay; {!replay} and {!plan} ignore a stray one (it
           carries no transaction state). *)
+  | Prepare of Tid.t
+      (** Two-phase-commit vote record, logged and {e forced} by a
+          participant shard before it answers yes: the shard's operations
+          for the transaction are all in the log before this record, so
+          a recovered shard holding a [Prepare] can install the
+          transaction in full if the global decision was commit.
+          {!replay}/{!plan} read it as {e presumed abort}: a prepared
+          transaction with no later local [Commit]/[Abort] is a loser —
+          {!Sharded_database.recover} resolves such in-doubt
+          transactions against the other shards' logs first. *)
+  | Decision of { tid : Tid.t; commit : bool }
+      (** The coordinator's 2PC outcome, logged and forced on the
+          coordinator's own shard — the {e global commit point} of a
+          cross-shard transaction.  Pure coordination state: it does not
+          mark the transaction as begun on the coordinator's shard (a
+          shard that only coordinated must not grow a phantom loser);
+          recovery consults it to resolve other shards' in-doubt
+          prepares. *)
 
 val pp_record : Format.formatter -> record -> unit
 
@@ -315,10 +333,18 @@ module Codec : sig
       as [version] (default {!write_version}).  [shard] (default 0, v2
       only) is the frame's shard id; encoding v1 demands [shard = 0].
       Encoding as {!v1} exists for the migration tests and the v1-log
-      harvest — production writes are always {!write_version}. *)
+      harvest — production writes are always {!write_version}.  Record
+      kinds that postdate the v1 header ([Prepare], [Decision]) travel
+      only under v2 frames; encoding them as v1 raises
+      [Invalid_argument]. *)
   val encode : ?version:int -> ?shard:int -> record -> string
 
-  val encode_all : ?version:int -> record list -> string
+  (** [v2_only_record r] — does [r] require a v2 frame?  True exactly
+      for the record kinds introduced after the v1 header was frozen
+      ([Prepare], [Decision]). *)
+  val v2_only_record : record -> bool
+
+  val encode_all : ?version:int -> ?shard:int -> record list -> string
 
   type corruption = {
     offset : int;  (** byte offset of the unreadable frame *)

@@ -11,16 +11,22 @@
 (** Supported format versions, ascending (= {!Wal.Codec.supported_versions}). *)
 val versions : int list
 
-(** One named fixture per record kind (plus a rich-value operation);
-    deterministic and frozen. *)
+(** One named fixture per record kind (plus a rich-value operation and
+    both decision outcomes); deterministic and frozen. *)
 val fixtures : (string * Wal.record) list
+
+(** [fixture_supported ~version r] — can [r] be encoded at [version]?
+    False exactly for v2-only record kinds under v1 (see
+    {!Wal.Codec.v2_only_record}). *)
+val fixture_supported : version:int -> Wal.record -> bool
 
 (** [golden_file ~version name] — the golden file name for a fixture,
     e.g. ["v2_checkpoint.bin"]. *)
 val golden_file : version:int -> string -> string
 
 (** [golden_frames ~version] — (file name, exact frame bytes) for every
-    fixture at [version]. *)
+    fixture encodable at [version] (v2-only kinds are absent from the
+    v1 set). *)
 val golden_frames : version:int -> (string * string) list
 
 (** The generated docs/WAL_FORMAT.md: frame layouts, record and value

@@ -30,6 +30,7 @@ type t = {
   records : int;
   by_kind : (string * kind_stat) list;  (* fixed kind order, zeros included *)
   by_version : (int * int) list;  (* frame-format version -> frame count *)
+  by_shard : (int * int) list;  (* frame shard id -> frame count (v1 = 0) *)
   foreign_version : (int * int) option;  (* first foreign frame: offset, version *)
   lsn_range : (int * int) option;  (* 1-based positions, None when empty *)
   tids_seen : int;
@@ -42,7 +43,16 @@ type t = {
 }
 
 let kinds =
-  [ "begin"; "operation"; "commit"; "abort"; "checkpoint"; "truncate_intent" ]
+  [
+    "begin";
+    "operation";
+    "commit";
+    "abort";
+    "checkpoint";
+    "truncate_intent";
+    "prepare";
+    "decision";
+  ]
 
 let inspect bytes =
   let len = String.length bytes in
@@ -61,17 +71,24 @@ let inspect bytes =
   (* Per-frame format-version histogram: each decoded frame's header is
      re-read (cheap, no CRC) so mixed-version logs — v1 frames persisted
      by an older binary with v2 appends after them — are visible. *)
-  let by_version =
-    let tbl = Hashtbl.create 4 in
+  let by_version, by_shard =
+    let vt = Hashtbl.create 4 in
+    let st = Hashtbl.create 4 in
+    let bump tbl k =
+      Hashtbl.replace tbl k (1 + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+    in
     List.iter
       (fun (_, pos, _) ->
         match Wal.Codec.read_header bytes pos with
         | Ok h ->
-            Hashtbl.replace tbl h.Wal.Codec.h_version
-              (1 + Option.value (Hashtbl.find_opt tbl h.Wal.Codec.h_version) ~default:0)
+            bump vt h.Wal.Codec.h_version;
+            bump st h.Wal.Codec.h_shard
         | Error _ -> ())
       framed;
-    List.sort compare (Hashtbl.fold (fun v n acc -> (v, n) :: acc) tbl [])
+    let sorted tbl =
+      List.sort compare (Hashtbl.fold (fun v n acc -> (v, n) :: acc) tbl [])
+    in
+    (sorted vt, sorted st)
   in
   (* A frame whose header is intact up to a version byte this binary
      does not support: report exactly where and what, instead of a bare
@@ -118,7 +135,9 @@ let inspect bytes =
           note_tid tid;
           Hashtbl.replace aborted tid ()
       | Wal.Checkpoint cp -> List.iter (fun (tid, _) -> note_tid tid) cp.Wal.live
-      | Wal.Truncate_intent _ -> ())
+      | Wal.Truncate_intent _ -> ()
+      | Wal.Prepare tid -> note_tid tid
+      | Wal.Decision { tid; _ } -> note_tid tid)
     framed;
   let checkpoints =
     List.mapi (fun i (r, off, _) -> (i + 1, r, off)) framed
@@ -150,6 +169,7 @@ let inspect bytes =
     records;
     by_kind;
     by_version;
+    by_shard;
     foreign_version;
     lsn_range = (if records = 0 then None else Some (1, records));
     tids_seen = Hashtbl.length seen;
@@ -160,6 +180,23 @@ let inspect bytes =
     records_after_last_checkpoint;
     damage;
   }
+
+let select_shard bytes shard =
+  let len = String.length bytes in
+  let buf = Buffer.create len in
+  let rec walk pos =
+    if pos < len then
+      match Wal.Codec.decode_frame bytes pos with
+      | Ok (_, next) ->
+          (match Wal.Codec.read_header bytes pos with
+          | Ok h when h.Wal.Codec.h_shard = shard ->
+              Buffer.add_string buf (String.sub bytes pos (next - pos))
+          | _ -> ());
+          walk next
+      | Error _ -> ()
+  in
+  walk 0;
+  Buffer.contents buf
 
 let damage_kind = function
   | Clean -> "clean"
@@ -183,6 +220,12 @@ let pp ppf t =
       Fmt.pf ppf "frame versions:%a  (writes are v%d)@."
         (fun ppf -> List.iter (fun (v, n) -> Fmt.pf ppf " v%d x %d" v n))
         vs Wal.Codec.write_version);
+  (match t.by_shard with
+  | [] | [ (0, _) ] -> ()  (* unsharded logs stay quiet *)
+  | ss ->
+      Fmt.pf ppf "frame shards:%a@."
+        (fun ppf -> List.iter (fun (s, n) -> Fmt.pf ppf " shard %d x %d" s n))
+        ss);
   (match t.foreign_version with
   | None -> ()
   | Some (off, v) ->
@@ -273,6 +316,9 @@ let to_json t =
           (List.map
              (fun (v, n) -> (string_of_int v, Json.Int n))
              t.by_version) );
+      ( "by_shard",
+        Json.Obj
+          (List.map (fun (s, n) -> (string_of_int s, Json.Int n)) t.by_shard) );
       ( "foreign_version",
         match t.foreign_version with
         | None -> Json.Null

@@ -46,6 +46,11 @@ type t = {
       (** per-frame format-version histogram (version, frame count),
           ascending — a mixed-version log (v1 frames from an older
           binary, v2 appends after them) shows both *)
+  by_shard : (int * int) list;
+      (** per-frame shard-id histogram (shard, frame count), ascending.
+          v1 frames carry no shard and count as shard 0; a log written
+          by one shard of {!Sharded_database} shows a single non-zero
+          entry, an unsharded log shows [[(0, n)]]. *)
   foreign_version : (int * int) option;
       (** the first frame whose header is intact up to a format version
           this binary does not support: its exact byte offset and the
@@ -75,6 +80,15 @@ val inspect : string -> t
 (** Short damage class: ["clean"], ["torn_tail"],
     ["interior_corruption"]. *)
 val damage_kind : damage -> string
+
+(** [select_shard bytes shard] — the concatenation of exactly the intact
+    frames stamped with [shard] (v1 frames count as shard 0), in log
+    order.  The forensic view behind [walinspect --shard]: feeding the
+    result back to {!inspect} or {!replay_digest} answers "what did this
+    shard contribute / what would its records alone replay to" for a
+    mixed-shard dump.  Damaged tail bytes are dropped — run the
+    unfiltered {!inspect} for the damage verdict. *)
+val select_shard : string -> int -> string
 
 (** [replay_digest bytes] — a stable digest of the recovered state the
     log replays to: the committed operations in commit order plus the

@@ -28,6 +28,7 @@ let all =
   let sched = "Scheduler" in
   let wal = "Write-ahead log" in
   let storage = "Storage backends" in
+  let sharding = "Sharding and cross-shard 2PC" in
   let recovery = "Recovery (logical)" in
   let profiler = "Restart profiler" in
   [
@@ -67,7 +68,8 @@ let all =
       "Live-transaction count observed at each scheduler round.";
     e wal "tm_wal_appends_total" Counter [ "kind" ]
       "Records appended to the log, by record kind (`begin`, \
-       `operation`, `commit`, `abort`, `checkpoint`).";
+       `operation`, `commit`, `abort`, `checkpoint`, and the \
+       cross-shard 2PC kinds `prepare` and `decision`).";
     e wal "tm_wal_checkpoint_ops" Histogram []
       "Committed operations carried by each checkpoint record.";
     e wal "tm_wal_truncated_records_total" Counter []
@@ -88,6 +90,20 @@ let all =
       "Storage writes retried after a transient fault.";
     e storage "tm_storage_faults_total" Counter [ "backend"; "kind" ]
       "Faults injected by the faulty storage wrapper, by kind.";
+    e sharding "tm_2pc_prepares_total" Counter []
+      "Participant yes votes logged (one `Prepare` record per \
+       participant shard of each cross-shard transaction).";
+    e sharding "tm_2pc_aborts_total" Counter [ "phase" ]
+      "Cross-shard transactions rolled back by the 2PC machinery: \
+       `phase=\"prepare\"` counts live transactions whose vote failed \
+       validation, `phase=\"recovery\"` counts per-participant \
+       presumed-abort resolutions of in-doubt prepares at restart.";
+    e sharding "tm_shard_cross_txn_total" Counter []
+      "Transactions whose commit spanned more than one shard (took the \
+       two-phase path instead of the single-shard fast path).";
+    e sharding "tm_shard_flushed_lsn" Gauge [ "shard" ]
+      "Durable (flushed) LSN watermark of each shard's WAL at the last \
+       engine-observed flush.";
     e recovery "tm_recovery_committed_ops_total" Counter [ "obj" ]
       "Operations made durable at commit, per object.";
     e recovery "tm_recovery_undone_ops_total" Counter [ "obj"; "mode" ]

@@ -43,6 +43,16 @@ let hex s =
 let test_golden_frames version () =
   List.iter
     (fun (name, record) ->
+      if not (Wal_format.fixture_supported ~version record) then begin
+        (* A v2-only kind must refuse the old frame version outright —
+           the absence of a v1 golden is contractual, not an oversight. *)
+        match Codec.encode ~version record with
+        | exception Invalid_argument _ -> ()
+        | _ ->
+            Alcotest.failf "%s encoded under v%d but is a v%d-only record kind"
+              name version Codec.v2
+      end
+      else
       let file = Wal_format.golden_file ~version name in
       let path = Filename.concat "golden" file in
       let actual = Codec.encode ~version record in
@@ -79,7 +89,16 @@ let test_fixture_coverage () =
   in
   Alcotest.(check (list string))
     "every record kind pinned"
-    [ "abort"; "begin"; "checkpoint"; "commit"; "operation"; "truncate_intent" ]
+    [
+      "abort";
+      "begin";
+      "checkpoint";
+      "commit";
+      "decision";
+      "operation";
+      "prepare";
+      "truncate_intent";
+    ]
     covered
 
 let digests_path = Filename.concat (Filename.concat "golden" "logs") "DIGESTS"

@@ -29,4 +29,5 @@ let () =
       ("obs", Test_obs.suite);
       ("analytics", Test_analytics.suite);
       ("walinspect", Test_walinspect.suite);
+      ("sharded", Test_sharded.suite);
     ]

@@ -1,0 +1,502 @@
+(* The sharded engine: router + cross-shard two-phase commit.
+
+   Unit tests pin the 2PC building blocks — the in-doubt analysis
+   (Two_phase), presumed-abort resolution at recovery, prepare-failure
+   rollback, shard-stamped frames — and the QCheck property establishes
+   the refinement the whole refactor hangs on: a workload pushed through
+   [Sharded_database] (one shard, or several shards on disjoint keys)
+   commits exactly the state the unsharded [Durable_database] commits
+   under the same script. *)
+
+open Tm_core
+module Wal = Tm_engine.Wal
+module Wal_inspect = Tm_engine.Wal_inspect
+module Storage = Tm_engine.Storage
+module Disk_wal = Tm_engine.Disk_wal
+module Atomic_object = Tm_engine.Atomic_object
+module Recovery = Tm_engine.Recovery
+module DD = Tm_engine.Durable_database
+module SD = Tm_engine.Sharded_database
+module Two_phase = Tm_engine.Two_phase
+module Metrics = Tm_obs.Metrics
+module BA = Tm_adt.Bank_account
+
+let deposit_inv i = Op.invocation ~args:[ Value.int i ] "deposit"
+let withdraw_inv i = Op.invocation ~args:[ Value.int i ] "withdraw"
+
+(* A completed deposit on a named object — for hand-built logs, where
+   the op's [obj] field is what routes it to its object at replay. *)
+let dep_on name i = Op.make ~obj:name ~args:[ Value.int i ] "deposit" Value.ok
+
+let account name =
+  Atomic_object.create
+    ~spec:(Spec.rename (BA.spec_with_initial 1_000) name)
+    ~conflict:BA.nrbc_conflict ~recovery:Recovery.UIP ()
+
+(* Object names routed to each of [n] shards: probe "BA<i>" until every
+   shard has one.  The router is [Wal.partition_of_object], so the test
+   never hard-codes the hash. *)
+let names_per_shard n =
+  let found = Array.make n None in
+  let remaining = ref n in
+  let i = ref 0 in
+  while !remaining > 0 do
+    let name = Fmt.str "BA%d" !i in
+    let s = Wal.partition_of_object ~workers:n name in
+    if found.(s) = None then begin
+      found.(s) <- Some name;
+      decr remaining
+    end;
+    incr i
+  done;
+  Array.map Option.get found
+
+let committed_by_name objs =
+  List.map (fun o -> (Atomic_object.name o, Atomic_object.committed_ops o)) objs
+  |> List.sort compare
+
+(* --- shard-stamped frames (satellite: v2 shard id end to end) --- *)
+
+let test_mixed_shard_roundtrip () =
+  (* A dump interleaving three shards' frames: the histogram sees all
+     three, and select_shard slices each shard's records back out
+     byte-identically. *)
+  let rec_of i = Wal.Begin (Tid.of_int i) in
+  let frames =
+    [ (0, rec_of 0); (7, rec_of 1); (0, rec_of 2); (3, rec_of 3); (7, rec_of 4) ]
+  in
+  let bytes =
+    String.concat ""
+      (List.map (fun (s, r) -> Wal.Codec.encode ~shard:s r) frames)
+  in
+  let summary = Wal_inspect.inspect bytes in
+  Alcotest.(check (list (pair int int)))
+    "by_shard histogram" [ (0, 2); (3, 1); (7, 2) ]
+    summary.Wal_inspect.by_shard;
+  List.iter
+    (fun s ->
+      let sliced = Wal_inspect.select_shard bytes s in
+      let expect =
+        String.concat ""
+          (List.filter_map
+             (fun (s', r) ->
+               if s' = s then Some (Wal.Codec.encode ~shard:s r) else None)
+             frames)
+      in
+      Alcotest.(check string) (Fmt.str "slice shard %d" s) expect sliced)
+    [ 0; 3; 7 ];
+  Alcotest.(check string) "absent shard slices empty" ""
+    (Wal_inspect.select_shard bytes 5)
+
+let test_disk_wal_stamps_shard () =
+  let store = Storage.memory () in
+  let dw = Disk_wal.create ~shard:3 store in
+  let wal = Disk_wal.wal dw in
+  List.iter (Wal.append wal)
+    [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 5); Wal.Commit Tid.a ];
+  Wal.force wal;
+  let summary = Wal_inspect.inspect (Storage.read_all store) in
+  Alcotest.(check (list (pair int int)))
+    "every frame stamped shard 3" [ (3, 3) ] summary.Wal_inspect.by_shard;
+  (* Reload: the records round-trip and the shard id is forensic, not a
+     filter — load accepts the stamped log and re-stamps its appends. *)
+  match Disk_wal.load ~shard:3 store with
+  | Error c -> Alcotest.failf "load refused: %a" Wal.Codec.pp_corruption c
+  | Ok dw2 ->
+      Helpers.check_int "shard accessor" 3 (Disk_wal.shard dw2);
+      Helpers.check_int "records survive" 3 (Wal.length (Disk_wal.wal dw2))
+
+(* --- Two_phase analysis --- *)
+
+let test_analyze_presumed_abort () =
+  (* A prepared transaction with no surviving decision or completion is
+     in doubt on every participant and resolves to abort. *)
+  let logs =
+    [|
+      [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 1); Wal.Prepare Tid.a ];
+      [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 2); Wal.Prepare Tid.a ];
+    |]
+  in
+  let a = Two_phase.analyze logs in
+  Helpers.check_bool "in doubt on 0" true (a.Two_phase.in_doubt.(0) = [ Tid.a ]);
+  Helpers.check_bool "in doubt on 1" true (a.Two_phase.in_doubt.(1) = [ Tid.a ]);
+  List.iter
+    (fun s ->
+      match Two_phase.resolutions a ~shard:s with
+      | [ { Two_phase.tid; commit } ] ->
+          Helpers.check_bool "tid" true (Tid.equal tid Tid.a);
+          Helpers.check_bool "presumed abort" false commit
+      | rs -> Alcotest.failf "shard %d: %d resolutions" s (List.length rs))
+    [ 0; 1 ]
+
+let test_analyze_decision_commits () =
+  (* The coordinator's forced Decision{commit} is global commit
+     evidence: every shard's in-doubt Prepare resolves to commit. *)
+  let logs =
+    [|
+      [
+        Wal.Begin Tid.a;
+        Wal.Operation (Tid.a, BA.deposit 1);
+        Wal.Prepare Tid.a;
+        Wal.Decision { tid = Tid.a; commit = true };
+      ];
+      [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 2); Wal.Prepare Tid.a ];
+    |]
+  in
+  let a = Two_phase.analyze logs in
+  List.iter
+    (fun s ->
+      match Two_phase.resolutions a ~shard:s with
+      | [ { Two_phase.commit; _ } ] ->
+          Helpers.check_bool (Fmt.str "shard %d commits" s) true commit
+      | rs -> Alcotest.failf "shard %d: %d resolutions" s (List.length rs))
+    [ 0; 1 ]
+
+let test_analyze_peer_commit_is_evidence () =
+  (* A phase-2 Commit that survived on one participant proves the
+     decision even if the Decision record itself was lost. *)
+  let logs =
+    [|
+      [
+        Wal.Begin Tid.a;
+        Wal.Operation (Tid.a, BA.deposit 1);
+        Wal.Prepare Tid.a;
+        Wal.Commit Tid.a;
+      ];
+      [ Wal.Begin Tid.a; Wal.Operation (Tid.a, BA.deposit 2); Wal.Prepare Tid.a ];
+    |]
+  in
+  let a = Two_phase.analyze logs in
+  Helpers.check_bool "resolved shard not in doubt" true
+    (a.Two_phase.in_doubt.(0) = []);
+  (match Two_phase.resolutions a ~shard:1 with
+  | [ { Two_phase.commit; _ } ] -> Helpers.check_bool "commit" true commit
+  | rs -> Alcotest.failf "%d resolutions" (List.length rs));
+  (* An ordinary single-shard Commit (never prepared) is not 2PC
+     evidence for anything. *)
+  let logs' =
+    [|
+      [ Wal.Begin Tid.b; Wal.Commit Tid.b ];
+      [ Wal.Begin Tid.a; Wal.Prepare Tid.a ];
+    |]
+  in
+  let a' = Two_phase.analyze logs' in
+  Helpers.check_bool "unrelated commit is no evidence" true
+    (Tid.Set.is_empty a'.Two_phase.commit_evidence)
+
+let test_analyze_abort_decision () =
+  let logs =
+    [|
+      [ Wal.Prepare Tid.a; Wal.Decision { tid = Tid.a; commit = false } ];
+      [ Wal.Prepare Tid.a ];
+    |]
+  in
+  let a = Two_phase.analyze logs in
+  match Two_phase.resolutions a ~shard:1 with
+  | [ { Two_phase.commit; _ } ] -> Helpers.check_bool "abort" false commit
+  | rs -> Alcotest.failf "%d resolutions" (List.length rs)
+
+(* --- the live engine --- *)
+
+let mk_sharded n =
+  let wals = Array.init n (fun _ -> Wal.create ()) in
+  let names = names_per_shard n in
+  let objs = Array.to_list (Array.map account names) in
+  (SD.create ~wals objs, wals, names)
+
+let test_cross_shard_commit () =
+  let db, wals, names = mk_sharded 2 in
+  let t = SD.begin_txn db in
+  ignore (SD.invoke db t ~obj:names.(0) (deposit_inv 5));
+  ignore (SD.invoke db t ~obj:names.(1) (withdraw_inv 7));
+  Helpers.check_bool "commits" true (SD.try_commit db t = Ok ());
+  Helpers.check_int "committed count" 1 (SD.committed_count db);
+  (* Both shards installed their halves. *)
+  Helpers.check_int "shard 0 ops" 1
+    (List.length (Atomic_object.committed_ops (SD.find_object db names.(0))));
+  Helpers.check_int "shard 1 ops" 1
+    (List.length (Atomic_object.committed_ops (SD.find_object db names.(1))));
+  (* The protocol footprint: Prepare on both logs, exactly one Decision,
+     on the coordinator (lowest participant shard). *)
+  let count kind recs =
+    List.length
+      (List.filter (fun r -> Wal.record_kind r = kind) recs)
+  in
+  Array.iteri
+    (fun s wal ->
+      Helpers.check_int (Fmt.str "prepare on shard %d" s) 1
+        (count "prepare" (Wal.records wal)))
+    wals;
+  Helpers.check_int "one decision, on the coordinator" 1
+    (count "decision" (Wal.records wals.(0)));
+  Helpers.check_int "no decision on the participant" 0
+    (count "decision" (Wal.records wals.(1)));
+  let m = SD.metrics db in
+  Helpers.check_int "prepares metric" 2
+    (Metrics.counter_value m "tm_2pc_prepares_total");
+  Helpers.check_int "cross metric" 1
+    (Metrics.counter_value m "tm_shard_cross_txn_total")
+
+let test_prepare_failure_aborts_everywhere () =
+  (* An optimistic object validates at prepare time: a conflicting
+     writer that slips between execute and prepare fails the vote, and
+     the rollback must reach every participant — including the shard
+     that already voted yes. *)
+  let n = 2 in
+  let names = names_per_shard n in
+  let opt_name = names.(1) in
+  let objs =
+    [
+      account names.(0);
+      Atomic_object.create_optimistic
+        ~spec:(Spec.rename (BA.spec_with_initial 1_000) opt_name)
+        ~conflict:BA.nfc_conflict;
+    ]
+  in
+  let wals = Array.init n (fun _ -> Wal.create ()) in
+  let db = SD.create ~wals objs in
+  let t = SD.begin_txn db in
+  ignore (SD.invoke db t ~obj:names.(0) (deposit_inv 5));
+  ignore (SD.invoke db t ~obj:opt_name (withdraw_inv 7));
+  (* The interloper invalidates t's read set on the optimistic shard. *)
+  let u = SD.begin_txn db in
+  ignore (SD.invoke db u ~obj:opt_name (withdraw_inv 900));
+  Helpers.check_bool "interloper commits" true (SD.try_commit db u = Ok ());
+  (match SD.try_commit db t with
+  | Ok () -> Alcotest.fail "t must fail validation"
+  | Error _ -> ());
+  (* Nothing of t survives anywhere: the yes-voter rolled back too. *)
+  let ops0 = Atomic_object.committed_ops (SD.find_object db names.(0)) in
+  Helpers.check_int "yes-voter rolled back" 0 (List.length ops0);
+  let m = SD.metrics db in
+  Helpers.check_int "prepare-phase abort counted" 1
+    (Metrics.counter_value m "tm_2pc_aborts_total"
+       ~labels:[ ("phase", "prepare") ]);
+  (* The logs hold no decision for t — presumed abort needs none. *)
+  Array.iter
+    (fun wal ->
+      Helpers.check_bool "no decision logged" true
+        (List.for_all
+           (fun r -> Wal.record_kind r <> "decision")
+           (Wal.records wal)))
+    wals
+
+let test_checkpoint_when_idle () =
+  let db, _, names = mk_sharded 2 in
+  let t = SD.begin_txn db in
+  ignore (SD.invoke db t ~obj:names.(0) (deposit_inv 5));
+  ignore (SD.invoke db t ~obj:names.(1) (deposit_inv 6));
+  Helpers.check_bool "commits" true (SD.try_commit db t = Ok ());
+  Helpers.check_bool "checkpoint taken when no 2PC in flight" true
+    (SD.checkpoint db)
+
+(* --- recovery-time in-doubt resolution on the real engine --- *)
+
+let recover_names n wals =
+  let names = names_per_shard n in
+  let rebuild () = Array.to_list (Array.map account names) in
+  match SD.recover ~wals ~rebuild () with
+  | Error e -> Alcotest.failf "recover refused: %a" Recovery.pp_error e
+  | Ok (db, losers) -> (db, losers, names)
+
+let test_recover_in_doubt_commits_with_evidence () =
+  let n = 2 in
+  let names = names_per_shard n in
+  let tid = Tid.of_int 0 in
+  let wals = Array.init n (fun _ -> Wal.create ()) in
+  (* Crash after the forced Decision but before any completion. *)
+  List.iter (Wal.append wals.(0))
+    [
+      Wal.Begin tid;
+      Wal.Operation (tid, dep_on names.(0) 5);
+      Wal.Prepare tid;
+      Wal.Decision { tid; commit = true };
+    ];
+  List.iter (Wal.append wals.(1))
+    [ Wal.Begin tid; Wal.Operation (tid, dep_on names.(1) 7); Wal.Prepare tid ];
+  let db, losers, names = recover_names n wals in
+  ignore names;
+  Helpers.check_bool "not a loser" false (Tid.Set.mem tid losers);
+  Array.iteri
+    (fun s wal ->
+      let got =
+        List.concat_map
+          (fun o -> Atomic_object.committed_ops o)
+          (Tm_engine.Database.objects
+             (Tm_engine.Shard.database (SD.shards db).(s)))
+      in
+      Helpers.check_int (Fmt.str "shard %d installed the op" s) 1
+        (List.length got);
+      (* Resolution wrote a real outcome: recovering the same logs again
+         finds nothing in doubt. *)
+      ignore wal)
+    wals;
+  let a = Two_phase.analyze (Array.map Wal.records wals) in
+  Array.iter
+    (fun d -> Helpers.check_bool "nothing left in doubt" true (d = []))
+    a.Two_phase.in_doubt
+
+let test_recover_in_doubt_presumed_abort () =
+  let n = 2 in
+  let names = names_per_shard n in
+  let tid = Tid.of_int 0 in
+  let wals = Array.init n (fun _ -> Wal.create ()) in
+  (* Crash between the prepares and the decision: no evidence anywhere. *)
+  List.iter (Wal.append wals.(0))
+    [ Wal.Begin tid; Wal.Operation (tid, dep_on names.(0) 5); Wal.Prepare tid ];
+  List.iter (Wal.append wals.(1))
+    [ Wal.Begin tid; Wal.Operation (tid, dep_on names.(1) 7); Wal.Prepare tid ];
+  let db, losers, _names = recover_names n wals in
+  (* Resolution wrote a real Abort record per participant before the
+     replay, so the transaction is an explicit abort there — not a
+     torn-off crash loser — and a second recovery finds nothing in
+     doubt. *)
+  Helpers.check_bool "not a replay loser (explicitly aborted)" false
+    (Tid.Set.mem tid losers);
+  List.iter
+    (fun o ->
+      Helpers.check_int
+        (Fmt.str "%s committed nothing" (Atomic_object.name o))
+        0
+        (List.length (Atomic_object.committed_ops o)))
+    (SD.objects db);
+  let m = SD.metrics db in
+  (* One resolution per in-doubt participant: both shards held a
+     dangling Prepare. *)
+  Helpers.check_int "recovery aborts counted per participant" 2
+    (Metrics.counter_value m "tm_2pc_aborts_total"
+       ~labels:[ ("phase", "recovery") ]);
+  let a = Two_phase.analyze (Array.map Wal.records wals) in
+  Array.iter
+    (fun d -> Helpers.check_bool "nothing left in doubt" true (d = []))
+    a.Two_phase.in_doubt
+
+(* --- refinement: sharded == unsharded under the same script --- *)
+
+(* A workload script: per transaction, the objects it touches (indices
+   into a fixed name table) with deposit amounts, and whether it commits
+   or aborts.  Deposits never fail validation, so both engines accept
+   every step and the comparison is exact. *)
+let script_gen ~objs =
+  QCheck2.Gen.(
+    list_size (1 -- 12)
+      (pair
+         (list_size (1 -- 4) (pair (0 -- (objs - 1)) (1 -- 9)))
+         bool))
+
+let run_unsharded names script =
+  let wal = Wal.create () in
+  let db = DD.create ~wal (Array.to_list (Array.map account names)) in
+  List.iter
+    (fun (touches, commit) ->
+      let t = DD.begin_txn db in
+      List.iter
+        (fun (i, amt) ->
+          ignore (DD.invoke db t ~obj:names.(i) (deposit_inv amt)))
+        touches;
+      if commit then ignore (DD.try_commit db t) else DD.abort db t)
+    script;
+  committed_by_name (Tm_engine.Database.objects (DD.database db))
+
+let run_sharded ~shards names script =
+  let wals = Array.init shards (fun _ -> Wal.create ()) in
+  let db = SD.create ~wals (Array.to_list (Array.map account names)) in
+  List.iter
+    (fun (touches, commit) ->
+      let t = SD.begin_txn db in
+      List.iter
+        (fun (i, amt) -> ignore (SD.invoke db t ~obj:names.(i) (deposit_inv amt)))
+        touches;
+      if commit then ignore (SD.try_commit db t) else SD.abort db t)
+    script;
+  (committed_by_name (SD.objects db), wals)
+
+let check_equal_states name want got =
+  if want <> got then
+    Alcotest.failf "%s: states differ: %a vs %a" name
+      Fmt.(list ~sep:semi (pair string (list Op.pp)))
+      want
+      Fmt.(list ~sep:semi (pair string (list Op.pp)))
+      got
+
+let prop_single_shard_equivalence =
+  Helpers.qcheck ~count:60 "sharded(1) == unsharded"
+    (script_gen ~objs:4)
+    (fun script ->
+      let names = Array.init 4 (fun i -> Fmt.str "BA%d" i) in
+      let want = run_unsharded names script in
+      let got, _ = run_sharded ~shards:1 names script in
+      check_equal_states "single shard" want got;
+      true)
+
+let prop_multi_shard_disjoint_equivalence =
+  (* Four shards, every transaction confined to one object — the
+     sharded engine must still commit exactly the unsharded state, and
+     afterwards recovery from its four logs must reproduce it. *)
+  QCheck2.Gen.(
+    list_size (1 -- 12) (pair (pair (0 -- 3) (list_size (1 -- 4) (1 -- 9))) bool))
+  |> fun gen ->
+  Helpers.qcheck ~count:60 "sharded(4, disjoint keys) == unsharded" gen
+    (fun script ->
+      let script =
+        List.map
+          (fun ((i, amts), commit) ->
+            (List.map (fun a -> (i, a)) amts, commit))
+          script
+      in
+      let names = names_per_shard 4 in
+      let want = run_unsharded names script in
+      let got, wals = run_sharded ~shards:4 names script in
+      check_equal_states "disjoint keys" want got;
+      let rebuild () = Array.to_list (Array.map account names) in
+      (match SD.recover ~wals ~rebuild () with
+      | Error e -> Alcotest.failf "recover refused: %a" Recovery.pp_error e
+      | Ok (db2, _) ->
+          check_equal_states "recovered" want (committed_by_name (SD.objects db2)));
+      true)
+
+let prop_cross_shard_equivalence =
+  (* Unrestricted scripts over 4 shards: multi-object transactions take
+     the 2PC path; deposits always validate, so the committed state must
+     still match the unsharded engine exactly. *)
+  Helpers.qcheck ~count:40 "sharded(4, cross-shard) == unsharded"
+    (script_gen ~objs:8)
+    (fun script ->
+      let names = names_per_shard 4 in
+      let eight =
+        Array.init 8 (fun i ->
+            if i < 4 then names.(i) else Fmt.str "X%d" i)
+      in
+      let want = run_unsharded eight script in
+      let got, _ = run_sharded ~shards:4 eight script in
+      check_equal_states "cross shard" want got;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "mixed-shard frames round-trip + select" `Quick
+      test_mixed_shard_roundtrip;
+    Alcotest.test_case "disk wal stamps its shard id" `Quick
+      test_disk_wal_stamps_shard;
+    Alcotest.test_case "analyze: presumed abort without evidence" `Quick
+      test_analyze_presumed_abort;
+    Alcotest.test_case "analyze: decision record commits in-doubt" `Quick
+      test_analyze_decision_commits;
+    Alcotest.test_case "analyze: peer phase-2 commit is evidence" `Quick
+      test_analyze_peer_commit_is_evidence;
+    Alcotest.test_case "analyze: abort decision aborts" `Quick
+      test_analyze_abort_decision;
+    Alcotest.test_case "cross-shard commit: 2PC footprint" `Quick
+      test_cross_shard_commit;
+    Alcotest.test_case "prepare failure aborts on every shard" `Quick
+      test_prepare_failure_aborts_everywhere;
+    Alcotest.test_case "checkpoint proceeds when idle" `Quick
+      test_checkpoint_when_idle;
+    Alcotest.test_case "recovery commits in-doubt with evidence" `Quick
+      test_recover_in_doubt_commits_with_evidence;
+    Alcotest.test_case "recovery presumes abort without evidence" `Quick
+      test_recover_in_doubt_presumed_abort;
+    prop_single_shard_equivalence;
+    prop_multi_shard_disjoint_equivalence;
+    prop_cross_shard_equivalence;
+  ]
