@@ -889,6 +889,67 @@ let sharded_series () =
         [ ("disjoint", 0); ("cross10", 10) ])
     [ 1; 2; 4; 8 ]
 
+(* 2PC resolution at restart: a 4-shard crash image where every
+   transaction spans two shards and is cut after its forced Decision but
+   before any phase-2 record, so recovery must resolve every prepare
+   from decision evidence (Two_phase.analyze + forced outcome appends)
+   before ordinary replay. *)
+let resolution_txns = 2_000
+
+let resolution_series () =
+  let shards = 4 in
+  let names = sharded_names shards in
+  let logs = Array.make shards [] in
+  let push s r = logs.(s) <- r :: logs.(s) in
+  for i = 0 to resolution_txns - 1 do
+    let t = Tid.of_int (i + 1) in
+    let c = i mod shards and p = (i + 1) mod shards in
+    List.iter
+      (fun s ->
+        push s (Wal.Begin t);
+        push s
+          (Wal.Operation
+             (t, Op.make ~obj:names.(s) ~args:[ Value.int 1 ] "deposit" Value.ok));
+        push s (Wal.Prepare t))
+      [ c; p ];
+    push c (Wal.Decision { tid = t; commit = true })
+  done;
+  let records = Array.map List.rev logs in
+  let rebuild () =
+    Array.to_list
+      (Array.map
+         (fun name ->
+           Atomic_object.create ~spec:(Spec.rename BA.spec name)
+             ~conflict:BA.nrbc_conflict ~recovery:Tm_engine.Recovery.UIP ())
+         names)
+  in
+  let resolved = ref 0 in
+  let once () =
+    timed (fun () ->
+        match
+          SD.recover
+            ~audit:(fun evs -> resolved := List.length evs)
+            ~wals:(Array.map Wal.of_records records)
+            ~rebuild ()
+        with
+        | Ok _ -> ()
+        | Error _ -> failwith "bench: resolution image failed to recover")
+  in
+  (* the timed region is ~10 ms; best-of-3 keeps the gated series out of
+     scheduler-noise territory *)
+  let t =
+    List.fold_left
+      (fun best () -> Float.min best (snd (once ())))
+      Float.max_float [ (); (); () ]
+  in
+  (* one in-doubt prepare per participating shard per transaction *)
+  assert (!resolved = 2 * resolution_txns);
+  [
+    series
+      (Fmt.str "sharded.recovery_resolution.s%d" shards)
+      (rate !resolved t) "resolutions/s" true;
+  ]
+
 (* The deterministic and throughput series riding along: scheduler
    rounds are exactly reproducible (fixed seed), the group-commit pair
    restates the GC section's verdicts as comparable scalars. *)
@@ -902,6 +963,7 @@ let baseline_series ~quick () =
   in
   recovery
   @ sharded_series ()
+  @ resolution_series ()
   @ [
       series "wal.group_commit.commits_per_sec" (rate commits elapsed)
         "commits/s" true;

@@ -27,7 +27,9 @@ module Storage = Tm_engine.Storage
 module Disk_wal = Tm_engine.Disk_wal
 module Atomic_object = Tm_engine.Atomic_object
 module Sharded_database = Tm_engine.Sharded_database
+module Two_phase = Tm_engine.Two_phase
 module Metrics = Tm_obs.Metrics
+module Artifact = Tm_obs.Artifact
 open Tm_core
 
 (* Workloads stay tiny so most cuts fall under the exponential
@@ -57,6 +59,11 @@ let rows : Experiment.row list ref = ref []
    crashtest-produced on-disk WAL that walinspect can be pointed at —
    and that, encoded as v1, becomes a checked-in migration fixture. *)
 let last_log : Wal.record list option ref = ref None
+
+(* The sharded in-doubt harvest's mixed-shard image (per-shard encoded
+   frames concatenated), for --keep-log in --shards mode: a real crash
+   state with orphaned prepares for walinspect --two-phase to chew on. *)
+let last_image : string option ref = ref None
 
 let say ~verbose fmt =
   Fmt.kstr
@@ -303,7 +310,8 @@ let sharded_committed db =
     (fun o -> (Atomic_object.name o, Atomic_object.committed_ops o))
     (Sharded_database.objects db)
 
-let sharded_mode ~verbose ~workers ~shards ~txns ~seed ~checkpoint_every ~fault () =
+let sharded_mode ~verbose ~workers ~shards ~txns ~seed ~checkpoint_every ~fault
+    ~audit_file () =
   let failures = ref 0 in
   let rebuild = sharded_rebuild ~shards in
   (* Torture at two workload mixes: mostly-local (the fast path with
@@ -409,11 +417,133 @@ let sharded_mode ~verbose ~workers ~shards ~txns ~seed ~checkpoint_every ~fault 
       "sharded x%d faults: %d injected across %d shard stores, logs identical"
       shards injected shards
   end;
+  (* In-doubt harvest: one explicit cross-shard deposit, then cut every
+     shard's log just before its phase-2 [Commit] — the crash state 2PC's
+     lazy completion makes routine (participants end at their forced
+     [Prepare], the coordinator at its forced [Decision]).  Recovery must
+     resolve each orphaned prepare from the surviving decision evidence,
+     name it through the audit callback, and reach the pre-crash state. *)
+  let stores = Array.init shards (fun _ -> Storage.memory ()) in
+  let dws = Array.init shards (fun i -> Disk_wal.create ~shard:i stores.(i)) in
+  let wals = Array.map Disk_wal.wal dws in
+  let db = Sharded_database.create ~wals (rebuild ()) in
+  drive_sharded ~txns ~cross_pct:30 ~checkpoint_every:0 ~seed db;
+  let names =
+    Array.of_list (List.map Atomic_object.name (Sharded_database.objects db))
+  in
+  let o1 = names.(0) in
+  let s1 = Sharded_database.shard_of_object db o1 in
+  let o2 =
+    match
+      Array.find_opt (fun o -> Sharded_database.shard_of_object db o <> s1) names
+    with
+    | Some o -> o
+    | None -> o1
+  in
+  let tid = Sharded_database.begin_txn db in
+  let deposit n = Op.invocation ~args:[ Value.int n ] "deposit" in
+  ignore (Sharded_database.invoke db tid ~obj:o1 (deposit 21));
+  ignore (Sharded_database.invoke db tid ~obj:o2 (deposit 34));
+  (match Sharded_database.try_commit db tid with
+  | Ok () -> ()
+  | Error _ ->
+      incr failures;
+      say ~verbose:true "sharded x%d harvest: cross-shard commit failed" shards);
+  Sharded_database.flush db;
+  let cut recs =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | Wal.Commit t :: _ when Tid.equal t tid -> List.rev acc
+      | r :: rest -> go (r :: acc) rest
+    in
+    go [] recs
+  in
+  let cut_recs = Array.map (fun w -> cut (Wal.records w)) wals in
+  let image =
+    String.concat ""
+      (Array.to_list
+         (Array.mapi (fun i recs -> Wal.Codec.encode_all ~shard:i recs) cut_recs))
+  in
+  last_image := Some image;
+  let tp = Wal_inspect.two_phase image in
+  let in_doubt =
+    List.fold_left (fun n s -> n + List.length s.Wal_inspect.tp_in_doubt) 0 tp
+  in
+  if in_doubt = 0 then begin
+    incr failures;
+    say ~verbose:true "sharded x%d harvest: cut image has NO in-doubt prepares"
+      shards
+  end;
+  let audit_events = ref [] in
+  (match
+     Sharded_database.recover ~workers
+       ~audit:(fun evs -> audit_events := evs)
+       ~wals:(Array.map Wal.of_records cut_recs)
+       ~rebuild ()
+   with
+  | Error e ->
+      incr failures;
+      say ~verbose:true "sharded x%d harvest: recovery failed: %a" shards
+        Recovery.pp_error e
+  | Ok (rdb, _) ->
+      if
+        not
+          (List.exists
+             (fun (ev : Two_phase.resolution_event) ->
+               ev.Two_phase.ev_commit
+               && ev.Two_phase.ev_evidence = Two_phase.Decision_record)
+             !audit_events)
+      then begin
+        incr failures;
+        say ~verbose:true
+          "sharded x%d harvest: audit trail has no decision-evidence commit"
+          shards
+      end;
+      let resolved =
+        Metrics.counter_value
+          (Sharded_database.metrics rdb)
+          ~labels:[ ("evidence", "decision"); ("outcome", "commit") ]
+          "tm_2pc_resolved_total"
+      in
+      if resolved = 0 then begin
+        incr failures;
+        say ~verbose:true
+          "sharded x%d harvest: tm_2pc_resolved_total{decision,commit} is 0"
+          shards
+      end;
+      let same =
+        List.for_all2
+          (fun (n1, ops1) (n2, ops2) ->
+            String.equal n1 n2 && List.equal Op.equal ops1 ops2)
+          (sharded_committed db) (sharded_committed rdb)
+      in
+      if not same then begin
+        incr failures;
+        say ~verbose:true
+          "sharded x%d harvest: recovered state DIVERGED from pre-crash state"
+          shards
+      end);
+  say ~verbose:true
+    "sharded x%d harvest: %d in-doubt prepares across %d shards, %d audit \
+     events"
+    shards in_doubt (List.length tp)
+    (List.length !audit_events);
+  Option.iter
+    (fun file ->
+      Cli_util.with_out file (fun oc ->
+          output_string oc
+            (Artifact.header_line
+               (Artifact.make ~schema:Artifact.audit_schema ~seed
+                  ~config:[ ("shards", string_of_int shards) ] ()));
+          output_string oc (Two_phase.events_to_jsonl !audit_events));
+      Fmt.pr "wrote 2PC audit trail to %s@." file)
+    audit_file;
   say ~verbose:true "crashtest --shards %d: %d failures" shards !failures;
   !failures
 
 let main filter txns concurrency seed checkpoint_every fault group_commit workers
-    report_file trace_file metrics_file keep_log keep_log_version verbose shards =
+    report_file trace_file metrics_file audit_file keep_log keep_log_version
+    verbose shards =
   if workers < 1 then begin
     Fmt.epr "--replay-workers must be >= 1@.";
     exit 1
@@ -436,9 +566,14 @@ let main filter txns concurrency seed checkpoint_every fault group_commit worker
   end;
   let cfg = Scheduler.config ~concurrency ~total_txns:txns ~seed () in
   let record_trace = trace_file <> None in
+  if audit_file <> None && shards = 0 then begin
+    Fmt.epr "--audit requires --shards (the 2PC audit trail is sharded-only)@.";
+    exit 1
+  end;
   let failures =
     if shards > 0 then
-      sharded_mode ~verbose ~workers ~shards ~txns ~seed ~checkpoint_every ~fault ()
+      sharded_mode ~verbose ~workers ~shards ~txns ~seed ~checkpoint_every ~fault
+        ~audit_file ()
     else if fault then
       fault_mode ~verbose ~record_trace ~workers cfg checkpoint_every seed
         group_commit scenarios
@@ -463,14 +598,20 @@ let main filter txns concurrency seed checkpoint_every fault group_commit worker
   in
   Option.iter (fun f -> Cli_util.write_traces_rows ~seed ~config f dump_rows) trace_file;
   Option.iter (fun f -> Cli_util.write_metrics_rows ~seed ~config f dump_rows) metrics_file;
-  (match keep_log, !last_log with
-  | Some file, Some recs ->
+  (match keep_log, !last_image, !last_log with
+  | Some file, Some bytes, _ ->
+      (* Sharded harvest image: already encoded per shard (mixed shard
+         stamps are the point), so --keep-log-version does not apply. *)
+      Cli_util.with_out file (fun oc -> output_string oc bytes);
+      Fmt.pr "wrote sharded in-doubt WAL image (%d bytes) to %s@."
+        (String.length bytes) file
+  | Some file, None, Some recs ->
       let bytes = Wal.Codec.encode_all ~version:keep_log_version recs in
       Cli_util.with_out file (fun oc -> output_string oc bytes);
       Fmt.pr "wrote on-disk WAL image (%d bytes, format v%d) to %s@."
         (String.length bytes) keep_log_version file
-  | Some file, None -> Fmt.epr "--keep-log %s: no run produced a log@." file
-  | None, _ -> ());
+  | Some file, None, None -> Fmt.epr "--keep-log %s: no run produced a log@." file
+  | None, _, _ -> ());
   if failures > 0 then exit 1
 
 open Cmdliner
@@ -560,6 +701,17 @@ let metrics_arg =
           "Write a merged Prometheus text snapshot of the driving workload \
            runs to $(docv).")
 
+let audit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,--shards): write the in-doubt harvest's 2PC resolution \
+           audit trail (which prepares the crash left in doubt, the evidence \
+           recovery resolved each with, the outcome appended) to $(docv) as \
+           a tm-2pc JSONL artifact, for obsreport --audit.")
+
 let keep_log_arg =
   Arg.(
     value
@@ -603,7 +755,7 @@ let cmd =
     Term.(
       const main $ scenario_arg $ txns_arg $ concurrency_arg $ seed_arg
       $ checkpoint_arg $ fault_arg $ group_commit_arg $ workers_arg $ report_arg
-      $ trace_arg $ metrics_arg $ keep_log_arg $ keep_log_version_arg
+      $ trace_arg $ metrics_arg $ audit_arg $ keep_log_arg $ keep_log_version_arg
       $ verbose_arg $ shards_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,9 +1,11 @@
 (* obsreport: offline trace analytics.
 
-   Consumes the artifacts the other executables dump — a JSONL trace
-   (simulate/stresstest/crashtest --trace) and/or a Prometheus text
-   snapshot (--metrics) — and renders per-transaction phase timelines,
-   blocking blame, flame views and conflict heat maps as text, a JSON
+   Consumes the artifacts the other executables dump — JSONL traces
+   (simulate/stresstest/crashtest --trace, repeatable for multi-shard /
+   multi-run merges), a Prometheus text snapshot (--metrics) and/or a
+   2PC in-doubt audit artifact (crashtest --audit) — and renders
+   per-transaction phase timelines, blocking blame, flame views,
+   conflict heat maps and the in-doubt resolution trail as text, a JSON
    summary, or Chrome trace-event JSON loadable in Perfetto.  Exits
    non-zero when the inputs parse to nothing: an empty report in CI
    means the producing run is broken. *)
@@ -16,14 +18,17 @@ type format =
   | Json_fmt
   | Perfetto
 
-let main trace_file metrics_file format out_file =
-  if trace_file = None && metrics_file = None then begin
-    Fmt.epr "obsreport: nothing to analyse (need --trace and/or --metrics)@.";
+let main trace_files metrics_file audit_file format out_file =
+  if trace_files = [] && metrics_file = None && audit_file = None then begin
+    Fmt.epr
+      "obsreport: nothing to analyse (need --trace, --metrics and/or \
+       --audit)@.";
     exit 2
   end;
-  let trace_jsonl = Option.map Cli_util.read_file trace_file in
+  let traces = List.map Cli_util.read_file trace_files in
   let metrics_text = Option.map Cli_util.read_file metrics_file in
-  match Report.of_sources ?trace_jsonl ?metrics_text () with
+  let audit_jsonl = Option.map Cli_util.read_file audit_file in
+  match Report.of_sources ~traces ?metrics_text ?audit_jsonl () with
   | Error e ->
       Fmt.epr "obsreport: %s@." e;
       exit 1
@@ -48,10 +53,14 @@ open Cmdliner
 
 let trace_arg =
   Arg.(
-    value
-    & opt (some string) None
+    value & opt_all string []
     & info [ "trace" ] ~docv:"FILE"
-        ~doc:"JSONL trace dump to analyse (as written by simulate --trace).")
+        ~doc:
+          "JSONL trace dump to analyse (as written by simulate --trace).  \
+           Repeatable: several dumps — one per shard, or one per run — \
+           merge into a single report; groups with identical label sets \
+           coalesce, distinct label sets stay separate sections / \
+           Perfetto processes.")
 
 let metrics_arg =
   Arg.(
@@ -61,6 +70,16 @@ let metrics_arg =
         ~doc:
           "Prometheus text snapshot; its tm_lock_conflicts_total family \
            becomes the conflict heat maps.")
+
+let audit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit" ] ~docv:"FILE"
+        ~doc:
+          "2PC in-doubt audit artifact (tm-2pc JSONL, as written by \
+           crashtest --audit): rendered as the in-doubt resolution \
+           section, and any resolution feeds the anomaly annotations.")
 
 let format_arg =
   let fmts = [ ("text", Text); ("json", Json_fmt); ("perfetto", Perfetto) ] in
@@ -82,6 +101,7 @@ let cmd =
   let doc = "analyse trace/metrics dumps: timelines, blocking, heat maps, Perfetto" in
   Cmd.v
     (Cmd.info "obsreport" ~doc)
-    Term.(const main $ trace_arg $ metrics_arg $ format_arg $ out_arg)
+    Term.(
+      const main $ trace_arg $ metrics_arg $ audit_arg $ format_arg $ out_arg)
 
 let () = exit (Cmd.eval cmd)

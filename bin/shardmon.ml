@@ -1,0 +1,234 @@
+(* shardmon: live per-shard health monitor.
+
+   Attaches to a running sharded run through the metrics file the
+   producer periodically rewrites (stresstest --shards --monitor FILE),
+   or reads any Prometheus snapshot once.  Each poll parses the whole
+   snapshot, feeds it to a Series ring-buffer sampler, and redraws a
+   top-style text dashboard: a per-shard table (flushed LSN and lag
+   behind the leader, committed transactions and commit rate, lock
+   conflicts, WAL forces), the 2PC counters, commit-rate sparklines
+   over the sampling window, and threshold alerts (in-doubt prepares
+   resolved at recovery, presumed aborts, storage faults, given-up
+   transactions).
+
+   --snapshot exports the accumulated rings as a tm-series JSONL
+   artifact on exit, so a monitoring session can be diffed offline. *)
+
+module Artifact = Tm_obs.Artifact
+module Heatmap = Tm_obs.Heatmap
+module Series = Tm_obs.Series
+
+type sample = string * (string * string) list * float
+
+let value_of (samples : sample list) name labels =
+  List.find_map
+    (fun (n, ls, v) ->
+      if String.equal n name && ls = labels then Some v else None)
+    samples
+
+let sum_of (samples : sample list) ?(where = fun _ -> true) name =
+  List.fold_left
+    (fun acc (n, ls, v) -> if String.equal n name && where ls then acc +. v else acc)
+    0. samples
+
+let shard_ids (samples : sample list) =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun ((_, ls, _) : sample) ->
+         match List.assoc_opt "shard" ls with
+         | Some s -> int_of_string_opt s
+         | None -> None)
+       samples)
+
+let fnum v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    string_of_int (int_of_float v)
+  else Fmt.str "%.1f" v
+
+(* One poll's parsed snapshot rendered against the sampler's window. *)
+let render ~file ~tick ~series (samples : sample list) =
+  let shards = shard_ids samples in
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Fmt.pr "shardmon — %s @@ %02d:%02d:%02d (sample %d, %d shards)@.@." file
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec tick (List.length shards);
+  let flushed s =
+    Option.value ~default:0.
+      (value_of samples "tm_shard_flushed_lsn" [ ("shard", string_of_int s) ])
+  in
+  let lead = List.fold_left (fun m s -> Float.max m (flushed s)) 0. shards in
+  Fmt.pr "%5s  %11s  %5s  %9s  %8s  %9s  %6s@." "shard" "flushed-lsn" "lag"
+    "committed" "commit/s" "conflicts" "forces";
+  List.iter
+    (fun s ->
+      let lbl = [ ("shard", string_of_int s) ] in
+      let committed =
+        Option.value ~default:0. (value_of samples "tm_txn_committed_total" lbl)
+      in
+      let conflicts =
+        sum_of samples "tm_lock_conflicts_total" ~where:(fun ls ->
+            List.assoc_opt "shard" ls = Some (string_of_int s))
+      in
+      let forces =
+        Option.value ~default:0. (value_of samples "tm_wal_forces_total" lbl)
+      in
+      let rate =
+        match Series.rate series (Series.key "tm_txn_committed_total" lbl) with
+        | Some r -> Fmt.str "%.1f" r
+        | None -> "-"
+      in
+      Fmt.pr "%5d  %11s  %5s  %9s  %8s  %9s  %6s@." s
+        (fnum (flushed s))
+        (fnum (lead -. flushed s))
+        (fnum committed) rate (fnum conflicts) (fnum forces))
+    shards;
+  let cross = sum_of samples "tm_shard_cross_txn_total" in
+  let in_flight = sum_of samples "tm_2pc_in_flight" in
+  let prepares = sum_of samples "tm_2pc_prepares_total" in
+  let resolved = sum_of samples "tm_2pc_resolved_total" in
+  Fmt.pr "@.2PC: %s cross-shard commits, %s in flight, %s prepares, %s \
+          in-doubt resolved@."
+    (fnum cross) (fnum in_flight) (fnum prepares) (fnum resolved);
+  (* Sparklines only say something once the window has two points. *)
+  List.iter
+    (fun s ->
+      let k = Series.key "tm_txn_committed_total" [ ("shard", string_of_int s) ] in
+      if Series.length series k >= 2 then
+        Fmt.pr "commits s%-2d %s@." s (Series.sparkline series k))
+    shards;
+  (* Threshold alerts. *)
+  let alerts = ref [] in
+  let alert fmt = Fmt.kstr (fun s -> alerts := s :: !alerts) fmt in
+  if resolved > 0. then
+    alert "recovery resolved %s in-doubt prepare(s) (threshold 0)"
+      (fnum resolved);
+  let presumed =
+    sum_of samples "tm_2pc_resolved_total" ~where:(fun ls ->
+        List.assoc_opt "evidence" ls = Some "presumed")
+  in
+  if presumed > 0. then
+    alert "%s presumed-abort resolution(s): prepared work rolled back with \
+           no surviving evidence"
+      (fnum presumed);
+  let gave_up = sum_of samples "tm_txn_gave_up_total" in
+  if gave_up > 0. then
+    alert "%s transaction(s) gave up their retry budget" (fnum gave_up);
+  let faults = sum_of samples "tm_storage_faults_total" in
+  if faults > 0. then alert "%s storage fault(s) injected/absorbed" (fnum faults);
+  (match List.rev !alerts with
+  | [] -> Fmt.pr "@.alerts: none@."
+  | l ->
+      Fmt.pr "@.alerts:@.";
+      List.iter (fun a -> Fmt.pr "  !! %s@." a) l)
+
+let read_snapshot file =
+  match Cli_util.read_file file with
+  | exception Sys_error e -> Error e
+  | text -> (
+      (* The producer writes whole snapshots atomically; a validated
+         tm-metrics header proves we are not scraping some other file. *)
+      match Artifact.of_prom text with
+      | Error e -> Error e
+      | Ok (Some meta) -> (
+          match Artifact.check_schema ~expect:Artifact.metrics_schema meta with
+          | Error e -> Error e
+          | Ok _ -> (
+              match Heatmap.parse_prometheus text with
+              | Error e -> Error e
+              | Ok samples -> Ok samples))
+      | Ok None -> (
+          match Heatmap.parse_prometheus text with
+          | Error e -> Error e
+          | Ok samples -> Ok samples))
+
+let main file interval iterations once no_clear snapshot_out capacity =
+  let iterations = if once then 1 else iterations in
+  let series = Series.create ~capacity () in
+  let tick = ref 0 in
+  let errors = ref 0 in
+  let continue () = iterations <= 0 || !tick < iterations in
+  while continue () do
+    if !tick > 0 then Unix.sleepf interval;
+    incr tick;
+    (match read_snapshot file with
+    | Error e ->
+        incr errors;
+        (* A missing/half-rotated file is routine while attaching; give
+           the producer a few polls before giving up. *)
+        if !errors > 5 || once then begin
+          Fmt.epr "shardmon: %s: %s@." file e;
+          exit 1
+        end
+        else Fmt.epr "shardmon: waiting for %s (%s)@." file e
+    | Ok samples ->
+        errors := 0;
+        Series.sample series ~at:(Unix.gettimeofday ()) samples;
+        if not no_clear then Fmt.pr "\027[2J\027[H%!";
+        render ~file ~tick:!tick ~series samples)
+  done;
+  Option.iter
+    (fun out ->
+      Cli_util.with_out out (fun oc ->
+          output_string oc
+            (Artifact.header_line
+               (Artifact.make ~schema:Artifact.series_schema
+                  ~config:[ ("source", file) ] ()));
+          output_string oc (Series.to_jsonl series));
+      Fmt.pr "wrote series snapshot to %s@." out)
+    snapshot_out
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE"
+        ~doc:
+          "Prometheus snapshot to watch — the file a producer rewrites \
+           periodically (stresstest --shards --monitor $(docv)).")
+
+let interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Delay between polls.")
+
+let iterations_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Stop after $(docv) polls (0: run until interrupted).")
+
+let once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ] ~doc:"Read the file once, render, and exit (CI mode).")
+
+let no_clear_arg =
+  Arg.(
+    value & flag
+    & info [ "no-clear" ]
+        ~doc:"Do not clear the screen between redraws (append instead).")
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"OUT"
+        ~doc:
+          "On exit, export the accumulated rings as a tm-series JSONL \
+           artifact to $(docv) — one [(key, time, value)] point per line.")
+
+let capacity_arg =
+  Arg.(
+    value & opt int 120
+    & info [ "capacity" ] ~docv:"N" ~doc:"Ring size per series key.")
+
+let cmd =
+  let doc = "live per-shard health dashboard over a rewritten metrics file" in
+  Cmd.v
+    (Cmd.info "shardmon" ~doc)
+    Term.(
+      const main $ file_arg $ interval_arg $ iterations_arg $ once_arg
+      $ no_clear_arg $ snapshot_arg $ capacity_arg)
+
+let () = exit (Cmd.eval cmd)

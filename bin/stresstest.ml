@@ -30,7 +30,216 @@ module BA = Tm_adt.Bank_account
 let deposit i = Op.invocation ~args:[ Value.int i ] "deposit"
 let balance = Op.invocation "balance"
 
-let main threads txns seed force_delay verbose trace_file metrics_file =
+(* ------------------------------------------------------------------ *)
+(* --shards mode: OS threads against the sharded engine, a share of the
+   transactions crossing shards through 2PC.  Deposits commute (NRBC),
+   so with a shared trace recorder attached the run doubles as the
+   distributed-tracing producer: every cross-shard commit emits its
+   prepare/decision/completion spans under one logical clock.           *)
+
+module Sharded_database = Tm_engine.Sharded_database
+
+let sum_deposits objs =
+  List.fold_left
+    (fun acc o ->
+      List.fold_left
+        (fun acc (op : Op.t) ->
+          if String.equal op.Op.inv.Op.name "deposit" then
+            match op.Op.inv.Op.args with [ Value.Int a ] -> acc + a | _ -> acc
+          else acc)
+        acc (Atomic_object.committed_ops o))
+    0 objs
+
+let sharded_run ~threads ~txns ~seed ~force_delay ~verbose ~trace_file
+    ~metrics_file ~shards ~monitor ~monitor_interval =
+  let failures = ref 0 in
+  let fail fmt =
+    Fmt.kstr
+      (fun s ->
+        incr failures;
+        Fmt.pr "FAIL: %s@." s)
+      fmt
+  in
+  let stores = Array.init shards (fun _ -> Storage.memory ()) in
+  let dws =
+    Array.init shards (fun i ->
+        Disk_wal.create ~shard:i (Storage.slow ~force_delay stores.(i)))
+  in
+  let wals = Array.map Disk_wal.wal dws in
+  let objs () =
+    List.init (2 * shards) (fun i ->
+        Atomic_object.create
+          ~spec:(Spec.rename BA.spec (Fmt.str "BA%d" i))
+          ~conflict:BA.nrbc_conflict ~recovery:Tm_engine.Recovery.UIP ())
+  in
+  let db = Sharded_database.create ~wals (objs ()) in
+  let trace =
+    if trace_file <> None then begin
+      let tr = Tm_obs.Trace.create () in
+      Sharded_database.set_trace db tr;
+      Some tr
+    end
+    else None
+  in
+  let names =
+    Array.of_list (List.map Atomic_object.name (Sharded_database.objects db))
+  in
+  let config =
+    [
+      ("threads", string_of_int threads);
+      ("txns", string_of_int txns);
+      ("shards", string_of_int shards);
+    ]
+  in
+  let meta schema = Tm_obs.Artifact.make ~schema ~seed ~config () in
+  (* The monitor file is what shardmon attaches to: a whole Prometheus
+     snapshot, rewritten atomically (tmp + rename) so a reader never
+     sees a half-written scrape. *)
+  let snapshot file =
+    let body =
+      Tm_obs.Artifact.prom_header (meta Tm_obs.Artifact.metrics_schema)
+      ^ Metrics.to_prometheus (Sharded_database.metrics db)
+    in
+    let tmp = file ^ ".tmp" in
+    Cli_util.with_out tmp (fun oc -> output_string oc body);
+    Sys.rename tmp file
+  in
+  let stop = ref false in
+  let monitor_thread =
+    Option.map
+      (fun file ->
+        Thread.create
+          (fun () ->
+            while not !stop do
+              snapshot file;
+              Thread.delay monitor_interval
+            done)
+          ())
+      monitor
+  in
+  let deposited = ref 0 in
+  let lock = Mutex.create () in
+  let worker i =
+    for k = 1 to txns do
+      let amount = 1 + ((seed + (i * 31) + (k * 7)) mod 5) in
+      let tid = Sharded_database.begin_txn db in
+      let o1 = names.((i + k) mod Array.length names) in
+      ignore (Sharded_database.invoke db tid ~obj:o1 (deposit amount));
+      (* Every fourth transaction escalates to a second object on a
+         different home shard: the 2PC path, under thread contention. *)
+      let extra =
+        if k mod 4 = 0 && shards > 1 then begin
+          let n = Array.length names in
+          let s1 = Sharded_database.shard_of_object db o1 in
+          let rec find j =
+            if j >= n then None
+            else
+              let o = names.((i + k + j) mod n) in
+              if Sharded_database.shard_of_object db o <> s1 then Some o
+              else find (j + 1)
+          in
+          match find 1 with
+          | Some o2 ->
+              ignore (Sharded_database.invoke db tid ~obj:o2 (deposit amount));
+              amount
+          | None -> 0
+        end
+        else 0
+      in
+      match Sharded_database.try_commit db tid with
+      | Ok () ->
+          Mutex.lock lock;
+          deposited := !deposited + amount + extra;
+          Mutex.unlock lock
+      | Error (obj, _, _) -> fail "thread %d txn %d aborted on %s" i k obj
+    done
+  in
+  let handles = List.init threads (fun i -> Thread.create worker i) in
+  List.iter Thread.join handles;
+  stop := true;
+  Option.iter Thread.join monitor_thread;
+  Option.iter snapshot monitor;
+
+  let committed = Sharded_database.committed_count db in
+  let reg = Sharded_database.metrics db in
+  let cross = Metrics.counter_value reg "tm_shard_cross_txn_total" in
+  if committed <> threads * txns then
+    fail "committed %d of %d transactions" committed (threads * txns);
+  if shards > 1 && cross = 0 then
+    fail "no cross-shard transaction ran (2PC path never exercised)";
+  let live = sum_deposits (Sharded_database.objects db) in
+  if live <> !deposited then
+    fail "engine applied deposits summing %d, workers committed %d" live
+      !deposited;
+
+  (* What was acknowledged must be on the devices: reload every shard's
+     bytes and recover through the real cross-shard path. *)
+  Sharded_database.flush db;
+  (match
+     Array.map
+       (fun st ->
+         match Disk_wal.load st with
+         | Ok dw -> Disk_wal.wal dw
+         | Error c -> Fmt.failwith "%a" Wal.Codec.pp_corruption c)
+       stores
+   with
+  | exception Failure msg -> fail "persisted shard log corrupt: %s" msg
+  | reloaded -> (
+      match Sharded_database.recover ~wals:reloaded ~rebuild:objs () with
+      | Error e ->
+          fail "recovery from persisted logs failed: %a"
+            Tm_engine.Recovery.pp_error e
+      | Ok (rdb, _) ->
+          let r = sum_deposits (Sharded_database.objects rdb) in
+          if r <> !deposited then
+            fail "recovered deposits sum %d, workers committed %d" r !deposited)
+  );
+
+  if verbose || !failures > 0 then
+    Fmt.pr
+      "stresstest --shards %d: %d threads x %d txns: %d committed (%d \
+       cross-shard 2PC)@."
+      shards threads txns committed cross;
+  (match (trace_file, trace) with
+  | Some file, Some tr ->
+      Cli_util.with_out file (fun oc ->
+          output_string oc
+            (Tm_obs.Artifact.header_line (meta Tm_obs.Artifact.trace_schema));
+          output_string oc
+            (Tm_obs.Trace.to_jsonl
+               ~extra:
+                 [
+                   ("scenario", "stresstest-sharded");
+                   ("shards", string_of_int shards);
+                   ("seed", string_of_int seed);
+                 ]
+               tr));
+      Fmt.pr "wrote trace (JSON lines) to %s@." file
+  | _ -> ());
+  Option.iter
+    (fun file ->
+      Cli_util.with_out file (fun oc ->
+          output_string oc
+            (Tm_obs.Artifact.prom_header (meta Tm_obs.Artifact.metrics_schema));
+          output_string oc (Metrics.to_prometheus reg));
+      Fmt.pr "wrote Prometheus snapshot to %s@." file)
+    metrics_file;
+  if !failures > 0 then exit 1;
+  Fmt.pr "stresstest: OK (%d commits, %d cross-shard)@." committed cross
+
+let rec main threads txns seed force_delay verbose trace_file metrics_file
+    shards monitor monitor_interval =
+  if monitor <> None && shards = 0 then begin
+    Fmt.epr "--monitor requires --shards (shardmon reads sharded metrics)@.";
+    exit 1
+  end;
+  if shards > 0 then
+    sharded_run ~threads ~txns ~seed ~force_delay ~verbose ~trace_file
+      ~metrics_file ~shards ~monitor ~monitor_interval
+  else
+  single_run threads txns seed force_delay verbose trace_file metrics_file
+
+and single_run threads txns seed force_delay verbose trace_file metrics_file =
   let failures = ref 0 in
   let fail fmt =
     Fmt.kstr
@@ -198,12 +407,40 @@ let metrics_arg =
     & info [ "metrics" ] ~docv:"FILE"
         ~doc:"Write a Prometheus text snapshot of the run's registry to $(docv).")
 
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Run the workload against a sharded engine with $(docv) shard WALs \
+           instead of the single durable engine; every fourth transaction \
+           per thread touches a second shard and commits through 2PC.  With \
+           --trace, one shared recorder spans all shards, so the dump \
+           carries the cross-shard prepare/decision/completion spans.")
+
+let monitor_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "monitor" ] ~docv:"FILE"
+        ~doc:
+          "With --shards: a background thread periodically rewrites $(docv) \
+           (atomically) with a whole Prometheus snapshot of the live \
+           registry — the file shardmon attaches to while the run is going.")
+
+let monitor_interval_arg =
+  Arg.(
+    value & opt float 0.2
+    & info [ "monitor-interval" ] ~docv:"SECONDS"
+        ~doc:"Delay between --monitor snapshot rewrites.")
+
 let cmd =
   let doc = "threaded group-commit stress against the durable engine" in
   Cmd.v
     (Cmd.info "stresstest" ~doc)
     Term.(
       const main $ threads_arg $ txns_arg $ seed_arg $ force_delay_arg $ verbose_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ shards_arg $ monitor_arg
+      $ monitor_interval_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -53,7 +53,7 @@ let verify_profile bytes json workers =
       end;
       `Ok
 
-let main file json verify workers digest shard =
+let main file json verify workers digest shard two_phase =
   if workers < 1 then begin
     Fmt.epr "--workers must be >= 1@.";
     exit 1
@@ -72,7 +72,15 @@ let main file json verify workers digest shard =
   let summary =
     match shard with None -> full_summary | Some _ -> Wal_inspect.inspect bytes
   in
-  if json && not verify then
+  (* --two-phase swaps the general summary for the 2PC view: per-shard
+     prepare/decision/completion counts and every in-doubt prepare with
+     its byte offset and the verdict recovery will reach for it. *)
+  if two_phase then begin
+    let tp = Wal_inspect.two_phase bytes in
+    if json then Fmt.pr "%s@." (Json.to_string (Wal_inspect.two_phase_to_json tp))
+    else Fmt.pr "%a" Wal_inspect.pp_two_phase tp
+  end
+  else if json && not verify then
     Fmt.pr "%s@." (Json.to_string (Wal_inspect.to_json summary))
   else if not verify then Fmt.pr "%a" Wal_inspect.pp summary;
   (* The digest pins the recovered state these bytes replay to; the
@@ -143,12 +151,25 @@ let shard_arg =
            as shard 0.  The damage verdict and exit status always reflect \
            the full, unfiltered bytes.")
 
+let two_phase_arg =
+  Arg.(
+    value & flag
+    & info [ "two-phase" ]
+        ~doc:
+          "Print the 2PC forensic view instead of the general summary: \
+           per-shard counts of prepare/decision/completion records, plus \
+           every in-doubt prepare (a vote with no later local outcome) \
+           with its byte offset and the outcome recovery will append — \
+           and the evidence (decision frame, surviving phase-2 record, \
+           or the presumed-abort default) that outcome rests on.  \
+           Composes with --shard and --json.")
+
 let cmd =
   let doc = "forensics for an on-disk WAL image (no replay required)" in
   Cmd.v
     (Cmd.info "walinspect" ~doc)
     Term.(
       const main $ file_arg $ json_arg $ verify_arg $ workers_arg $ digest_arg
-      $ shard_arg)
+      $ shard_arg $ two_phase_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -8,6 +8,10 @@ type t = {
   shards : Shard.t array;
   txns : (Tid.t, txn) Hashtbl.t;
   mutable next_tid : int;
+  mutable next_gtrace : int;
+      (* global trace ids: one per cross-shard commit attempt, stamped
+         into every 2PC span the attempt emits on any shard so an
+         offline viewer can stitch the per-shard fragments together. *)
   mutable committed : int;
   mutable cross_in_flight : int;
       (* cross-shard transactions between first prepare and completion;
@@ -23,6 +27,7 @@ type t = {
   c_cross : Metrics.counter;
   c_abort_prepare : Metrics.counter;
   g_flushed : Metrics.gauge array;
+  g_inflight : Metrics.gauge;
 }
 
 let max_shards = 0x10000 (* shard ids are stamped into u16 frame headers *)
@@ -35,15 +40,19 @@ let make_metrics n =
     Metrics.counter reg "tm_2pc_aborts_total" ~labels:[ ("phase", "prepare") ],
     Array.init n (fun i ->
         Metrics.gauge reg "tm_shard_flushed_lsn"
-          ~labels:[ ("shard", string_of_int i) ]) )
+          ~labels:[ ("shard", string_of_int i) ]),
+    Metrics.gauge reg "tm_2pc_in_flight" )
 
 let make ?(first_tid = 0) shards =
   let n = Array.length shards in
-  let reg, c_prepares, c_cross, c_abort_prepare, g_flushed = make_metrics n in
+  let reg, c_prepares, c_cross, c_abort_prepare, g_flushed, g_inflight =
+    make_metrics n
+  in
   {
     shards;
     txns = Hashtbl.create 64;
     next_tid = first_tid;
+    next_gtrace = 0;
     committed = 0;
     cross_in_flight = 0;
     lock = Mutex.create ();
@@ -52,6 +61,7 @@ let make ?(first_tid = 0) shards =
     c_cross;
     c_abort_prepare;
     g_flushed;
+    g_inflight;
   }
 
 let check_shard_count n =
@@ -92,6 +102,16 @@ let objects t =
   Array.to_list t.shards
   |> List.concat_map (fun sh -> Database.objects (Shard.database sh))
 
+(* One recorder shared by every shard: a single logical clock totally
+   orders all shards' spans, so a participant's prepare always
+   timestamps before the coordinator decision that depended on it —
+   the causal order the Perfetto flow arrows render. *)
+let set_trace t tr =
+  Array.iter (fun sh -> Database.set_trace (Shard.database sh) tr) t.shards
+
+let emit_2pc t s ~tid kind =
+  Database.emit_trace (Shard.database t.shards.(s)) ~tid kind
+
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
@@ -130,7 +150,7 @@ let invoke ?choose t tid ~obj inv =
    order (forcing each yes vote), write the forced decision on the
    coordinator, then complete everywhere lazily.  [parts] is sorted and
    has >= 2 elements. *)
-let commit_cross t tid parts =
+let commit_cross t tid ~gtid parts =
   (* Phase 1.  Each prepare runs under its shard's mutex; the forces
      run after all appends so one group-commit flush per shard covers
      its vote. *)
@@ -141,6 +161,7 @@ let commit_cross t tid parts =
         match Shard.with_lock sh (fun () -> Durable_database.prepare (Shard.db sh) tid) with
         | Ok lsn ->
             Metrics.Counter.incr t.c_prepares;
+            emit_2pc t s ~tid (Trace.Prepare_append { shard = s; gtid });
             prep ((s, lsn) :: prepared) rest
         | Error e ->
             (* The failing shard already aborted itself.  Roll back the
@@ -153,7 +174,9 @@ let commit_cross t tid parts =
                 ignore
                   (Shard.with_lock shp (fun () ->
                        Durable_database.finish_prepared (Shard.db shp) tid
-                         ~commit:false)))
+                         ~commit:false));
+                emit_2pc t p ~tid
+                  (Trace.Completion { shard = p; gtid; commit = false }))
               prepared;
             List.iter
               (fun p ->
@@ -170,7 +193,8 @@ let commit_cross t tid parts =
       List.iter
         (fun (s, lsn) ->
           Wal.force_upto (Shard.wal t.shards.(s)) lsn;
-          note_flushed t s)
+          note_flushed t s;
+          emit_2pc t s ~tid (Trace.Prepare_force { shard = s; lsn; gtid }))
         prepared;
       (* The decision: one forced append on the coordinator's own log —
          the global commit point.  The coordinator is the lowest
@@ -188,6 +212,8 @@ let commit_cross t tid parts =
       in
       Wal.force_upto (Shard.wal shc) dlsn;
       note_flushed t coord;
+      emit_2pc t coord ~tid
+        (Trace.Decision_force { shard = coord; lsn = dlsn; gtid; commit = true });
       (* Phase 2: complete everywhere.  No force — recovery re-resolves
          a lost completion from the surviving decision evidence. *)
       List.iter
@@ -195,22 +221,26 @@ let commit_cross t tid parts =
           let sh = t.shards.(s) in
           ignore
             (Shard.with_lock sh (fun () ->
-                 Durable_database.finish_prepared (Shard.db sh) tid ~commit:true)))
+                 Durable_database.finish_prepared (Shard.db sh) tid ~commit:true));
+          emit_2pc t s ~tid (Trace.Completion { shard = s; gtid; commit = true }))
         prepared;
       Ok ()
 
 let try_commit t tid =
-  let parts, cross =
+  let parts, cross, gtid =
     locked t (fun () ->
         let txn = txn_of t tid in
         Hashtbl.remove t.txns tid;
         let parts = List.sort compare txn.touched in
         let cross = List.length parts > 1 in
+        let gtid = t.next_gtrace in
         if cross then begin
+          t.next_gtrace <- gtid + 1;
           t.cross_in_flight <- t.cross_in_flight + 1;
+          Metrics.Gauge.set t.g_inflight (float_of_int t.cross_in_flight);
           Metrics.Counter.incr t.c_cross
         end;
-        (parts, cross))
+        (parts, cross, gtid))
   in
   let result =
     match parts with
@@ -229,10 +259,13 @@ let try_commit t tid =
             Durable_database.wait_durable (Shard.db sh) tid lsn;
             note_flushed t s;
             Ok ())
-    | parts -> commit_cross t tid parts
+    | parts -> commit_cross t tid ~gtid parts
   in
   locked t (fun () ->
-      if cross then t.cross_in_flight <- t.cross_in_flight - 1;
+      if cross then begin
+        t.cross_in_flight <- t.cross_in_flight - 1;
+        Metrics.Gauge.set t.g_inflight (float_of_int t.cross_in_flight)
+      end;
       if Result.is_ok result then t.committed <- t.committed + 1);
   result
 
@@ -283,7 +316,7 @@ let metrics t =
     t.shards;
   out
 
-let recover ?workers ~wals ~rebuild () =
+let recover ?workers ?audit ~wals ~rebuild () =
   let n = Array.length wals in
   check_shard_count n;
   (* Complete the interrupted protocol in the logs themselves: one
@@ -291,6 +324,8 @@ let recover ?workers ~wals ~rebuild () =
      single-shard replay below needs no 2PC awareness — and a crash
      during recovery just re-resolves to the same outcomes. *)
   let analysis = Two_phase.analyze (Array.map Wal.records wals) in
+  let resolution_events = Two_phase.resolution_events analysis in
+  Option.iter (fun f -> f resolution_events) audit;
   let resolved_aborts = ref 0 in
   Array.iteri
     (fun s wal ->
@@ -334,6 +369,16 @@ let recover ?workers ~wals ~rebuild () =
       Metrics.Counter.incr ~by:!resolved_aborts
         (Metrics.counter t.reg "tm_2pc_aborts_total"
            ~labels:[ ("phase", "recovery") ]);
+      List.iter
+        (fun (ev : Two_phase.resolution_event) ->
+          Metrics.Counter.incr
+            (Metrics.counter t.reg "tm_2pc_resolved_total"
+               ~labels:
+                 [
+                   ("evidence", Two_phase.evidence_name ev.ev_evidence);
+                   ("outcome", if ev.ev_commit then "commit" else "abort");
+                 ]))
+        resolution_events;
       let losers =
         List.fold_left
           (fun acc (_, l) -> Tid.Set.union acc l)

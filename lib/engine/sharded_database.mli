@@ -122,9 +122,20 @@ val checkpoint : t -> bool
     counted once, not once per participant). *)
 val committed_count : t -> int
 
+(** [set_trace t tr] attaches one shared recorder to {e every} shard's
+    database: a single logical clock totally orders all shards' spans.
+    Cross-shard commits additionally emit the 2PC span kinds
+    ({!Tm_obs.Trace.Prepare_append} … {!Tm_obs.Trace.Completion}), each
+    stamped with a per-transaction global trace id ([gtid]) so the
+    coordinator's decision can be linked to every participant's prepare
+    offline. *)
+val set_trace : t -> Tm_obs.Trace.t -> unit
+
 (** A fresh registry merging the engine-level 2PC metrics
     ([tm_2pc_prepares_total], [tm_2pc_aborts_total{phase}],
-    [tm_shard_cross_txn_total], [tm_shard_flushed_lsn{shard}]) with
+    [tm_2pc_in_flight], [tm_2pc_resolved_total{evidence,outcome}] after
+    a recovery, [tm_shard_cross_txn_total],
+    [tm_shard_flushed_lsn{shard}]) with
     every shard's registry, each shard's series tagged with an added
     [shard] label. *)
 val metrics : t -> Tm_obs.Metrics.t
@@ -137,9 +148,17 @@ val metrics : t -> Tm_obs.Metrics.t
     shard's tid high-water mark.  Returns the engine and the union of
     the shards' loser sets (a transaction resolved by presumed abort is
     {e finished}, not a loser — recovery completed its protocol), or
-    the first shard's replay error in shard order. *)
+    the first shard's replay error in shard order.
+
+    [audit] receives the in-doubt resolution events
+    ({!Two_phase.resolution_events}: which prepares were in doubt, the
+    evidence that resolved each, the outcome appended) before any
+    outcome record is written — the audit trail the CLIs export as a
+    [tm-2pc] artifact.  The same events drive the recovered engine's
+    [tm_2pc_resolved_total{evidence,outcome}] counters. *)
 val recover :
   ?workers:int ->
+  ?audit:(Two_phase.resolution_event list -> unit) ->
   wals:Wal.t array ->
   rebuild:(unit -> Atomic_object.t list) ->
   unit -> (t * Tid.Set.t, Recovery.error) result

@@ -4,6 +4,8 @@ type analysis = {
   in_doubt : Tid.t list array;
   commit_evidence : Tid.Set.t;
   abort_evidence : Tid.Set.t;
+  decision_evidence : Tid.Set.t;
+  phase2_evidence : Tid.Set.t;
 }
 
 let analyze logs =
@@ -11,6 +13,8 @@ let analyze logs =
   let in_doubt = Array.make n [] in
   let commit_ev = ref Tid.Set.empty in
   let abort_ev = ref Tid.Set.empty in
+  let decision_ev = ref Tid.Set.empty in
+  let phase2_ev = ref Tid.Set.empty in
   for s = 0 to n - 1 do
     (* [pending]: prepared on this shard, no local outcome record yet.
        [ever]: prepared on this shard at any point — a later [Commit] /
@@ -28,12 +32,19 @@ let analyze logs =
             Hashtbl.replace pending tid ();
             Hashtbl.replace ever tid ()
         | Wal.Commit tid ->
-            if Hashtbl.mem ever tid then commit_ev := Tid.Set.add tid !commit_ev;
+            if Hashtbl.mem ever tid then begin
+              commit_ev := Tid.Set.add tid !commit_ev;
+              phase2_ev := Tid.Set.add tid !phase2_ev
+            end;
             Hashtbl.remove pending tid
         | Wal.Abort tid ->
-            if Hashtbl.mem ever tid then abort_ev := Tid.Set.add tid !abort_ev;
+            if Hashtbl.mem ever tid then begin
+              abort_ev := Tid.Set.add tid !abort_ev;
+              phase2_ev := Tid.Set.add tid !phase2_ev
+            end;
             Hashtbl.remove pending tid
         | Wal.Decision { tid; commit } ->
+            decision_ev := Tid.Set.add tid !decision_ev;
             if commit then commit_ev := Tid.Set.add tid !commit_ev
             else abort_ev := Tid.Set.add tid !abort_ev
         | Wal.Begin _ | Wal.Operation _ | Wal.Truncate_intent _ -> ()
@@ -56,7 +67,13 @@ let analyze logs =
           | _ -> None)
         logs.(s)
   done;
-  { in_doubt; commit_evidence = !commit_ev; abort_evidence = !abort_ev }
+  {
+    in_doubt;
+    commit_evidence = !commit_ev;
+    abort_evidence = !abort_ev;
+    decision_evidence = !decision_ev;
+    phase2_evidence = !phase2_ev;
+  }
 
 type resolution = { tid : Tid.t; commit : bool }
 
@@ -67,3 +84,60 @@ let resolutions a ~shard =
 
 let pp_resolution ppf { tid; commit } =
   Fmt.pf ppf "%a->%s" Tid.pp tid (if commit then "commit" else "abort")
+
+(* ------------------------------------------------------------------ *)
+(* Audit trail                                                         *)
+
+type evidence = Decision_record | Phase2_record | Presumed
+
+let evidence_name = function
+  | Decision_record -> "decision"
+  | Phase2_record -> "phase2"
+  | Presumed -> "presumed"
+
+type resolution_event = {
+  ev_shard : int;
+  ev_tid : Tid.t;
+  ev_commit : bool;
+  ev_evidence : evidence;
+}
+
+let evidence_of a tid =
+  (* A surviving [Decision] frame is the strongest witness; a phase-2
+     outcome record proves the decision existed even if the decision
+     frame itself was on a lost shard; no witness at all is the
+     presumed-abort default. *)
+  if Tid.Set.mem tid a.decision_evidence then Decision_record
+  else if Tid.Set.mem tid a.phase2_evidence then Phase2_record
+  else Presumed
+
+let resolution_events a =
+  List.concat
+    (List.init (Array.length a.in_doubt) (fun shard ->
+         List.map
+           (fun tid ->
+             {
+               ev_shard = shard;
+               ev_tid = tid;
+               ev_commit = Tid.Set.mem tid a.commit_evidence;
+               ev_evidence = evidence_of a tid;
+             })
+           a.in_doubt.(shard)))
+
+let pp_resolution_event ppf ev =
+  Fmt.pf ppf "shard %d: %a -> %s (evidence: %s)" ev.ev_shard Tid.pp ev.ev_tid
+    (if ev.ev_commit then "commit" else "abort")
+    (evidence_name ev.ev_evidence)
+
+let event_to_json ev =
+  Tm_obs.Json.Obj
+    [
+      ("shard", Tm_obs.Json.Int ev.ev_shard);
+      ("tid", Tm_obs.Json.Int (Tid.to_int ev.ev_tid));
+      ("outcome", Tm_obs.Json.Str (if ev.ev_commit then "commit" else "abort"));
+      ("evidence", Tm_obs.Json.Str (evidence_name ev.ev_evidence));
+    ]
+
+let events_to_jsonl evs =
+  String.concat ""
+    (List.map (fun ev -> Tm_obs.Json.to_string (event_to_json ev) ^ "\n") evs)

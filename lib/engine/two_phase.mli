@@ -36,6 +36,12 @@ type analysis = {
           (a [Decision { commit = false }], or an [Abort] of a prepared
           transaction).  Informational — presumed abort never needs it
           — but useful for forensics and metrics. *)
+  decision_evidence : Tid.Set.t;
+      (** Transactions whose [Decision] frame itself survived on some
+          shard (either outcome). *)
+  phase2_evidence : Tid.Set.t;
+      (** Ever-prepared transactions witnessed by a surviving phase-2
+          [Commit]/[Abort] record on some shard. *)
 }
 
 (** [analyze logs] scans every shard's record list once.  [logs.(s)] is
@@ -54,3 +60,45 @@ type resolution = { tid : Tid.t; commit : bool }
 val resolutions : analysis -> shard:int -> resolution list
 
 val pp_resolution : Format.formatter -> resolution -> unit
+
+(** {1 Audit trail}
+
+    Recovery's in-doubt resolutions, as structured events naming the
+    evidence each rested on — the raw material of the 2PC audit
+    artifact ({!Tm_obs.Artifact.audit_schema}), the Report audit
+    section and the [tm_2pc_resolved_total{evidence,outcome}]
+    metrics. *)
+
+type evidence =
+  | Decision_record  (** the coordinator's [Decision] frame survived *)
+  | Phase2_record
+      (** a phase-2 [Commit]/[Abort] of the prepared transaction
+          survived on some shard *)
+  | Presumed  (** no surviving witness: the presumed-abort default *)
+
+val evidence_name : evidence -> string
+(** ["decision"], ["phase2"] or ["presumed"] — the label values of
+    [tm_2pc_resolved_total] and the [evidence] field of the audit
+    JSONL. *)
+
+type resolution_event = {
+  ev_shard : int;
+  ev_tid : Tid.t;
+  ev_commit : bool;  (** the outcome record recovery appends *)
+  ev_evidence : evidence;
+}
+
+val resolution_events : analysis -> resolution_event list
+(** One event per in-doubt prepare, in shard order then first-[Prepare]
+    order — exactly the records {!Sharded_database.recover} appends.  A
+    log with nothing in doubt (in particular: one already resolved by a
+    previous recovery) yields [[]], so re-analysis is idempotent. *)
+
+val pp_resolution_event : Format.formatter -> resolution_event -> unit
+
+val event_to_json : resolution_event -> Tm_obs.Json.t
+
+val events_to_jsonl : resolution_event list -> string
+(** Newline-terminated JSONL body lines
+    ([{"shard":..,"tid":..,"outcome":..,"evidence":..}]); callers
+    prepend an {!Tm_obs.Artifact.audit_schema} header line. *)

@@ -203,6 +203,157 @@ let damage_kind = function
   | Torn_tail _ -> "torn_tail"
   | Interior _ -> "interior_corruption"
 
+(* ------------------------------------------------------------------ *)
+(* 2PC forensics                                                       *)
+
+type tp_prepare = {
+  tpp_tid : Tid.t;
+  tpp_offset : int;  (* byte offset of the first Prepare frame *)
+  tpp_commit : bool;
+  tpp_evidence : string;
+}
+
+type tp_shard = {
+  tp_shard : int;
+  tp_prepares : int;
+  tp_decisions : int;
+  tp_completions : int;
+  tp_in_doubt : tp_prepare list;
+}
+
+let two_phase bytes =
+  let len = String.length bytes in
+  (* (record, offset, shard) in log order; damaged tails dropped, as
+     recovery would. *)
+  let rec walk acc pos =
+    if pos >= len then List.rev acc
+    else
+      match Wal.Codec.decode_frame bytes pos with
+      | Ok (r, next) ->
+          let shard =
+            match Wal.Codec.read_header bytes pos with
+            | Ok h -> h.Wal.Codec.h_shard
+            | Error _ -> 0
+          in
+          walk ((r, pos, shard) :: acc) next
+      | Error _ -> List.rev acc
+  in
+  let framed = walk [] 0 in
+  let max_shard = List.fold_left (fun m (_, _, s) -> max m s) 0 framed in
+  let n = max_shard + 1 in
+  let logs = Array.make n [] in
+  let present = Array.make n false in
+  (* First-Prepare byte offset per (shard, tid): the address walinspect
+     reports for an in-doubt vote. *)
+  let prep_offset : (int * Tid.t, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r, off, s) ->
+      present.(s) <- true;
+      logs.(s) <- r :: logs.(s);
+      match r with
+      | Wal.Prepare tid ->
+          if not (Hashtbl.mem prep_offset (s, tid)) then
+            Hashtbl.add prep_offset (s, tid) off
+      | _ -> ())
+    framed;
+  let logs = Array.map List.rev logs in
+  let a = Two_phase.analyze logs in
+  List.filter_map
+    (fun s ->
+      if not (present.(s)) then None
+      else begin
+        let count p = List.length (List.filter p logs.(s)) in
+        let ever = Hashtbl.create 8 in
+        List.iter
+          (function Wal.Prepare tid -> Hashtbl.replace ever tid () | _ -> ())
+          logs.(s);
+        Some
+          {
+            tp_shard = s;
+            tp_prepares = count (function Wal.Prepare _ -> true | _ -> false);
+            tp_decisions = count (function Wal.Decision _ -> true | _ -> false);
+            tp_completions =
+              count (function
+                | Wal.Commit tid | Wal.Abort tid -> Hashtbl.mem ever tid
+                | _ -> false);
+            tp_in_doubt =
+              List.map
+                (fun tid ->
+                  {
+                    tpp_tid = tid;
+                    tpp_offset =
+                      Option.value
+                        (Hashtbl.find_opt prep_offset (s, tid))
+                        ~default:0;
+                    tpp_commit = Tid.Set.mem tid a.Two_phase.commit_evidence;
+                    tpp_evidence =
+                      Two_phase.evidence_name
+                        (if Tid.Set.mem tid a.Two_phase.decision_evidence then
+                           Two_phase.Decision_record
+                         else if Tid.Set.mem tid a.Two_phase.phase2_evidence
+                         then Two_phase.Phase2_record
+                         else Two_phase.Presumed);
+                  })
+                a.Two_phase.in_doubt.(s);
+          }
+      end)
+    (List.init n (fun s -> s))
+
+let pp_two_phase ppf shards =
+  if shards = [] then Fmt.pf ppf "two-phase: no intact frames@."
+  else begin
+    Fmt.pf ppf "%-6s %9s %10s %12s %9s@." "shard" "prepares" "decisions"
+      "completions" "in-doubt";
+    List.iter
+      (fun tp ->
+        Fmt.pf ppf "%-6d %9d %10d %12d %9d@." tp.tp_shard tp.tp_prepares
+          tp.tp_decisions tp.tp_completions
+          (List.length tp.tp_in_doubt))
+      shards;
+    let in_doubt =
+      List.concat_map (fun tp -> List.map (fun p -> (tp.tp_shard, p)) tp.tp_in_doubt) shards
+    in
+    if in_doubt = [] then
+      Fmt.pf ppf "no prepares in doubt: every vote has a local outcome@."
+    else begin
+      Fmt.pf ppf "in-doubt prepares (what recovery will append):@.";
+      List.iter
+        (fun (s, p) ->
+          Fmt.pf ppf "  shard %d: %a prepared @@ byte %d -> %s (evidence: %s)@."
+            s Tid.pp p.tpp_tid p.tpp_offset
+            (if p.tpp_commit then "commit" else "abort")
+            p.tpp_evidence)
+        in_doubt
+    end
+  end
+
+let two_phase_to_json shards =
+  Json.List
+    (List.map
+       (fun tp ->
+         Json.Obj
+           [
+             ("shard", Json.Int tp.tp_shard);
+             ("prepares", Json.Int tp.tp_prepares);
+             ("decisions", Json.Int tp.tp_decisions);
+             ("completions", Json.Int tp.tp_completions);
+             ( "in_doubt",
+               Json.List
+                 (List.map
+                    (fun p ->
+                      Json.Obj
+                        [
+                          ("tid", Json.Int (Tid.to_int p.tpp_tid));
+                          ("offset", Json.Int p.tpp_offset);
+                          ( "outcome",
+                            Json.Str (if p.tpp_commit then "commit" else "abort")
+                          );
+                          ("evidence", Json.Str p.tpp_evidence);
+                        ])
+                    tp.tp_in_doubt) );
+           ])
+       shards)
+
 let pp ppf t =
   Fmt.pf ppf "log: %d bytes, %d intact, %d records@." t.total_bytes
     t.clean_bytes t.records;

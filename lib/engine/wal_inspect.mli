@@ -101,3 +101,38 @@ val replay_digest : string -> (string, Wal.Codec.corruption) result
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Tm_obs.Json.t
+
+(** {1 2PC forensics}
+
+    The view behind [walinspect --two-phase]: per-shard counts of the
+    2PC record kinds plus every in-doubt prepare — a vote with no later
+    local outcome — with its byte offset and the verdict recovery will
+    reach for it ({!Two_phase.analyze} over the per-shard record lists
+    of the same image). *)
+
+type tp_prepare = {
+  tpp_tid : Tid.t;
+  tpp_offset : int;  (** byte offset of the (first) [Prepare] frame *)
+  tpp_commit : bool;  (** the outcome recovery will append *)
+  tpp_evidence : string;
+      (** ["decision"], ["phase2"] or ["presumed"]
+          ({!Two_phase.evidence_name}) *)
+}
+
+type tp_shard = {
+  tp_shard : int;
+  tp_prepares : int;
+  tp_decisions : int;
+  tp_completions : int;
+      (** phase-2 [Commit]/[Abort] records of ever-prepared
+          transactions on this shard *)
+  tp_in_doubt : tp_prepare list;  (** first-[Prepare] order *)
+}
+
+(** [two_phase bytes] — one entry per shard id appearing in the image's
+    intact frames (v1 frames count as shard 0), ascending.  Damaged
+    tails are dropped exactly as recovery drops them. *)
+val two_phase : string -> tp_shard list
+
+val pp_two_phase : Format.formatter -> tp_shard list -> unit
+val two_phase_to_json : tp_shard list -> Tm_obs.Json.t

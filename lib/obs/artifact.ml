@@ -15,6 +15,8 @@ type t = {
 let trace_schema = "tm-trace/1"
 let metrics_schema = "tm-metrics/1"
 let bench_schema = "tm-bench/1"
+let audit_schema = "tm-2pc/1"
+let series_schema = "tm-series/1"
 
 let make ~schema ?binary ?seed ?(config = []) () =
   let binary =

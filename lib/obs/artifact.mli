@@ -21,6 +21,14 @@ val metrics_schema : string  (** ["tm-metrics/1"] *)
 
 val bench_schema : string  (** ["tm-bench/1"] *)
 
+val audit_schema : string
+(** ["tm-2pc/1"] — the 2PC in-doubt resolution audit trail
+    ({!Tm_engine.Two_phase.resolution_events} rendered as JSONL). *)
+
+val series_schema : string
+(** ["tm-series/1"] — a {!Series} time-series snapshot (one sampled
+    point per line). *)
+
 (** [make ~schema ()] — [binary] defaults to
     [Filename.basename Sys.executable_name]. *)
 val make :

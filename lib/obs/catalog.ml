@@ -98,6 +98,15 @@ let all =
        `phase=\"prepare\"` counts live transactions whose vote failed \
        validation, `phase=\"recovery\"` counts per-participant \
        presumed-abort resolutions of in-doubt prepares at restart.";
+    e sharding "tm_2pc_resolved_total" Counter [ "evidence"; "outcome" ]
+      "In-doubt prepares resolved by recovery, by the evidence that \
+       decided each (`decision` = the coordinator's Decision frame \
+       survived, `phase2` = a participant's phase-2 outcome record \
+       survived, `presumed` = no witness, the presumed-abort default) \
+       and the outcome appended (`commit` or `abort`).";
+    e sharding "tm_2pc_in_flight" Gauge []
+      "Cross-shard transactions currently between first prepare and \
+       completion (checkpoints are deferred while > 0).";
     e sharding "tm_shard_cross_txn_total" Counter []
       "Transactions whose commit spanned more than one shard (took the \
        two-phase path instead of the single-shard fast path).";

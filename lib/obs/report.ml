@@ -15,10 +15,21 @@ type recovery = {
   per_object : (string * int) list;  (* obj -> replayed ops *)
 }
 
+(* One 2PC in-doubt resolution from a tm-2pc audit artifact
+   (Tm_engine.Two_phase.events_to_jsonl; parsed here independently —
+   tm_obs sits below the engine). *)
+type audit_entry = {
+  audit_shard : int;
+  audit_tid : int;
+  audit_commit : bool;
+  audit_evidence : string;  (* "decision" | "phase2" | "presumed" *)
+}
+
 type t = {
   groups : group list;
   heatmaps : Heatmap.t list;
   recovery : recovery option;
+  audit : audit_entry list;
 }
 
 let groups_of_jsonl s =
@@ -100,15 +111,77 @@ let recovery_of_samples samples =
       }
   end
 
-let of_sources ?trace_jsonl ?metrics_text () =
+(* Merge group lists from several trace files: groups with identical
+   label sets coalesce (events appended in file order — each file has
+   its own logical clock, so cross-file interleaving would be
+   meaningless anyway), first-appearance order otherwise. *)
+let merge_groups lists =
+  let tbl : ((string * string) list, Trace.event list list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun g ->
+         match Hashtbl.find_opt tbl g.group_labels with
+         | Some r -> r := !r @ [ g.events ]
+         | None ->
+             Hashtbl.add tbl g.group_labels (ref [ g.events ]);
+             order := g.group_labels :: !order))
+    lists;
+  List.rev !order
+  |> List.map (fun key ->
+         { group_labels = key; events = List.concat !(Hashtbl.find tbl key) })
+
+let audit_of_jsonl s =
   let ( let* ) r f = Result.bind r f in
+  let* docs = Json.parse_lines s in
+  let* docs =
+    match docs with
+    | first :: rest when Artifact.is_header first ->
+        Result.map
+          (fun _ -> rest)
+          (Result.bind (Artifact.of_json first)
+             (Artifact.check_schema ~expect:Artifact.audit_schema))
+    | docs -> Ok docs
+  in
+  let entry j =
+    match
+      ( Option.bind (Json.member "shard" j) Json.to_int,
+        Option.bind (Json.member "tid" j) Json.to_int,
+        Option.bind (Json.member "outcome" j) Json.to_str,
+        Option.bind (Json.member "evidence" j) Json.to_str )
+    with
+    | Some audit_shard, Some audit_tid, Some outcome, Some audit_evidence ->
+        Ok { audit_shard; audit_tid; audit_commit = outcome = "commit"; audit_evidence }
+    | _ -> Error "audit line: expected {shard, tid, outcome, evidence}"
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | j :: rest -> (
+        match entry j with Ok e -> go (e :: acc) rest | Error _ as e -> e)
+  in
+  go [] docs
+
+let of_sources ?trace_jsonl ?(traces = []) ?metrics_text ?audit_jsonl () =
+  let ( let* ) r f = Result.bind r f in
+  let all_traces = Option.to_list trace_jsonl @ traces in
   let* groups =
-    match trace_jsonl with
+    let rec go acc = function
+      | [] -> Ok (merge_groups (List.rev acc))
+      | s :: rest -> (
+          match groups_of_jsonl s with
+          | Ok gs -> go (gs :: acc) rest
+          | Error e -> Error ("trace: " ^ e))
+    in
+    go [] all_traces
+  in
+  let* audit =
+    match audit_jsonl with
     | None -> Ok []
     | Some s -> (
-        match groups_of_jsonl s with
-        | Ok gs -> Ok gs
-        | Error e -> Error ("trace: " ^ e))
+        match audit_of_jsonl s with
+        | Ok es -> Ok es
+        | Error e -> Error ("audit: " ^ e))
   in
   let* samples =
     match metrics_text with
@@ -139,12 +212,51 @@ let of_sources ?trace_jsonl ?metrics_text () =
            else None)
     |> Heatmap.of_samples
   in
-  Ok { groups; heatmaps; recovery = recovery_of_samples samples }
+  Ok { groups; heatmaps; recovery = recovery_of_samples samples; audit }
 
 let is_empty t =
   t.heatmaps = []
   && t.recovery = None
+  && t.audit = []
   && List.for_all (fun g -> g.events = []) t.groups
+
+(* ------------------------------------------------------------------ *)
+(* Threshold annotations                                               *)
+
+let annotations t =
+  let presumed =
+    List.length (List.filter (fun a -> a.audit_evidence = "presumed") t.audit)
+  in
+  let anns = [] in
+  let anns =
+    if t.audit = [] then anns
+    else
+      Fmt.str
+        "in-doubt prepares at recovery: %d (threshold 0) — a crash cut \
+         a cross-shard commit between prepare and completion"
+        (List.length t.audit)
+      :: anns
+  in
+  let anns =
+    if presumed = 0 then anns
+    else
+      Fmt.str
+        "presumed-abort resolutions: %d — no surviving decision or \
+         phase-2 evidence; work acknowledged on those shards was rolled \
+         back"
+        presumed
+      :: anns
+  in
+  let anns =
+    match t.recovery with
+    | Some r -> (
+        match List.assoc_opt "tm_recovery_loser_txns_total" r.counts with
+        | Some n when n > 0 ->
+            Fmt.str "loser transactions at restart: %d" n :: anns
+        | _ -> anns)
+    | None -> anns
+  in
+  List.rev anns
 
 (* ------------------------------------------------------------------ *)
 (* Text                                                                *)
@@ -215,6 +327,25 @@ let pp_text ppf t =
       Heatmap.pp_comparison ~by:"setup" ppf t.heatmaps
     end
   end;
+  if t.audit <> [] then begin
+    Fmt.pf ppf "== 2PC in-doubt audit ==@.";
+    Fmt.pf ppf "%d in-doubt prepare(s) resolved at recovery:@."
+      (List.length t.audit);
+    List.iter
+      (fun a ->
+        Fmt.pf ppf "  shard %d: T%d -> %s (evidence: %s)@." a.audit_shard
+          a.audit_tid
+          (if a.audit_commit then "commit" else "abort")
+          a.audit_evidence)
+      t.audit;
+    Fmt.pf ppf "@."
+  end;
+  (match annotations t with
+  | [] -> ()
+  | anns ->
+      Fmt.pf ppf "== anomalies ==@.";
+      List.iter (fun a -> Fmt.pf ppf "!! %s@." a) anns;
+      Fmt.pf ppf "@.");
   match t.recovery with
   | None -> ()
   | Some r ->
@@ -319,11 +450,27 @@ let to_json t =
           Json.Obj (List.map (fun (o, n) -> (o, Json.Int n)) r.per_object) );
       ]
   in
+  let audit_json a =
+    Json.Obj
+      [
+        ("shard", Json.Int a.audit_shard);
+        ("tid", Json.Int a.audit_tid);
+        ("outcome", Json.Str (if a.audit_commit then "commit" else "abort"));
+        ("evidence", Json.Str a.audit_evidence);
+      ]
+  in
   Json.Obj
     ([
        ("groups", Json.List (List.map group_json t.groups));
        ("heatmaps", Json.List (List.map heatmap_json t.heatmaps));
      ]
+    @ (match t.audit with
+      | [] -> []
+      | audit -> [ ("audit", Json.List (List.map audit_json audit)) ])
+    @ (match annotations t with
+      | [] -> []
+      | anns ->
+          [ ("annotations", Json.List (List.map (fun a -> Json.Str a) anns)) ])
     @
     match t.recovery with
     | None -> []
@@ -332,9 +479,23 @@ let to_json t =
 (* ------------------------------------------------------------------ *)
 (* Chrome trace-event (Perfetto) exporter                              *)
 
+(* Shard tracks live far above any transaction track (tids are dense
+   small ints); one track per shard that emitted a 2PC span. *)
+let shard_track shard = 1_000_000 + shard
+
 let to_perfetto t =
   let events = ref [] in
   let push ts j = events := (ts, j) :: !events in
+  (* Flow bookkeeping: one arrow per (participant prepare -> coordinator
+     decision), keyed by the transaction's global trace id within its
+     group (gtids restart at 0 per run, so the group index disambiguates
+     merged multi-run files). *)
+  let flow_prepares : (int * int, (int * int * int) list ref) Hashtbl.t =
+    Hashtbl.create 16 (* (pid, gtid) -> [(pid, shard, ts)] *)
+  in
+  let flow_decisions : (int * int, int * int * int) Hashtbl.t =
+    Hashtbl.create 16 (* (pid, gtid) -> (pid, shard, ts) *)
+  in
   let meta ~pid ?tid ~name value =
     let base =
       [
@@ -384,6 +545,61 @@ let to_perfetto t =
                    ]))
             txn.Timeline.segments)
         txns;
+      (* shard tracks: the 2PC state machine as thin slices, one track
+         per shard, so commit-point latency and prepare skew line up
+         visually across shards *)
+      let shard_named = Hashtbl.create 8 in
+      let shard_slice ~shard ~ts name args =
+        if not (Hashtbl.mem shard_named shard) then begin
+          Hashtbl.add shard_named shard ();
+          meta ~pid ~tid:(shard_track shard) ~name:"thread_name"
+            (Fmt.str "shard %d" shard)
+        end;
+        push ts
+          (Json.Obj
+             [
+               ("ph", Json.Str "X");
+               ("name", Json.Str name);
+               ("cat", Json.Str "2pc");
+               ("ts", Json.Int ts);
+               ("dur", Json.Int 1);
+               ("pid", Json.Int pid);
+               ("tid", Json.Int (shard_track shard));
+               ("args", Json.Obj args);
+             ])
+      in
+      List.iter
+        (fun (e : Trace.event) ->
+          let ts = e.Trace.ts in
+          match e.Trace.kind with
+          | Trace.Prepare_append { shard; gtid } ->
+              shard_slice ~shard ~ts "prepare_append" [ ("gtid", Json.Int gtid) ]
+          | Trace.Prepare_force { shard; lsn; gtid } ->
+              shard_slice ~shard ~ts "prepare_force"
+                [ ("gtid", Json.Int gtid); ("lsn", Json.Int lsn) ];
+              let key = (pid, gtid) in
+              let slot =
+                match Hashtbl.find_opt flow_prepares key with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add flow_prepares key r;
+                    r
+              in
+              slot := (pid, shard, ts) :: !slot
+          | Trace.Decision_force { shard; lsn; gtid; commit } ->
+              shard_slice ~shard ~ts "decision_force"
+                [
+                  ("gtid", Json.Int gtid);
+                  ("lsn", Json.Int lsn);
+                  ("commit", Json.Bool commit);
+                ];
+              Hashtbl.replace flow_decisions (pid, gtid) (pid, shard, ts)
+          | Trace.Completion { shard; gtid; commit } ->
+              shard_slice ~shard ~ts "completion"
+                [ ("gtid", Json.Int gtid); ("commit", Json.Bool commit) ]
+          | _ -> ())
+        g.events;
       (* instants: outcomes on the transaction track, system events on
          track 0 *)
       List.iter
@@ -422,6 +638,37 @@ let to_perfetto t =
           | _ -> ())
         g.events)
     t.groups;
+  (* Flow arrows: participant prepare-durable -> coordinator decision.
+     Each arrow gets its own id; start and finish share (cat, id). *)
+  let flow_id = ref 0 in
+  let flow ~ph ~pid ~shard ~ts ~id extra =
+    push ts
+      (Json.Obj
+         ([
+            ("ph", Json.Str ph);
+            ("name", Json.Str "2pc-commit-point");
+            ("cat", Json.Str "2pc-flow");
+            ("id", Json.Int id);
+            ("ts", Json.Int ts);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int (shard_track shard));
+          ]
+         @ extra))
+  in
+  Hashtbl.iter
+    (fun key (dpid, dshard, dts) ->
+      match Hashtbl.find_opt flow_prepares key with
+      | None -> ()
+      | Some prepares ->
+          List.iter
+            (fun (ppid, pshard, pts) ->
+              let id = !flow_id in
+              incr flow_id;
+              flow ~ph:"s" ~pid:ppid ~shard:pshard ~ts:pts ~id [];
+              flow ~ph:"f" ~pid:dpid ~shard:dshard ~ts:dts ~id
+                [ ("bp", Json.Str "e") ])
+            (List.rev !prepares))
+    flow_decisions;
   let sorted =
     List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
   in

@@ -35,27 +35,57 @@ type recovery = {
   per_object : (string * int) list;  (** object -> replayed operations *)
 }
 
+(** One 2PC in-doubt resolution from a [tm-2pc] audit artifact (see
+    {!Artifact.audit_schema}): a prepare the crash left undecided, the
+    evidence recovery resolved it with, and the outcome appended. *)
+type audit_entry = {
+  audit_shard : int;
+  audit_tid : int;
+  audit_commit : bool;
+  audit_evidence : string;  (** ["decision"], ["phase2"] or ["presumed"] *)
+}
+
 type t = {
   groups : group list;
   heatmaps : Heatmap.t list;
   recovery : recovery option;
       (** present when the metrics snapshot carries [tm_recovery_*]
           samples *)
+  audit : audit_entry list;  (** [[]] when no audit artifact was given *)
 }
 
 (** [groups_of_jsonl s] parses a {!Trace.to_jsonl} dump and splits it by
     extra-field set, preserving first-appearance order. *)
 val groups_of_jsonl : string -> (group list, string) result
 
-(** Build a report from raw file contents.  Either source may be absent;
-    both absent (or both empty) yields an [is_empty] report, which the
+(** Build a report from raw file contents.  Every source may be absent;
+    all absent (or all empty) yields an [is_empty] report, which the
     CLI treats as failure.  Self-describing {!Artifact} headers are
     validated when present: a metrics dump must carry a metrics-family
-    header (the trace side is validated by {!Trace.parse_jsonl}). *)
+    header, an audit dump a [tm-2pc] header (the trace side is
+    validated by {!Trace.parse_jsonl}).
+
+    [traces] (and/or the single [trace_jsonl]) may name several dumps —
+    e.g. one per shard, or one per run: each is parsed with its own
+    header, then groups with identical label sets are coalesced (events
+    appended in input order) and distinct label sets stay separate
+    report sections / Perfetto processes. *)
 val of_sources :
-  ?trace_jsonl:string -> ?metrics_text:string -> unit -> (t, string) result
+  ?trace_jsonl:string ->
+  ?traces:string list ->
+  ?metrics_text:string ->
+  ?audit_jsonl:string ->
+  unit ->
+  (t, string) result
 
 val is_empty : t -> bool
+
+(** Threshold annotations — anomalies worth flagging: any in-doubt
+    prepare at recovery (threshold 0), presumed-abort resolutions (work
+    rolled back with no surviving evidence), loser transactions at
+    restart.  Rendered as the [== anomalies ==] section by {!pp_text}
+    and the ["annotations"] member by {!to_json}. *)
+val annotations : t -> string list
 
 val pp_text : Format.formatter -> t -> unit
 val to_text : t -> string
@@ -67,5 +97,11 @@ val to_json : t -> Json.t
 (** Chrome trace-event JSON ([{"traceEvents":[...]}]).  Events are
     sorted by timestamp; pids number the groups in first-appearance
     order (with [process_name] metadata), tids are transaction ids
-    (track 0 is the system track: checkpoints, recovery). *)
+    (track 0 is the system track: checkpoints, recovery).  Traces with
+    2PC spans additionally get one track per shard (tid
+    [1_000_000 + shard], named ["shard N"]) carrying the
+    prepare/decision/completion slices, plus flow arrows (cat
+    ["2pc-flow"]) from every participant's durable prepare to the
+    coordinator's decision — the commit point and the prepare skew,
+    visually. *)
 val to_perfetto : t -> string

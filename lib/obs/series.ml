@@ -1,0 +1,213 @@
+(* Bounded per-key rings of (time, value) points; see series.mli. *)
+
+type ring = {
+  times : float array;
+  values : float array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+}
+
+type t = {
+  cap : int;
+  rings : (string, ring) Hashtbl.t;
+  mutable order_rev : string list;
+}
+
+let create ?(capacity = 120) () =
+  if capacity < 1 then invalid_arg "Series.create: capacity < 1";
+  { cap = capacity; rings = Hashtbl.create 32; order_rev = [] }
+
+let capacity t = t.cap
+
+let key name labels =
+  match List.sort compare labels with
+  | [] -> name
+  | ls ->
+      Fmt.str "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (k, v) -> Fmt.str "%s=%S" k v) ls))
+
+let ring_of t k =
+  match Hashtbl.find_opt t.rings k with
+  | Some r -> r
+  | None ->
+      let r =
+        {
+          times = Array.make t.cap 0.;
+          values = Array.make t.cap 0.;
+          head = 0;
+          len = 0;
+        }
+      in
+      Hashtbl.add t.rings k r;
+      t.order_rev <- k :: t.order_rev;
+      r
+
+let observe t ~at ~key:k v =
+  let r = ring_of t k in
+  r.times.(r.head) <- at;
+  r.values.(r.head) <- v;
+  r.head <- (r.head + 1) mod t.cap;
+  if r.len < t.cap then r.len <- r.len + 1
+
+let keys t = List.rev t.order_rev
+
+let has_suffix ~suffix s =
+  let ls = String.length suffix and l = String.length s in
+  l >= ls && String.sub s (l - ls) ls = suffix
+
+let sample t ~at samples =
+  List.iter
+    (fun (name, labels, v) ->
+      if not (has_suffix ~suffix:"_bucket" name) then
+        observe t ~at ~key:(key name labels) v)
+    samples
+
+let sample_registry t ~at reg =
+  Metrics.fold reg
+    (fun () name labels metric ->
+      match metric with
+      | Metrics.Counter c ->
+          observe t ~at ~key:(key name labels)
+            (float_of_int (Metrics.Counter.get c))
+      | Metrics.Gauge g -> observe t ~at ~key:(key name labels) (Metrics.Gauge.get g)
+      | Metrics.Histogram h ->
+          observe t ~at
+            ~key:(key (name ^ "_count") labels)
+            (float_of_int (Metrics.Histogram.count h));
+          observe t ~at ~key:(key (name ^ "_sum") labels) (Metrics.Histogram.sum h))
+    ()
+
+let length t k =
+  match Hashtbl.find_opt t.rings k with Some r -> r.len | None -> 0
+
+let points t k =
+  match Hashtbl.find_opt t.rings k with
+  | None -> []
+  | Some r ->
+      List.init r.len (fun i ->
+          let j = (r.head - r.len + i + (2 * t.cap)) mod t.cap in
+          (r.times.(j), r.values.(j)))
+
+let last t k =
+  match Hashtbl.find_opt t.rings k with
+  | Some r when r.len > 0 ->
+      let j = (r.head - 1 + t.cap) mod t.cap in
+      Some (r.times.(j), r.values.(j))
+  | _ -> None
+
+let ends t k =
+  match points t k with
+  | [] | [ _ ] -> None
+  | (t0, v0) :: rest ->
+      let tn, vn = List.nth rest (List.length rest - 1) in
+      Some ((t0, v0), (tn, vn))
+
+let delta t k = Option.map (fun ((_, v0), (_, vn)) -> vn -. v0) (ends t k)
+
+let rate t k =
+  Option.bind (ends t k) (fun ((t0, v0), (tn, vn)) ->
+      if tn -. t0 <= 0. then None else Some ((vn -. v0) /. (tn -. t0)))
+
+let spark_chars = " .:-=+*#%@"
+
+let sparkline ?(width = 32) t k =
+  match points t k with
+  | [] -> ""
+  | pts ->
+      let pts =
+        let n = List.length pts in
+        if n <= width then pts
+        else List.filteri (fun i _ -> i >= n - width) pts
+      in
+      let vs = List.map snd pts in
+      let lo = List.fold_left min infinity vs in
+      let hi = List.fold_left max neg_infinity vs in
+      let levels = String.length spark_chars - 1 in
+      String.concat ""
+        (List.map
+           (fun v ->
+             let i =
+               if hi <= lo then 0
+               else
+                 int_of_float
+                   (Float.round (float_of_int levels *. ((v -. lo) /. (hi -. lo))))
+             in
+             String.make 1 spark_chars.[max 0 (min levels i)])
+           vs)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (at, v) ->
+          Buffer.add_string buf
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("key", Json.Str k);
+                    ("at", Json.Float at);
+                    ("value", Json.Float v);
+                  ]));
+          Buffer.add_char buf '\n')
+        (points t k))
+    (keys t);
+  Buffer.contents buf
+
+let num_member name j =
+  match Json.member name j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let of_jsonl s =
+  match Json.parse_lines s with
+  | Error e -> Error e
+  | Ok docs -> (
+      let docs =
+        match docs with
+        | first :: rest when Artifact.is_header first -> (
+            match
+              Result.bind (Artifact.of_json first)
+                (Artifact.check_schema ~expect:Artifact.series_schema)
+            with
+            | Ok _ -> Ok rest
+            | Error e -> Error e)
+        | docs -> Ok docs
+      in
+      match docs with
+      | Error e -> Error e
+      | Ok docs -> (
+          let parse j =
+            match
+              ( Option.bind (Json.member "key" j) Json.to_str,
+                num_member "at" j,
+                num_member "value" j )
+            with
+            | Some k, Some at, Some v -> Ok (k, at, v)
+            | _ -> Error "series point: expected {key, at, value}"
+          in
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | j :: rest -> (
+                match parse j with
+                | Ok p -> go (p :: acc) rest
+                | Error _ as e -> e)
+          in
+          match go [] docs with
+          | Error e -> Error e
+          | Ok pts ->
+              let counts = Hashtbl.create 16 in
+              List.iter
+                (fun (k, _, _) ->
+                  Hashtbl.replace counts k
+                    (1 + Option.value (Hashtbl.find_opt counts k) ~default:0))
+                pts;
+              let cap = Hashtbl.fold (fun _ n acc -> max n acc) counts 1 in
+              let t = create ~capacity:cap () in
+              List.iter (fun (k, at, v) -> observe t ~at ~key:k v) pts;
+              Ok t))

@@ -1,0 +1,78 @@
+(** Ring-buffer time series over metrics samples — the data model of the
+    live shard health monitor ([bin/shardmon.exe]).
+
+    A sampler holds one bounded ring per series key (a metric name plus
+    its rendered label set); each {!observe} appends a [(time, value)]
+    point, evicting the oldest once the ring is full.  Sources are
+    either a live {!Metrics.t} registry ({!sample_registry}) or the
+    samples of a parsed Prometheus snapshot ({!sample}), so the monitor
+    can attach to a running process through nothing more than a
+    periodically rewritten metrics file.
+
+    Snapshots export as a [tm-series] JSONL artifact
+    ({!Artifact.series_schema}) — one point per line — and re-import
+    with {!of_jsonl} for offline diffing of two monitoring sessions. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is the per-key ring size (default 120 — two minutes of
+    1 Hz samples).  Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+
+(** {1 Keys}
+
+    A series key is the Prometheus-style rendering
+    [name] or [name{k="v",k2="v2"}] with label keys sorted, so the same
+    series always lands in the same ring regardless of source. *)
+
+val key : string -> (string * string) list -> string
+
+val keys : t -> string list
+(** First-observation order. *)
+
+(** {1 Feeding} *)
+
+val observe : t -> at:float -> key:string -> float -> unit
+
+val sample : t -> at:float -> (string * (string * string) list * float) list -> unit
+(** Feed the samples of a parsed Prometheus snapshot
+    ({!Heatmap.parse_prometheus}).  Histogram [_bucket] series are
+    skipped (the ring would drown in [le] labels); [_sum]/[_count]
+    series are kept, so rates and means stay derivable. *)
+
+val sample_registry : t -> at:float -> Metrics.t -> unit
+(** Sample a live registry: counters and gauges one point each,
+    histograms as [name_count] and [name_sum]. *)
+
+(** {1 Reading} *)
+
+val length : t -> string -> int
+val points : t -> string -> (float * float) list  (** oldest first *)
+
+val last : t -> string -> (float * float) option
+
+val delta : t -> string -> float option
+(** Newest value minus oldest value in the window; [None] with fewer
+    than two points. *)
+
+val rate : t -> string -> float option
+(** [delta] per second over the window's time span; [None] with fewer
+    than two points or a non-positive span. *)
+
+val sparkline : ?width:int -> t -> string -> string
+(** The newest [width] (default 32) points as an ASCII bar, scaled to
+    the window's min/max; empty string for an unknown key. *)
+
+(** {1 Snapshots} *)
+
+val to_jsonl : t -> string
+(** Body lines only ([{"key":..,"at":..,"value":..}], oldest first per
+    key, keys in first-observation order); callers prepend an
+    {!Artifact.series_schema} header line. *)
+
+val of_jsonl : string -> (t, string) result
+(** Inverse of {!to_jsonl}.  A leading [tm-series] artifact header is
+    validated and skipped; the ring capacity is sized to the largest
+    per-key point count. *)

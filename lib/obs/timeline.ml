@@ -6,6 +6,9 @@ type phase =
   | Stall
   | Validate
   | Flush_wait
+  | Prepare
+  | Decide
+  | Complete
 
 let phase_name = function
   | Run -> "run"
@@ -13,8 +16,12 @@ let phase_name = function
   | Stall -> "stall"
   | Validate -> "validate"
   | Flush_wait -> "flush_wait"
+  | Prepare -> "prepare"
+  | Decide -> "decide"
+  | Complete -> "complete"
 
-let all_phases = [ Run; Lock_wait; Stall; Validate; Flush_wait ]
+let all_phases =
+  [ Run; Lock_wait; Stall; Validate; Flush_wait; Prepare; Decide; Complete ]
 
 type segment = {
   phase : phase;
@@ -107,6 +114,16 @@ let of_events events =
           | Trace.Validated _ -> switch b e.Trace.ts Run None
           | Trace.Wal_flush_wait _ -> switch b e.Trace.ts Flush_wait None
           | Trace.Durable _ -> switch b e.Trace.ts Run None
+          (* 2PC decomposition of a cross-shard commit: vote collection
+             ([Prepare]), the in-doubt window from the first durable vote
+             to the forced decision ([Decide]), then lazy phase-2
+             application ([Complete]).  Per-participant Commit/Abort
+             events flip briefly back to [Run]; the tiling invariant is
+             indifferent to how finely the tail alternates. *)
+          | Trace.Prepare_append _ -> switch b e.Trace.ts Prepare None
+          | Trace.Prepare_force _ -> switch b e.Trace.ts Decide None
+          | Trace.Decision_force _ | Trace.Completion _ ->
+              switch b e.Trace.ts Complete None
           | Trace.Commit ->
               switch b e.Trace.ts Run None;
               b.b_outcome <- Committed
@@ -154,14 +171,16 @@ let consistent t =
   = List.fold_left (fun acc s -> acc + (s.stop_ts - s.start_ts)) 0 t.segments
 
 let pp ppf txns =
-  Fmt.pf ppf "%-5s %-10s %6s %6s %6s %9s %6s %8s %10s@." "tid" "outcome" "span"
-    "run" "lockw" "stall" "valid" "flushw" "check";
+  Fmt.pf ppf "%-5s %-10s %6s %6s %6s %9s %6s %8s %6s %6s %6s %10s@." "tid"
+    "outcome" "span" "run" "lockw" "stall" "valid" "flushw" "prep" "decide"
+    "compl" "check";
   List.iter
     (fun t ->
-      Fmt.pf ppf "%-5s %-10s %6d %6d %6d %9d %6d %8d %10s@." (Tid.to_string t.tid)
-        (outcome_name t.outcome) (duration t) (phase_total t Run)
-        (phase_total t Lock_wait) (phase_total t Stall) (phase_total t Validate)
-        (phase_total t Flush_wait)
+      Fmt.pf ppf "%-5s %-10s %6d %6d %6d %9d %6d %8d %6d %6d %6d %10s@."
+        (Tid.to_string t.tid) (outcome_name t.outcome) (duration t)
+        (phase_total t Run) (phase_total t Lock_wait) (phase_total t Stall)
+        (phase_total t Validate) (phase_total t Flush_wait)
+        (phase_total t Prepare) (phase_total t Decide) (phase_total t Complete)
         (if consistent t then "ok" else "BROKEN"))
     txns
 
@@ -171,6 +190,9 @@ let phase_char = function
   | Stall -> '.'
   | Validate -> 'v'
   | Flush_wait -> '~'
+  | Prepare -> 'p'
+  | Decide -> 'd'
+  | Complete -> 'c'
 
 let pp_bars ~width ppf txns =
   if width < 1 then invalid_arg "Timeline.pp_bars: width < 1";

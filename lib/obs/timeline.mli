@@ -9,7 +9,12 @@
       (blocked on {e state}, not on a lock);
     - {!Validate} — commit-time backward validation (optimistic
       objects);
-    - {!Flush_wait} — parked on the group-commit durability watermark.
+    - {!Flush_wait} — parked on the group-commit durability watermark;
+    - {!Prepare} — a cross-shard commit collecting participant yes
+      votes (2PC phase 1);
+    - {!Decide} — the in-doubt window: votes durable, decision not yet
+      forced;
+    - {!Complete} — decision durable, lazy phase-2 application running.
 
     Durations are logical: the trace clock advances by one per emitted
     event, so a phase's duration measures how much {e global engine
@@ -26,6 +31,9 @@ type phase =
   | Stall
   | Validate
   | Flush_wait
+  | Prepare
+  | Decide
+  | Complete
 
 val phase_name : phase -> string
 val all_phases : phase list
@@ -73,5 +81,5 @@ val pp : Format.formatter -> txn list -> unit
 
 (** [pp_bars ~width] renders each transaction as an aligned bar over the
     global clock ([=] run, [x] lock wait, [.] stall, [v] validate,
-    [~] flush wait). *)
+    [~] flush wait, [p] prepare, [d] decide, [c] complete). *)
 val pp_bars : width:int -> Format.formatter -> txn list -> unit

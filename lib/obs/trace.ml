@@ -20,6 +20,10 @@ type kind =
   | Checkpoint of { ops : int }
   | Crash_recover of { replayed : int; losers : int }
   | Recovery_phase of { phase : string; wall_us : int; items : int }
+  | Prepare_append of { shard : int; gtid : int }
+  | Prepare_force of { shard : int; lsn : int; gtid : int }
+  | Decision_force of { shard : int; lsn : int; gtid : int; commit : bool }
+  | Completion of { shard : int; gtid : int; commit : bool }
 
 type event = {
   ts : int;
@@ -82,6 +86,10 @@ let kind_name = function
   | Checkpoint _ -> "checkpoint"
   | Crash_recover _ -> "crash_recover"
   | Recovery_phase _ -> "recovery_phase"
+  | Prepare_append _ -> "prepare_append"
+  | Prepare_force _ -> "prepare_force"
+  | Decision_force _ -> "decision_force"
+  | Completion _ -> "completion"
 
 (* ------------------------------------------------------------------ *)
 (* JSON-lines export (hand-rolled; the repo deliberately has no JSON
@@ -154,6 +162,27 @@ let kind_fields = function
         ("wall_us", string_of_int wall_us);
         ("items", string_of_int items);
       ]
+  | Prepare_append { shard; gtid } ->
+      [ ("shard", string_of_int shard); ("gtid", string_of_int gtid) ]
+  | Prepare_force { shard; lsn; gtid } ->
+      [
+        ("shard", string_of_int shard);
+        ("lsn", string_of_int lsn);
+        ("gtid", string_of_int gtid);
+      ]
+  | Decision_force { shard; lsn; gtid; commit } ->
+      [
+        ("shard", string_of_int shard);
+        ("lsn", string_of_int lsn);
+        ("gtid", string_of_int gtid);
+        ("commit", string_of_bool commit);
+      ]
+  | Completion { shard; gtid; commit } ->
+      [
+        ("shard", string_of_int shard);
+        ("gtid", string_of_int gtid);
+        ("commit", string_of_bool commit);
+      ]
 
 let event_to_json ?(extra = []) e =
   json_obj
@@ -223,6 +252,11 @@ let tids_of_json name j =
         l
   | None -> raise (Bad_event (Fmt.str "field %S: expected an array" name))
 
+let bool_field name j =
+  match field name j with
+  | Json.Bool b -> b
+  | _ -> raise (Bad_event (Fmt.str "field %S: expected a boolean" name))
+
 let op_of_json j =
   { Op.obj = str_field "obj" j; inv = inv_of_json (field "op" j);
     res = value_of_json (field "res" j) }
@@ -240,10 +274,7 @@ let kind_of_json name j =
       No_response { obj = str_field "obj" j; inv = inv_of_json (field "op" j) }
   | "woken" -> Woken { obj = str_field "obj" j; waited = int_field "waited" j }
   | "validating" -> Validating
-  | "validated" -> (
-      match field "ok" j with
-      | Json.Bool ok -> Validated { ok }
-      | _ -> raise (Bad_event "field \"ok\": expected a boolean"))
+  | "validated" -> Validated { ok = bool_field "ok" j }
   | "commit" -> Commit
   | "abort" -> Abort
   | "deadlock_victim" -> Deadlock_victim { cycle = tids_of_json "cycle" j }
@@ -259,6 +290,20 @@ let kind_of_json name j =
       Recovery_phase
         { phase = str_field "phase" j; wall_us = int_field "wall_us" j;
           items = int_field "items" j }
+  | "prepare_append" ->
+      Prepare_append { shard = int_field "shard" j; gtid = int_field "gtid" j }
+  | "prepare_force" ->
+      Prepare_force
+        { shard = int_field "shard" j; lsn = int_field "lsn" j;
+          gtid = int_field "gtid" j }
+  | "decision_force" ->
+      Decision_force
+        { shard = int_field "shard" j; lsn = int_field "lsn" j;
+          gtid = int_field "gtid" j; commit = bool_field "commit" j }
+  | "completion" ->
+      Completion
+        { shard = int_field "shard" j; gtid = int_field "gtid" j;
+          commit = bool_field "commit" j }
   | other -> raise (Bad_event (Fmt.str "unknown event kind %S" other))
 
 (* The fields each kind consumes, so whatever else rides on the line
@@ -278,6 +323,10 @@ let known_fields = function
   | "checkpoint" -> [ "ops" ]
   | "crash_recover" -> [ "replayed"; "losers" ]
   | "recovery_phase" -> [ "phase"; "wall_us"; "items" ]
+  | "prepare_append" -> [ "shard"; "gtid" ]
+  | "prepare_force" -> [ "shard"; "lsn"; "gtid" ]
+  | "decision_force" -> [ "shard"; "lsn"; "gtid"; "commit" ]
+  | "completion" -> [ "shard"; "gtid"; "commit" ]
   | _ -> []
 
 let event_of_json j =

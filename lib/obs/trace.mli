@@ -43,6 +43,17 @@ type kind =
   | Recovery_phase of { phase : string; wall_us : int; items : int }
       (** one restart-profiler phase ({!Recovery_profile.phase_name}):
           wall time in microseconds and the phase's item count *)
+  | Prepare_append of { shard : int; gtid : int }
+      (** a participant shard logged its 2PC yes vote; [gtid] is the
+          engine-wide trace id of the distributed transaction *)
+  | Prepare_force of { shard : int; lsn : int; gtid : int }
+      (** the participant's vote reached disk ([lsn] durable) — from
+          here until the decision forces, the prepare is in doubt *)
+  | Decision_force of { shard : int; lsn : int; gtid : int; commit : bool }
+      (** the coordinator shard's decision record is durable: the
+          global commit point of transaction [gtid] *)
+  | Completion of { shard : int; gtid : int; commit : bool }
+      (** phase 2 applied on a participant (lazy, unforced) *)
 
 type event = {
   ts : int;  (** monotonic logical timestamp, unique per recorder *)

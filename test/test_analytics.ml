@@ -387,8 +387,13 @@ let test_perfetto_golden () =
         | None -> false);
       check_int "two processes" 2
         (List.length (List.sort_uniq compare (List.map fst meta_names)));
-      (* every slice carries pid/tid/dur and a known phase name *)
+      (* every slice carries pid/tid/dur; phase-track slices (cat
+         "phase") use known phase names, shard-track slices (cat "2pc")
+         use the 2PC span kind names *)
       let phase_names = List.map Timeline.phase_name Timeline.all_phases in
+      let twopc_names =
+        [ "prepare_append"; "prepare_force"; "decision_force"; "completion" ]
+      in
       List.iter
         (fun e ->
           match Json.member "ph" e with
@@ -397,7 +402,12 @@ let test_perfetto_golden () =
               check_bool "slice has tid" true (Json.member "tid" e <> None);
               (match (Json.member "name" e, Json.member "dur" e) with
               | Some (Json.Str n), Some (Json.Int d) ->
-                  check_bool ("phase name " ^ n) true (List.mem n phase_names);
+                  let expected =
+                    match Json.member "cat" e with
+                    | Some (Json.Str "2pc") -> twopc_names
+                    | _ -> phase_names
+                  in
+                  check_bool ("slice name " ^ n) true (List.mem n expected);
                   check_bool "positive dur" true (d > 0)
               | _ -> Alcotest.fail "slice missing name/dur")
           | _ -> ())
@@ -407,6 +417,222 @@ let test_report_empty_sources () =
   match Report.of_sources () with
   | Ok rep -> check_bool "empty" true (Report.is_empty rep)
   | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Export→import identity pinned across ALL span kinds, the four 2PC
+   kinds included (QCheck over the field values).                      *)
+
+let all_kinds_of_seed seed =
+  let rng = Random.State.make [| seed; 0x2bc |] in
+  let i n = Random.State.int rng n in
+  let b () = Random.State.bool rng in
+  let inv = Op.invocation ~args:[ Value.int (i 100) ] "deposit" in
+  let op =
+    Op.make ~obj:"BA" ~args:[ Value.int (i 100) ] "deposit" (Value.int (i 100))
+  in
+  [
+    Trace.Begin;
+    Trace.Invoke { obj = "BA"; inv };
+    Trace.Executed { op };
+    Trace.Blocked { obj = "BA"; inv; holders = [ Tid.of_int (i 9) ] };
+    Trace.No_response { obj = "BA"; inv };
+    Trace.Woken { obj = "BA"; waited = i 30 };
+    Trace.Validating;
+    Trace.Validated { ok = b () };
+    Trace.Commit;
+    Trace.Abort;
+    Trace.Deadlock_victim { cycle = [ Tid.of_int (i 9); Tid.of_int (9 + i 9) ] };
+    Trace.Lock_release { obj = "BA" };
+    Trace.Wal_append { record = "commit" };
+    Trace.Wal_force;
+    Trace.Wal_flush_wait { upto = i 1000 };
+    Trace.Durable { lsn = i 1000 };
+    Trace.Checkpoint { ops = i 64 };
+    Trace.Crash_recover { replayed = i 100; losers = i 8 };
+    Trace.Recovery_phase { phase = "scan"; wall_us = i 10_000; items = i 500 };
+    Trace.Prepare_append { shard = i 8; gtid = i 40 };
+    Trace.Prepare_force { shard = i 8; lsn = i 1000; gtid = i 40 };
+    Trace.Decision_force { shard = i 8; lsn = i 1000; gtid = i 40; commit = b () };
+    Trace.Completion { shard = i 8; gtid = i 40; commit = b () };
+  ]
+
+let all_kinds_gen = QCheck2.Gen.(int_bound 100_000)
+
+let all_kinds_roundtrip_prop seed =
+  let kinds = all_kinds_of_seed seed in
+  (* one event per kind: the list above must never silently miss one *)
+  List.length (List.sort_uniq compare (List.map Trace.kind_name kinds))
+  = List.length kinds
+  &&
+  let events =
+    List.mapi
+      (fun idx k ->
+        { Trace.ts = idx; tid = Some (Tid.of_int (idx mod 7)); kind = k })
+      kinds
+  in
+  let dumped = Trace.to_jsonl (Trace.of_events events) in
+  match Trace.parse_jsonl dumped with
+  | Error _ -> false
+  | Ok lines ->
+      List.length lines = List.length events
+      && List.for_all2
+           (fun e (e', extras) -> e = e' && extras = [])
+           events lines
+
+(* ------------------------------------------------------------------ *)
+(* Multi-trace merge: identical label sets coalesce, distinct ones stay
+   separate groups.                                                    *)
+
+let test_report_multi_trace_merge () =
+  let tr = recorded_trace () in
+  let dump extra = Trace.to_jsonl ~extra tr in
+  let d1 = dump [ ("scenario", "s"); ("seed", "1") ] in
+  let d2 = dump [ ("scenario", "s"); ("seed", "2") ] in
+  match Report.of_sources ~traces:[ d1; d1; d2 ] () with
+  | Error e -> Alcotest.fail e
+  | Ok rep -> (
+      check_int "identical label sets coalesce" 2 (List.length rep.Report.groups);
+      let n = List.length (Trace.events tr) in
+      match rep.Report.groups with
+      | [ g1; g2 ] ->
+          check_bool "first-appearance order" true
+            (List.assoc_opt "seed" g1.Report.group_labels = Some "1");
+          check_int "coalesced group holds both dumps' events" (2 * n)
+            (List.length g1.Report.events);
+          check_int "distinct label set stays separate" n
+            (List.length g2.Report.events)
+      | _ -> Alcotest.fail "expected two groups")
+
+(* ------------------------------------------------------------------ *)
+(* 2PC spans: timeline tiling of the new phases, audit rendering, and
+   the Perfetto shard tracks + flow arrows.                            *)
+
+let twopc_events =
+  let tid = Tid.of_int 1 in
+  List.mapi
+    (fun i k -> { Trace.ts = i; tid = Some tid; kind = k })
+    [
+      Trace.Begin;
+      Trace.Prepare_append { shard = 0; gtid = 0 };
+      Trace.Prepare_force { shard = 0; lsn = 3; gtid = 0 };
+      Trace.Prepare_append { shard = 1; gtid = 0 };
+      Trace.Prepare_force { shard = 1; lsn = 5; gtid = 0 };
+      Trace.Decision_force { shard = 0; lsn = 6; gtid = 0; commit = true };
+      Trace.Completion { shard = 0; gtid = 0; commit = true };
+      Trace.Completion { shard = 1; gtid = 0; commit = true };
+      Trace.Commit;
+    ]
+
+let test_timeline_tiling_2pc () =
+  let txns = Timeline.of_events twopc_events in
+  assert_tiling txns;
+  match txns with
+  | [ t ] ->
+      check_bool "prepare ticks" true (Timeline.phase_total t Timeline.Prepare > 0);
+      check_bool "decide ticks" true (Timeline.phase_total t Timeline.Decide > 0);
+      check_bool "complete ticks" true
+        (Timeline.phase_total t Timeline.Complete > 0)
+  | _ -> Alcotest.fail "one transaction expected"
+
+let audit_jsonl =
+  "{\"meta\":{\"schema\":\"tm-2pc/1\",\"binary\":\"test\"}}\n\
+   {\"shard\":0,\"tid\":7,\"outcome\":\"commit\",\"evidence\":\"decision\"}\n\
+   {\"shard\":2,\"tid\":9,\"outcome\":\"abort\",\"evidence\":\"presumed\"}\n"
+
+let test_report_audit_section () =
+  match Report.of_sources ~audit_jsonl () with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+      check_bool "audit alone is not empty" true (not (Report.is_empty rep));
+      check_int "entries" 2 (List.length rep.Report.audit);
+      let text = Report.to_text rep in
+      List.iter
+        (fun needle -> check_bool needle true (contains text needle))
+        [
+          "2PC in-doubt audit";
+          "shard 0: T7 -> commit (evidence: decision)";
+          "shard 2: T9 -> abort (evidence: presumed)";
+          "anomalies";
+          "in-doubt prepares at recovery: 2";
+        ];
+      check_bool "presumed annotation" true
+        (List.exists
+           (fun a -> contains a "presumed")
+           (Report.annotations rep));
+      (match Report.to_json rep with
+      | Json.Obj members ->
+          check_bool "json audit member" true (List.mem_assoc "audit" members);
+          check_bool "json annotations member" true
+            (List.mem_assoc "annotations" members)
+      | _ -> Alcotest.fail "object expected")
+
+let test_report_audit_bad_header () =
+  let bad =
+    "{\"meta\":{\"schema\":\"tm-trace/1\",\"binary\":\"test\"}}\n\
+     {\"shard\":0,\"tid\":7,\"outcome\":\"commit\",\"evidence\":\"decision\"}\n"
+  in
+  check_bool "wrong schema family rejected" true
+    (Result.is_error (Report.of_sources ~audit_jsonl:bad ()))
+
+let test_perfetto_shard_tracks_and_flows () =
+  let tr = Trace.of_events twopc_events in
+  match Report.of_sources ~trace_jsonl:(Trace.to_jsonl tr) () with
+  | Error e -> Alcotest.fail e
+  | Ok rep -> (
+      let out = Report.to_perfetto rep in
+      match Json.parse out with
+      | Error e -> Alcotest.fail ("invalid JSON: " ^ e)
+      | Ok j ->
+          let events =
+            match Json.member "traceEvents" j with
+            | Some (Json.List es) -> es
+            | _ -> Alcotest.fail "no traceEvents array"
+          in
+          let with_cat cat =
+            List.filter (fun e -> Json.member "cat" e = Some (Json.Str cat)) events
+          in
+          let tids_of es =
+            List.sort_uniq compare
+              (List.filter_map
+                 (fun e ->
+                   match Json.member "tid" e with
+                   | Some (Json.Int t) -> Some t
+                   | _ -> None)
+                 es)
+          in
+          check_bool "one track per shard at 1_000_000+shard" true
+            (tids_of (with_cat "2pc") = [ 1_000_000; 1_000_001 ]);
+          (* every shard track is named by thread_name metadata *)
+          let thread_names =
+            List.filter_map
+              (fun e ->
+                match (Json.member "ph" e, Json.member "name" e) with
+                | Some (Json.Str "M"), Some (Json.Str "thread_name") -> (
+                    match (Json.member "tid" e, Json.member "args" e) with
+                    | Some (Json.Int t), Some args when t >= 1_000_000 -> (
+                        match Json.member "name" args with
+                        | Some (Json.Str n) -> Some (t, n)
+                        | _ -> None)
+                    | _ -> None)
+                | _ -> None)
+              events
+          in
+          check_bool "shard 0 track named" true
+            (List.assoc_opt 1_000_000 thread_names = Some "shard 0");
+          check_bool "shard 1 track named" true
+            (List.assoc_opt 1_000_001 thread_names = Some "shard 1");
+          let flows = with_cat "2pc-flow" in
+          let ph p =
+            List.filter (fun e -> Json.member "ph" e = Some (Json.Str p)) flows
+          in
+          check_int "one flow start per durable prepare" 2 (List.length (ph "s"));
+          check_int "flow finishes pair the starts" 2 (List.length (ph "f"));
+          (* the finish ends of both arrows land on the decision slice *)
+          List.iter
+            (fun e ->
+              check_int "finish at the decision's position" 5
+                (match Json.member "ts" e with Some (Json.Int t) -> t | _ -> -1))
+            (ph "f"))
 
 let suite =
   [
@@ -432,4 +658,14 @@ let suite =
     Alcotest.test_case "report groups and text" `Quick test_report_groups_and_text;
     Alcotest.test_case "perfetto exporter golden" `Quick test_perfetto_golden;
     Alcotest.test_case "report of empty sources" `Quick test_report_empty_sources;
+    Helpers.qcheck ~count:50 "export→import identity over all span kinds"
+      all_kinds_gen all_kinds_roundtrip_prop;
+    Alcotest.test_case "multi-trace merge" `Quick test_report_multi_trace_merge;
+    Alcotest.test_case "timeline tiling (2pc phases)" `Quick
+      test_timeline_tiling_2pc;
+    Alcotest.test_case "report audit section" `Quick test_report_audit_section;
+    Alcotest.test_case "report audit bad header" `Quick
+      test_report_audit_bad_header;
+    Alcotest.test_case "perfetto shard tracks and flows" `Quick
+      test_perfetto_shard_tracks_and_flows;
   ]

@@ -523,6 +523,91 @@ let trace_roundtrip_prop (seed, s, scenario) =
       in
       History.is_well_formed h && Atomicity.is_online_dynamic_atomic env h
 
+(* ------------------------------------------------------------------ *)
+(* Series: the ring-buffer sampler behind shardmon.                    *)
+
+module Series = Tm_obs.Series
+module Heatmap = Tm_obs.Heatmap
+
+let check_points = Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+
+let test_series_ring_and_rates () =
+  let s = Series.create ~capacity:3 () in
+  let k = Series.key "tm_x" [ ("b", "2"); ("a", "1") ] in
+  Alcotest.(check string) "labels render sorted" "tm_x{a=\"1\",b=\"2\"}" k;
+  Alcotest.(check string) "no labels" "tm_y" (Series.key "tm_y" []);
+  List.iteri
+    (fun i v -> Series.observe s ~at:(float_of_int i) ~key:k (float_of_int v))
+    [ 0; 10; 20; 30; 40 ];
+  Helpers.check_int "ring clamps to capacity" 3 (Series.length s k);
+  check_points "oldest points evicted"
+    [ (2., 20.); (3., 30.); (4., 40.) ]
+    (Series.points s k);
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9))))
+    "last" (Some (4., 40.)) (Series.last s k);
+  check_float_opt "delta over the window" (Some 20.) (Series.delta s k);
+  check_float_opt "rate per second" (Some 10.) (Series.rate s k);
+  check_float_opt "rate needs two points" None
+    (let s1 = Series.create () in
+     Series.observe s1 ~at:0. ~key:"k" 1.;
+     Series.rate s1 "k");
+  Helpers.check_bool "sparkline non-empty" true (Series.sparkline s k <> "");
+  Alcotest.(check string) "sparkline of unknown key" "" (Series.sparkline s "nope")
+
+let test_series_sampling_sources () =
+  let s = Series.create () in
+  let body =
+    "tm_txn_committed_total{shard=\"0\"} 5\n\
+     tm_latency_bucket{le=\"10\"} 3\n\
+     tm_latency_sum 12.5\n\
+     tm_latency_count 3\n"
+  in
+  (match Heatmap.parse_prometheus body with
+  | Error e -> Alcotest.fail e
+  | Ok samples -> Series.sample s ~at:1. samples);
+  Helpers.check_bool "_bucket series skipped" true
+    (not (List.exists (fun k -> contains k "_bucket") (Series.keys s)));
+  check_float_opt "snapshot sums kept" (Some 12.5)
+    (Option.map snd (Series.last s "tm_latency_sum"));
+  check_float_opt "labeled counter sampled" (Some 5.)
+    (Option.map snd
+       (Series.last s (Series.key "tm_txn_committed_total" [ ("shard", "0") ])));
+  (* Registry source: histograms flatten to _count/_sum points. *)
+  let reg = Metrics.create () in
+  Metrics.Counter.incr ~by:7 (Metrics.counter reg ~labels:[ ("shard", "1") ] "tm_c");
+  let h = Metrics.histogram reg ~buckets:[| 10. |] "tm_h" in
+  Metrics.Histogram.observe h 4.;
+  Series.sample_registry s ~at:2. reg;
+  check_float_opt "registry counter" (Some 7.)
+    (Option.map snd (Series.last s (Series.key "tm_c" [ ("shard", "1") ])));
+  check_float_opt "histogram count" (Some 1.)
+    (Option.map snd (Series.last s "tm_h_count"));
+  check_float_opt "histogram sum" (Some 4.)
+    (Option.map snd (Series.last s "tm_h_sum"))
+
+let test_series_jsonl_roundtrip () =
+  let s = Series.create ~capacity:8 () in
+  let k1 = Series.key "tm_a" []
+  and k2 = Series.key "tm_b" [ ("shard", "0") ] in
+  List.iter (fun (t, v) -> Series.observe s ~at:t ~key:k1 v) [ (0., 1.); (1., 2.) ];
+  Series.observe s ~at:0.5 ~key:k2 9.;
+  let header = Artifact.header_line (Artifact.make ~schema:Artifact.series_schema ()) in
+  (match Series.of_jsonl (header ^ Series.to_jsonl s) with
+  | Error e -> Alcotest.fail e
+  | Ok s' ->
+      Alcotest.(check (list string))
+        "keys preserved in order" (Series.keys s) (Series.keys s');
+      List.iter
+        (fun k -> check_points k (Series.points s k) (Series.points s' k))
+        (Series.keys s));
+  (match
+     Series.of_jsonl
+       (Artifact.header_line (Artifact.make ~schema:Artifact.trace_schema ())
+       ^ Series.to_jsonl s)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign artifact header accepted")
+
 let suite =
   [
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
@@ -556,4 +641,10 @@ let suite =
     Alcotest.test_case "scheduler row counters" `Quick test_scheduler_row_counters;
     Helpers.qcheck ~count:30 "trace -> history round trip accepted by checker"
       trace_roundtrip_gen trace_roundtrip_prop;
+    Alcotest.test_case "series ring eviction and rates" `Quick
+      test_series_ring_and_rates;
+    Alcotest.test_case "series sampling sources" `Quick
+      test_series_sampling_sources;
+    Alcotest.test_case "series jsonl round trip" `Quick
+      test_series_jsonl_roundtrip;
   ]

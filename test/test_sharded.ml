@@ -19,6 +19,8 @@ module DD = Tm_engine.Durable_database
 module SD = Tm_engine.Sharded_database
 module Two_phase = Tm_engine.Two_phase
 module Metrics = Tm_obs.Metrics
+module Trace = Tm_obs.Trace
+module Timeline = Tm_obs.Timeline
 module BA = Tm_adt.Bank_account
 
 let deposit_inv i = Op.invocation ~args:[ Value.int i ] "deposit"
@@ -371,6 +373,153 @@ let test_recover_in_doubt_presumed_abort () =
     (fun d -> Helpers.check_bool "nothing left in doubt" true (d = []))
     a.Two_phase.in_doubt
 
+(* --- resolution events: the structured audit trail --- *)
+
+let test_resolution_events_evidence_kinds () =
+  let logs =
+    [|
+      (* a: in doubt here, the Decision survives on shard 1 *)
+      [ Wal.Prepare Tid.a ];
+      [ Wal.Prepare Tid.a; Wal.Decision { tid = Tid.a; commit = true } ];
+      (* b: in doubt here, a peer's phase-2 Commit survives on shard 3 *)
+      [ Wal.Prepare Tid.b ];
+      [ Wal.Prepare Tid.b; Wal.Commit Tid.b ];
+      (* c: no evidence anywhere — presumed abort *)
+      [ Wal.Prepare Tid.c ];
+    |]
+  in
+  let evs = Two_phase.resolution_events (Two_phase.analyze logs) in
+  (* shards 0, 1 (its own prepare has no local outcome either), 2, 4 *)
+  Helpers.check_int "event count" 4 (List.length evs);
+  let find shard = List.find (fun e -> e.Two_phase.ev_shard = shard) evs in
+  let e0 = find 0 in
+  Helpers.check_bool "decision evidence commits" true
+    (e0.Two_phase.ev_commit
+    && e0.Two_phase.ev_evidence = Two_phase.Decision_record);
+  let e2 = find 2 in
+  Helpers.check_bool "phase-2 evidence commits" true
+    (e2.Two_phase.ev_commit
+    && e2.Two_phase.ev_evidence = Two_phase.Phase2_record);
+  let e4 = find 4 in
+  Helpers.check_bool "no evidence presumes abort" true
+    ((not e4.Two_phase.ev_commit)
+    && e4.Two_phase.ev_evidence = Two_phase.Presumed);
+  (* the JSONL render feeds straight back into the report parser *)
+  let jsonl =
+    "{\"meta\":{\"schema\":\"tm-2pc/1\",\"binary\":\"test\"}}\n"
+    ^ Two_phase.events_to_jsonl evs
+  in
+  match Tm_obs.Report.of_sources ~audit_jsonl:jsonl () with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+      Helpers.check_int "report parses every event" 4
+        (List.length rep.Tm_obs.Report.audit)
+
+let test_resolution_idempotent_after_recovery () =
+  let n = 2 in
+  let names = names_per_shard n in
+  let tid = Tid.of_int 0 in
+  let wals = Array.init n (fun _ -> Wal.create ()) in
+  List.iter (Wal.append wals.(0))
+    [
+      Wal.Begin tid;
+      Wal.Operation (tid, dep_on names.(0) 5);
+      Wal.Prepare tid;
+      Wal.Decision { tid; commit = true };
+    ];
+  List.iter (Wal.append wals.(1))
+    [ Wal.Begin tid; Wal.Operation (tid, dep_on names.(1) 7); Wal.Prepare tid ];
+  let rebuild () = Array.to_list (Array.map account names) in
+  let first = ref [] in
+  (match SD.recover ~audit:(fun evs -> first := evs) ~wals ~rebuild () with
+  | Error e -> Alcotest.failf "recover refused: %a" Recovery.pp_error e
+  | Ok (db, _) ->
+      Helpers.check_int "resolved commits counted" 2
+        (Metrics.counter_value (SD.metrics db)
+           ~labels:[ ("evidence", "decision"); ("outcome", "commit") ]
+           "tm_2pc_resolved_total"));
+  Helpers.check_int "first recovery audits both dangling prepares" 2
+    (List.length !first);
+  List.iter
+    (fun e ->
+      Helpers.check_bool "decision evidence, commit outcome" true
+        (e.Two_phase.ev_commit
+        && e.Two_phase.ev_evidence = Two_phase.Decision_record))
+    !first;
+  (* Recovery appended real outcomes, so re-analyzing the same logs — or
+     recovering them again — finds nothing in doubt and audits nothing. *)
+  Helpers.check_bool "re-analysis emits no events" true
+    (Two_phase.resolution_events (Two_phase.analyze (Array.map Wal.records wals))
+    = []);
+  let second = ref None in
+  (match SD.recover ~audit:(fun evs -> second := Some evs) ~wals ~rebuild () with
+  | Error e -> Alcotest.failf "second recover refused: %a" Recovery.pp_error e
+  | Ok (db, _) ->
+      Helpers.check_int "second recovery resolves nothing" 0
+        (Metrics.counter_value (SD.metrics db)
+           ~labels:[ ("evidence", "decision"); ("outcome", "commit") ]
+           "tm_2pc_resolved_total"));
+  Helpers.check_bool "second audit trail is empty" true (!second = Some [])
+
+(* --- the shared trace recorder: 2PC spans with one logical clock --- *)
+
+let test_sharded_trace_spans () =
+  let db, _wals, names = mk_sharded 2 in
+  let tr = Trace.create () in
+  SD.set_trace db tr;
+  let t = SD.begin_txn db in
+  ignore (SD.invoke db t ~obj:names.(0) (deposit_inv 5));
+  ignore (SD.invoke db t ~obj:names.(1) (deposit_inv 7));
+  Helpers.check_bool "commits" true (SD.try_commit db t = Ok ());
+  let events = Trace.events tr in
+  let of_kind name =
+    List.filter (fun e -> Trace.kind_name e.Trace.kind = name) events
+  in
+  Helpers.check_int "a prepare append per participant" 2
+    (List.length (of_kind "prepare_append"));
+  Helpers.check_int "a durable prepare per participant" 2
+    (List.length (of_kind "prepare_force"));
+  Helpers.check_int "exactly one decision" 1
+    (List.length (of_kind "decision_force"));
+  Helpers.check_int "a completion per participant" 2
+    (List.length (of_kind "completion"));
+  (* one shared clock across shards: every durable prepare precedes the
+     decision, which precedes every completion *)
+  let dec = List.hd (of_kind "decision_force") in
+  List.iter
+    (fun e ->
+      Helpers.check_bool "prepare before decision" true
+        (e.Trace.ts < dec.Trace.ts))
+    (of_kind "prepare_force");
+  List.iter
+    (fun e ->
+      Helpers.check_bool "completion after decision" true
+        (e.Trace.ts > dec.Trace.ts))
+    (of_kind "completion");
+  (* every 2PC span carries the same global trace id *)
+  let gtid_of e =
+    match e.Trace.kind with
+    | Trace.Prepare_append { gtid; _ }
+    | Trace.Prepare_force { gtid; _ }
+    | Trace.Decision_force { gtid; _ }
+    | Trace.Completion { gtid; _ } -> Some gtid
+    | _ -> None
+  in
+  Helpers.check_bool "one gtid across all spans" true
+    (List.sort_uniq compare (List.filter_map gtid_of events) = [ 0 ]);
+  (* and the 2PC phases still tile the transaction's span *)
+  let txns = Timeline.of_events events in
+  List.iter
+    (fun t -> Helpers.check_bool "tiling" true (Timeline.consistent t))
+    txns;
+  List.iter
+    (fun ph ->
+      Helpers.check_bool
+        (Fmt.str "%s phase observed" (Timeline.phase_name ph))
+        true
+        (List.exists (fun t -> Timeline.phase_total t ph > 0) txns))
+    [ Timeline.Prepare; Timeline.Decide; Timeline.Complete ]
+
 (* --- refinement: sharded == unsharded under the same script --- *)
 
 (* A workload script: per transaction, the objects it touches (indices
@@ -496,6 +645,12 @@ let suite =
       test_recover_in_doubt_commits_with_evidence;
     Alcotest.test_case "recovery presumes abort without evidence" `Quick
       test_recover_in_doubt_presumed_abort;
+    Alcotest.test_case "resolution events: evidence kinds" `Quick
+      test_resolution_events_evidence_kinds;
+    Alcotest.test_case "resolution is idempotent after recovery" `Quick
+      test_resolution_idempotent_after_recovery;
+    Alcotest.test_case "shared trace recorder: 2pc spans" `Quick
+      test_sharded_trace_spans;
     prop_single_shard_equivalence;
     prop_multi_shard_disjoint_equivalence;
     prop_cross_shard_equivalence;

@@ -486,6 +486,113 @@ let test_report_recovery_section () =
             [ ("BA", 6) ]
             r.Tm_obs.Report.per_object)
 
+(* ------------------------------------------------------------------ *)
+(* 2PC forensics: a hand-built mixed-shard image covering all three
+   evidence classes.  Transaction a prepared on shards 0 and 1 with the
+   coordinator's Decision surviving on shard 0; b prepared on shards 2
+   and 3 with only shard 2's phase-2 Commit surviving; c prepared on
+   shard 1 with no evidence anywhere (presumed abort).  Reported byte
+   offsets must be the Prepare frames' actual positions.               *)
+
+let test_two_phase_forensics () =
+  let a = Tid.of_int 7 and b = Tid.of_int 8 and c = Tid.of_int 9 in
+  let frames =
+    [
+      (0, Wal.Begin a);
+      (1, Wal.Begin a);
+      (3, Wal.Begin b);
+      (1, Wal.Prepare a);
+      (0, Wal.Prepare a);
+      (3, Wal.Prepare b);
+      (0, Wal.Decision { tid = a; commit = true });
+      (2, Wal.Begin b);
+      (2, Wal.Prepare b);
+      (1, Wal.Begin c);
+      (1, Wal.Prepare c);
+      (2, Wal.Commit b);
+    ]
+  in
+  let image =
+    String.concat "" (List.map (fun (s, r) -> Wal.Codec.encode ~shard:s r) frames)
+  in
+  (* ground-truth byte offset of each (shard, record) frame *)
+  let offset_of shard record =
+    let rec go off = function
+      | [] -> Alcotest.fail "frame not in the image"
+      | (s, r) :: rest ->
+          if s = shard && r = record then off
+          else go (off + String.length (Wal.Codec.encode ~shard:s r)) rest
+    in
+    go 0 frames
+  in
+  let tp = Wal_inspect.two_phase image in
+  Helpers.check_int "all four shards reported" 4 (List.length tp);
+  let shard s = List.nth tp s in
+  List.iteri
+    (fun i t -> Helpers.check_int "ascending shard ids" i t.Wal_inspect.tp_shard)
+    tp;
+  let counts t =
+    (t.Wal_inspect.tp_prepares, t.Wal_inspect.tp_decisions,
+     t.Wal_inspect.tp_completions)
+  in
+  Alcotest.(check (triple int int int)) "shard 0 counts" (1, 1, 0) (counts (shard 0));
+  Alcotest.(check (triple int int int)) "shard 1 counts" (2, 0, 0) (counts (shard 1));
+  Alcotest.(check (triple int int int)) "shard 2 counts" (1, 0, 1) (counts (shard 2));
+  Alcotest.(check (triple int int int)) "shard 3 counts" (1, 0, 0) (counts (shard 3));
+  let in_doubt s =
+    List.map
+      (fun p ->
+        ( (Tid.to_int p.Wal_inspect.tpp_tid, p.Wal_inspect.tpp_offset),
+          (p.Wal_inspect.tpp_commit, p.Wal_inspect.tpp_evidence) ))
+      (shard s).Wal_inspect.tp_in_doubt
+  in
+  (* the coordinator's own vote is still locally unfinished: in doubt,
+     but with the strongest evidence *)
+  Alcotest.(check (list (pair (pair int int) (pair bool string))))
+    "shard 0: decision evidence"
+    [ ((7, offset_of 0 (Wal.Prepare a)), (true, "decision")) ]
+    (in_doubt 0);
+  Alcotest.(check (list (pair (pair int int) (pair bool string))))
+    "shard 1: first-prepare order, cross-shard decision then presumed"
+    [
+      ((7, offset_of 1 (Wal.Prepare a)), (true, "decision"));
+      ((9, offset_of 1 (Wal.Prepare c)), (false, "presumed"));
+    ]
+    (in_doubt 1);
+  Alcotest.(check (list (pair (pair int int) (pair bool string))))
+    "shard 2: locally completed, nothing in doubt" [] (in_doubt 2);
+  Alcotest.(check (list (pair (pair int int) (pair bool string))))
+    "shard 3: another shard's phase-2 commit as evidence"
+    [ ((8, offset_of 3 (Wal.Prepare b)), (true, "phase2")) ]
+    (in_doubt 3);
+  (* a torn tail is dropped exactly as recovery drops it: cutting into
+     shard 2's Commit frame erases b's evidence *)
+  let cut = String.sub image 0 (offset_of 2 (Wal.Commit b) + 3) in
+  let tp' = Wal_inspect.two_phase cut in
+  (match (List.nth tp' 3).Wal_inspect.tp_in_doubt with
+  | [ p ] ->
+      Alcotest.(check string) "evidence degrades with the torn tail" "presumed"
+        p.Wal_inspect.tpp_evidence;
+      Helpers.check_bool "presumed abort" false p.Wal_inspect.tpp_commit
+  | l -> Alcotest.failf "expected 1 in-doubt on shard 3, got %d" (List.length l));
+  (* JSON export mirrors the same structure *)
+  let json = Tm_obs.Json.to_string (Wal_inspect.two_phase_to_json tp) in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Helpers.check_bool (Fmt.str "json has %s" needle) true (contains json needle))
+    [
+      "\"shard\":0"; "\"shard\":3";
+      "\"evidence\":\"decision\""; "\"evidence\":\"phase2\"";
+      "\"evidence\":\"presumed\"";
+      Fmt.str "\"offset\":%d" (offset_of 1 (Wal.Prepare c));
+      "\"outcome\":\"commit\""; "\"outcome\":\"abort\"";
+    ]
+
 let suite =
   [
     Alcotest.test_case "inspect a clean image" `Quick test_inspect_clean;
@@ -512,4 +619,6 @@ let suite =
       test_profile_partitions;
     Alcotest.test_case "report surfaces the recovery section" `Quick
       test_report_recovery_section;
+    Alcotest.test_case "2pc forensics on a mixed-shard image" `Quick
+      test_two_phase_forensics;
   ]
